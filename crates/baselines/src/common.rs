@@ -1,0 +1,127 @@
+//! Shared machinery for the baselines: connected greedy growth.
+
+use uavnet_core::Instance;
+use uavnet_geom::CellIndex;
+
+/// Grows a connected location set of up to `k` cells: the first pick
+/// maximizes `gain` globally, every later pick maximizes `gain` among
+/// cells adjacent (in the location graph) to the current set.
+///
+/// `gain` sees the chosen-so-far prefix and the candidate; ties break
+/// toward the smaller cell index, so growth is deterministic. Growth
+/// continues through zero-gain candidates (all `k` UAVs are deployed
+/// whenever the graph allows), matching how the baseline papers spend
+/// their full budget.
+pub fn grow_connected(
+    instance: &Instance,
+    k: usize,
+    mut gain: impl FnMut(&[CellIndex], CellIndex) -> u64,
+) -> Vec<CellIndex> {
+    let graph = instance.location_graph();
+    let m = instance.num_locations();
+    let mut chosen: Vec<CellIndex> = Vec::with_capacity(k);
+    if k == 0 || m == 0 {
+        return chosen;
+    }
+    let mut in_set = vec![false; m];
+    let mut adjacent = vec![false; m];
+    for _ in 0..k {
+        let mut best: Option<(u64, CellIndex)> = None;
+        if chosen.is_empty() {
+            for v in 0..m {
+                let g = gain(&chosen, v);
+                if best.map_or(true, |(bg, bv)| g > bg || (g == bg && v < bv)) {
+                    best = Some((g, v));
+                }
+            }
+        } else {
+            for v in 0..m {
+                if in_set[v] || !adjacent[v] {
+                    continue;
+                }
+                let g = gain(&chosen, v);
+                if best.map_or(true, |(bg, bv)| g > bg || (g == bg && v < bv)) {
+                    best = Some((g, v));
+                }
+            }
+        }
+        let Some((_, v)) = best else { break };
+        chosen.push(v);
+        in_set[v] = true;
+        for &w in graph.neighbors(v) {
+            adjacent[w] = true;
+        }
+    }
+    chosen
+}
+
+/// The fleet in **index order** paired with the grown locations — the
+/// heterogeneity-blind placement every baseline uses.
+pub fn placements_in_index_order(locations: &[CellIndex]) -> Vec<(usize, CellIndex)> {
+    locations.iter().copied().enumerate().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_core::Instance;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+    use uavnet_graph::is_connected_subset;
+
+    fn instance() -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(1_350.0, 1_350.0), 2_000.0);
+        for _ in 0..4 {
+            b.add_uav(2, UavRadio::new(30.0, 5.0, 350.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn growth_is_connected_and_deterministic() {
+        let inst = instance();
+        let pick = |_: &[usize], v: usize| inst.best_coverage_count(v) as u64;
+        let a = grow_connected(&inst, 4, pick);
+        let b = grow_connected(&inst, 4, pick);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(is_connected_subset(inst.location_graph(), &a));
+        // No duplicates.
+        let mut s = a.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn first_pick_is_global_best() {
+        let inst = instance();
+        let a = grow_connected(&inst, 1, |_, v| inst.best_coverage_count(v) as u64);
+        assert_eq!(a.len(), 1);
+        let best = (0..inst.num_locations())
+            .max_by_key(|&v| (inst.best_coverage_count(v), std::cmp::Reverse(v)))
+            .unwrap();
+        assert_eq!(a[0], best);
+    }
+
+    #[test]
+    fn zero_k() {
+        let inst = instance();
+        assert!(grow_connected(&inst, 0, |_, _| 0).is_empty());
+    }
+
+    #[test]
+    fn index_order_placements() {
+        let p = placements_in_index_order(&[7, 3, 9]);
+        assert_eq!(p, vec![(0, 7), (1, 3), (2, 9)]);
+    }
+}

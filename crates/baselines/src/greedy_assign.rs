@@ -1,0 +1,132 @@
+//! `GreedyAssign` — Khuller, Purohit & Sarpatwar, *"Analyzing the
+//! optimal neighborhood: algorithms for partial and budgeted connected
+//! dominating set problems"* (SIAM J. Discrete Math 2020).
+//!
+//! The original scores vertices by how much of the demand neighborhood
+//! they dominate, then selects a budgeted connected subgraph
+//! maximizing accumulated profit. Our re-implementation follows the
+//! paper's two-phase shape:
+//!
+//! 1. **profit sweep** — repeatedly take the location with the
+//!    largest residual coverage, fix its profit to that residual
+//!    count, and claim those users (so overlapping locations do not
+//!    double-count);
+//! 2. **connected selection** — grow a connected `K`-set maximizing
+//!    the sum of fixed profits.
+//!
+//! Capacity-oblivious: profits ignore `C_k`, and UAVs land in fleet
+//! index order.
+
+use crate::common::{grow_connected, placements_in_index_order};
+use crate::DeploymentAlgorithm;
+use uavnet_core::{score_deployment, CoreError, Instance, Solution};
+
+/// The GreedyAssign baseline; see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyAssign;
+
+impl GreedyAssign {
+    /// The phase-1 static profits (exposed for tests).
+    pub(crate) fn profits(instance: &Instance) -> Vec<u64> {
+        let m = instance.num_locations();
+        // Use the first UAV's radio for the profit geometry — the
+        // original problem is homogeneous.
+        let mut claimed = vec![false; instance.num_users()];
+        let mut profit = vec![0u64; m];
+        let mut remaining: Vec<usize> = (0..m).collect();
+        while !remaining.is_empty() {
+            let (pos, best, residual) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &v)| {
+                    let r = instance
+                        .coverable(0, v)
+                        .iter()
+                        .filter(|&&u| !claimed[u as usize])
+                        .count() as u64;
+                    (pos, v, r)
+                })
+                .max_by(|a, b| a.2.cmp(&b.2).then(b.1.cmp(&a.1)))
+                .expect("remaining non-empty");
+            profit[best] = residual;
+            for &u in instance.coverable(0, best) {
+                claimed[u as usize] = true;
+            }
+            remaining.swap_remove(pos);
+            if residual == 0 {
+                // Every still-unscored location also has residual 0.
+                break;
+            }
+        }
+        profit
+    }
+}
+
+impl DeploymentAlgorithm for GreedyAssign {
+    fn name(&self) -> &'static str {
+        "GreedyAssign"
+    }
+
+    fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        let profit = Self::profits(instance);
+        let locations = grow_connected(instance, instance.num_uavs(), |_, v| profit[v]);
+        Ok(score_deployment(
+            instance,
+            placements_in_index_order(&locations),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn instance() -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_200.0, 1_200.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        for i in 0..4 {
+            b.add_user(Point2::new(140.0 + 5.0 * i as f64, 150.0), 2_000.0);
+        }
+        b.add_user(Point2::new(1_050.0, 1_050.0), 2_000.0);
+        for cap in [1u32, 4, 2] {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, 350.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn profits_do_not_double_count() {
+        let inst = instance();
+        let profits = GreedyAssign::profits(&inst);
+        // Total profit cannot exceed the user count.
+        let total: u64 = profits.iter().sum();
+        assert!(total <= inst.num_users() as u64);
+        // The densest cell carries the cluster's profit.
+        assert_eq!(profits.iter().max().copied(), Some(4));
+    }
+
+    #[test]
+    fn produces_valid_solution() {
+        let inst = instance();
+        let sol = GreedyAssign.deploy(&inst).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.deployment().len(), 3);
+        assert!(sol.served_users() >= 3);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let inst = instance();
+        let a = GreedyAssign.deploy(&inst).unwrap();
+        let b = GreedyAssign.deploy(&inst).unwrap();
+        assert_eq!(a.deployment().placements(), b.deployment().placements());
+    }
+}

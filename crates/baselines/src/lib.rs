@@ -1,0 +1,80 @@
+//! Baseline UAV deployment algorithms — the four comparators of the
+//! paper's evaluation (§IV-A) plus a random control.
+//!
+//! Each baseline re-implements the core placement idea of its source
+//! paper (the originals are closed-source; DESIGN.md documents the
+//! fidelity of every substitution):
+//!
+//! * [`Mcs`] — Kuo, Lin & Tsai (ToN'15): connected greedy submodular
+//!   coverage, capacity-oblivious;
+//! * [`MotionCtrl`] — Zhao, Wang, Wu & Wei (JSAC'18): force-directed
+//!   motion control toward uncovered user mass with connectivity
+//!   springs;
+//! * [`GreedyAssign`] — Khuller, Purohit & Sarpatwar (SIDMA'20):
+//!   static residual profits, then a profit-maximizing connected
+//!   K-subgraph;
+//! * [`MaxThroughput`] — Xu et al. (ToN'22): throughput-greedy
+//!   connected placement assuming a *homogeneous* fleet at the mean
+//!   capacity;
+//! * [`RandomConnected`] — random connected growth (control).
+//!
+//! All baselines deploy UAVs **in fleet index order** — they are
+//! heterogeneity-blind, which is exactly the behavior the paper argues
+//! costs them served users — and every produced deployment is scored
+//! by the same optimal assignment as `approAlg`
+//! ([`uavnet_core::score_deployment`]), so comparisons measure
+//! placement quality only.
+//!
+//! # Examples
+//!
+//! ```
+//! use uavnet_baselines::{DeploymentAlgorithm, Mcs};
+//! # use uavnet_core::Instance;
+//! # use uavnet_channel::UavRadio;
+//! # use uavnet_geom::{AreaSpec, GridSpec, Point2};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0)?, 300.0, 300.0)?.build();
+//! # let mut b = Instance::builder(grid, 600.0);
+//! # b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+//! # b.add_uav(3, UavRadio::new(30.0, 5.0, 500.0));
+//! # let instance = b.build()?;
+//! let solution = Mcs.deploy(&instance)?;
+//! solution.validate(&instance)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod greedy_assign;
+mod max_throughput;
+mod mcs;
+mod motion_ctrl;
+mod random;
+
+pub use greedy_assign::GreedyAssign;
+pub use max_throughput::MaxThroughput;
+pub use mcs::Mcs;
+pub use motion_ctrl::MotionCtrl;
+pub use random::RandomConnected;
+
+use uavnet_core::{CoreError, Instance, Solution};
+
+/// A deployment algorithm producing a complete, connected solution.
+///
+/// Implemented by every baseline and by the `approAlg` adapter in the
+/// bench harness, so experiments can sweep a uniform list.
+pub trait DeploymentAlgorithm {
+    /// Short display name used in experiment tables (e.g. `"MCS"`).
+    fn name(&self) -> &'static str;
+
+    /// Deploys UAVs on `instance` and returns the scored solution.
+    ///
+    /// # Errors
+    ///
+    /// Algorithm-specific failures; all implementations here always
+    /// succeed on non-degenerate instances.
+    fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError>;
+}

@@ -1,0 +1,111 @@
+//! `MCS` — Kuo, Lin & Tsai, *"Maximizing submodular set function with
+//! connectivity constraint"* (IEEE/ACM ToN 2015).
+//!
+//! The original places `K` homogeneous wireless routers to maximize
+//! covered users under a connectivity constraint, with a
+//! `(1−1/e)/(5(√K+1))` guarantee. Our re-implementation keeps its
+//! operative idea — *connected greedy coverage* — and its
+//! capacity-obliviousness: marginal gains count distinct newly covered
+//! users with no capacity cap, and UAVs are committed in fleet index
+//! order.
+
+use crate::common::{grow_connected, placements_in_index_order};
+use crate::DeploymentAlgorithm;
+use uavnet_core::{score_deployment, CoreError, Instance, Solution};
+
+/// The MCS baseline; see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mcs;
+
+impl DeploymentAlgorithm for Mcs {
+    fn name(&self) -> &'static str {
+        "MCS"
+    }
+
+    fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        let k = instance.num_uavs();
+        let mut covered = vec![false; instance.num_users()];
+        let mut applied = 0usize; // chosen prefix already folded into `covered`
+        let locations = grow_connected(instance, k, |chosen, v| {
+            // Fold freshly committed picks into the covered set.
+            while applied < chosen.len() {
+                for &u in instance.coverable(applied, chosen[applied]) {
+                    covered[u as usize] = true;
+                }
+                applied += 1;
+            }
+            // The UAV that would land here is the next one in index
+            // order; its radio decides reach. No capacity cap.
+            let uav = chosen.len();
+            instance
+                .coverable(uav, v)
+                .iter()
+                .filter(|&&u| !covered[u as usize])
+                .count() as u64
+        });
+        Ok(score_deployment(
+            instance,
+            placements_in_index_order(&locations),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn clustered_instance() -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        for i in 0..5 {
+            b.add_user(Point2::new(140.0 + 5.0 * i as f64, 150.0), 2_000.0);
+        }
+        for i in 0..3 {
+            b.add_user(Point2::new(1_340.0 + 5.0 * i as f64, 1_350.0), 2_000.0);
+        }
+        for cap in [2u32, 5, 1, 3] {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, 350.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn produces_valid_connected_solution() {
+        let inst = clustered_instance();
+        let sol = Mcs.deploy(&inst).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.deployment().len(), 4);
+        assert!(sol.served_users() > 0);
+    }
+
+    #[test]
+    fn first_uav_lands_on_the_big_cluster() {
+        let inst = clustered_instance();
+        let sol = Mcs.deploy(&inst).unwrap();
+        let (uav0, loc0) = sol.deployment().placements()[0];
+        assert_eq!(uav0, 0);
+        // Cell 0 holds the 5-user cluster.
+        assert_eq!(loc0, 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let inst = clustered_instance();
+        let a = Mcs.deploy(&inst).unwrap();
+        let b = Mcs.deploy(&inst).unwrap();
+        assert_eq!(a.deployment().placements(), b.deployment().placements());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Mcs.name(), "MCS");
+    }
+}

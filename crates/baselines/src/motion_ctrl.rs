@@ -1,0 +1,300 @@
+//! `MotionCtrl` — Zhao, Wang, Wu & Wei, *"Deployment algorithms for
+//! UAV airborne networks toward on-demand coverage"* (IEEE JSAC 2018).
+//!
+//! The original steers UAVs with continuous motion control: each UAV
+//! feels an attraction toward uncovered user demand, a separation
+//! force from crowded teammates, and a connectivity-preserving spring
+//! toward its nearest neighbor. Our re-implementation runs the same
+//! force loop in the continuous plane, then snaps the converged swarm
+//! onto distinct grid cells and repairs any residual connectivity gap
+//! by walking stray UAVs toward the main component (the original keeps
+//! connectivity invariant during flight; the repair step plays that
+//! role after discretization). Capacity-oblivious throughout.
+
+use crate::common::placements_in_index_order;
+use crate::DeploymentAlgorithm;
+use uavnet_core::{score_deployment, CoreError, Instance, Solution};
+use uavnet_geom::Point2;
+use uavnet_graph::{multi_source_hops, UnionFind};
+
+/// The MotionCtrl baseline; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct MotionCtrl {
+    /// Force-loop iterations before snapping to the grid.
+    pub max_rounds: usize,
+    /// Maximum displacement per round, meters.
+    pub max_step_m: f64,
+}
+
+impl Default for MotionCtrl {
+    fn default() -> Self {
+        MotionCtrl {
+            max_rounds: 80,
+            max_step_m: 120.0,
+        }
+    }
+}
+
+impl DeploymentAlgorithm for MotionCtrl {
+    fn name(&self) -> &'static str {
+        "MotionCtrl"
+    }
+
+    fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        let k = instance.num_uavs();
+        let users = instance.users();
+        let area = instance.grid().spec().area();
+        let r_uav = instance.uav_channel().range_m();
+
+        // Launch the swarm in a small spiral around the user centroid.
+        let centroid = {
+            let (sx, sy) = users
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), u| (sx + u.pos.x, sy + u.pos.y));
+            Point2::new(sx / users.len() as f64, sy / users.len() as f64)
+        };
+        let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+        let mut pos: Vec<Point2> = (0..k)
+            .map(|i| {
+                let theta = golden * i as f64;
+                let radius = 40.0 + 25.0 * i as f64;
+                area.clamp(Point2::new(
+                    centroid.x + radius * theta.cos(),
+                    centroid.y + radius * theta.sin(),
+                ))
+            })
+            .collect();
+
+        for _ in 0..self.max_rounds {
+            // Coverage snapshot (capacity-oblivious): a user is covered
+            // if any UAV hovers within that UAV's user radius.
+            let covered: Vec<bool> = users
+                .iter()
+                .map(|u| {
+                    pos.iter().enumerate().any(|(i, p)| {
+                        p.distance(u.pos) <= instance.uavs()[i].radio.user_range_m()
+                    })
+                })
+                .collect();
+            let mut next = pos.clone();
+            for i in 0..k {
+                let r_user = instance.uavs()[i].radio.user_range_m();
+                let sense = 2.0 * r_user;
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                // Attraction toward uncovered demand in sensing range.
+                for (u, user) in users.iter().enumerate() {
+                    if covered[u] {
+                        continue;
+                    }
+                    let d = pos[i].distance(user.pos);
+                    if d > sense || d < 1.0 {
+                        continue;
+                    }
+                    let w = 1.0 / (1.0 + d / r_user);
+                    fx += w * (user.pos.x - pos[i].x) / d;
+                    fy += w * (user.pos.y - pos[i].y) / d;
+                }
+                // Separation from crowding teammates.
+                for j in 0..k {
+                    if j == i {
+                        continue;
+                    }
+                    let d = pos[i].distance(pos[j]);
+                    if d < 0.8 * r_user && d > 1.0 {
+                        let w = (0.8 * r_user - d) / (0.8 * r_user);
+                        fx += 2.0 * w * (pos[i].x - pos[j].x) / d;
+                        fy += 2.0 * w * (pos[i].y - pos[j].y) / d;
+                    }
+                }
+                // Connectivity spring toward the nearest teammate when
+                // the link stretches.
+                if k > 1 {
+                    let (j, d) = (0..k)
+                        .filter(|&j| j != i)
+                        .map(|j| (j, pos[i].distance(pos[j])))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("k > 1");
+                    if d > 0.85 * r_uav && d > 1.0 {
+                        let w = 4.0 * (d - 0.85 * r_uav) / r_uav;
+                        fx += w * (pos[j].x - pos[i].x) / d;
+                        fy += w * (pos[j].y - pos[i].y) / d;
+                    }
+                }
+                let norm = (fx * fx + fy * fy).sqrt();
+                if norm > 1e-9 {
+                    let step = self.max_step_m.min(norm * 40.0);
+                    next[i] = area.clamp(Point2::new(
+                        pos[i].x + step * fx / norm,
+                        pos[i].y + step * fy / norm,
+                    ));
+                }
+            }
+            pos = next;
+        }
+
+        // Snap to distinct grid cells (nearest free cell, index order).
+        let grid = instance.grid();
+        let m = instance.num_locations();
+        let mut occupied = vec![false; m];
+        let mut cells: Vec<usize> = Vec::with_capacity(k);
+        for p in &pos {
+            let cell = (0..m)
+                .filter(|&c| !occupied[c])
+                .min_by(|&a, &b| {
+                    grid.cell_center(a)
+                        .distance(*p)
+                        .total_cmp(&grid.cell_center(b).distance(*p))
+                })
+                .expect("fewer UAVs than cells");
+            occupied[cell] = true;
+            cells.push(cell);
+        }
+
+        repair_connectivity(instance, &mut cells);
+        Ok(score_deployment(
+            instance,
+            placements_in_index_order(&cells),
+        ))
+    }
+}
+
+/// Moves UAVs from minority components onto free cells adjacent to the
+/// largest component until the placement is connected.
+fn repair_connectivity(instance: &Instance, cells: &mut [usize]) {
+    let graph = instance.location_graph();
+    let m = instance.num_locations();
+    loop {
+        // Components of the current placement.
+        let mut uf = UnionFind::new(cells.len());
+        for i in 0..cells.len() {
+            for j in i + 1..cells.len() {
+                if graph.has_edge(cells[i], cells[j]) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        if uf.num_sets() <= 1 {
+            return;
+        }
+        // Anchor = the largest component (ties: the one with UAV 0's
+        // lowest index member).
+        let roots: Vec<usize> = (0..cells.len()).map(|i| uf.find(i)).collect();
+        let anchor_root = (0..cells.len())
+            .max_by_key(|&i| (uf.set_size(i), std::cmp::Reverse(roots[i])))
+            .map(|i| roots[i])
+            .expect("non-empty placement");
+        // Pick one stray UAV and walk it to the nearest free cell
+        // adjacent to the anchor (BFS layers from the anchor cells).
+        let stray = (0..cells.len())
+            .find(|&i| roots[i] != anchor_root)
+            .expect("num_sets > 1 implies a stray");
+        let occupied: Vec<bool> = {
+            let mut occ = vec![false; m];
+            for (i, &c) in cells.iter().enumerate() {
+                if i != stray {
+                    occ[c] = true;
+                }
+            }
+            occ
+        };
+        let anchor_cells = cells
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| roots[i] == anchor_root)
+            .map(|(_, &c)| c);
+        let dist = multi_source_hops(graph, anchor_cells);
+        // A free cell one hop from the anchor always exists when the
+        // anchor has any free neighbor at all (an occupied neighbor
+        // would already belong to the anchor component); landing there
+        // joins the stray to the anchor and strictly shrinks the
+        // number of components.
+        let target = (0..m)
+            .filter(|&c| !occupied[c] && dist[c] == Some(1))
+            .min_by_key(|&c| c);
+        match target {
+            Some(c) => cells[stray] = c,
+            None => return, // isolated anchor: give up gracefully
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_core::Instance;
+    use uavnet_geom::{AreaSpec, GridSpec};
+    use uavnet_graph::is_connected_subset;
+
+    fn instance(k: usize) -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        for i in 0..10 {
+            b.add_user(Point2::new(130.0 + 9.0 * i as f64, 150.0), 2_000.0);
+        }
+        for i in 0..10 {
+            b.add_user(Point2::new(1_280.0 + 9.0 * i as f64, 1_350.0), 2_000.0);
+        }
+        for _ in 0..k {
+            b.add_uav(4, UavRadio::new(30.0, 5.0, 350.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn produces_valid_connected_solution() {
+        for k in [1usize, 2, 4, 6] {
+            let inst = instance(k);
+            let sol = MotionCtrl::default().deploy(&inst).unwrap();
+            sol.validate(&inst).unwrap();
+            assert_eq!(sol.deployment().len(), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let inst = instance(5);
+        let a = MotionCtrl::default().deploy(&inst).unwrap();
+        let b = MotionCtrl::default().deploy(&inst).unwrap();
+        assert_eq!(a.deployment().placements(), b.deployment().placements());
+    }
+
+    #[test]
+    fn covers_someone_after_convergence() {
+        let inst = instance(6);
+        let sol = MotionCtrl::default().deploy(&inst).unwrap();
+        assert!(sol.served_users() > 0);
+    }
+
+    #[test]
+    fn repair_reconnects_scattered_cells() {
+        let inst = instance(3);
+        // Three far-apart cells on the 5×5 grid: 0, 4, 24.
+        let mut cells = vec![0usize, 4, 24];
+        repair_connectivity(&inst, &mut cells);
+        assert!(is_connected_subset(inst.location_graph(), &cells));
+        // No duplicates.
+        let mut s = cells.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn zero_rounds_still_yields_valid_solution() {
+        let inst = instance(4);
+        let algo = MotionCtrl {
+            max_rounds: 0,
+            max_step_m: 100.0,
+        };
+        let sol = algo.deploy(&inst).unwrap();
+        sol.validate(&inst).unwrap();
+    }
+}

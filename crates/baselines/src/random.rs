@@ -1,0 +1,108 @@
+//! A random connected placement — the control every real algorithm
+//! should beat.
+
+use crate::common::placements_in_index_order;
+use crate::DeploymentAlgorithm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uavnet_core::{score_deployment, CoreError, Instance, Solution};
+
+/// Deploys the fleet on a uniformly random connected location set
+/// (random seeded growth), scored with the optimal assignment.
+///
+/// # Examples
+///
+/// ```no_run
+/// use uavnet_baselines::{DeploymentAlgorithm, RandomConnected};
+/// let algo = RandomConnected::new(42);
+/// assert_eq!(algo.name(), "Random");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConnected {
+    seed: u64,
+}
+
+impl RandomConnected {
+    /// Creates the control with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomConnected { seed }
+    }
+}
+
+impl DeploymentAlgorithm for RandomConnected {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let graph = instance.location_graph();
+        let m = instance.num_locations();
+        let k = instance.num_uavs();
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        let mut in_set = vec![false; m];
+        let mut frontier: Vec<usize> = Vec::new();
+        for _ in 0..k {
+            let pick = if chosen.is_empty() {
+                rng.gen_range(0..m)
+            } else if frontier.is_empty() {
+                break;
+            } else {
+                frontier[rng.gen_range(0..frontier.len())]
+            };
+            chosen.push(pick);
+            in_set[pick] = true;
+            frontier.retain(|&v| v != pick);
+            for &w in graph.neighbors(pick) {
+                if !in_set[w] && !frontier.contains(&w) {
+                    frontier.push(w);
+                }
+            }
+        }
+        Ok(score_deployment(
+            instance,
+            placements_in_index_order(&chosen),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn instance() -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_200.0, 1_200.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        b.add_user(Point2::new(600.0, 600.0), 2_000.0);
+        for _ in 0..4 {
+            b.add_uav(2, UavRadio::new(30.0, 5.0, 400.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_and_seed_deterministic() {
+        let inst = instance();
+        let a = RandomConnected::new(7).deploy(&inst).unwrap();
+        let b = RandomConnected::new(7).deploy(&inst).unwrap();
+        a.validate(&inst).unwrap();
+        assert_eq!(a.deployment().placements(), b.deployment().placements());
+        let c = RandomConnected::new(8).deploy(&inst).unwrap();
+        c.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn deploys_full_fleet_on_open_grid() {
+        let inst = instance();
+        let sol = RandomConnected::new(3).deploy(&inst).unwrap();
+        assert_eq!(sol.deployment().len(), 4);
+    }
+}

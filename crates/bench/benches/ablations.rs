@@ -1,0 +1,56 @@
+//! Ablation benches: the runtime cost of each `approAlg` engineering
+//! choice (chain pruning, empty-seed pruning, leftover pass), at quick
+//! scale. The served-user effect of the same toggles is reported by
+//! `figures ablate`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::Scale;
+use uavnet_core::{approx_alg, ApproxConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let s = scale.s_default;
+    let configs: Vec<(&str, ApproxConfig)> = vec![
+        ("default", ApproxConfig::with_s(s).threads(1)),
+        (
+            "no_chain_pruning",
+            ApproxConfig::with_s(s).threads(1).prune_chain(false),
+        ),
+        (
+            "no_empty_seed_pruning",
+            ApproxConfig::with_s(s).threads(1).prune_empty_seeds(false),
+        ),
+        (
+            "no_leftover_pass",
+            ApproxConfig::with_s(s).threads(1).leftover_deployment(false),
+        ),
+        (
+            "literal_paper",
+            ApproxConfig::with_s(s)
+                .threads(1)
+                .prune_chain(false)
+                .prune_empty_seeds(false)
+                .leftover_deployment(false),
+        ),
+    ];
+    let mut group = c.benchmark_group("approx_ablations");
+    group.sample_size(10);
+    for (label, config) in configs {
+        group.bench_with_input(
+            BenchmarkId::new("approAlg", label),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let sol = approx_alg(black_box(instance), &config).expect("solves");
+                    black_box(sol.served_users())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

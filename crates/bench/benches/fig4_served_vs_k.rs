@@ -1,0 +1,35 @@
+//! FIG4 bench: deploy time of every algorithm as the fleet grows.
+//!
+//! Regenerates the workload behind Fig. 4 (served users vs `K`). The
+//! served-user *values* are produced by the `figures` binary; this
+//! bench tracks the deploy cost of each algorithm at three fleet
+//! sizes of the quick scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::{algorithm_set, Scale};
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("fig4_served_vs_k");
+    group.sample_size(10);
+    for &k in &scale.k_sweep {
+        let instance = scale.instance(scale.n_max(), k);
+        for algo in algorithm_set(scale.s_default, 2) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), k),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        let sol = algo.deploy(black_box(instance)).expect("deploys");
+                        black_box(sol.served_users())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

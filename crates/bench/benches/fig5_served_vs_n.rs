@@ -1,0 +1,32 @@
+//! FIG5 bench: deploy cost as the user population grows (`K` fixed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uavnet_bench::{algorithm_set, Scale};
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let k = scale.k_max();
+    let mut group = c.benchmark_group("fig5_served_vs_n");
+    group.sample_size(10);
+    for &n in &scale.n_sweep {
+        let instance = scale.instance(n, k);
+        group.throughput(Throughput::Elements(n as u64));
+        for algo in algorithm_set(scale.s_default, 2) {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        let sol = algo.deploy(black_box(instance)).expect("deploys");
+                        black_box(sol.served_users())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! FIG6 bench: `approAlg` deploy cost as the seed count `s` grows —
+//! the quality/runtime trade-off of Fig. 6(b). The time complexity is
+//! `O(K² n² m^{s+1})`, so each step of `s` multiplies the cost by
+//! roughly `m` (tempered here by seed pruning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::{Appro, Scale};
+use uavnet_baselines::DeploymentAlgorithm;
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let mut group = c.benchmark_group("fig6_s_sweep");
+    group.sample_size(10);
+    for &s in &scale.s_sweep {
+        let algo = Appro { s, threads: 2 };
+        group.bench_with_input(BenchmarkId::new("approAlg", s), &instance, |b, instance| {
+            b.iter(|| {
+                let sol = algo.deploy(black_box(instance)).expect("deploys");
+                black_box(sol.served_users())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benches of the substrate crates: the max-flow assignment
+//! (Lemma 1), the incremental matching oracle, BFS hop metrics, MST
+//! construction and the lazy greedy. These are the inner loops that
+//! dominate `approAlg`'s `O(K² n² m^{s+1})`; their absolute cost
+//! explains the Fig. 6(b) runtime curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::Scale;
+use uavnet_core::{assign_users, assign_users_max_flow, SegmentPlan};
+use uavnet_geom::CellIndex;
+
+fn assignment_placements(instance: &uavnet_core::Instance) -> Vec<(usize, CellIndex)> {
+    // A plausible deployment: the K best-covered cells in a row-major
+    // connected strip.
+    let k = instance.num_uavs();
+    (0..k).map(|i| (i, i)).collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("assignment");
+    group.sample_size(20);
+    for &n in &scale.n_sweep {
+        let instance = scale.instance(n, scale.k_max());
+        let placements = assignment_placements(&instance);
+        group.bench_with_input(
+            BenchmarkId::new("matching", n),
+            &instance,
+            |b, instance| b.iter(|| black_box(assign_users(instance, &placements).served)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_flow", n),
+            &instance,
+            |b, instance| {
+                b.iter(|| black_box(assign_users_max_flow(instance, &placements).served))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_primitives(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let graph = instance.location_graph();
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("bfs_hops_full_grid", |b| {
+        b.iter(|| black_box(uavnet_graph::bfs_hops(graph, 0)))
+    });
+    group.bench_function("connect_via_mst_corners", |b| {
+        let m = instance.num_locations();
+        let corners = vec![0, m - 1, m / 2];
+        b.iter(|| black_box(uavnet_core::connect_via_mst(graph, &corners).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1");
+    for s in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("segment_plan", s), &s, |b, &s| {
+            b.iter(|| black_box(SegmentPlan::optimal(200, s).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_graph_primitives, bench_alg1);
+criterion_main!(benches);

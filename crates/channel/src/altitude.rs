@@ -1,0 +1,204 @@
+//! Optimal hovering altitude (Al-Hourani et al., 2014).
+//!
+//! The paper assumes all UAVs hover at the altitude `H_uav` "for the
+//! maximum coverage from the sky", computed by the algorithms of its
+//! reference [2] (§II-A). This module reproduces that computation: for
+//! a maximum tolerable pathloss `PL_max`, the coverage radius
+//! `R(h)` — the largest ground distance still within budget — first
+//! grows with altitude (higher elevation angles make LoS more likely)
+//! and then shrinks (the slant distance dominates), giving a unique
+//! optimum.
+
+use crate::{AtgChannel, ChannelParams};
+use uavnet_geom::{Point2, Point3};
+
+/// The largest ground (horizontal) distance at which the mean pathloss
+/// stays within `max_pathloss_db`, for a UAV at `altitude_m`. Returns
+/// 0.0 when even the nadir point exceeds the budget.
+///
+/// Monotonicity of the mean pathloss in ground distance (at fixed
+/// altitude) makes this a clean binary search.
+///
+/// # Panics
+///
+/// Panics if `altitude_m` is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::{coverage_radius_m, ChannelParams};
+/// let params = ChannelParams::default();
+/// let r_low = coverage_radius_m(&params, 103.0, 100.0);
+/// let r_mid = coverage_radius_m(&params, 103.0, 300.0);
+/// assert!(r_mid > 0.0 && r_low >= 0.0);
+/// ```
+pub fn coverage_radius_m(params: &ChannelParams, max_pathloss_db: f64, altitude_m: f64) -> f64 {
+    assert!(
+        altitude_m.is_finite() && altitude_m > 0.0,
+        "altitude must be positive, got {altitude_m}"
+    );
+    let channel = AtgChannel::new(*params);
+    let uav = Point3::new(0.0, 0.0, altitude_m);
+    let pl = |r: f64| channel.mean_pathloss_db(uav, Point2::new(r, 0.0));
+    if pl(0.0) > max_pathloss_db {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0e6f64);
+    if pl(hi) <= max_pathloss_db {
+        return hi; // budget never binds within a 1000 km horizon
+    }
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if pl(mid) <= max_pathloss_db {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The altitude in `[h_min, h_max]` maximizing the coverage radius for
+/// a pathloss budget, with that radius. Grid search plus local
+/// refinement over the (unimodal) radius-altitude curve.
+///
+/// # Panics
+///
+/// Panics if the range is empty or non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::{optimal_altitude_m, ChannelParams, Environment};
+/// let params = ChannelParams::builder().environment(Environment::Urban).build();
+/// let (h, r) = optimal_altitude_m(&params, 110.0, (50.0, 2_000.0));
+/// assert!(h > 50.0 && h < 2_000.0);
+/// assert!(r > 0.0);
+/// ```
+pub fn optimal_altitude_m(
+    params: &ChannelParams,
+    max_pathloss_db: f64,
+    (h_min, h_max): (f64, f64),
+) -> (f64, f64) {
+    assert!(
+        h_min > 0.0 && h_max > h_min && h_max.is_finite(),
+        "invalid altitude range [{h_min}, {h_max}]"
+    );
+    let radius = |h: f64| coverage_radius_m(params, max_pathloss_db, h);
+    // Coarse grid.
+    let steps = 64;
+    let mut best_h = h_min;
+    let mut best_r = radius(h_min);
+    for i in 1..=steps {
+        let h = h_min + (h_max - h_min) * i as f64 / steps as f64;
+        let r = radius(h);
+        if r > best_r {
+            best_r = r;
+            best_h = h;
+        }
+    }
+    // Local ternary refinement around the best grid cell.
+    let span = (h_max - h_min) / steps as f64;
+    let (mut lo, mut hi) = ((best_h - span).max(h_min), (best_h + span).min(h_max));
+    for _ in 0..80 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if radius(m1) < radius(m2) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    let h = (lo + hi) / 2.0;
+    (h, radius(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Environment;
+
+    fn urban() -> ChannelParams {
+        ChannelParams::builder().environment(Environment::Urban).build()
+    }
+
+    #[test]
+    fn radius_is_zero_when_budget_too_tight() {
+        // 60 dB budget cannot even reach the ground from 300 m.
+        assert_eq!(coverage_radius_m(&urban(), 60.0, 300.0), 0.0);
+    }
+
+    #[test]
+    fn radius_grows_with_budget() {
+        let p = urban();
+        let mut last = 0.0;
+        for budget in [95.0, 100.0, 105.0, 110.0] {
+            let r = coverage_radius_m(&p, budget, 300.0);
+            assert!(r > last, "budget {budget}: {r} <= {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn radius_at_budget_edge_matches_pathloss() {
+        let p = urban();
+        let budget = 105.0;
+        let h = 300.0;
+        let r = coverage_radius_m(&p, budget, h);
+        let channel = AtgChannel::new(p);
+        let uav = Point3::new(0.0, 0.0, h);
+        let pl = channel.mean_pathloss_db(uav, Point2::new(r, 0.0));
+        assert!((pl - budget).abs() < 0.01, "edge pathloss {pl}");
+    }
+
+    #[test]
+    fn optimum_is_interior_and_beats_extremes() {
+        let p = urban();
+        let budget = 110.0;
+        let (h, r) = optimal_altitude_m(&p, budget, (50.0, 3_000.0));
+        assert!(h > 50.0 && h < 3_000.0, "h = {h}");
+        let r_low = coverage_radius_m(&p, budget, 51.0);
+        let r_high = coverage_radius_m(&p, budget, 2_999.0);
+        assert!(r >= r_low, "optimum {r} below low-altitude {r_low}");
+        assert!(r >= r_high, "optimum {r} below high-altitude {r_high}");
+    }
+
+    #[test]
+    fn harsher_environments_want_steeper_elevation() {
+        // Al-Hourani et al.: the optimal *elevation angle* at the cell
+        // edge grows with environment harshness — highrise cells must
+        // be looked down upon much more steeply than suburban ones
+        // (the absolute altitude can still be lower because the
+        // suburban radius is enormous).
+        let budget = 115.0;
+        let sub = ChannelParams::builder()
+            .environment(Environment::Suburban)
+            .build();
+        let high = ChannelParams::builder()
+            .environment(Environment::Highrise)
+            .build();
+        let (h_sub, r_sub) = optimal_altitude_m(&sub, budget, (50.0, 5_000.0));
+        let (h_high, r_high) = optimal_altitude_m(&high, budget, (50.0, 5_000.0));
+        let angle = |h: f64, r: f64| (h / r).atan().to_degrees();
+        assert!(
+            angle(h_high, r_high) > angle(h_sub, r_sub) + 5.0,
+            "highrise edge angle {:.1}° not above suburban {:.1}°",
+            angle(h_high, r_high),
+            angle(h_sub, r_sub)
+        );
+        // …and the suburban cell is much larger.
+        assert!(r_sub > 2.0 * r_high);
+    }
+
+    #[test]
+    #[should_panic(expected = "altitude must be positive")]
+    fn rejects_bad_altitude() {
+        let _ = coverage_radius_m(&urban(), 100.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid altitude range")]
+    fn rejects_bad_range() {
+        let _ = optimal_altitude_m(&urban(), 100.0, (500.0, 100.0));
+    }
+}

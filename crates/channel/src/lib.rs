@@ -1,0 +1,52 @@
+//! Wireless channel models for UAV communication networks (§II-B of the
+//! paper).
+//!
+//! Two channels are modeled:
+//!
+//! * **UAV-to-user (air-to-ground)** — a probabilistic mixture of
+//!   Line-of-Sight and Non-Line-of-Sight links following Al-Hourani et
+//!   al., *"Optimal LAP altitude for maximum coverage"* (IEEE WCL 2014):
+//!   the mean pathloss is `PL = P_LoS · L_LoS + P_NLoS · L_NLoS`, where
+//!   `P_LoS` is an S-curve in the elevation angle and `L_{LoS,NLoS}` add
+//!   environment-specific excess losses `η` to the free-space pathloss.
+//! * **UAV-to-UAV** — pure free-space pathloss (no obstacles in the air).
+//!
+//! From the pathloss, the received SNR and the Shannon data rate over an
+//! OFDMA sub-band `B_w` are derived, giving the admissibility predicate
+//! used by the coverage model: a user can be served iff it is within the
+//! UAV's coverage radius **and** its achievable rate meets its minimum
+//! requirement `r_min`.
+//!
+//! # Examples
+//!
+//! ```
+//! use uavnet_channel::{AtgChannel, ChannelParams, Environment, UavRadio};
+//! use uavnet_geom::{Point2, Point3};
+//!
+//! let params = ChannelParams::builder().environment(Environment::Urban).build();
+//! let channel = AtgChannel::new(params);
+//! let radio = UavRadio::new(30.0, 5.0, 500.0);
+//! let uav = Point3::new(0.0, 0.0, 300.0);
+//! let user = Point2::new(300.0, 0.0);
+//!
+//! let rate = channel.data_rate_bps(&radio, uav, user);
+//! assert!(rate > 1_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod altitude;
+mod link;
+mod params;
+mod pathloss;
+mod rate;
+
+pub use altitude::{coverage_radius_m, optimal_altitude_m};
+pub use link::{AtgChannel, UavRadio, UavToUavChannel};
+pub use params::{ChannelParams, ChannelParamsBuilder, Environment};
+pub use pathloss::{elevation_angle_deg, free_space_pathloss_db, los_probability};
+pub use rate::{shannon_rate_bps, snr_db, snr_linear_from_db};
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;

@@ -1,0 +1,141 @@
+//! Pathloss primitives: free-space loss, elevation angles and the
+//! Al-Hourani LoS-probability S-curve.
+
+use crate::SPEED_OF_LIGHT_M_S;
+
+/// Free-space pathloss `20·log10(4π·f_c·d / c)` in dB.
+///
+/// Distances below one meter are clamped to one meter so the expression
+/// stays finite for co-located nodes.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::free_space_pathloss_db;
+/// // At 2 GHz over 1 km the free-space loss is ≈ 98.5 dB.
+/// let pl = free_space_pathloss_db(1_000.0, 2.0e9);
+/// assert!((pl - 98.5).abs() < 0.2);
+/// ```
+#[inline]
+pub fn free_space_pathloss_db(distance_m: f64, carrier_hz: f64) -> f64 {
+    let d = distance_m.max(1.0);
+    20.0 * (4.0 * std::f64::consts::PI * carrier_hz * d / SPEED_OF_LIGHT_M_S).log10()
+}
+
+/// Elevation angle in degrees seen from a ground node toward an aerial
+/// node at `altitude_m` above it with horizontal offset
+/// `horizontal_m ≥ 0`.
+///
+/// A zero horizontal offset gives 90° (the UAV is directly overhead).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::elevation_angle_deg;
+/// assert_eq!(elevation_angle_deg(0.0, 300.0), 90.0);
+/// assert!((elevation_angle_deg(300.0, 300.0) - 45.0).abs() < 1e-9);
+/// ```
+#[inline]
+pub fn elevation_angle_deg(horizontal_m: f64, altitude_m: f64) -> f64 {
+    if horizontal_m <= 0.0 {
+        return 90.0;
+    }
+    (altitude_m / horizontal_m).atan().to_degrees()
+}
+
+/// LoS probability `1 / (1 + a·exp(−b·(θ − a)))` for elevation angle `θ`
+/// in degrees (Al-Hourani et al., 2014).
+///
+/// The result is clamped to `[0, 1]` against floating-point drift.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::los_probability;
+/// // Urban constants: LoS is near-certain straight overhead…
+/// let (a, b) = (9.61, 0.16);
+/// assert!(los_probability(90.0, a, b) > 0.99);
+/// // …and unlikely at grazing angles.
+/// assert!(los_probability(1.0, a, b) < 0.35);
+/// ```
+#[inline]
+pub fn los_probability(elevation_deg: f64, a: f64, b: f64) -> f64 {
+    let p = 1.0 / (1.0 + a * (-b * (elevation_deg - a)).exp());
+    p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fspl_grows_with_distance_and_frequency() {
+        let f = 2.0e9;
+        assert!(free_space_pathloss_db(200.0, f) < free_space_pathloss_db(400.0, f));
+        assert!(free_space_pathloss_db(200.0, f) < free_space_pathloss_db(200.0, 2.0 * f));
+    }
+
+    #[test]
+    fn fspl_doubles_distance_adds_6db() {
+        let f = 2.0e9;
+        let d1 = free_space_pathloss_db(500.0, f);
+        let d2 = free_space_pathloss_db(1_000.0, f);
+        assert!((d2 - d1 - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fspl_clamps_below_one_meter() {
+        let f = 2.0e9;
+        assert_eq!(
+            free_space_pathloss_db(0.0, f),
+            free_space_pathloss_db(1.0, f)
+        );
+        assert!(free_space_pathloss_db(0.0, f).is_finite());
+    }
+
+    #[test]
+    fn elevation_overhead_is_90() {
+        assert_eq!(elevation_angle_deg(0.0, 100.0), 90.0);
+        assert_eq!(elevation_angle_deg(-5.0, 100.0), 90.0);
+    }
+
+    #[test]
+    fn elevation_decreases_with_horizontal_distance() {
+        let mut last = 90.0;
+        for h in [10.0, 100.0, 500.0, 2_000.0] {
+            let e = elevation_angle_deg(h, 300.0);
+            assert!(e < last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn los_probability_monotone_in_elevation() {
+        let (a, b) = (9.61, 0.16);
+        let mut last = 0.0;
+        for theta in [1.0, 10.0, 30.0, 60.0, 90.0] {
+            let p = los_probability(theta, a, b);
+            assert!(p > last, "θ={theta}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn los_probability_harder_in_highrise() {
+        // At the same 30° elevation, highrise terrain has lower LoS odds
+        // than suburban terrain.
+        let sub = los_probability(30.0, 4.88, 0.43);
+        let high = los_probability(30.0, 27.23, 0.08);
+        assert!(sub > 0.9);
+        assert!(high < 0.6);
+    }
+
+    #[test]
+    fn los_probability_at_scurve_midpoint() {
+        // At θ = a the logistic evaluates to 1/(1+a).
+        let (a, b) = (9.61, 0.16);
+        let p = los_probability(a, a, b);
+        assert!((p - 1.0 / (1.0 + a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! SNR and Shannon-rate computations.
+
+/// Received signal-to-noise ratio in dB:
+/// `SNR = P_t + g_t − PL − P_N` (all in dB/dBm).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::snr_db;
+/// // 30 dBm transmit, 5 dBi gain, 100 dB pathloss, −114 dBm noise.
+/// assert_eq!(snr_db(30.0, 5.0, 100.0, -114.0), 49.0);
+/// ```
+#[inline]
+pub fn snr_db(tx_power_dbm: f64, antenna_gain_dbi: f64, pathloss_db: f64, noise_dbm: f64) -> f64 {
+    tx_power_dbm + antenna_gain_dbi - pathloss_db - noise_dbm
+}
+
+/// Converts an SNR in dB to linear scale (`10^(dB/10)`).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::snr_linear_from_db;
+/// assert!((snr_linear_from_db(10.0) - 10.0).abs() < 1e-12);
+/// assert!((snr_linear_from_db(0.0) - 1.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn snr_linear_from_db(snr_db: f64) -> f64 {
+    10f64.powf(snr_db / 10.0)
+}
+
+/// Shannon capacity `B_w · log2(1 + SNR)` in bit/s over bandwidth
+/// `bandwidth_hz`, for a *linear* SNR.
+///
+/// Negative linear SNRs (impossible physically, possible from sloppy
+/// callers) are treated as zero.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_channel::shannon_rate_bps;
+/// // 180 kHz at SNR 1 (0 dB) gives exactly 180 kbit/s.
+/// assert!((shannon_rate_bps(180e3, 1.0) - 180e3).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn shannon_rate_bps(bandwidth_hz: f64, snr_linear: f64) -> f64 {
+    bandwidth_hz * (1.0 + snr_linear.max(0.0)).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_db_is_linear_in_terms() {
+        let base = snr_db(30.0, 5.0, 100.0, -114.0);
+        assert_eq!(snr_db(33.0, 5.0, 100.0, -114.0), base + 3.0);
+        assert_eq!(snr_db(30.0, 8.0, 100.0, -114.0), base + 3.0);
+        assert_eq!(snr_db(30.0, 5.0, 103.0, -114.0), base - 3.0);
+        assert_eq!(snr_db(30.0, 5.0, 100.0, -111.0), base - 3.0);
+    }
+
+    #[test]
+    fn linear_conversion_checkpoints() {
+        assert!((snr_linear_from_db(20.0) - 100.0).abs() < 1e-9);
+        assert!((snr_linear_from_db(-10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_is_monotone_in_snr() {
+        let bw = 180e3;
+        let mut last = -1.0;
+        for snr in [0.0, 0.5, 1.0, 10.0, 1e4] {
+            let r = shannon_rate_bps(bw, snr);
+            assert!(r > last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn rate_at_zero_snr_is_zero() {
+        assert_eq!(shannon_rate_bps(180e3, 0.0), 0.0);
+        assert_eq!(shannon_rate_bps(180e3, -5.0), 0.0);
+    }
+
+    #[test]
+    fn rate_scales_with_bandwidth() {
+        let r1 = shannon_rate_bps(100e3, 7.0);
+        let r2 = shannon_rate_bps(200e3, 7.0);
+        assert!((r2 - 2.0 * r1).abs() < 1e-6);
+    }
+}

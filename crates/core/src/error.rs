@@ -1,0 +1,65 @@
+//! Error types of the core crate.
+
+use crate::solution::ValidationError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building instances or running the deployment
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The instance under construction is malformed.
+    InvalidInstance(String),
+    /// The algorithm parameters are incompatible with the instance
+    /// (e.g. `s` exceeds the number of UAVs or candidate locations).
+    InvalidParameters(String),
+    /// No feasible deployment exists under the given constraints.
+    Infeasible(String),
+    /// A produced solution failed independent validation.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            CoreError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            CoreError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
+            CoreError::Validation(e) => write!(f, "validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for CoreError {
+    fn from(e: ValidationError) -> Self {
+        CoreError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidParameters("s=5 but K=3".into());
+        assert!(e.to_string().contains("s=5"));
+        let e = CoreError::Infeasible("no connected subset".into());
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<CoreError>();
+    }
+}

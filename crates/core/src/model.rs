@@ -1,0 +1,507 @@
+//! The problem instance: users, the heterogeneous fleet, channels, the
+//! candidate-location graph and precomputed coverage tables.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use uavnet_channel::{AtgChannel, UavRadio, UavToUavChannel};
+use uavnet_geom::{CellIndex, Grid, Point2};
+use uavnet_graph::Graph;
+
+/// A ground user: position and minimum data-rate requirement
+/// `r_i^min` in bit/s (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Position on the ground plane.
+    pub pos: Point2,
+    /// Minimum acceptable data rate in bit/s (e.g. 2 000 for voice).
+    pub min_rate_bps: f64,
+}
+
+/// A UAV of the heterogeneous fleet: service capacity `C_k` and the
+/// radio of its mounted base station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uav {
+    /// Maximum number of simultaneously served users.
+    pub capacity: u32,
+    /// The mounted base-station radio (power, gain, coverage radius).
+    pub radio: UavRadio,
+}
+
+/// An immutable, preprocessed instance of the maximum connected
+/// coverage problem.
+///
+/// Construction (via [`Instance::builder`]) precomputes:
+///
+/// * the **location graph** `G[V]`: an edge joins two candidate
+///   hovering locations within `R_uav` of each other;
+/// * **coverage tables**: for every distinct radio class and location,
+///   the list of users that a UAV with that radio could serve there
+///   (range *and* rate admissible).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    grid: Grid,
+    users: Vec<User>,
+    uavs: Vec<Uav>,
+    atg: AtgChannel,
+    uav_channel: UavToUavChannel,
+    location_graph: Graph,
+    /// Distinct radio classes; `radio_class[k]` maps UAV `k` to one.
+    radio_class: Vec<usize>,
+    /// `coverage[class][location]` = sorted user ids coverable there.
+    coverage: Vec<Vec<Vec<u32>>>,
+    /// UAV indices sorted by capacity, largest first.
+    uavs_by_capacity: Vec<usize>,
+    /// Ground position of the Internet uplink (emergency vehicle).
+    gateway: Option<Point2>,
+    /// `gateway_cells[loc]`: hovering there reaches the uplink.
+    gateway_cells: Vec<bool>,
+}
+
+impl Instance {
+    /// Starts building an instance over `grid` with UAV-to-UAV range
+    /// `uav_range_m` and the default urban air-to-ground channel.
+    pub fn builder(grid: Grid, uav_range_m: f64) -> InstanceBuilder {
+        InstanceBuilder {
+            grid,
+            users: Vec::new(),
+            uavs: Vec::new(),
+            atg: AtgChannel::default(),
+            uav_channel: UavToUavChannel::new(uav_range_m),
+            gateway: None,
+        }
+    }
+
+    /// The hovering-plane grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The ground users.
+    #[inline]
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// Number of users `n`.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The fleet, in the order UAVs were added.
+    #[inline]
+    pub fn uavs(&self) -> &[Uav] {
+        &self.uavs
+    }
+
+    /// Number of UAVs `K`.
+    #[inline]
+    pub fn num_uavs(&self) -> usize {
+        self.uavs.len()
+    }
+
+    /// Number of candidate hovering locations `m`.
+    #[inline]
+    pub fn num_locations(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    /// The air-to-ground channel model.
+    #[inline]
+    pub fn atg(&self) -> &AtgChannel {
+        &self.atg
+    }
+
+    /// The UAV-to-UAV channel model.
+    #[inline]
+    pub fn uav_channel(&self) -> &UavToUavChannel {
+        &self.uav_channel
+    }
+
+    /// The candidate-location connectivity graph `G[V]`.
+    #[inline]
+    pub fn location_graph(&self) -> &Graph {
+        &self.location_graph
+    }
+
+    /// UAV indices sorted by capacity, largest first (ties by index).
+    ///
+    /// Algorithm 2 deploys UAVs in exactly this order.
+    #[inline]
+    pub fn uavs_by_capacity(&self) -> &[usize] {
+        &self.uavs_by_capacity
+    }
+
+    /// The ground position of the Internet gateway (an emergency
+    /// communication vehicle, Fig. 1 of the paper), if the scenario
+    /// has one.
+    #[inline]
+    pub fn gateway(&self) -> Option<Point2> {
+        self.gateway
+    }
+
+    /// Whether a UAV hovering at `loc` can relay to the gateway
+    /// vehicle (3-D distance within `R_uav`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    #[inline]
+    pub fn is_gateway_cell(&self, loc: CellIndex) -> bool {
+        self.gateway_cells[loc]
+    }
+
+    /// All gateway-capable cells (empty when no gateway is set, or the
+    /// vehicle parked out of range of every cell).
+    pub fn gateway_cells(&self) -> Vec<CellIndex> {
+        self.gateway_cells
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The radio-class index of a UAV: two UAVs share a class iff
+    /// their radios are identical, so they cover exactly the same
+    /// users from every location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uav` is out of range.
+    #[inline]
+    pub fn radio_class(&self, uav: usize) -> usize {
+        self.radio_class[uav]
+    }
+
+    /// Users that UAV `uav` could serve from location `loc` (sorted
+    /// ids). Admissibility covers both the coverage radius of the
+    /// UAV's radio and each user's minimum rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uav` or `loc` is out of range.
+    #[inline]
+    pub fn coverable(&self, uav: usize, loc: CellIndex) -> &[u32] {
+        &self.coverage[self.radio_class[uav]][loc]
+    }
+
+    /// Number of users coverable by UAV `uav` from `loc`.
+    #[inline]
+    pub fn coverage_count(&self, uav: usize, loc: CellIndex) -> usize {
+        self.coverable(uav, loc).len()
+    }
+
+    /// The largest coverage count over the fleet at `loc` — a cheap
+    /// upper bound used for seed pruning.
+    pub fn best_coverage_count(&self, loc: CellIndex) -> usize {
+        self.coverage
+            .iter()
+            .map(|per_loc| per_loc[loc].len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builder for [`Instance`]; see [`Instance::builder`].
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    grid: Grid,
+    users: Vec<User>,
+    uavs: Vec<Uav>,
+    atg: AtgChannel,
+    uav_channel: UavToUavChannel,
+    gateway: Option<Point2>,
+}
+
+impl InstanceBuilder {
+    /// Overrides the air-to-ground channel model.
+    pub fn atg_channel(&mut self, atg: AtgChannel) -> &mut Self {
+        self.atg = atg;
+        self
+    }
+
+    /// Places the Internet gateway (emergency communication vehicle)
+    /// at a ground position. When set, a valid deployment must keep at
+    /// least one UAV within `R_uav` (3-D) of this point — the *gateway
+    /// UAV* of Fig. 1.
+    pub fn gateway(&mut self, pos: Point2) -> &mut Self {
+        self.gateway = Some(pos);
+        self
+    }
+
+    /// Adds a user at `pos` with minimum rate `min_rate_bps`.
+    pub fn add_user(&mut self, pos: Point2, min_rate_bps: f64) -> &mut Self {
+        self.users.push(User { pos, min_rate_bps });
+        self
+    }
+
+    /// Adds every user from an iterator.
+    pub fn users(&mut self, users: impl IntoIterator<Item = User>) -> &mut Self {
+        self.users.extend(users);
+        self
+    }
+
+    /// Adds a UAV with service capacity `capacity` and `radio`.
+    pub fn add_uav(&mut self, capacity: u32, radio: UavRadio) -> &mut Self {
+        self.uavs.push(Uav { capacity, radio });
+        self
+    }
+
+    /// Adds every UAV from an iterator.
+    pub fn uavs(&mut self, uavs: impl IntoIterator<Item = Uav>) -> &mut Self {
+        self.uavs.extend(uavs);
+        self
+    }
+
+    /// Validates and preprocesses the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInstance`] if there are no UAVs, no users,
+    /// a user lies outside the disaster zone, or a user has a
+    /// non-positive minimum rate.
+    pub fn build(&self) -> Result<Instance, CoreError> {
+        if self.uavs.is_empty() {
+            return Err(CoreError::InvalidInstance("fleet is empty".into()));
+        }
+        if self.users.is_empty() {
+            return Err(CoreError::InvalidInstance("no users".into()));
+        }
+        let area = self.grid.spec().area();
+        for (i, u) in self.users.iter().enumerate() {
+            if !area.contains(u.pos) {
+                return Err(CoreError::InvalidInstance(format!(
+                    "user {i} at {} outside the disaster zone",
+                    u.pos
+                )));
+            }
+            if !(u.min_rate_bps.is_finite() && u.min_rate_bps > 0.0) {
+                return Err(CoreError::InvalidInstance(format!(
+                    "user {i} has invalid minimum rate {}",
+                    u.min_rate_bps
+                )));
+            }
+        }
+        if self.users.len() > u32::MAX as usize {
+            return Err(CoreError::InvalidInstance("more than u32::MAX users".into()));
+        }
+
+        let m = self.grid.num_cells();
+        // Location graph: edges within R_uav (same altitude, so the
+        // planar distance is the full distance).
+        let mut location_graph = Graph::new(m);
+        let range = self.uav_channel.range_m();
+        for j in 0..m {
+            let cj = self.grid.cell_center(j);
+            for l in self.grid.cells_within(cj, range) {
+                if l > j {
+                    location_graph.add_edge(j, l);
+                }
+            }
+        }
+
+        // Distinct radio classes (bitwise-identical radios share one).
+        let mut classes: Vec<UavRadio> = Vec::new();
+        let mut radio_class = Vec::with_capacity(self.uavs.len());
+        for uav in &self.uavs {
+            let id = classes
+                .iter()
+                .position(|r| r == &uav.radio)
+                .unwrap_or_else(|| {
+                    classes.push(uav.radio);
+                    classes.len() - 1
+                });
+            radio_class.push(id);
+        }
+
+        // Coverage tables per class and location.
+        let mut coverage = vec![vec![Vec::new(); m]; classes.len()];
+        for (cls, radio) in classes.iter().enumerate() {
+            for loc in 0..m {
+                let center = self.grid.cell_center(loc);
+                let hover = self.grid.hover_position(loc);
+                let mut list = Vec::new();
+                // Planar range prefilter, then the full admissibility
+                // check with the rate requirement.
+                let range_sq = radio.user_range_m() * radio.user_range_m();
+                for (uid, user) in self.users.iter().enumerate() {
+                    if user.pos.distance_sq(center) > range_sq {
+                        continue;
+                    }
+                    if self.atg.can_serve(radio, hover, user.pos, user.min_rate_bps) {
+                        list.push(uid as u32);
+                    }
+                }
+                coverage[cls][loc] = list;
+            }
+        }
+
+        let mut uavs_by_capacity: Vec<usize> = (0..self.uavs.len()).collect();
+        uavs_by_capacity.sort_by_key(|&k| (std::cmp::Reverse(self.uavs[k].capacity), k));
+
+        let gateway_cells: Vec<bool> = match self.gateway {
+            Some(pos) => {
+                let ground = pos.at_altitude(0.0);
+                (0..m)
+                    .map(|loc| {
+                        self.grid.hover_position(loc).distance(ground)
+                            <= self.uav_channel.range_m()
+                    })
+                    .collect()
+            }
+            None => vec![false; m],
+        };
+
+        Ok(Instance {
+            grid: self.grid.clone(),
+            users: self.users.clone(),
+            uavs: self.uavs.clone(),
+            atg: self.atg,
+            uav_channel: self.uav_channel,
+            location_graph,
+            radio_class,
+            coverage,
+            uavs_by_capacity,
+            gateway: self.gateway,
+            gateway_cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_geom::{AreaSpec, GridSpec};
+
+    fn grid_900(cell: f64) -> Grid {
+        GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), cell, 300.0)
+            .unwrap()
+            .build()
+    }
+
+    fn radio() -> UavRadio {
+        UavRadio::new(30.0, 5.0, 500.0)
+    }
+
+    #[test]
+    fn build_small_instance() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_users(), 1);
+        assert_eq!(inst.num_uavs(), 1);
+        assert_eq!(inst.num_locations(), 9);
+    }
+
+    #[test]
+    fn rejects_empty_fleet_and_users() {
+        let b = Instance::builder(grid_900(300.0), 600.0);
+        assert!(matches!(b.build(), Err(CoreError::InvalidInstance(_))));
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_uav(10, radio());
+        assert!(b.build().is_err());
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(1.0, 1.0), 2_000.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_user_outside_zone() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(1_000.0, 0.0), 2_000.0);
+        b.add_uav(10, radio());
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_invalid_min_rate() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(10.0, 10.0), 0.0);
+        b.add_uav(10, radio());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn location_graph_edges_respect_range() {
+        // 3×3 grid of 300 m cells: horizontal neighbors are 300 m
+        // apart, diagonal ≈ 424 m; R_uav = 350 m joins only the
+        // orthogonal neighbors.
+        let mut b = Instance::builder(grid_900(300.0), 350.0);
+        b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        let g = inst.location_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 4)); // diagonal
+        // Each interior node has exactly 4 neighbors.
+        assert_eq!(g.degree(4), 4);
+    }
+
+    #[test]
+    fn coverage_respects_radius_and_rate() {
+        let grid = grid_900(300.0);
+        let mut b = Instance::builder(grid, 600.0);
+        // User near cell 0's center and another far away.
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(850.0, 850.0), 2_000.0);
+        b.add_uav(10, UavRadio::new(30.0, 5.0, 200.0));
+        let inst = b.build().unwrap();
+        assert_eq!(inst.coverable(0, 0), &[0]);
+        assert_eq!(inst.coverage_count(0, 8), 1);
+        // The middle cell (center 450,450) reaches neither with a
+        // 200 m radius.
+        assert_eq!(inst.coverage_count(0, 4), 0);
+    }
+
+    #[test]
+    fn impossible_rate_excludes_user() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 1e15); // absurd requirement
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        for loc in 0..inst.num_locations() {
+            assert_eq!(inst.coverage_count(0, loc), 0);
+        }
+    }
+
+    #[test]
+    fn radio_classes_are_shared() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        // Three UAVs, two distinct radios.
+        b.add_uav(10, radio());
+        b.add_uav(20, radio());
+        b.add_uav(30, UavRadio::new(28.0, 4.0, 350.0));
+        let inst = b.build().unwrap();
+        assert_eq!(inst.radio_class[0], inst.radio_class[1]);
+        assert_ne!(inst.radio_class[0], inst.radio_class[2]);
+        assert_eq!(inst.coverage.len(), 2);
+    }
+
+    #[test]
+    fn capacity_order_is_descending_with_stable_ties() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_uav(10, radio());
+        b.add_uav(30, radio());
+        b.add_uav(10, radio());
+        b.add_uav(20, radio());
+        let inst = b.build().unwrap();
+        assert_eq!(inst.uavs_by_capacity(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn best_coverage_count_takes_max_over_classes() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(450.0, 150.0), 2_000.0);
+        b.add_uav(10, UavRadio::new(30.0, 5.0, 100.0)); // tiny radius
+        b.add_uav(10, radio()); // big radius
+        let inst = b.build().unwrap();
+        assert_eq!(inst.best_coverage_count(0), 2);
+    }
+}

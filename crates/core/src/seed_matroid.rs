@@ -1,0 +1,159 @@
+//! Construction of the hop-budget matroid `M2` for a seed subset
+//! (§III-C).
+
+use crate::SegmentPlan;
+use uavnet_graph::{multi_source_hops, Graph};
+use uavnet_matroid::NestedFamilyMatroid;
+
+/// Builds the matroid `M2` over candidate locations for the seed set
+/// `{v*_1 … v*_s}`:
+///
+/// * a location's depth is its minimum hop distance to the seeds in
+///   the candidate graph (`d_l` of §III-C), with locations farther
+///   than `h_max` hops (or unreachable) excluded outright;
+/// * the budgets are the `Q_h` of Eq. 1 from the segment plan.
+///
+/// Only the seeds themselves sit at depth 0, so any maximal
+/// independent set of size `L_max` contains all of them
+/// (`Q_0 − Q_1 = s`, as the paper observes).
+///
+/// # Panics
+///
+/// Panics if a seed is out of range of `graph`, or the number of seeds
+/// differs from `plan.s()`.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_core::{seed_matroid, SegmentPlan};
+/// use uavnet_graph::Graph;
+/// use uavnet_matroid::Matroid;
+///
+/// # fn main() -> Result<(), uavnet_core::CoreError> {
+/// let g = Graph::from_edges(5, (0..4).map(|i| (i, i + 1)));
+/// let plan = SegmentPlan::optimal(5, 1)?;
+/// let m2 = seed_matroid(&g, &[2], &plan);
+/// assert!(m2.is_independent(&[2]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn seed_matroid(graph: &Graph, seeds: &[usize], plan: &SegmentPlan) -> NestedFamilyMatroid {
+    assert_eq!(
+        seeds.len(),
+        plan.s(),
+        "got {} seeds for a plan with s = {}",
+        seeds.len(),
+        plan.s()
+    );
+    let h_max = plan.h_max();
+    let hops = multi_source_hops(graph, seeds.iter().copied());
+    let depth: Vec<Option<usize>> = hops
+        .into_iter()
+        .map(|d| match d {
+            Some(d) if (d as usize) <= h_max => Some(d as usize),
+            _ => None,
+        })
+        .collect();
+    NestedFamilyMatroid::new(depth, plan.budgets())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_matroid::Matroid;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn depths_follow_hops() {
+        let g = path_graph(9);
+        let plan = SegmentPlan::optimal(9, 1).unwrap();
+        let m2 = seed_matroid(&g, &[4], &plan);
+        assert_eq!(m2.depth_of(4), Some(0));
+        assert_eq!(m2.depth_of(3), Some(1));
+        assert_eq!(m2.depth_of(5), Some(1));
+        // Plan for K=9, s=1: L_max = 5 with p = (2, 2), h_max = 2
+        // (g(5, (2,2)) = 7 ≤ 9 but g(6, ·) = 10 > 9).
+        assert_eq!(plan.l_max(), 5);
+        assert_eq!(plan.h_max(), 2);
+        assert_eq!(m2.depth_of(2), Some(2));
+        // Node 0 is 4 hops out — beyond h_max, excluded.
+        assert_eq!(m2.depth_of(0), None);
+    }
+
+    #[test]
+    fn far_nodes_are_excluded() {
+        let g = path_graph(20);
+        let plan = SegmentPlan::optimal(6, 1).unwrap();
+        let m2 = seed_matroid(&g, &[0], &plan);
+        let hm = plan.h_max();
+        assert!(m2.depth_of(hm).is_some());
+        assert_eq!(m2.depth_of(hm + 1), None);
+        assert!(!m2.can_extend(&[0], hm + 1));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_excluded() {
+        let mut g = path_graph(4);
+        let iso = {
+            // add two disconnected nodes
+            let mut g2 = Graph::new(6);
+            for (u, v) in g.edges().collect::<Vec<_>>() {
+                g2.add_edge(u, v);
+            }
+            g2.add_edge(4, 5);
+            g = g2;
+            4
+        };
+        let plan = SegmentPlan::optimal(6, 1).unwrap();
+        let m2 = seed_matroid(&g, &[0], &plan);
+        assert_eq!(m2.depth_of(iso), None);
+    }
+
+    #[test]
+    fn only_seeds_have_depth_zero() {
+        let g = path_graph(10);
+        let plan = SegmentPlan::optimal(10, 2).unwrap();
+        let m2 = seed_matroid(&g, &[2, 7], &plan);
+        for v in 0..10 {
+            let zero = m2.depth_of(v) == Some(0);
+            assert_eq!(zero, v == 2 || v == 7, "node {v}");
+        }
+    }
+
+    #[test]
+    fn maximal_independent_sets_contain_the_seeds() {
+        // Grow a maximal independent set greedily by node id; every
+        // seed must be in it because non-seeds are capped at Q_1 =
+        // L_max − s.
+        let g = path_graph(12);
+        let plan = SegmentPlan::optimal(12, 2).unwrap();
+        let seeds = [3, 8];
+        let m2 = seed_matroid(&g, &seeds, &plan);
+        let mut set: Vec<usize> = Vec::new();
+        for v in 0..12 {
+            if set.len() < plan.l_max() && m2.can_extend(&set, v) {
+                set.push(v);
+            }
+        }
+        // Force-completing with seeds must always be possible.
+        for s in seeds {
+            if !set.contains(&s) {
+                assert!(m2.can_extend(&set, s), "seed {s} blocked: {set:?}");
+                set.push(s);
+            }
+        }
+        assert!(set.len() <= plan.l_max());
+        assert!(m2.is_independent(&set));
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds")]
+    fn seed_count_must_match_plan() {
+        let g = path_graph(5);
+        let plan = SegmentPlan::optimal(5, 2).unwrap();
+        let _ = seed_matroid(&g, &[1], &plan);
+    }
+}

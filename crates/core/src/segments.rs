@@ -1,0 +1,227 @@
+//! Segment arithmetic of §III-C/D: the hop budgets `Q_h` (Eq. 1) and
+//! the relay-count upper bound `g(L, p_1 … p_{s+1})` (Eq. 2, Lemma 2).
+//!
+//! A subpath with `L` nodes containing `s` seeds splits into `s + 1`
+//! segments with `p_1, …, p_{s+1}` non-seed nodes
+//! (`Σ p_i = L − s`). `p_1` and `p_{s+1}` hang off the outer seeds;
+//! the middle segments sit between two seeds, so their nodes are at
+//! most `⌈p_i / 2⌉` hops from the nearer seed.
+
+/// The maximum seed-distance `h_max = max(p_1, p_{s+1}, max_i ⌈p_i/2⌉)`
+/// over the middle segments (§III-C).
+///
+/// # Panics
+///
+/// Panics if `p` has fewer than two entries (`s ≥ 1` requires
+/// `s + 1 ≥ 2` segments).
+pub fn h_max(p: &[usize]) -> usize {
+    assert!(p.len() >= 2, "need s+1 >= 2 segment sizes, got {}", p.len());
+    let outer = p[0].max(p[p.len() - 1]);
+    let middle = p[1..p.len() - 1]
+        .iter()
+        .map(|&pi| pi.div_ceil(2))
+        .max()
+        .unwrap_or(0);
+    outer.max(middle)
+}
+
+/// The hop budgets `Q_0 … Q_{h_max}` of Eq. 1:
+/// `Q_0 = L` and, for `h ≥ 1`,
+/// `Q_h = max(p_1 − (h−1), 0) + Σ_{i=2}^{s} max(p_i − 2(h−1), 0)
+///        + max(p_{s+1} − (h−1), 0)`.
+///
+/// `Q_h` bounds how many chosen locations may lie at least `h` hops
+/// from the seed set; it parameterizes the matroid `M2`.
+///
+/// # Panics
+///
+/// Panics if `p` has fewer than two entries or `Σ p_i ≠ L − s` (with
+/// `s = p.len() − 1`).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_core::q_budgets;
+/// // The paper's Fig. 2(d): L = 10, s = 3, p = (1, 2, 2, 2)
+/// // gives Q = [10, 7, 1].
+/// assert_eq!(q_budgets(10, &[1, 2, 2, 2]), vec![10, 7, 1]);
+/// ```
+pub fn q_budgets(l: usize, p: &[usize]) -> Vec<usize> {
+    assert!(p.len() >= 2, "need s+1 >= 2 segment sizes");
+    let s = p.len() - 1;
+    let total: usize = p.iter().sum();
+    assert!(
+        total == l - s,
+        "segment sizes sum to {total}, expected L - s = {}",
+        l - s
+    );
+    let hm = h_max(p);
+    let mut q = Vec::with_capacity(hm + 1);
+    q.push(l);
+    for h in 1..=hm {
+        let mut qh = p[0].saturating_sub(h - 1) + p[s].saturating_sub(h - 1);
+        for &pi in &p[1..s] {
+            qh += pi.saturating_sub(2 * (h - 1));
+        }
+        q.push(qh);
+    }
+    q
+}
+
+/// The relay bound `g(L, p_1 … p_{s+1})` of Eq. 2 (proved in Lemma 2):
+/// an upper bound on the number of UAVs needed to connect any
+/// `M2`-independent location set of `L` nodes back to the seeds:
+///
+/// `g = s + Σ_{i=2}^{s} p_i + p_1(p_1+1)/2
+///    + Σ_{i=2}^{s} (p_i² + 2p_i + (p_i mod 2)) / 4
+///    + p_{s+1}(p_{s+1}+1)/2`.
+///
+/// Algorithm 1 maximizes `L` subject to `g ≤ K`.
+///
+/// # Panics
+///
+/// Panics if `p` has fewer than two entries.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_core::g_upper_bound;
+/// // s = 3, p = (1, 2, 2, 2): g = 3 + (2+2) + 1 + (2+2) + 3 = 15.
+/// assert_eq!(g_upper_bound(&[1, 2, 2, 2]), 15);
+/// ```
+pub fn g_upper_bound(p: &[usize]) -> usize {
+    assert!(p.len() >= 2, "need s+1 >= 2 segment sizes");
+    let s = p.len() - 1;
+    let p1 = p[0];
+    let ps1 = p[s];
+    let middle_sum: usize = p[1..s].iter().sum();
+    let middle_relays: usize = p[1..s]
+        .iter()
+        .map(|&pi| (pi * pi + 2 * pi + (pi % 2)) / 4)
+        .sum();
+    s + middle_sum + p1 * (p1 + 1) / 2 + middle_relays + ps1 * (ps1 + 1) / 2
+}
+
+/// Direct (unsimplified) evaluation of the bound in inequality (4) of
+/// Lemma 2: `s + Σ_{i=2}^s p_i + Σ_{h=1}^{h_max} Q_h`. Equal to
+/// [`g_upper_bound`]; kept as an executable cross-check of the
+/// closed-form algebra.
+pub fn g_via_q_sums(l: usize, p: &[usize]) -> usize {
+    let s = p.len() - 1;
+    let q = q_budgets(l, p);
+    let middle_sum: usize = p[1..s].iter().sum();
+    s + middle_sum + q[1..].iter().sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_fig2d() {
+        // s = 3, L = 10, p = (1, 2, 2, 2).
+        let p = [1, 2, 2, 2];
+        assert_eq!(h_max(&p), 2);
+        assert_eq!(q_budgets(10, &p), vec![10, 7, 1]);
+    }
+
+    #[test]
+    fn q0_is_l_and_q_decreasing() {
+        let p = [3, 5, 0, 4, 2];
+        let l: usize = p.iter().sum::<usize>() + (p.len() - 1);
+        let q = q_budgets(l, &p);
+        assert_eq!(q[0], l);
+        for w in q.windows(2) {
+            assert!(w[1] <= w[0], "Q must be non-increasing: {q:?}");
+        }
+        // The last budget is positive (h_max is tight).
+        assert!(*q.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn q1_counts_all_non_seed_nodes() {
+        // At h = 1 every non-seed node is at least 1 hop away:
+        // Q_1 = Σ p_i = L − s.
+        for p in [vec![1, 2, 2, 2], vec![0, 0], vec![4, 7], vec![2, 3, 1]] {
+            let s = p.len() - 1;
+            let l = p.iter().sum::<usize>() + s;
+            let q = q_budgets(l, &p);
+            if q.len() > 1 {
+                assert_eq!(q[1], l - s, "p={p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn h_max_cases() {
+        assert_eq!(h_max(&[0, 0]), 0); // s = 1, no non-seed nodes
+        assert_eq!(h_max(&[3, 1]), 3); // outer segment dominates
+        assert_eq!(h_max(&[1, 5, 1]), 3); // middle ⌈5/2⌉
+        assert_eq!(h_max(&[0, 4, 0]), 2);
+    }
+
+    #[test]
+    fn g_closed_form_matches_q_sum_form() {
+        // The Lemma 2 derivation: g = s + Σ middle + Σ_{h≥1} Q_h.
+        for p in [
+            vec![1, 2, 2, 2],
+            vec![0, 0],
+            vec![5, 3],
+            vec![2, 7, 1],
+            vec![0, 4, 4, 0],
+            vec![3, 3, 3, 3, 3],
+            vec![0, 0, 0, 0],
+            vec![6, 1, 2, 5],
+        ] {
+            let s = p.len() - 1;
+            let l = p.iter().sum::<usize>() + s;
+            assert_eq!(
+                g_upper_bound(&p),
+                g_via_q_sums(l, &p),
+                "closed form diverges for p={p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn g_examples() {
+        // s = 1, p = (0, 0): a single seed, no extras: g = 1.
+        assert_eq!(g_upper_bound(&[0, 0]), 1);
+        // s = 1, p = (1, 1): g = 1 + 1 + 1 = 3.
+        assert_eq!(g_upper_bound(&[1, 1]), 3);
+        // s = 2, p = (0, 3, 0): middle only: g = 2 + 3 + (9+6+1)/4 = 9.
+        assert_eq!(g_upper_bound(&[0, 3, 0]), 9);
+    }
+
+    #[test]
+    fn g_is_at_least_l() {
+        // g counts the L chosen nodes plus relays, so g ≥ L.
+        for p in [vec![1, 2, 2, 2], vec![4, 4], vec![0, 9, 0], vec![2, 2, 2]] {
+            let s = p.len() - 1;
+            let l = p.iter().sum::<usize>() + s;
+            assert!(g_upper_bound(&p) >= l, "p={p:?}");
+        }
+    }
+
+    #[test]
+    fn middle_relay_identity() {
+        // Σ_{h=1}^{h_max} max(p − 2(h−1), 0) = (p² + 2p + (p mod 2)) / 4,
+        // verified for both parities as Lemma 2 claims.
+        for p in 0..30usize {
+            let direct: usize = (1..=p.div_ceil(2)).map(|h| p - 2 * (h - 1)).sum();
+            assert_eq!(direct, (p * p + 2 * p + p % 2) / 4, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn q_budgets_rejects_mismatched_sum() {
+        let _ = q_budgets(10, &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "s+1")]
+    fn rejects_short_p() {
+        let _ = h_max(&[1]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Incremental capacitated bipartite matching with trial insertions.
+//!
+//! Specializes the assignment flow network of §II-D: *users* have unit
+//! capacity, *stations* (deployed UAVs) have capacity `C_k`. Stations
+//! are added one at a time and saturated by augmenting paths (Kuhn's
+//! algorithm generalized to capacitated right-vertices), which keeps the
+//! matching maximum after every insertion. A station can also be
+//! *evaluated*: inserted, saturated, its gain recorded, and every change
+//! rolled back — the primitive behind the greedy marginal-gain oracle
+//! `n_{k,l} − n_{k−1}` in Algorithm 2.
+
+use std::collections::VecDeque;
+
+/// Identifier of a station returned by
+/// [`CapacitatedMatching::add_station`].
+pub type StationId = usize;
+
+/// A maximum capacitated matching maintained incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_flow::CapacitatedMatching;
+///
+/// let mut m = CapacitatedMatching::new(4);
+/// // A station with capacity 2 covering users 0, 1, 2.
+/// let s0 = m.add_station(2, vec![0, 1, 2]);
+/// assert_eq!(m.saturate(s0), 2);
+/// // A second station covering users 2, 3 picks up the rest.
+/// let s1 = m.add_station(2, vec![2, 3]);
+/// assert_eq!(m.saturate(s1), 2);
+/// assert_eq!(m.matched_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapacitatedMatching {
+    user_station: Vec<Option<StationId>>,
+    station_cap: Vec<u32>,
+    station_load: Vec<u32>,
+    station_users: Vec<Vec<u32>>,
+    matched: usize,
+    // BFS scratch (stamped visited marks avoid clearing)
+    visit_mark: Vec<u64>,
+    epoch: u64,
+    parent_station: Vec<usize>,
+    parent_user: Vec<u32>,
+}
+
+impl CapacitatedMatching {
+    /// Creates an empty matching over `num_users` users.
+    pub fn new(num_users: usize) -> Self {
+        CapacitatedMatching {
+            user_station: vec![None; num_users],
+            station_cap: Vec::new(),
+            station_load: Vec::new(),
+            station_users: Vec::new(),
+            matched: 0,
+            visit_mark: Vec::new(),
+            epoch: 0,
+            parent_station: Vec::new(),
+            parent_user: Vec::new(),
+        }
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.user_station.len()
+    }
+
+    /// Number of stations added so far.
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        self.station_cap.len()
+    }
+
+    /// Total number of matched (served) users.
+    #[inline]
+    pub fn matched_count(&self) -> usize {
+        self.matched
+    }
+
+    /// The station serving each user (`None` = unserved).
+    #[inline]
+    pub fn assignment(&self) -> &[Option<StationId>] {
+        &self.user_station
+    }
+
+    /// Load (users currently served) of a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `st` is out of range.
+    #[inline]
+    pub fn station_load(&self, st: StationId) -> u32 {
+        self.station_load[st]
+    }
+
+    /// Capacity of a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `st` is out of range.
+    #[inline]
+    pub fn station_cap(&self, st: StationId) -> u32 {
+        self.station_cap[st]
+    }
+
+    /// Adds a station with capacity `cap` able to cover `users`, without
+    /// matching anyone yet; call [`saturate`](Self::saturate) to let it
+    /// take load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user id is out of range.
+    pub fn add_station(&mut self, cap: u32, users: Vec<u32>) -> StationId {
+        let n = self.num_users();
+        for &u in &users {
+            assert!((u as usize) < n, "user {u} out of range for {n} users");
+        }
+        self.station_cap.push(cap);
+        self.station_load.push(0);
+        self.station_users.push(users);
+        self.visit_mark.push(0);
+        self.parent_station.push(usize::MAX);
+        self.parent_user.push(u32::MAX);
+        self.station_cap.len() - 1
+    }
+
+    /// One augmenting-path search from `st`; applies the augmentation if
+    /// found. Returns the reassigned `(user, previous_station)` chain
+    /// (empty = no augmenting path). The chain is what
+    /// [`evaluate_station`](Self::evaluate_station) rolls back.
+    fn augment_from(&mut self, st: StationId) -> Option<Vec<(u32, Option<StationId>)>> {
+        if self.station_load[st] >= self.station_cap[st] {
+            return None;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.visit_mark[st] = epoch;
+        let mut queue = VecDeque::new();
+        queue.push_back(st);
+        while let Some(x) = queue.pop_front() {
+            for idx in 0..self.station_users[x].len() {
+                let u = self.station_users[x][idx];
+                match self.user_station[u as usize] {
+                    None => {
+                        // Found an augmenting path ending at unmatched u:
+                        // reassign along the parent chain back to st.
+                        let mut log = Vec::new();
+                        let mut user = u;
+                        let mut station = x;
+                        loop {
+                            log.push((user, self.user_station[user as usize]));
+                            self.user_station[user as usize] = Some(station);
+                            if station == st {
+                                break;
+                            }
+                            let pu = self.parent_user[station];
+                            let ps = self.parent_station[station];
+                            user = pu;
+                            station = ps;
+                        }
+                        self.station_load[st] += 1;
+                        self.matched += 1;
+                        return Some(log);
+                    }
+                    Some(y) => {
+                        if self.visit_mark[y] != epoch {
+                            self.visit_mark[y] = epoch;
+                            self.parent_station[y] = x;
+                            self.parent_user[y] = u;
+                            queue.push_back(y);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Augments from `st` until its capacity is full or no augmenting
+    /// path remains. Returns the number of newly matched users.
+    ///
+    /// Adding stations one at a time and saturating each keeps the
+    /// matching maximum over all stations added so far (Kuhn's
+    /// incremental argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `st` is out of range.
+    pub fn saturate(&mut self, st: StationId) -> u32 {
+        let mut gained = 0;
+        while self.augment_from(st).is_some() {
+            gained += 1;
+        }
+        gained
+    }
+
+    /// Trial insertion: how many extra users would a station with
+    /// capacity `cap` covering `users` serve, on top of the current
+    /// matching? The matching is left exactly as it was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user id is out of range.
+    pub fn evaluate_station(&mut self, cap: u32, users: &[u32]) -> u32 {
+        let st = self.add_station(cap, users.to_vec());
+        let mut log: Vec<(u32, Option<StationId>)> = Vec::new();
+        let mut gained = 0;
+        while let Some(mut chain) = self.augment_from(st) {
+            gained += 1;
+            log.append(&mut chain);
+        }
+        // Roll back user assignments in reverse order of application.
+        for &(user, old) in log.iter().rev() {
+            self.user_station[user as usize] = old;
+        }
+        self.matched -= gained as usize;
+        // Remove the trial station.
+        self.station_cap.pop();
+        self.station_load.pop();
+        self.station_users.pop();
+        self.visit_mark.pop();
+        self.parent_station.pop();
+        self.parent_user.pop();
+        gained
+    }
+
+    /// Builds a matching from scratch: adds every `(capacity, coverable
+    /// users)` station in order, saturating each, and returns the
+    /// structure. The result is a *maximum* assignment.
+    pub fn solve(num_users: usize, stations: Vec<(u32, Vec<u32>)>) -> Self {
+        let mut m = CapacitatedMatching::new(num_users);
+        for (cap, users) in stations {
+            let st = m.add_station(cap, users);
+            m.saturate(st);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowNetwork;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference solver: max-flow on the 4-layer network of §II-D.
+    fn flow_reference(num_users: usize, stations: &[(u32, Vec<u32>)]) -> i64 {
+        let k = stations.len();
+        let s = 0;
+        let t = 1 + num_users + k;
+        let mut net = FlowNetwork::new(t + 1);
+        for u in 0..num_users {
+            net.add_arc(s, 1 + u, 1);
+        }
+        for (i, (cap, users)) in stations.iter().enumerate() {
+            let st_node = 1 + num_users + i;
+            for &u in users {
+                net.add_arc(1 + u as usize, st_node, 1);
+            }
+            net.add_arc(st_node, t, *cap as i64);
+        }
+        net.max_flow(s, t)
+    }
+
+    #[test]
+    fn simple_saturation() {
+        let mut m = CapacitatedMatching::new(3);
+        let st = m.add_station(2, vec![0, 1, 2]);
+        assert_eq!(m.saturate(st), 2);
+        assert_eq!(m.matched_count(), 2);
+        assert_eq!(m.station_load(st), 2);
+    }
+
+    #[test]
+    fn augmenting_path_reassigns() {
+        // Station A covers {0,1} cap 1; B covers {1} cap 1.
+        // Greedy could give A user 1 and strand B; augmentation fixes it.
+        let mut m = CapacitatedMatching::new(2);
+        let a = m.add_station(1, vec![1, 0]); // list order tempts A to take 1
+        m.saturate(a);
+        let b = m.add_station(1, vec![1]);
+        assert_eq!(m.saturate(b), 1);
+        assert_eq!(m.matched_count(), 2);
+        assert_eq!(m.assignment()[1], Some(b));
+        assert_eq!(m.assignment()[0], Some(a));
+    }
+
+    #[test]
+    fn chain_of_reassignments() {
+        // A:{1,0} B:{1,2} C:{1}, all cap 1. A grabs user 1 first, B
+        // displaces it to take 1 via a swap or takes 2 directly; adding
+        // C must trigger a chain C←1, B←2 (or equivalent) so that all
+        // three users 0, 1, 2 end up served.
+        let mut m = CapacitatedMatching::new(3);
+        let a = m.add_station(1, vec![1, 0]);
+        m.saturate(a);
+        let b = m.add_station(1, vec![1, 2]);
+        m.saturate(b);
+        let c = m.add_station(1, vec![1]);
+        assert_eq!(m.saturate(c), 1);
+        assert_eq!(m.matched_count(), 3);
+        // Every user served by a station that covers it.
+        assert_eq!(m.assignment().iter().filter(|a| a.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn capacity_limits_load() {
+        let mut m = CapacitatedMatching::new(5);
+        let st = m.add_station(3, vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.saturate(st), 3);
+        assert_eq!(m.station_load(st), 3);
+        assert_eq!(m.station_cap(st), 3);
+    }
+
+    #[test]
+    fn zero_capacity_station() {
+        let mut m = CapacitatedMatching::new(2);
+        let st = m.add_station(0, vec![0, 1]);
+        assert_eq!(m.saturate(st), 0);
+        assert_eq!(m.matched_count(), 0);
+    }
+
+    #[test]
+    fn evaluate_leaves_state_untouched() {
+        let mut m = CapacitatedMatching::new(4);
+        let a = m.add_station(1, vec![0, 1]);
+        m.saturate(a);
+        let before: Vec<_> = m.assignment().to_vec();
+        let loads: Vec<_> = (0..m.num_stations()).map(|s| m.station_load(s)).collect();
+
+        let gain = m.evaluate_station(2, &[0, 1, 2]);
+        assert_eq!(gain, 2);
+
+        assert_eq!(m.assignment(), &before[..]);
+        assert_eq!(m.num_stations(), 1);
+        assert_eq!(m.matched_count(), 1);
+        for (s, &l) in loads.iter().enumerate() {
+            assert_eq!(m.station_load(s), l);
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_actual_insertion() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let num_users = rng.gen_range(1..20);
+            let mut m = CapacitatedMatching::new(num_users);
+            // Seed with a few random stations.
+            for _ in 0..rng.gen_range(0..4) {
+                let cap = rng.gen_range(0..4);
+                let users: Vec<u32> = (0..num_users as u32)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                let st = m.add_station(cap, users);
+                m.saturate(st);
+            }
+            let cap = rng.gen_range(0..5);
+            let users: Vec<u32> = (0..num_users as u32)
+                .filter(|_| rng.gen_bool(0.5))
+                .collect();
+            let predicted = m.evaluate_station(cap, &users);
+            let st = m.add_station(cap, users);
+            let actual = m.saturate(st);
+            assert_eq!(predicted, actual);
+        }
+    }
+
+    #[test]
+    fn matches_flow_reference_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for round in 0..60 {
+            let num_users = rng.gen_range(1..25);
+            let num_stations = rng.gen_range(0..6);
+            let stations: Vec<(u32, Vec<u32>)> = (0..num_stations)
+                .map(|_| {
+                    let cap = rng.gen_range(0..6);
+                    let users = (0..num_users as u32).filter(|_| rng.gen_bool(0.3)).collect();
+                    (cap, users)
+                })
+                .collect();
+            let m = CapacitatedMatching::solve(num_users, stations.clone());
+            let reference = flow_reference(num_users, &stations);
+            assert_eq!(m.matched_count() as i64, reference, "round {round}");
+        }
+    }
+
+    #[test]
+    fn assignment_respects_coverage_and_capacity() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let num_users = rng.gen_range(1..30);
+            let stations: Vec<(u32, Vec<u32>)> = (0..rng.gen_range(1..5))
+                .map(|_| {
+                    let cap = rng.gen_range(1..5);
+                    let users = (0..num_users as u32).filter(|_| rng.gen_bool(0.4)).collect();
+                    (cap, users)
+                })
+                .collect();
+            let m = CapacitatedMatching::solve(num_users, stations.clone());
+            let mut loads = vec![0u32; stations.len()];
+            for (u, st) in m.assignment().iter().enumerate() {
+                if let Some(st) = *st {
+                    assert!(
+                        stations[st].1.contains(&(u as u32)),
+                        "user {u} not coverable by station {st}"
+                    );
+                    loads[st] += 1;
+                }
+            }
+            for (st, &l) in loads.iter().enumerate() {
+                assert!(l <= stations[st].0, "station {st} over capacity");
+                assert_eq!(l, m.station_load(st));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_user_id() {
+        let mut m = CapacitatedMatching::new(2);
+        m.add_station(1, vec![2]);
+    }
+}

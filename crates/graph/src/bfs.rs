@@ -1,0 +1,385 @@
+//! Breadth-first hop metrics and shortest-path reconstruction.
+
+use crate::{Graph, Hops};
+use std::collections::VecDeque;
+
+/// Hop distance from `source` to every node (`None` = unreachable).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{Graph, bfs_hops};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]);
+/// assert_eq!(bfs_hops(&g, 0), vec![Some(0), Some(1), Some(2), None]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_hops(g: &Graph, source: usize) -> Vec<Option<Hops>> {
+    multi_source_hops(g, std::iter::once(source))
+}
+
+/// Hop distance from the nearest of several `sources` to every node.
+///
+/// This is the metric `d_l` of §III-C: the minimum hop count between a
+/// location and the seed set `{v*_1 … v*_s}`.
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+pub fn multi_source_hops(g: &Graph, sources: impl IntoIterator<Item = usize>) -> Vec<Option<Hops>> {
+    let n = g.num_nodes();
+    let mut dist: Vec<Option<Hops>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        assert!(s < n, "source {s} out of range for {n} nodes");
+        if dist[s].is_none() {
+            dist[s] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distances from `source` using only nodes for which
+/// `allowed(node)` is true (the source must itself be allowed).
+///
+/// Used to route relay paths around forbidden cells.
+pub fn bfs_hops_restricted(
+    g: &Graph,
+    source: usize,
+    mut allowed: impl FnMut(usize) -> bool,
+) -> Vec<Option<Hops>> {
+    let n = g.num_nodes();
+    let mut dist: Vec<Option<Hops>> = vec![None; n];
+    if source >= n || !allowed(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() && allowed(v) {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The hop distance between two nodes, or `None` if disconnected.
+pub fn hop_distance(g: &Graph, u: usize, v: usize) -> Option<Hops> {
+    if u == v {
+        return Some(0);
+    }
+    bfs_hops(g, u)[v]
+}
+
+/// A shortest path from `u` to `v` as a node sequence `[u, …, v]`, or
+/// `None` if disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{Graph, shortest_path};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+/// let p = shortest_path(&g, 1, 3).unwrap();
+/// assert_eq!(p.len(), 3); // 1-0-3 or 1-2-3
+/// assert_eq!(p[0], 1);
+/// assert_eq!(p[2], 3);
+/// ```
+pub fn shortest_path(g: &Graph, u: usize, v: usize) -> Option<Vec<usize>> {
+    shortest_path_restricted(g, u, v, |_| true)
+}
+
+/// A shortest path from `u` to `v` using only `allowed` nodes (both
+/// endpoints must be allowed), or `None` if no such path exists.
+pub fn shortest_path_restricted(
+    g: &Graph,
+    u: usize,
+    v: usize,
+    mut allowed: impl FnMut(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    if u >= n || v >= n || !allowed(u) || !allowed(v) {
+        return None;
+    }
+    if u == v {
+        return Some(vec![u]);
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[u] = true;
+    queue.push_back(u);
+    'outer: while let Some(x) = queue.pop_front() {
+        for &y in g.neighbors(x) {
+            if !seen[y] && allowed(y) {
+                seen[y] = true;
+                parent[y] = Some(x);
+                if y == v {
+                    break 'outer;
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    if !seen[v] {
+        return None;
+    }
+    let mut path = vec![v];
+    let mut cur = v;
+    while let Some(p) = parent[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], u);
+    Some(path)
+}
+
+/// The connected components of `g`, each as a sorted node list; the
+/// list of components is sorted by smallest member.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{Graph, connected_components};
+/// let g = Graph::from_edges(5, [(0, 1), (3, 4)]);
+/// let comps = connected_components(&g);
+/// assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+/// ```
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![start];
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    comp.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// The hop diameter of `g`: the largest finite hop distance between
+/// any two nodes, or `None` for an empty graph. Disconnected pairs are
+/// ignored (use [`connected_components`] to detect them).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{Graph, hop_diameter};
+/// let g = Graph::from_edges(4, (0..3).map(|i| (i, i + 1)));
+/// assert_eq!(hop_diameter(&g), Some(3));
+/// ```
+pub fn hop_diameter(g: &Graph) -> Option<Hops> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..n {
+        for d in bfs_hops(g, v).into_iter().flatten() {
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// Whether the sub-graph induced by `subset` is connected (an empty or
+/// singleton subset counts as connected).
+///
+/// This is the paper's constraint (iii): the deployed UAV network must
+/// be connected.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{Graph, is_connected_subset};
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+/// assert!(is_connected_subset(&g, &[0, 1, 2]));
+/// assert!(!is_connected_subset(&g, &[0, 1, 3]));
+/// ```
+pub fn is_connected_subset(g: &Graph, subset: &[usize]) -> bool {
+    if subset.len() <= 1 {
+        return true;
+    }
+    let mut in_set = vec![false; g.num_nodes()];
+    for &v in subset {
+        in_set[v] = true;
+    }
+    let reach = bfs_hops_restricted(g, subset[0], |x| in_set[x]);
+    subset.iter().all(|&v| reach[v].is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn hops_on_path() {
+        let g = path_graph(5);
+        let d = bfs_hops(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn hops_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let d = bfs_hops(&g, 0);
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = path_graph(7);
+        let d = multi_source_hops(&g, [0, 6]);
+        assert_eq!(
+            d.iter().map(|x| x.unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 2, 1, 0]
+        );
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = path_graph(3);
+        let d = multi_source_hops(&g, std::iter::empty());
+        assert!(d.iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn hop_distance_symmetry() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(hop_distance(&g, u, v), hop_distance(&g, v, u));
+            }
+        }
+        assert_eq!(hop_distance(&g, 0, 5), None);
+        assert_eq!(hop_distance(&g, 5, 5), Some(0));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&3));
+        assert_eq!(p.len() as u32 - 1, hop_distance(&g, 0, 3).unwrap());
+        // Each consecutive pair is an edge.
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_same_node() {
+        let g = path_graph(3);
+        assert_eq!(shortest_path(&g, 1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn shortest_path_disconnected_is_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(shortest_path(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn restricted_path_respects_filter() {
+        // 0-1-2 and 0-3-4-2: shortest is via 1, but forbid node 1.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)]);
+        let p = shortest_path_restricted(&g, 0, 2, |x| x != 1).unwrap();
+        assert_eq!(p, vec![0, 3, 4, 2]);
+        // Forbidding both routes disconnects.
+        assert_eq!(
+            shortest_path_restricted(&g, 0, 2, |x| x != 1 && x != 4),
+            None
+        );
+    }
+
+    #[test]
+    fn restricted_bfs_excluded_source() {
+        let g = path_graph(3);
+        let d = bfs_hops_restricted(&g, 0, |x| x != 0);
+        assert!(d.iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        assert!(is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[5]));
+        assert!(is_connected_subset(&g, &[0, 1]));
+        assert!(is_connected_subset(&g, &[0, 2, 1]));
+        assert!(!is_connected_subset(&g, &[0, 2])); // 1 missing: not induced-connected
+        assert!(!is_connected_subset(&g, &[0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_rejects_bad_source() {
+        let g = path_graph(3);
+        let _ = bfs_hops(&g, 5);
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (4, 5)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3], vec![4, 5], vec![6]]);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        assert!(connected_components(&Graph::new(0)).is_empty());
+        assert_eq!(connected_components(&Graph::new(1)), vec![vec![0]]);
+    }
+
+    #[test]
+    fn diameter_cases() {
+        assert_eq!(hop_diameter(&Graph::new(0)), None);
+        assert_eq!(hop_diameter(&Graph::new(3)), Some(0)); // no edges
+        assert_eq!(hop_diameter(&path_graph(5)), Some(4));
+        // Cycle of 6: diameter 3.
+        let mut g = path_graph(6);
+        g.add_edge(5, 0);
+        assert_eq!(hop_diameter(&g), Some(3));
+        // Disconnected: diameter over the largest reachable pair only.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(hop_diameter(&g), Some(2));
+    }
+}

@@ -1,0 +1,302 @@
+//! Eulerian tours and the path-splitting construction of the paper's
+//! approximation analysis (§III-A, Fig. 2).
+//!
+//! Given the optimal deployment's spanning tree `T*` with `K` nodes, the
+//! paper duplicates `K − 2` of its `K − 1` edges so that the resulting
+//! multigraph has an **open Eulerian path** with `2K − 3` edges (hence
+//! `2K − 2` node visits), then splits the visit sequence into
+//! `Δ = ⌈(2K − 2) / L⌉` segments of `L` nodes each. One of those segments
+//! must carry at least `1/Δ` of the optimum's coverage — the pigeonhole
+//! step behind the `O(√(s/K))` ratio.
+//!
+//! These routines are exercised by the test-suite to validate the
+//! combinatorial claims (they are not needed by `approAlg` at run time).
+
+use crate::{Graph, UnionFind};
+use std::collections::HashMap;
+
+/// Validates that `edges` over `n` nodes form a tree (connected, `n − 1`
+/// edges, no duplicates/self-loops). Returns `false` otherwise.
+pub fn is_tree(n: usize, edges: &[(usize, usize)]) -> bool {
+    if n == 0 {
+        return edges.is_empty();
+    }
+    if edges.len() != n - 1 {
+        return false;
+    }
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        if u >= n || v >= n || u == v || !uf.union(u, v) {
+            return false;
+        }
+    }
+    uf.num_sets() == 1
+}
+
+/// An Eulerian path in the multigraph over `n` nodes given by `edges`
+/// (parallel edges allowed), as a node-visit sequence; `None` if none
+/// exists.
+///
+/// An Eulerian path exists iff all edges lie in one connected component
+/// and the number of odd-degree nodes is 0 or 2 (Hierholzer).
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::euler::eulerian_path;
+/// // Doubled path 0-1-2: edges {01, 01, 12, 12} — a closed tour exists.
+/// let tour = eulerian_path(3, &[(0, 1), (0, 1), (1, 2), (1, 2)]).unwrap();
+/// assert_eq!(tour.len(), 5); // 4 edges → 5 visits
+/// ```
+pub fn eulerian_path(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    if edges.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut degree = vec![0usize; n];
+    // adjacency as (neighbor, edge id)
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (id, &(u, v)) in edges.iter().enumerate() {
+        if u >= n || v >= n || u == v {
+            return None;
+        }
+        degree[u] += 1;
+        degree[v] += 1;
+        adj[u].push((v, id));
+        adj[v].push((u, id));
+    }
+    // Connectivity over nodes incident to at least one edge.
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        uf.union(u, v);
+    }
+    let touched: Vec<usize> = (0..n).filter(|&v| degree[v] > 0).collect();
+    let root = uf.find(touched[0]);
+    if touched.iter().any(|&v| uf.find(v) != root) {
+        return None;
+    }
+    let odd: Vec<usize> = touched.iter().copied().filter(|&v| degree[v] % 2 == 1).collect();
+    let start = match odd.len() {
+        0 => touched[0],
+        2 => odd[0],
+        _ => return None,
+    };
+
+    // Hierholzer with explicit stack.
+    let mut used = vec![false; edges.len()];
+    let mut iter_pos = vec![0usize; n];
+    let mut stack = vec![start];
+    let mut path = Vec::with_capacity(edges.len() + 1);
+    while let Some(&v) = stack.last() {
+        let mut advanced = false;
+        while iter_pos[v] < adj[v].len() {
+            let (to, id) = adj[v][iter_pos[v]];
+            iter_pos[v] += 1;
+            if !used[id] {
+                used[id] = true;
+                stack.push(to);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            path.push(v);
+            stack.pop();
+        }
+    }
+    if path.len() != edges.len() + 1 {
+        return None; // disconnected edge set slipped through
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// The paper's construction: duplicate all but one edge of a `K`-node
+/// tree and return the resulting open Eulerian path with `2K − 3` edges
+/// (`2K − 2` node visits). For `K = 1` returns the single node; `K = 0`
+/// returns an empty path.
+///
+/// # Panics
+///
+/// Panics if `edges` do not form a tree over `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::euler::open_euler_path_of_tree;
+/// let k = 5;
+/// let tree: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+/// let path = open_euler_path_of_tree(k, &tree);
+/// assert_eq!(path.len(), 2 * k - 2); // 2K−3 edges → 2K−2 visits
+/// ```
+pub fn open_euler_path_of_tree(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    assert!(is_tree(n, edges), "input must be a tree over {n} nodes");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    // Keep the first edge single; duplicate the remaining K−2 edges.
+    let mut multi = Vec::with_capacity(2 * edges.len() - 1);
+    for (i, &e) in edges.iter().enumerate() {
+        multi.push(e);
+        if i > 0 {
+            multi.push(e);
+        }
+    }
+    eulerian_path(n, &multi).expect("doubled-but-one tree always has an open Eulerian path")
+}
+
+/// Splits a node-visit sequence into segments of exactly `l` nodes (the
+/// last segment may be shorter), mirroring the paper's split of
+/// `P_Euler` into `Δ = ⌈len / L⌉` subpaths (Fig. 2(c)).
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+pub fn split_into_segments(path: &[usize], l: usize) -> Vec<&[usize]> {
+    assert!(l > 0, "segment length must be positive");
+    path.chunks(l).collect()
+}
+
+/// Checks whether `path` is a valid walk in `g` (each consecutive pair
+/// is an edge).
+pub fn is_walk(g: &Graph, path: &[usize]) -> bool {
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// Multiplicity count of each undirected edge along a walk, keyed by
+/// `(min, max)`.
+pub fn edge_multiplicities(path: &[usize]) -> HashMap<(usize, usize), usize> {
+    let mut m = HashMap::new();
+    for w in path.windows(2) {
+        let key = (w[0].min(w[1]), w[0].max(w[1]));
+        *m.entry(key).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(k: usize) -> Vec<(usize, usize)> {
+        (1..k).map(|i| (0, i)).collect()
+    }
+
+    #[test]
+    fn tree_validation() {
+        assert!(is_tree(1, &[]));
+        assert!(is_tree(3, &[(0, 1), (1, 2)]));
+        assert!(!is_tree(3, &[(0, 1)])); // too few edges
+        assert!(!is_tree(3, &[(0, 1), (0, 1)])); // cycle/duplicate
+        assert!(!is_tree(4, &[(0, 1), (2, 3), (0, 1)]));
+        assert!(!is_tree(2, &[(0, 2)])); // out of range
+    }
+
+    #[test]
+    fn euler_path_on_simple_path() {
+        let p = eulerian_path(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(p == vec![0, 1, 2] || p == vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn euler_path_rejects_four_odd() {
+        // Two disjoint edges: 4 odd-degree nodes and disconnected.
+        assert!(eulerian_path(4, &[(0, 1), (2, 3)]).is_none());
+        // Star with 3 leaves: 3 odd nodes (leaves) + center odd → 4 odd.
+        assert!(eulerian_path(4, &star(4)).is_none());
+    }
+
+    #[test]
+    fn euler_path_uses_every_edge_once() {
+        let edges = [(0, 1), (0, 1), (1, 2), (1, 2), (2, 3)];
+        let p = eulerian_path(4, &edges).unwrap();
+        assert_eq!(p.len(), edges.len() + 1);
+        let mult = edge_multiplicities(&p);
+        assert_eq!(mult[&(0, 1)], 2);
+        assert_eq!(mult[&(1, 2)], 2);
+        assert_eq!(mult[&(2, 3)], 1);
+    }
+
+    #[test]
+    fn open_path_has_2k_minus_2_visits() {
+        for k in 2..10 {
+            // path-shaped tree
+            let tree: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+            let p = open_euler_path_of_tree(k, &tree);
+            assert_eq!(p.len(), 2 * k - 2, "K={k}");
+            // star-shaped tree
+            let p = open_euler_path_of_tree(k, &star(k));
+            assert_eq!(p.len(), 2 * k - 2, "star K={k}");
+        }
+    }
+
+    #[test]
+    fn open_path_visits_every_tree_node() {
+        let tree = [(0, 1), (1, 2), (1, 3), (3, 4)];
+        let p = open_euler_path_of_tree(5, &tree);
+        let mut seen: Vec<_> = p.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn open_path_duplicates_all_but_one_edge() {
+        let tree = [(0, 1), (1, 2), (1, 3)];
+        let p = open_euler_path_of_tree(4, &tree);
+        let mult = edge_multiplicities(&p);
+        let singles = mult.values().filter(|&&c| c == 1).count();
+        let doubles = mult.values().filter(|&&c| c == 2).count();
+        assert_eq!(singles, 1);
+        assert_eq!(doubles, tree.len() - 1);
+    }
+
+    #[test]
+    fn segment_split_counts_match_delta() {
+        // K = 11, L = 10 (the paper's Fig. 2(c) example): Δ = ⌈20/10⌉ = 2.
+        let k = 11;
+        let tree: Vec<_> = (0..k - 1).map(|i| (i, i + 1)).collect();
+        let p = open_euler_path_of_tree(k, &tree);
+        assert_eq!(p.len(), 20);
+        let segs = split_into_segments(&p, 10);
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| s.len() == 10));
+    }
+
+    #[test]
+    fn segment_split_last_may_be_short() {
+        let p: Vec<usize> = (0..7).collect();
+        let segs = split_into_segments(&p, 3);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[2].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn segment_split_rejects_zero() {
+        let _ = split_into_segments(&[0, 1], 0);
+    }
+
+    #[test]
+    fn walk_validation() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(is_walk(&g, &[0, 1, 2, 1, 0]));
+        assert!(!is_walk(&g, &[0, 2]));
+        assert!(is_walk(&g, &[3])); // trivial walk
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(eulerian_path(0, &[]), Some(vec![]));
+        assert_eq!(open_euler_path_of_tree(0, &[]), Vec::<usize>::new());
+        assert_eq!(open_euler_path_of_tree(1, &[]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a tree")]
+    fn open_path_rejects_non_tree() {
+        let _ = open_euler_path_of_tree(3, &[(0, 1)]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimum spanning trees over dense weight matrices.
+
+use crate::Hops;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`prim_mst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MstError {
+    /// The weight matrix was not square `k × k` with `k` nodes.
+    MalformedMatrix {
+        /// Expected dimension.
+        expected: usize,
+    },
+    /// Some node could not be reached through finite weights, so no
+    /// spanning tree exists.
+    Disconnected {
+        /// A node left outside the tree.
+        node: usize,
+    },
+}
+
+impl fmt::Display for MstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MstError::MalformedMatrix { expected } => {
+                write!(f, "weight matrix must be {expected}x{expected}")
+            }
+            MstError::Disconnected { node } => {
+                write!(f, "node {node} unreachable through finite weights")
+            }
+        }
+    }
+}
+
+impl Error for MstError {}
+
+/// Prim's algorithm over a dense symmetric weight matrix.
+///
+/// `weights[u][v]` is the edge weight between local nodes `u` and `v`;
+/// `None` marks a missing edge. Returns the MST as `k − 1` edges
+/// `(u, v, w)` with `u < v`, in discovery order. A 0- or 1-node input
+/// yields an empty edge list.
+///
+/// In Algorithm 2 the nodes are the greedily chosen hovering locations
+/// and the weights are pairwise hop distances in the candidate graph
+/// (Fig. 3(b) of the paper).
+///
+/// # Errors
+///
+/// * [`MstError::MalformedMatrix`] if the matrix is not `k × k`;
+/// * [`MstError::Disconnected`] if no spanning tree exists.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::prim_mst;
+/// let w = vec![
+///     vec![None, Some(1), Some(4)],
+///     vec![Some(1), None, Some(2)],
+///     vec![Some(4), Some(2), None],
+/// ];
+/// let mst = prim_mst(&w)?;
+/// let total: u32 = mst.iter().map(|e| e.2).sum();
+/// assert_eq!(total, 3);
+/// # Ok::<(), uavnet_graph::MstError>(())
+/// ```
+pub fn prim_mst(weights: &[Vec<Option<Hops>>]) -> Result<Vec<(usize, usize, Hops)>, MstError> {
+    let k = weights.len();
+    for row in weights {
+        if row.len() != k {
+            return Err(MstError::MalformedMatrix { expected: k });
+        }
+    }
+    if k <= 1 {
+        return Ok(Vec::new());
+    }
+    let mut in_tree = vec![false; k];
+    let mut best: Vec<Option<(Hops, usize)>> = vec![None; k]; // (weight, parent)
+    let mut edges = Vec::with_capacity(k - 1);
+    in_tree[0] = true;
+    for v in 1..k {
+        best[v] = weights[0][v].map(|w| (w, 0));
+    }
+    for _ in 1..k {
+        let mut pick: Option<(usize, Hops, usize)> = None; // (node, w, parent)
+        for v in 0..k {
+            if in_tree[v] {
+                continue;
+            }
+            if let Some((w, p)) = best[v] {
+                if pick.map_or(true, |(_, bw, _)| w < bw) {
+                    pick = Some((v, w, p));
+                }
+            }
+        }
+        let (v, w, p) = match pick {
+            Some(x) => x,
+            None => {
+                let node = (0..k).find(|&v| !in_tree[v]).expect("some node missing");
+                return Err(MstError::Disconnected { node });
+            }
+        };
+        in_tree[v] = true;
+        edges.push((p.min(v), p.max(v), w));
+        for u in 0..k {
+            if in_tree[u] {
+                continue;
+            }
+            if let Some(w2) = weights[v][u] {
+                if best[u].map_or(true, |(bw, _)| w2 < bw) {
+                    best[u] = Some((w2, v));
+                }
+            }
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnionFind;
+
+    fn complete(ws: &[(usize, usize, Hops)], k: usize) -> Vec<Vec<Option<Hops>>> {
+        let mut m = vec![vec![None; k]; k];
+        for &(u, v, w) in ws {
+            m[u][v] = Some(w);
+            m[v][u] = Some(w);
+        }
+        m
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(prim_mst(&[]).unwrap(), vec![]);
+        assert_eq!(prim_mst(&[vec![None]]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn two_nodes() {
+        let m = complete(&[(0, 1, 7)], 2);
+        assert_eq!(prim_mst(&m).unwrap(), vec![(0, 1, 7)]);
+    }
+
+    #[test]
+    fn picks_cheaper_triangle_edges() {
+        let m = complete(&[(0, 1, 1), (1, 2, 2), (0, 2, 4)], 3);
+        let mst = prim_mst(&m).unwrap();
+        let total: Hops = mst.iter().map(|e| e.2).sum();
+        assert_eq!(total, 3);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        let m = complete(&[(0, 1, 1)], 3);
+        assert!(matches!(
+            prim_mst(&m),
+            Err(MstError::Disconnected { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let m = vec![vec![None, Some(1)], vec![Some(1)]];
+        assert!(matches!(prim_mst(&m), Err(MstError::MalformedMatrix { .. })));
+    }
+
+    #[test]
+    fn mst_is_spanning_and_acyclic() {
+        // A 6-node weighted graph; verify tree structure via union-find.
+        let m = complete(
+            &[
+                (0, 1, 3),
+                (0, 2, 5),
+                (1, 2, 1),
+                (1, 3, 9),
+                (2, 4, 2),
+                (3, 4, 4),
+                (4, 5, 6),
+                (3, 5, 2),
+            ],
+            6,
+        );
+        let mst = prim_mst(&m).unwrap();
+        assert_eq!(mst.len(), 5);
+        let mut uf = UnionFind::new(6);
+        for &(u, v, _) in &mst {
+            assert!(uf.union(u, v), "cycle edge ({u},{v})");
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn mst_weight_matches_kruskal_bruteforce() {
+        // Cross-check Prim against a simple Kruskal on a fixed instance.
+        let edges = [
+            (0, 1, 4),
+            (0, 2, 3),
+            (1, 2, 1),
+            (1, 3, 2),
+            (2, 3, 4),
+            (3, 4, 2),
+            (2, 4, 5),
+        ];
+        let m = complete(&edges, 5);
+        let prim_total: Hops = prim_mst(&m).unwrap().iter().map(|e| e.2).sum();
+
+        let mut sorted = edges;
+        sorted.sort_by_key(|e| e.2);
+        let mut uf = UnionFind::new(5);
+        let mut kruskal_total = 0;
+        for (u, v, w) in sorted {
+            if uf.union(u, v) {
+                kruskal_total += w;
+            }
+        }
+        assert_eq!(prim_total, kruskal_total);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MstError::Disconnected { node: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(MstError::MalformedMatrix { expected: 2 }
+            .to_string()
+            .contains("2x2"));
+    }
+}

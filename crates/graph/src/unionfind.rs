@@ -1,0 +1,149 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+
+/// A union–find structure over elements `0 .. n`.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.same(0, 1));
+/// assert_eq!(uf.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of disjoint sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Representative of the set containing `x` (path-halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they
+    /// were previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_as_singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.num_sets(), 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 4));
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn transitive_closure_on_chain() {
+        let n = 50;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.same(0, n - 1));
+        assert_eq!(uf.set_size(0), n);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_sets(), 0);
+    }
+}

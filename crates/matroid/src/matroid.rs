@@ -1,0 +1,199 @@
+//! The matroid trait and the uniform matroid.
+
+/// A matroid `(N, I)` over the ground set `{0, …, ground_size() − 1}`.
+///
+/// Implementors must satisfy the three matroid axioms of §II-E:
+/// `∅ ∈ I`; independence is hereditary; and the augmentation
+/// (exchange) property holds. The test-suites verify the axioms
+/// exhaustively on small instances of every implementor in this crate.
+pub trait Matroid {
+    /// Size of the ground set `N`.
+    fn ground_size(&self) -> usize;
+
+    /// Whether `set` (distinct elements, any order) is independent.
+    ///
+    /// # Panics
+    ///
+    /// May panic if an element is out of range.
+    fn is_independent(&self, set: &[usize]) -> bool;
+
+    /// Whether an *independent* `set` stays independent after adding
+    /// `e ∉ set`. The default clones; implementors usually override
+    /// with an O(|set|) check.
+    fn can_extend(&self, set: &[usize], e: usize) -> bool {
+        debug_assert!(!set.contains(&e), "element {e} already in set");
+        let mut with = Vec::with_capacity(set.len() + 1);
+        with.extend_from_slice(set);
+        with.push(e);
+        self.is_independent(&with)
+    }
+
+    /// The rank upper bound: no independent set can exceed this size.
+    /// Defaults to the ground size.
+    fn rank_bound(&self) -> usize {
+        self.ground_size()
+    }
+}
+
+/// The uniform matroid `U_{n,r}`: any set of at most `r` elements is
+/// independent.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_matroid::{Matroid, UniformMatroid};
+/// let m = UniformMatroid::new(5, 2);
+/// assert!(m.is_independent(&[]));
+/// assert!(m.is_independent(&[3, 4]));
+/// assert!(!m.is_independent(&[0, 1, 2]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformMatroid {
+    ground: usize,
+    rank: usize,
+}
+
+impl UniformMatroid {
+    /// Creates `U_{ground, rank}`.
+    pub fn new(ground: usize, rank: usize) -> Self {
+        UniformMatroid { ground, rank }
+    }
+
+    /// The rank `r`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl Matroid for UniformMatroid {
+    fn ground_size(&self) -> usize {
+        self.ground
+    }
+
+    fn is_independent(&self, set: &[usize]) -> bool {
+        set.iter().all(|&e| e < self.ground) && set.len() <= self.rank
+    }
+
+    fn can_extend(&self, set: &[usize], e: usize) -> bool {
+        e < self.ground && set.len() < self.rank
+    }
+
+    fn rank_bound(&self) -> usize {
+        self.rank
+    }
+}
+
+/// Exhaustively checks the three matroid axioms on every subset of the
+/// ground set. Exponential — for tests on small matroids only.
+///
+/// Returns `Err` with a description of the first violated axiom.
+pub fn check_axioms_exhaustive<M: Matroid>(m: &M) -> Result<(), String> {
+    let n = m.ground_size();
+    assert!(n <= 10, "exhaustive axiom check limited to 10 elements");
+    let subsets = 1usize << n;
+    let members = |mask: usize| -> Vec<usize> { (0..n).filter(|i| mask >> i & 1 == 1).collect() };
+    let mut indep = vec![false; subsets];
+    for mask in 0..subsets {
+        indep[mask] = m.is_independent(&members(mask));
+    }
+    if !indep[0] {
+        return Err("empty set is not independent".into());
+    }
+    for mask in 0..subsets {
+        if !indep[mask] {
+            continue;
+        }
+        // Hereditary: all subsets of an independent set are independent.
+        let mut sub = mask;
+        loop {
+            if !indep[sub] {
+                return Err(format!("hereditary violated: {sub:b} ⊆ {mask:b}"));
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    for a in 0..subsets {
+        if !indep[a] {
+            continue;
+        }
+        for b in 0..subsets {
+            if !indep[b] || members(a).len() <= members(b).len() {
+                continue;
+            }
+            // Augmentation: some element of A \ B extends B.
+            let extendable = (0..n).any(|e| {
+                a >> e & 1 == 1 && b >> e & 1 == 0 && indep[b | (1 << e)]
+            });
+            if !extendable {
+                return Err(format!("augmentation violated: A={a:b}, B={b:b}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_axioms_hold() {
+        for n in 0..6 {
+            for r in 0..=n {
+                check_axioms_exhaustive(&UniformMatroid::new(n, r)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rank_bound() {
+        let m = UniformMatroid::new(9, 4);
+        assert_eq!(m.rank_bound(), 4);
+        assert_eq!(m.ground_size(), 9);
+        assert_eq!(m.rank(), 4);
+    }
+
+    #[test]
+    fn uniform_rejects_out_of_range() {
+        let m = UniformMatroid::new(3, 3);
+        assert!(!m.is_independent(&[0, 3]));
+        assert!(!m.can_extend(&[0], 3));
+    }
+
+    #[test]
+    fn default_can_extend_agrees() {
+        struct ViaDefault(UniformMatroid);
+        impl Matroid for ViaDefault {
+            fn ground_size(&self) -> usize {
+                self.0.ground_size()
+            }
+            fn is_independent(&self, set: &[usize]) -> bool {
+                self.0.is_independent(set)
+            }
+        }
+        let d = ViaDefault(UniformMatroid::new(5, 2));
+        let u = UniformMatroid::new(5, 2);
+        assert_eq!(d.can_extend(&[1], 2), u.can_extend(&[1], 2));
+        assert_eq!(d.can_extend(&[1, 3], 2), u.can_extend(&[1, 3], 2));
+    }
+
+    #[test]
+    fn axiom_checker_catches_violation() {
+        // A fake "matroid" where {0,1} is independent but {1} is not —
+        // violates hereditary.
+        struct Broken;
+        impl Matroid for Broken {
+            fn ground_size(&self) -> usize {
+                2
+            }
+            fn is_independent(&self, set: &[usize]) -> bool {
+                set != [1]
+            }
+        }
+        let err = check_axioms_exhaustive(&Broken).unwrap_err();
+        assert!(err.contains("hereditary"));
+    }
+}

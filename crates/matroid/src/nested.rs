@@ -1,0 +1,245 @@
+//! The nested-family (chain) matroid implementing the paper's `M2`.
+
+use crate::Matroid;
+
+/// A matroid defined by budgets over a *nested* family of sets
+/// `S_0 ⊇ S_1 ⊇ … ⊇ S_h`: a set `X` is independent iff
+/// `|X ∩ S_j| ≤ Q_j` for every level `j`, and every element of `X`
+/// belongs to `S_0`.
+///
+/// Each element is described by its **depth** — the largest `j` with
+/// `e ∈ S_j` (`None` = not even in `S_0`, never independent).
+///
+/// This realizes the paper's `M2` (§III-C): element depth = hop
+/// distance `d_l` from the seed set `{v*_1 … v*_s}` (capped at
+/// `h_max`; locations farther than `h_max` hops, or unreachable, get
+/// `None`), and `Q_h` counts how many chosen locations may be at least
+/// `h` hops away (Eq. 1).
+///
+/// Budgets over a chain of nested sets always yield a matroid (a
+/// laminar matroid with a chain as its laminar family); the test-suite
+/// re-verifies the axioms exhaustively.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_matroid::{Matroid, NestedFamilyMatroid};
+/// // Three elements at depths 0, 1, 1; budgets Q = [2, 1]:
+/// // at most 2 elements total, at most 1 at depth ≥ 1.
+/// let m = NestedFamilyMatroid::new(vec![Some(0), Some(1), Some(1)], vec![2, 1]);
+/// assert!(m.is_independent(&[0, 1]));
+/// assert!(!m.is_independent(&[1, 2]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedFamilyMatroid {
+    depth: Vec<Option<usize>>,
+    budgets: Vec<usize>,
+}
+
+impl NestedFamilyMatroid {
+    /// Creates the matroid from per-element depths and per-level
+    /// budgets `Q_0 … Q_{h_max}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty, or some element's depth is
+    /// `≥ budgets.len()` (it would sit below every budgeted level —
+    /// pass `None` to exclude it instead).
+    pub fn new(depth: Vec<Option<usize>>, budgets: Vec<usize>) -> Self {
+        assert!(!budgets.is_empty(), "need at least the Q_0 budget");
+        for (e, d) in depth.iter().enumerate() {
+            if let Some(d) = d {
+                assert!(
+                    *d < budgets.len(),
+                    "element {e} has depth {d} >= {} levels",
+                    budgets.len()
+                );
+            }
+        }
+        NestedFamilyMatroid { depth, budgets }
+    }
+
+    /// Depth of an element (`None` = excluded from the ground set's
+    /// independent sets).
+    pub fn depth_of(&self, e: usize) -> Option<usize> {
+        self.depth[e]
+    }
+
+    /// The budget `Q_j` at level `j`.
+    pub fn budget_at(&self, j: usize) -> usize {
+        self.budgets[j]
+    }
+
+    /// Number of levels (`h_max + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Counts elements of `set` per depth, returning `counts[j]` =
+    /// number of elements at depth exactly `j`, or `None` if some
+    /// element is out of range or has no depth.
+    fn depth_histogram(&self, set: &[usize]) -> Option<Vec<usize>> {
+        let mut counts = vec![0usize; self.budgets.len()];
+        for &e in set {
+            let d = *self.depth.get(e)?;
+            counts[d?] += 1;
+        }
+        Some(counts)
+    }
+}
+
+impl Matroid for NestedFamilyMatroid {
+    fn ground_size(&self) -> usize {
+        self.depth.len()
+    }
+
+    fn is_independent(&self, set: &[usize]) -> bool {
+        let Some(counts) = self.depth_histogram(set) else {
+            return false;
+        };
+        // Suffix sums: |X ∩ S_j| = #elements at depth ≥ j.
+        let mut at_least = 0usize;
+        for j in (0..self.budgets.len()).rev() {
+            at_least += counts[j];
+            if at_least > self.budgets[j] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn can_extend(&self, set: &[usize], e: usize) -> bool {
+        let Some(Some(de)) = self.depth.get(e).copied() else {
+            return false;
+        };
+        let Some(counts) = self.depth_histogram(set) else {
+            return false;
+        };
+        let mut at_least = 0usize;
+        for j in (0..self.budgets.len()).rev() {
+            at_least += counts[j];
+            // Adding e increments every suffix count with j ≤ de.
+            let after = if j <= de { at_least + 1 } else { at_least };
+            if after > self.budgets[j] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn rank_bound(&self) -> usize {
+        self.budgets[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matroid::check_axioms_exhaustive;
+
+    #[test]
+    fn axioms_hold_on_small_instances() {
+        let m = NestedFamilyMatroid::new(
+            vec![Some(0), Some(0), Some(1), Some(1), Some(2), None],
+            vec![4, 2, 1],
+        );
+        check_axioms_exhaustive(&m).unwrap();
+
+        // All depth 0, single budget — degenerates to a uniform matroid.
+        let m = NestedFamilyMatroid::new(vec![Some(0); 5], vec![3]);
+        check_axioms_exhaustive(&m).unwrap();
+
+        // Tight budgets.
+        let m = NestedFamilyMatroid::new(
+            vec![Some(0), Some(1), Some(2), Some(2)],
+            vec![2, 2, 0],
+        );
+        check_axioms_exhaustive(&m).unwrap();
+    }
+
+    #[test]
+    fn paper_fig2d_budgets() {
+        // The example of §III-C: L = 10, s = 3, p = (1, 2, 2, 2) gives
+        // Q_0 = 10, Q_1 = 7, Q_2 = 1 and h_max = 2.
+        // Model ten elements: three seeds at depth 0, six at depth 1,
+        // one at depth 2 — matching Fig. 2(d).
+        let mut depth = vec![Some(0); 3];
+        depth.extend(vec![Some(1); 6]);
+        depth.push(Some(2));
+        let m = NestedFamilyMatroid::new(depth, vec![10, 7, 1]);
+        // The whole subpath is independent (it defines the budgets).
+        let all: Vec<usize> = (0..10).collect();
+        assert!(m.is_independent(&all));
+        assert_eq!(m.rank_bound(), 10);
+    }
+
+    #[test]
+    fn excluded_elements_never_independent() {
+        let m = NestedFamilyMatroid::new(vec![Some(0), None], vec![5]);
+        assert!(m.is_independent(&[0]));
+        assert!(!m.is_independent(&[1]));
+        assert!(!m.can_extend(&[], 1));
+        assert!(!m.can_extend(&[0], 1));
+    }
+
+    #[test]
+    fn suffix_budgets_bind() {
+        // Q = [3, 1]: at most one deep element, three total.
+        let m = NestedFamilyMatroid::new(
+            vec![Some(0), Some(0), Some(1), Some(1)],
+            vec![3, 1],
+        );
+        assert!(m.is_independent(&[0, 1, 2]));
+        assert!(!m.is_independent(&[2, 3]));
+        assert!(m.can_extend(&[0, 1], 2));
+        assert!(!m.can_extend(&[2], 3));
+        assert!(!m.can_extend(&[0, 1, 2], 3));
+    }
+
+    #[test]
+    fn can_extend_agrees_with_is_independent() {
+        let m = NestedFamilyMatroid::new(
+            vec![Some(0), Some(1), Some(1), Some(2), None],
+            vec![3, 2, 1],
+        );
+        // Compare on every independent set and every extension.
+        let n = m.ground_size();
+        for mask in 0usize..1 << n {
+            let set: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            if !m.is_independent(&set) {
+                continue;
+            }
+            for e in 0..n {
+                if set.contains(&e) {
+                    continue;
+                }
+                let mut with = set.clone();
+                with.push(e);
+                assert_eq!(
+                    m.can_extend(&set, e),
+                    m.is_independent(&with),
+                    "set {set:?} + {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_dependent() {
+        let m = NestedFamilyMatroid::new(vec![Some(0)], vec![1]);
+        assert!(!m.is_independent(&[5]));
+        assert!(!m.can_extend(&[], 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn rejects_depth_beyond_levels() {
+        let _ = NestedFamilyMatroid::new(vec![Some(3)], vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q_0")]
+    fn rejects_empty_budgets() {
+        let _ = NestedFamilyMatroid::new(vec![Some(0)], vec![]);
+    }
+}

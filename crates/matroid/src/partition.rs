@@ -1,0 +1,160 @@
+//! Partition matroids.
+
+use crate::Matroid;
+
+/// A partition matroid: the ground set is partitioned into parts, and
+/// an independent set may contain at most `budget[p]` elements of part
+/// `p`.
+///
+/// The paper's `M1` (§III-B) is the special case where the ground set
+/// is the Cartesian product `UAVs × locations`, parts group the pairs
+/// of one UAV, and every budget is 1: "each UAV is placed at no more
+/// than one location".
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_matroid::{Matroid, PartitionMatroid};
+/// // Elements 0,1 in part 0; elements 2,3 in part 1; budget 1 each.
+/// let m = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 1]);
+/// assert!(m.is_independent(&[0, 2]));
+/// assert!(!m.is_independent(&[0, 1]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMatroid {
+    part_of: Vec<usize>,
+    budget: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// Creates a partition matroid where element `e` belongs to part
+    /// `part_of[e]` and part `p` may contribute at most `budget[p]`
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some `part_of[e]` is out of range of `budget`.
+    pub fn new(part_of: Vec<usize>, budget: Vec<usize>) -> Self {
+        for (e, &p) in part_of.iter().enumerate() {
+            assert!(
+                p < budget.len(),
+                "element {e} assigned to unknown part {p} (have {})",
+                budget.len()
+            );
+        }
+        PartitionMatroid { part_of, budget }
+    }
+
+    /// The `M1` of the paper: `k` UAVs × `m` locations, element
+    /// `u·m + l` = "UAV `u` at location `l`", each UAV used at most
+    /// once.
+    pub fn one_location_per_uav(num_uavs: usize, num_locations: usize) -> Self {
+        let part_of = (0..num_uavs * num_locations)
+            .map(|e| e / num_locations)
+            .collect();
+        PartitionMatroid::new(part_of, vec![1; num_uavs])
+    }
+
+    /// The part of an element.
+    pub fn part_of(&self, e: usize) -> usize {
+        self.part_of[e]
+    }
+
+    /// Budget of a part.
+    pub fn budget(&self, p: usize) -> usize {
+        self.budget[p]
+    }
+}
+
+impl Matroid for PartitionMatroid {
+    fn ground_size(&self) -> usize {
+        self.part_of.len()
+    }
+
+    fn is_independent(&self, set: &[usize]) -> bool {
+        let mut used = vec![0usize; self.budget.len()];
+        for &e in set {
+            if e >= self.part_of.len() {
+                return false;
+            }
+            let p = self.part_of[e];
+            used[p] += 1;
+            if used[p] > self.budget[p] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn can_extend(&self, set: &[usize], e: usize) -> bool {
+        if e >= self.part_of.len() {
+            return false;
+        }
+        let p = self.part_of[e];
+        let used = set.iter().filter(|&&x| self.part_of[x] == p).count();
+        used < self.budget[p]
+    }
+
+    fn rank_bound(&self) -> usize {
+        self.budget.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matroid::check_axioms_exhaustive;
+
+    #[test]
+    fn axioms_hold_on_small_partitions() {
+        let m = PartitionMatroid::new(vec![0, 0, 1, 1, 2], vec![1, 2, 1]);
+        check_axioms_exhaustive(&m).unwrap();
+        let m = PartitionMatroid::new(vec![0; 6], vec![3]);
+        check_axioms_exhaustive(&m).unwrap();
+        let m = PartitionMatroid::new(vec![0, 1, 2, 0, 1, 2], vec![0, 1, 2]);
+        check_axioms_exhaustive(&m).unwrap();
+    }
+
+    #[test]
+    fn budgets_enforced_per_part() {
+        let m = PartitionMatroid::new(vec![0, 0, 0, 1], vec![2, 1]);
+        assert!(m.is_independent(&[0, 1, 3]));
+        assert!(!m.is_independent(&[0, 1, 2]));
+        assert!(m.can_extend(&[0], 1));
+        assert!(!m.can_extend(&[0, 1], 2));
+    }
+
+    #[test]
+    fn zero_budget_part_is_forbidden() {
+        let m = PartitionMatroid::new(vec![0, 1], vec![0, 1]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+        assert!(!m.can_extend(&[], 0));
+    }
+
+    #[test]
+    fn uav_location_construction_matches_m1() {
+        // 2 UAVs × 3 locations: element u*3 + l.
+        let m = PartitionMatroid::one_location_per_uav(2, 3);
+        assert_eq!(m.ground_size(), 6);
+        // UAV 0 at location 0 and UAV 1 at location 2: independent.
+        assert!(m.is_independent(&[0, 5]));
+        // UAV 0 at two locations: dependent (the paper's A2 example).
+        assert!(!m.is_independent(&[0, 1]));
+        assert_eq!(m.rank_bound(), 2);
+        check_axioms_exhaustive(&m).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_elements_rejected() {
+        let m = PartitionMatroid::new(vec![0], vec![1]);
+        assert!(!m.is_independent(&[1]));
+        assert!(!m.can_extend(&[], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown part")]
+    fn constructor_rejects_bad_parts() {
+        let _ = PartitionMatroid::new(vec![0, 2], vec![1, 1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Scenario generation for the evaluation of §IV: fat-tailed user
+//! placement and heterogeneous UAV fleets.
+//!
+//! The paper's experimental environment is a 3 km × 3 km disaster zone
+//! with 1 000–3 000 users whose density is *fat-tailed* ("many users
+//! are located at a small portion of places", citing Song et al.'s
+//! human-mobility scaling laws), and `K = 2 … 20` UAVs with service
+//! capacities drawn uniformly from `[50, 300]`.
+//!
+//! [`ScenarioSpec`] captures all of that declaratively and
+//! deterministically (every scenario is a pure function of its seed),
+//! and [`ScenarioSpec::instantiate`] produces a ready-to-solve
+//! [`uavnet_core::Instance`].
+//!
+//! # Examples
+//!
+//! ```
+//! use uavnet_workload::{ScenarioSpec, UserDistribution};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ScenarioSpec::builder()
+//!     .area_m(1_500.0, 1_500.0)
+//!     .cell_m(300.0)
+//!     .users(100)
+//!     .uavs(5)
+//!     .capacity_range(10, 40)
+//!     .seed(42)
+//!     .build()?;
+//! let instance = spec.instantiate()?;
+//! assert_eq!(instance.num_users(), 100);
+//! assert_eq!(instance.num_uavs(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fat_tailed;
+mod fleet;
+mod mobility;
+mod spec;
+
+pub use fat_tailed::{sample_users, UserDistribution};
+pub use fleet::{sample_fleet, FleetStyle};
+pub use mobility::{MobilityModel, MobilitySimulator};
+pub use spec::{ScenarioSpec, ScenarioSpecBuilder, WorkloadError};

@@ -1,0 +1,123 @@
+//! Disaster response: an earthquake scenario with a mixed
+//! Matrice 600 / Matrice 300-class fleet, comparing `approAlg` with
+//! every baseline of the paper's evaluation.
+//!
+//! The fleet is deliberately lopsided — two strong UAVs and four weak
+//! ones — so the heterogeneity-aware placement (big capacity on dense
+//! hotspots, small capacity as relays) shows up directly in the
+//! per-UAV load table.
+//!
+//! ```text
+//! cargo run --release --example disaster_response
+//! ```
+
+use uavnet::baselines::{
+    DeploymentAlgorithm, GreedyAssign, MaxThroughput, Mcs, MotionCtrl, RandomConnected,
+};
+use uavnet::channel::UavRadio;
+use uavnet::core::{approx_alg, ApproxConfig, Instance};
+use uavnet::geom::{AreaSpec, GridSpec};
+use uavnet::workload::{sample_users, UserDistribution};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_instance() -> Result<Instance, Box<dyn std::error::Error>> {
+    let area = AreaSpec::new(2_400.0, 2_400.0, 500.0)?;
+    let grid = GridSpec::new(area, 300.0, 300.0)?.build();
+
+    // 260 trapped users in three dense pockets (collapsed blocks) and
+    // a thin scatter of stragglers.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let users = sample_users(
+        &mut rng,
+        area,
+        260,
+        UserDistribution::FatTailed {
+            clusters: 3,
+            zipf_exponent: 1.5,
+        },
+    );
+
+    let mut builder = Instance::builder(grid, 600.0);
+    // The emergency communication vehicle (Internet uplink) parks at
+    // the south-west staging area; one UAV must stay in its range.
+    builder.gateway(uavnet::geom::Point2::new(60.0, 60.0));
+    for pos in users {
+        builder.add_user(pos, 2_000.0); // 2 kbps voice floor
+    }
+    // Two Matrice 600-class UAVs: big payload, strong base station.
+    for _ in 0..2 {
+        builder.add_uav(60, UavRadio::new(33.0, 6.0, 500.0));
+    }
+    // Four Matrice 300-class UAVs: light payload, modest base station.
+    for _ in 0..4 {
+        builder.add_uav(18, UavRadio::new(27.0, 4.0, 380.0));
+    }
+    Ok(builder.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = build_instance()?;
+    println!(
+        "earthquake zone: {} users, fleet of {} (2 heavy + 4 light), {} cells\n",
+        instance.num_users(),
+        instance.num_uavs(),
+        instance.num_locations()
+    );
+
+    let algorithms: Vec<Box<dyn DeploymentAlgorithm>> = vec![
+        Box::new(Mcs),
+        Box::new(GreedyAssign),
+        Box::new(MaxThroughput),
+        Box::new(MotionCtrl::default()),
+        Box::new(RandomConnected::new(3)),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>9}",
+        "algorithm", "served", "coverage", "uplink?"
+    );
+    let appro = approx_alg(&instance, &ApproxConfig::with_s(2))?;
+    appro.validate(&instance)?; // includes the gateway check
+    println!(
+        "{:<16} {:>8} {:>9.1}% {:>9}",
+        "approAlg(s=2)",
+        appro.served_users(),
+        100.0 * appro.served_users() as f64 / instance.num_users() as f64,
+        "yes"
+    );
+    for algo in &algorithms {
+        let sol = algo.deploy(&instance)?;
+        // The baselines are gateway-blind; report whether their
+        // deployment happens to reach the vehicle.
+        let uplink = sol
+            .deployment()
+            .locations()
+            .iter()
+            .any(|&l| instance.is_gateway_cell(l));
+        println!(
+            "{:<16} {:>8} {:>9.1}% {:>9}",
+            algo.name(),
+            sol.served_users(),
+            100.0 * sol.served_users() as f64 / instance.num_users() as f64,
+            if uplink { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\napproAlg per-UAV loads (heavy UAVs should sit on hotspots):");
+    for (i, &(uav, loc)) in appro.deployment().placements().iter().enumerate() {
+        let class = if instance.uavs()[uav].capacity >= 60 {
+            "heavy"
+        } else {
+            "light"
+        };
+        let (col, row) = instance.grid().col_row(loc);
+        println!(
+            "  {class} UAV {uav} (cap {:>2}) @ ({col},{row}): {:>3} users",
+            instance.uavs()[uav].capacity,
+            appro.loads()[i]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Fleet planning: how many UAVs does a target service level need,
+//! and what does the `s` knob buy?
+//!
+//! Sweeps the fleet size `K`, reporting the marginal value of each
+//! pair of UAVs, and shows Algorithm 1's segment plan (`L_max`, relay
+//! budget `g`, proven ratio) for each configuration — the quantities a
+//! dispatcher would consult before launching.
+//!
+//! ```text
+//! cargo run --release --example fleet_planning
+//! ```
+
+use uavnet::core::{approx_alg, ApproxConfig, SegmentPlan};
+use uavnet::workload::{ScenarioSpec, UserDistribution};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target_coverage = 0.80;
+    println!("target: serve ≥ {:.0}% of trapped users\n", target_coverage * 100.0);
+
+    println!(
+        "{:>3} {:>7} {:>9} {:>6} {:>5} {:>7}",
+        "K", "served", "coverage", "L_max", "g", "ratio"
+    );
+    let mut previous = 0usize;
+    let mut chosen_k = None;
+    for k in (2..=12).step_by(2) {
+        let spec = ScenarioSpec::builder()
+            .area_m(2_100.0, 2_100.0)
+            .cell_m(300.0)
+            .users(200)
+            .distribution(UserDistribution::FatTailed {
+                clusters: 5,
+                zipf_exponent: 1.2,
+            })
+            .uavs(k)
+            .capacity_range(8, 45)
+            .seed(11)
+            .build()?;
+        let instance = spec.instantiate()?;
+        let s = 2usize.min(k);
+        let solution = approx_alg(&instance, &ApproxConfig::with_s(s))?;
+        solution.validate(&instance)?;
+        let plan = SegmentPlan::optimal(k, s)?;
+        let coverage = solution.served_users() as f64 / instance.num_users() as f64;
+        println!(
+            "{k:>3} {:>7} {:>8.1}% {:>6} {:>5} {:>7.3}  (+{} vs previous)",
+            solution.served_users(),
+            coverage * 100.0,
+            plan.l_max(),
+            plan.g(),
+            plan.approx_ratio(),
+            solution.served_users().saturating_sub(previous),
+        );
+        previous = solution.served_users();
+        if coverage >= target_coverage && chosen_k.is_none() {
+            chosen_k = Some(k);
+        }
+    }
+    match chosen_k {
+        Some(k) => println!("\n→ a fleet of {k} UAVs meets the {:.0}% target", target_coverage * 100.0),
+        None => println!("\n→ no fleet size up to 12 meets the target; consider stronger radios"),
+    }
+    Ok(())
+}

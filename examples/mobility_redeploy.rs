@@ -1,0 +1,80 @@
+//! Mobility & re-deployment: users drift between epochs; the
+//! dispatcher compares "stay put" against a full `approAlg` re-plan
+//! each epoch (§II-C of the paper).
+//!
+//! ```text
+//! cargo run --release --example mobility_redeploy
+//! ```
+
+use uavnet::core::{approx_alg, redeploy, ApproxConfig, Instance};
+use uavnet::channel::UavRadio;
+use uavnet::geom::{AreaSpec, GridSpec};
+use uavnet::workload::{sample_users, MobilityModel, MobilitySimulator, UserDistribution};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_instance(area: AreaSpec, users: &[uavnet::geom::Point2]) -> Instance {
+    let grid = GridSpec::new(area, 300.0, 300.0).unwrap().build();
+    let mut b = Instance::builder(grid, 600.0);
+    for &p in users {
+        b.add_user(p, 2_000.0);
+    }
+    for cap in [40u32, 30, 20, 15, 12, 10] {
+        b.add_uav(cap, UavRadio::new(30.0, 5.0, 450.0));
+    }
+    b.build().expect("valid instance")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let area = AreaSpec::new(2_100.0, 2_100.0, 500.0)?;
+    let mut rng = SmallRng::seed_from_u64(2);
+    let start = sample_users(
+        &mut rng,
+        area,
+        160,
+        UserDistribution::FatTailed {
+            clusters: 4,
+            zipf_exponent: 1.3,
+        },
+    );
+    // Evacuees walking toward assembly points at ~1.4 m/s; an epoch is
+    // five minutes → ~420 m per epoch.
+    let mut sim = MobilitySimulator::new(
+        area,
+        start,
+        MobilityModel::RandomWaypoint {
+            speed_m_per_step: 420.0,
+        },
+        9,
+    );
+
+    let config = ApproxConfig::with_s(2);
+    let mut instance = build_instance(area, sim.positions());
+    let mut plan = approx_alg(&instance, &config)?;
+    plan.validate(&instance)?;
+    println!(
+        "epoch 0: deployed {} UAVs, serving {}/{} users",
+        plan.deployment().len(),
+        plan.served_users(),
+        instance.num_users()
+    );
+
+    for epoch in 1..=4 {
+        sim.step();
+        instance = build_instance(area, sim.positions());
+        let (new_plan, stats) = redeploy(&instance, &plan, &config)?;
+        new_plan.validate(&instance)?;
+        println!(
+            "epoch {epoch}: stay-put serves {:>3}, re-plan serves {:>3} \
+             (+{:>3}); {} UAVs moved {:>6.0} m total",
+            stats.stay_served,
+            new_plan.served_users(),
+            new_plan.served_users().saturating_sub(stats.stay_served),
+            stats.moved_uavs,
+            stats.total_move_m
+        );
+        plan = new_plan;
+    }
+    Ok(())
+}

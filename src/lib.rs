@@ -1,0 +1,51 @@
+//! # uavnet — Coverage Maximization of Heterogeneous UAV Networks
+//!
+//! A faithful, laptop-scale reproduction of *"Coverage Maximization of
+//! Heterogeneous UAV Networks"* (Li, Xiang, Xu et al., IEEE ICDCS 2023).
+//!
+//! This façade crate re-exports the entire workspace:
+//!
+//! * [`geom`] — disaster-zone geometry and the hovering-plane grid;
+//! * [`channel`] — air-to-ground (LoS/NLoS) and UAV-to-UAV channel models;
+//! * [`graph`] — BFS hop metrics, MSTs, Eulerian paths, connectivity;
+//! * [`flow`] — integral max-flow (Dinic) with incremental augmentation;
+//! * [`matroid`] — matroids and lazy-greedy submodular maximization;
+//! * [`workload`] — fat-tailed scenario and heterogeneous fleet generation;
+//! * [`core`] — the maximum connected coverage problem, the optimal user
+//!   assignment (Lemma 1), Algorithm 1 (`L_max`, `p*`), and the
+//!   `O(√(s/K))`-approximation `approAlg` (Algorithm 2);
+//! * [`baselines`] — the four comparison algorithms of the evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uavnet::workload::{ScenarioSpec, UserDistribution};
+//! use uavnet::core::{ApproxConfig, approx_alg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small disaster zone with 60 users and 4 heterogeneous UAVs.
+//! let spec = ScenarioSpec::builder()
+//!     .area_m(1_200.0, 1_200.0)
+//!     .cell_m(300.0)
+//!     .users(60)
+//!     .distribution(UserDistribution::FatTailed { clusters: 3, zipf_exponent: 1.2 })
+//!     .uavs(4)
+//!     .capacity_range(10, 40)
+//!     .seed(7)
+//!     .build()?;
+//! let instance = spec.instantiate()?;
+//! let solution = approx_alg(&instance, &ApproxConfig::with_s(1))?;
+//! assert!(solution.served_users() > 0);
+//! solution.validate(&instance)?; // capacity, rate and connectivity checks
+//! # Ok(())
+//! # }
+//! ```
+
+pub use uavnet_baselines as baselines;
+pub use uavnet_channel as channel;
+pub use uavnet_core as core;
+pub use uavnet_flow as flow;
+pub use uavnet_geom as geom;
+pub use uavnet_graph as graph;
+pub use uavnet_matroid as matroid;
+pub use uavnet_workload as workload;

@@ -1,0 +1,164 @@
+//! Lemma 1: the assignment subroutine is *optimal* for fixed UAV
+//! positions. Cross-checks the incremental matching against the
+//! literal max-flow construction and against brute force on tiny
+//! instances.
+
+use uavnet::channel::UavRadio;
+use uavnet::core::{assign_users, assign_users_max_flow, Instance};
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(rng: &mut SmallRng, n: usize, k: usize) -> Instance {
+    let grid = GridSpec::new(
+        AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+        300.0,
+        300.0,
+    )
+    .unwrap()
+    .build();
+    let mut b = Instance::builder(grid, 600.0);
+    for _ in 0..n {
+        b.add_user(
+            Point2::new(rng.gen_range(0.0..1_500.0), rng.gen_range(0.0..1_500.0)),
+            2_000.0,
+        );
+    }
+    for _ in 0..k {
+        b.add_uav(
+            rng.gen_range(1..5),
+            UavRadio::new(30.0, 5.0, rng.gen_range(300.0..600.0)),
+        );
+    }
+    b.build().unwrap()
+}
+
+/// Brute force: maximize served users over all assignments by search
+/// with memoization-free recursion (users one by one).
+fn brute_force_served(instance: &Instance, placements: &[(usize, usize)]) -> usize {
+    fn rec(
+        user: usize,
+        loads: &mut Vec<u32>,
+        coverers: &[Vec<usize>],
+        caps: &[u32],
+    ) -> usize {
+        if user == coverers.len() {
+            return 0;
+        }
+        // Skip this user.
+        let mut best = rec(user + 1, loads, coverers, caps);
+        // Or serve it by any placement with room.
+        for &pi in &coverers[user] {
+            if loads[pi] < caps[pi] {
+                loads[pi] += 1;
+                best = best.max(1 + rec(user + 1, loads, coverers, caps));
+                loads[pi] -= 1;
+            }
+        }
+        best
+    }
+    let coverers: Vec<Vec<usize>> = (0..instance.num_users())
+        .map(|u| {
+            placements
+                .iter()
+                .enumerate()
+                .filter(|(_, &(uav, loc))| instance.coverable(uav, loc).contains(&(u as u32)))
+                .map(|(pi, _)| pi)
+                .collect()
+        })
+        .collect();
+    let caps: Vec<u32> = placements
+        .iter()
+        .map(|&(uav, _)| instance.uavs()[uav].capacity)
+        .collect();
+    rec(0, &mut vec![0; placements.len()], &coverers, &caps)
+}
+
+#[test]
+fn matching_equals_max_flow_on_random_instances() {
+    let mut rng = SmallRng::seed_from_u64(2023);
+    for round in 0..25 {
+        let n = rng.gen_range(5..40);
+        let k = rng.gen_range(1..6);
+        let instance = random_instance(&mut rng, n, k);
+        let m = instance.num_locations();
+        let placements: Vec<(usize, usize)> = (0..k)
+            .map(|uav| (uav, (uav * 7 + round) % m))
+            .filter({
+                let mut seen = std::collections::HashSet::new();
+                move |&(_, loc)| seen.insert(loc)
+            })
+            .collect();
+        let a = assign_users(&instance, &placements);
+        let b = assign_users_max_flow(&instance, &placements);
+        assert_eq!(a.served, b.served, "round {round}");
+    }
+}
+
+#[test]
+fn assignment_is_optimal_vs_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    for round in 0..15 {
+        let n = rng.gen_range(3..10);
+        let k = rng.gen_range(1..4);
+        let instance = random_instance(&mut rng, n, k);
+        let placements: Vec<(usize, usize)> = (0..k).map(|uav| (uav, uav * 6)).collect();
+        let fast = assign_users(&instance, &placements).served;
+        let brute = brute_force_served(&instance, &placements);
+        assert_eq!(fast, brute, "round {round}: fast {fast} vs brute {brute}");
+    }
+}
+
+#[test]
+fn loads_and_assignment_are_consistent() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let instance = random_instance(&mut rng, 30, 4);
+    let placements: Vec<(usize, usize)> = vec![(0, 0), (1, 6), (2, 12), (3, 18)];
+    let a = assign_users(&instance, &placements);
+    // Loads recounted from the assignment vector.
+    let mut loads = vec![0u32; placements.len()];
+    for pl in a.user_placement.iter().flatten() {
+        loads[*pl] += 1;
+    }
+    assert_eq!(loads, a.loads);
+    assert_eq!(loads.iter().sum::<u32>() as usize, a.served);
+    // No load exceeds its capacity.
+    for (pi, &(uav, _)) in placements.iter().enumerate() {
+        assert!(a.loads[pi] <= instance.uavs()[uav].capacity);
+    }
+}
+
+#[test]
+fn more_capacity_never_serves_fewer() {
+    // Monotonicity: doubling one UAV's capacity cannot reduce the
+    // optimal assignment.
+    let mut rng = SmallRng::seed_from_u64(9);
+    let grid = GridSpec::new(
+        AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+        300.0,
+        300.0,
+    )
+    .unwrap()
+    .build();
+    let mut users = Vec::new();
+    for _ in 0..40 {
+        users.push(Point2::new(
+            rng.gen_range(0.0..1_500.0),
+            rng.gen_range(0.0..1_500.0),
+        ));
+    }
+    let build = |cap0: u32| {
+        let mut b = Instance::builder(grid.clone(), 600.0);
+        for &p in &users {
+            b.add_user(p, 2_000.0);
+        }
+        b.add_uav(cap0, UavRadio::new(30.0, 5.0, 500.0));
+        b.add_uav(3, UavRadio::new(30.0, 5.0, 500.0));
+        b.build().unwrap()
+    };
+    let placements = vec![(0usize, 6usize), (1usize, 12usize)];
+    let small = assign_users(&build(4), &placements).served;
+    let large = assign_users(&build(8), &placements).served;
+    assert!(large >= small);
+}

@@ -1,0 +1,112 @@
+//! End-to-end feasibility: every algorithm, on every generated
+//! scenario, must produce a solution that independently re-validates
+//! against all three constraints of §II-C.
+
+use uavnet::baselines::{
+    DeploymentAlgorithm, GreedyAssign, MaxThroughput, Mcs, MotionCtrl, RandomConnected,
+};
+use uavnet::core::{approx_alg, ApproxConfig, Instance};
+use uavnet::workload::{ScenarioSpec, UserDistribution};
+
+fn scenarios() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for (seed, n, k, clusters) in [
+        (1u64, 40usize, 3usize, 2usize),
+        (2, 80, 5, 4),
+        (3, 120, 8, 6),
+        (4, 60, 2, 1),
+        (5, 100, 10, 3),
+    ] {
+        let spec = ScenarioSpec::builder()
+            .area_m(1_800.0, 1_800.0)
+            .cell_m(300.0)
+            .users(n)
+            .distribution(UserDistribution::FatTailed {
+                clusters,
+                zipf_exponent: 1.2,
+            })
+            .uavs(k)
+            .capacity_range(4, 30)
+            .seed(seed)
+            .build()
+            .expect("valid spec");
+        out.push(spec.instantiate().expect("instantiates"));
+    }
+    out
+}
+
+#[test]
+fn every_baseline_validates_on_every_scenario() {
+    let algorithms: Vec<Box<dyn DeploymentAlgorithm>> = vec![
+        Box::new(Mcs),
+        Box::new(GreedyAssign),
+        Box::new(MaxThroughput),
+        Box::new(MotionCtrl::default()),
+        Box::new(RandomConnected::new(9)),
+    ];
+    for (i, instance) in scenarios().iter().enumerate() {
+        for algo in &algorithms {
+            let sol = algo
+                .deploy(instance)
+                .unwrap_or_else(|e| panic!("{} failed on scenario {i}: {e}", algo.name()));
+            sol.validate(instance)
+                .unwrap_or_else(|e| panic!("{} invalid on scenario {i}: {e}", algo.name()));
+        }
+    }
+}
+
+#[test]
+fn approx_validates_for_every_s() {
+    for (i, instance) in scenarios().iter().enumerate() {
+        for s in 1..=2usize.min(instance.num_uavs()) {
+            let sol = approx_alg(instance, &ApproxConfig::with_s(s).threads(1))
+                .unwrap_or_else(|e| panic!("approAlg(s={s}) failed on scenario {i}: {e}"));
+            sol.validate(instance)
+                .unwrap_or_else(|e| panic!("approAlg(s={s}) invalid on scenario {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn approx_beats_random_in_aggregate() {
+    let mut approx_total = 0usize;
+    let mut random_total = 0usize;
+    for instance in &scenarios() {
+        approx_total += approx_alg(instance, &ApproxConfig::with_s(1))
+            .unwrap()
+            .served_users();
+        random_total += RandomConnected::new(123)
+            .deploy(instance)
+            .unwrap()
+            .served_users();
+    }
+    assert!(
+        approx_total > random_total,
+        "approAlg total {approx_total} not above random total {random_total}"
+    );
+}
+
+#[test]
+fn paper_literal_configuration_also_validates() {
+    // Both prunings and the leftover pass disabled: the algorithm as
+    // printed in the paper.
+    let instance = &scenarios()[1];
+    let config = ApproxConfig::with_s(2)
+        .prune_chain(false)
+        .prune_empty_seeds(false)
+        .leftover_deployment(false)
+        .threads(1);
+    let sol = approx_alg(instance, &config).unwrap();
+    sol.validate(instance).unwrap();
+    // The leftover pass applies after the (identical) subset sweep and
+    // only ever adds positive-gain UAVs, so enabling it can only help.
+    let with_leftovers = approx_alg(
+        instance,
+        &ApproxConfig::with_s(2)
+            .prune_chain(false)
+            .prune_empty_seeds(false)
+            .threads(1),
+    )
+    .unwrap();
+    assert!(with_leftovers.served_users() >= sol.served_users());
+}

@@ -1,0 +1,110 @@
+//! Cross-module invariants lifted straight from the paper's
+//! equations: Algorithm 1's plan, Eq. 1's budgets, Eq. 2's relay
+//! bound, Theorem 1's closed forms, and the `M2` seed property.
+
+use uavnet::core::{g_upper_bound, g_via_q_sums, h_max, q_budgets, SegmentPlan};
+use uavnet::graph::Graph;
+use uavnet::matroid::Matroid;
+
+#[test]
+fn plans_over_the_paper_parameter_grid() {
+    // The evaluation sweeps K = 2..20, s = 1..4 — every combination
+    // with s ≤ K must produce a consistent plan.
+    for k in 2..=20usize {
+        for s in 1..=4usize.min(k) {
+            let plan = SegmentPlan::optimal(k, s).unwrap();
+            // Plan internals agree with the standalone formulas.
+            assert_eq!(plan.p().len(), s + 1);
+            assert_eq!(plan.p().iter().sum::<usize>(), plan.l_max() - s);
+            assert_eq!(plan.g(), g_upper_bound(plan.p()));
+            assert!(plan.g() <= k, "K={k} s={s}");
+            assert_eq!(plan.h_max(), h_max(plan.p()));
+            let q = plan.budgets();
+            assert_eq!(q, q_budgets(plan.l_max(), plan.p()));
+            assert_eq!(q[0], plan.l_max());
+            // Q_0 − Q_1 = s: only the seeds sit at depth zero.
+            if q.len() > 1 {
+                assert_eq!(q[0] - q[1], s, "K={k} s={s}: {q:?}");
+            }
+            // Eq. 2's closed form equals the Σ Q_h derivation (Lemma 2).
+            assert_eq!(plan.g(), g_via_q_sums(plan.l_max(), plan.p()));
+            // Balancedness claims from §III-D.
+            let p = plan.p();
+            assert!(p[0].abs_diff(p[s]) <= 1, "outer segments unbalanced: {p:?}");
+            if s >= 3 {
+                let mids = &p[1..s];
+                let (mn, mx) = (mids.iter().min().unwrap(), mids.iter().max().unwrap());
+                assert!(mx - mn <= 1, "middle segments unbalanced: {p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ratio_tracks_theorem_1() {
+    for (k, s) in [(10usize, 1usize), (20, 3), (50, 2), (100, 4)] {
+        let plan = SegmentPlan::optimal(k, s).unwrap();
+        let delta = (2 * k - 2usize).div_ceil(plan.l_max());
+        assert_eq!(plan.delta(), delta);
+        assert!((plan.approx_ratio() - 1.0 / (3.0 * delta as f64)).abs() < 1e-12);
+        // Theorem 1's closed-form L_1 never exceeds the computed L_max.
+        assert!(SegmentPlan::theoretical_l1(k, s) <= plan.l_max() as isize);
+        // The asymptotic shape: the ratio scales like √(s/K) — check
+        // it is within constant factors of √(s/K)/3.
+        let asymptotic = (s as f64 / k as f64).sqrt() / 3.0;
+        assert!(plan.approx_ratio() >= asymptotic / 4.0, "K={k} s={s}");
+        assert!(plan.approx_ratio() <= asymptotic * 4.0, "K={k} s={s}");
+    }
+}
+
+#[test]
+fn seed_matroid_rank_equals_l_max_on_rich_graphs() {
+    // On a long path with seeds placed to realize the plan's segment
+    // structure, a maximal independent set reaches exactly L_max nodes.
+    for (k, s) in [(8usize, 1usize), (12, 2), (20, 3)] {
+        let plan = SegmentPlan::optimal(k, s).unwrap();
+        let n = 4 * k;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        // Seeds spaced p*_i + 1 apart along the path, starting at p*_1.
+        let mut seeds = Vec::with_capacity(s);
+        let mut pos = plan.p()[0];
+        seeds.push(pos);
+        for i in 1..s {
+            pos += plan.p()[i] + 1;
+            seeds.push(pos);
+        }
+        let m2 = uavnet::core::seed_matroid(&g, &seeds, &plan);
+        // Greedily grow a maximal independent set.
+        let mut set: Vec<usize> = Vec::new();
+        for v in 0..n {
+            if m2.can_extend(&set, v) {
+                set.push(v);
+            }
+        }
+        assert_eq!(set.len(), plan.l_max(), "K={k} s={s}: {set:?}");
+        for &seed in &seeds {
+            assert!(set.contains(&seed), "seed {seed} missing from {set:?}");
+        }
+    }
+}
+
+#[test]
+fn fig2d_worked_numbers() {
+    // §III-C's running example: s = 3, L = 10, p = (1, 2, 2, 2):
+    // h_max = 2, Q_0 = 10, Q_1 = 7, Q_2 = 1.
+    let p = [1usize, 2, 2, 2];
+    assert_eq!(h_max(&p), 2);
+    assert_eq!(q_budgets(10, &p), vec![10, 7, 1]);
+}
+
+#[test]
+fn runtime_knob_monotonicity() {
+    // Fig. 6's premise: growing s buys a better (larger) ratio.
+    let k = 20;
+    let mut last = 0.0;
+    for s in 1..=4 {
+        let r = SegmentPlan::optimal(k, s).unwrap().approx_ratio();
+        assert!(r >= last, "ratio regressed at s={s}");
+        last = r;
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests over the full deployment pipeline: for random small
+//! scenarios, every algorithm's solution satisfies the problem's hard
+//! invariants.
+
+use proptest::prelude::*;
+use uavnet::baselines::{DeploymentAlgorithm, GreedyAssign, MaxThroughput, Mcs, RandomConnected};
+use uavnet::core::{approx_alg, assign_users, ApproxConfig, Instance};
+use uavnet::channel::UavRadio;
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+
+prop_compose! {
+    fn instances()(
+        seed_users in proptest::collection::vec((0.0f64..1_500.0, 0.0f64..1_500.0), 1..25),
+        caps in proptest::collection::vec(1u32..8, 1..5),
+        uav_range in 320.0f64..700.0,
+        user_range in 250.0f64..500.0,
+    ) -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, uav_range);
+        for (x, y) in seed_users {
+            b.add_user(Point2::new(x, y), 2_000.0);
+        }
+        for cap in caps {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, user_range));
+        }
+        b.build().expect("valid instance")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn approx_solutions_always_validate(instance in instances()) {
+        let sol = approx_alg(&instance, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        prop_assert!(sol.validate(&instance).is_ok(), "{:?}", sol.validate(&instance));
+        // Hard caps.
+        prop_assert!(sol.served_users() <= instance.num_users());
+        let cap_total: u32 = sol
+            .deployment()
+            .placements()
+            .iter()
+            .map(|&(u, _)| instance.uavs()[u].capacity)
+            .sum();
+        prop_assert!(sol.served_users() <= cap_total as usize);
+        // The summary agrees with the raw numbers.
+        let summary = sol.summary(&instance);
+        prop_assert_eq!(summary.served, sol.served_users());
+        prop_assert!(summary.load_fairness > 0.0 && summary.load_fairness <= 1.0 + 1e-12);
+        prop_assert!(summary.mean_utilization >= 0.0 && summary.mean_utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn baselines_always_validate(instance in instances()) {
+        let algos: Vec<Box<dyn DeploymentAlgorithm>> = vec![
+            Box::new(Mcs),
+            Box::new(GreedyAssign),
+            Box::new(MaxThroughput),
+            Box::new(RandomConnected::new(5)),
+        ];
+        for algo in algos {
+            let sol = algo.deploy(&instance).unwrap();
+            prop_assert!(
+                sol.validate(&instance).is_ok(),
+                "{}: {:?}",
+                algo.name(),
+                sol.validate(&instance)
+            );
+        }
+    }
+
+    #[test]
+    fn rescoring_a_deployment_is_idempotent(instance in instances()) {
+        let sol = approx_alg(&instance, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        let again = assign_users(&instance, sol.deployment().placements());
+        // The optimal assignment value is unique even if the matching
+        // itself is not.
+        prop_assert_eq!(again.served, sol.served_users());
+    }
+
+    #[test]
+    fn leftover_pass_never_hurts(instance in instances()) {
+        let with = approx_alg(&instance, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        let without = approx_alg(
+            &instance,
+            &ApproxConfig::with_s(1).threads(1).leftover_deployment(false),
+        )
+        .unwrap();
+        prop_assert!(with.served_users() >= without.served_users());
+    }
+}
