@@ -30,7 +30,7 @@ pub fn grow_connected(
         if chosen.is_empty() {
             for v in 0..m {
                 let g = gain(&chosen, v);
-                if best.map_or(true, |(bg, bv)| g > bg || (g == bg && v < bv)) {
+                if best.is_none_or(|(bg, bv)| g > bg || (g == bg && v < bv)) {
                     best = Some((g, v));
                 }
             }
@@ -40,7 +40,7 @@ pub fn grow_connected(
                     continue;
                 }
                 let g = gain(&chosen, v);
-                if best.map_or(true, |(bg, bv)| g > bg || (g == bg && v < bv)) {
+                if best.is_none_or(|(bg, bv)| g > bg || (g == bg && v < bv)) {
                     best = Some((g, v));
                 }
             }

@@ -71,9 +71,9 @@ impl DeploymentAlgorithm for MotionCtrl {
             let covered: Vec<bool> = users
                 .iter()
                 .map(|u| {
-                    pos.iter().enumerate().any(|(i, p)| {
-                        p.distance(u.pos) <= instance.uavs()[i].radio.user_range_m()
-                    })
+                    pos.iter()
+                        .enumerate()
+                        .any(|(i, p)| p.distance(u.pos) <= instance.uavs()[i].radio.user_range_m())
                 })
                 .collect();
             let mut next = pos.clone();

@@ -24,7 +24,9 @@ fn bench_ablations(c: &mut Criterion) {
         ),
         (
             "no_leftover_pass",
-            ApproxConfig::with_s(s).threads(1).leftover_deployment(false),
+            ApproxConfig::with_s(s)
+                .threads(1)
+                .leftover_deployment(false),
         ),
         (
             "literal_paper",

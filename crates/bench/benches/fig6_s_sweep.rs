@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use uavnet_bench::{Appro, Scale};
 use uavnet_baselines::DeploymentAlgorithm;
+use uavnet_bench::{Appro, Scale};
 
 fn bench_fig6(c: &mut Criterion) {
     let scale = Scale::quick();

@@ -24,18 +24,12 @@ fn bench_assignment(c: &mut Criterion) {
     for &n in &scale.n_sweep {
         let instance = scale.instance(n, scale.k_max());
         let placements = assignment_placements(&instance);
-        group.bench_with_input(
-            BenchmarkId::new("matching", n),
-            &instance,
-            |b, instance| b.iter(|| black_box(assign_users(instance, &placements).served)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("max_flow", n),
-            &instance,
-            |b, instance| {
-                b.iter(|| black_box(assign_users_max_flow(instance, &placements).served))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("matching", n), &instance, |b, instance| {
+            b.iter(|| black_box(assign_users(instance, &placements).served))
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", n), &instance, |b, instance| {
+            b.iter(|| black_box(assign_users_max_flow(instance, &placements).served))
+        });
     }
     group.finish();
 }
@@ -66,5 +60,10 @@ fn bench_alg1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assignment, bench_graph_primitives, bench_alg1);
+criterion_group!(
+    benches,
+    bench_assignment,
+    bench_graph_primitives,
+    bench_alg1
+);
 criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Hot-path bench of the streaming subset sweep: `approx_alg_with_stats`
+//! on the `Scale::quick()` FIG6-style instance (`n = n_max`,
+//! `K = k_max`), across seed counts and worker-thread counts.
+//!
+//! Unlike `fig6_s_sweep` (which goes through the `Appro` wrapper used
+//! by the figure harness), this bench calls the sweep directly so the
+//! numbers isolate the enumeration + greedy + connection + scoring
+//! pipeline — the code paths rewritten for zero-allocation workspaces.
+//! `crates/bench/src/bin/sweep_report.rs` turns the same workload into
+//! the checked-in `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::Scale;
+use uavnet_core::{approx_alg_with_stats, ApproxConfig};
+
+fn bench_sweep_hotpath(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let mut group = c.benchmark_group("sweep_hotpath");
+    group.sample_size(10);
+    for &s in &scale.s_sweep {
+        for threads in [1usize, 2] {
+            let config = ApproxConfig::with_s(s).threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("s{s}"), threads),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        let (sol, stats) = approx_alg_with_stats(black_box(instance), &config)
+                            .expect("sweep succeeds");
+                        black_box((sol.served_users(), stats.gain_queries))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_hotpath);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Regenerates `BENCH_sweep.json`: machine-readable evidence for the
+//! zero-allocation matching kernel + streaming subset sweep.
+//!
+//! Runs the `Scale::quick()` FIG6-style workload (`n = n_max`,
+//! `K = k_max`, every `s` in `s_sweep`) through
+//! [`approx_alg_with_stats`] and reports, per seed count:
+//!
+//! * wall-clock per sweep (mean and min over the measured reps),
+//! * per-phase wall-clock from [`SweepProfile`] (enumeration, greedy,
+//!   connection, scoring — summed across worker threads),
+//! * marginal-gain queries per second (the sweep's throughput metric;
+//!   the query *count* is deterministic and thread-count invariant, so
+//!   before/after throughput is directly comparable),
+//! * peak subset-combination buffer bytes (`O(s · threads)` for the
+//!   streaming enumeration, vs. `O(s · C(m, s))` materialized).
+//!
+//! The `baseline_wall_ns` figures are the pre-optimization means of the
+//! `fig6_s_sweep` Criterion bench (same instance, `threads = 2`)
+//! recorded at the growth seed, so the JSON carries its own
+//! before/after comparison.
+//!
+//! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
+//! [--threads N] [--reps N] [--out PATH]`
+
+use std::time::Instant;
+
+use uavnet_bench::Scale;
+use uavnet_core::{approx_alg_with_stats, ApproxConfig, ApproxStats};
+
+/// Pre-optimization wall-clock means (ns) per seed count `s`, measured
+/// with the seed-commit algorithm on this workload (`fig6_s_sweep`,
+/// `Scale::quick()`, `threads = 2`, mean of 3 × 10 Criterion samples).
+const BASELINE_WALL_NS: &[(usize, u64)] = &[(1, 938_750), (2, 4_566_690)];
+
+struct RunReport {
+    s: usize,
+    reps: u32,
+    wall_ns_mean: u64,
+    wall_ns_min: u64,
+    stats: ApproxStats,
+    served: usize,
+}
+
+fn measure(instance: &uavnet_core::Instance, s: usize, threads: usize, reps: u32) -> RunReport {
+    let config = ApproxConfig::with_s(s).threads(threads);
+    // Warm-up run (also the source of the deterministic statistics).
+    let (sol, stats) = approx_alg_with_stats(instance, &config).expect("sweep succeeds");
+    let served = sol.served_users();
+    let mut total_ns = 0u64;
+    let mut min_ns = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (rep_sol, _) = approx_alg_with_stats(instance, &config).expect("sweep succeeds");
+        let ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(rep_sol.served_users(), served, "non-deterministic sweep");
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    RunReport {
+        s,
+        reps,
+        wall_ns_mean: total_ns / u64::from(reps),
+        wall_ns_min: min_ns,
+        stats,
+        served,
+    }
+}
+
+fn queries_per_sec(queries: u64, wall_ns: u64) -> f64 {
+    queries as f64 * 1e9 / wall_ns as f64
+}
+
+fn run_json(r: &RunReport, threads: usize) -> String {
+    let p = &r.stats.profile;
+    let after_qps = queries_per_sec(r.stats.gain_queries, r.wall_ns_mean);
+    let baseline = BASELINE_WALL_NS
+        .iter()
+        .find(|(s, _)| *s == r.s)
+        .map(|&(_, ns)| ns);
+    let (baseline_fields, speedup_fields) = match baseline {
+        Some(base_ns) => {
+            let before_qps = queries_per_sec(r.stats.gain_queries, base_ns);
+            (
+                format!(
+                    "      \"baseline_wall_ns\": {base_ns},\n      \
+                     \"baseline_gain_queries_per_sec\": {before_qps:.1},\n"
+                ),
+                format!(
+                    "      \"speedup_vs_baseline\": {:.2},\n",
+                    base_ns as f64 / r.wall_ns_mean as f64
+                ),
+            )
+        }
+        None => (String::new(), String::new()),
+    };
+    format!(
+        "    {{\n      \"s\": {s},\n      \"threads\": {threads},\n      \
+         \"reps\": {reps},\n      \"served_users\": {served},\n      \
+         \"wall_ns_mean\": {mean},\n      \"wall_ns_min\": {min},\n\
+         {baseline_fields}{speedup_fields}      \
+         \"gain_queries\": {queries},\n      \
+         \"gain_queries_per_sec\": {qps:.1},\n      \
+         \"phases_ns\": {{\n        \"enumeration\": {enumeration},\n        \
+         \"greedy\": {greedy},\n        \"connection\": {connection},\n        \
+         \"scoring\": {scoring}\n      }},\n      \
+         \"subset_buffer_peak_bytes\": {peak},\n      \
+         \"subsets\": {{\n        \"enumerated\": {enumerated},\n        \
+         \"chain_pruned\": {pruned},\n        \"evaluated\": {evaluated},\n        \
+         \"unconnectable\": {unconnectable}\n      }}\n    }}",
+        s = r.s,
+        reps = r.reps,
+        served = r.served,
+        mean = r.wall_ns_mean,
+        min = r.wall_ns_min,
+        queries = r.stats.gain_queries,
+        qps = after_qps,
+        enumeration = p.enumeration_ns,
+        greedy = p.greedy_ns,
+        connection = p.connection_ns,
+        scoring = p.scoring_ns,
+        peak = p.subset_buffer_peak_bytes,
+        enumerated = r.stats.subsets_enumerated,
+        pruned = r.stats.subsets_chain_pruned,
+        evaluated = r.stats.subsets_evaluated,
+        unconnectable = r.stats.subsets_unconnectable,
+    )
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut reps = 20u32;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => threads = value("--threads").parse().expect("integer thread count"),
+            "--reps" => reps = value("--reps").parse().expect("integer rep count"),
+            "--out" => out = value("--out"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(reps > 0, "--reps must be positive");
+
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    eprintln!(
+        "sweep_report: scale=quick n={} K={} m={} threads={threads} reps={reps}",
+        instance.num_users(),
+        instance.num_uavs(),
+        instance.num_locations()
+    );
+
+    let runs: Vec<String> = scale
+        .s_sweep
+        .iter()
+        .map(|&s| {
+            let report = measure(&instance, s, threads, reps);
+            eprintln!(
+                "  s={s}: mean {:.3} ms, {} gain queries, {:.0} queries/s",
+                report.wall_ns_mean as f64 / 1e6,
+                report.stats.gain_queries,
+                queries_per_sec(report.stats.gain_queries, report.wall_ns_mean)
+            );
+            run_json(&report, threads)
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \"scale\": \"quick\",\n  \
+         \"instance\": {{\n    \"users\": {n},\n    \"uavs\": {k},\n    \
+         \"candidate_locations\": {m}\n  }},\n  \
+         \"baseline\": \"fig6_s_sweep means at the growth seed (pre-optimization), threads = 2\",\n  \
+         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report\",\n  \
+         \"runs\": [\n{runs}\n  ]\n}}\n",
+        n = instance.num_users(),
+        k = instance.num_uavs(),
+        m = instance.num_locations(),
+        runs = runs.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write report");
+    eprintln!("sweep_report: wrote {out}");
+}

@@ -291,7 +291,10 @@ pub fn fig6(scale: &Scale, threads: usize) -> Vec<SeriesPoint> {
             let algos = algorithm_set(s, threads);
             SeriesPoint {
                 x: s,
-                measurements: algos.iter().map(|a| measure(a.as_ref(), &instance)).collect(),
+                measurements: algos
+                    .iter()
+                    .map(|a| measure(a.as_ref(), &instance))
+                    .collect(),
             }
         })
         .collect()
@@ -321,7 +324,10 @@ pub fn ablation(scale: &Scale, s: usize, threads: usize) -> Vec<AblationRow> {
     let instance = scale.instance(scale.n_max(), scale.k_max());
     let configs: Vec<(&'static str, ApproxConfig)> = vec![
         ("default", ApproxConfig::with_s(s)),
-        ("no chain pruning", ApproxConfig::with_s(s).prune_chain(false)),
+        (
+            "no chain pruning",
+            ApproxConfig::with_s(s).prune_chain(false),
+        ),
         (
             "no empty-seed pruning",
             ApproxConfig::with_s(s).prune_empty_seeds(false),
@@ -359,7 +365,8 @@ pub fn ablation(scale: &Scale, s: usize, threads: usize) -> Vec<AblationRow> {
 
 /// Renders the ablation rows as a markdown-style table.
 pub fn render_ablation_table(title: &str, rows: &[AblationRow]) -> String {
-    let mut out = format!("## {title}\n\n| configuration | served | time | subsets |\n|---|---|---|---|\n");
+    let mut out =
+        format!("## {title}\n\n| configuration | served | time | subsets |\n|---|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
             "| {} | {} | {:.3}s | {} |\n",

@@ -119,7 +119,9 @@ mod tests {
     use crate::Environment;
 
     fn urban() -> ChannelParams {
-        ChannelParams::builder().environment(Environment::Urban).build()
+        ChannelParams::builder()
+            .environment(Environment::Urban)
+            .build()
     }
 
     #[test]

@@ -141,7 +141,13 @@ impl AtgChannel {
     ///
     /// This is the admissibility predicate of constraint (i) in the
     /// problem definition (§II-C).
-    pub fn can_serve(&self, radio: &UavRadio, uav: Point3, user: Point2, min_rate_bps: f64) -> bool {
+    pub fn can_serve(
+        &self,
+        radio: &UavRadio,
+        uav: Point3,
+        user: Point2,
+        min_rate_bps: f64,
+    ) -> bool {
         let horizontal = uav.to_plane().distance(user);
         if horizontal > radio.user_range_m() {
             return false;

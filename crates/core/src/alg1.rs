@@ -105,7 +105,7 @@ impl SegmentPlan {
                 }
                 p.push(rest.div_ceil(2));
                 let g = g_upper_bound(&p);
-                if best.as_ref().map_or(true, |(bg, _)| g < *bg) {
+                if best.as_ref().is_none_or(|(bg, _)| g < *bg) {
                     best = Some((g, p));
                 }
             }

@@ -45,12 +45,14 @@ use crate::oracle::CoverageOracle;
 use crate::seed_matroid::seed_matroid;
 use crate::solution::{score_deployment, Solution};
 use crate::{CoreError, Instance, SegmentPlan};
-use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 use uavnet_geom::CellIndex;
 use uavnet_graph::bfs_hops;
-use uavnet_matroid::{lazy_greedy, GreedyOptions, MarginalOracle as _, Matroid as _};
+use uavnet_matroid::{
+    lazy_greedy_with, GreedyOptions, LazyGreedyWorkspace, MarginalOracle as _, Matroid as _,
+};
 
 /// Configuration of [`approx_alg`].
 ///
@@ -171,6 +173,34 @@ pub struct ApproxStats {
     pub subsets_unconnectable: usize,
     /// The winning seed subset, if any subset produced a deployment.
     pub best_seeds: Option<Vec<CellIndex>>,
+    /// Marginal-gain (trial-insertion) queries issued across the whole
+    /// sweep. Deterministic for a given instance and configuration,
+    /// independent of the thread count.
+    pub gain_queries: u64,
+    /// Wall-clock and memory profile of the sweep (not deterministic;
+    /// excluded from equivalence comparisons).
+    pub profile: SweepProfile,
+}
+
+/// Per-phase wall-clock profile of the subset sweep, summed across
+/// worker threads — phase totals therefore exceed elapsed time when
+/// several workers run in parallel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SweepProfile {
+    /// Nanoseconds spent generating combinations and chain-pruning.
+    pub enumeration_ns: u64,
+    /// Nanoseconds in the lazy greedy (matroid build, gain queries,
+    /// commits).
+    pub greedy_ns: u64,
+    /// Nanoseconds connecting picks via MST / gateway extension.
+    pub connection_ns: u64,
+    /// Nanoseconds deploying relay UAVs and scoring the deployment.
+    pub scoring_ns: u64,
+    /// Peak bytes held in subset-combination buffers across all
+    /// workers: the streaming sweep keeps `O(s · threads)` indices in
+    /// flight instead of materializing all `C(m, s)` subsets.
+    pub subset_buffer_peak_bytes: usize,
 }
 
 /// Runs Algorithm 2 and returns the best solution found.
@@ -205,117 +235,295 @@ pub fn approx_alg_with_stats(
     }
     let plan = SegmentPlan::optimal(k, s)?;
 
-    // Seed pool.
-    let mut pool: Vec<usize> = (0..m)
-        .filter(|&v| !config.prune_empty_seeds || instance.best_coverage_count(v) > 0)
-        .collect();
-    if pool.len() < s {
-        // Degenerate coverage: refill so that the enumeration exists.
-        pool = (0..m).collect();
-    }
-
-    // Hop distances between pool members for the chain pruning.
-    let graph = instance.location_graph();
+    let pool = seed_pool(instance, config);
     let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
-    let pool_dists: Option<Vec<Vec<Option<u32>>>> = if config.prune_chain && s >= 2 {
-        let index_of: Vec<Option<usize>> = {
-            let mut idx = vec![None; m];
-            for (i, &v) in pool.iter().enumerate() {
-                idx[v] = Some(i);
-            }
-            idx
-        };
-        Some(
-            pool.iter()
-                .map(|&v| {
-                    let d = bfs_hops(graph, v);
-                    let mut row = vec![None; pool.len()];
-                    for (loc, dist) in d.into_iter().enumerate() {
-                        if let (Some(i), Some(dist)) = (index_of[loc], dist) {
-                            row[i] = Some(dist);
-                        }
-                    }
-                    row
-                })
-                .collect(),
-        )
-    } else {
-        None
-    };
+    let pool_dists = pool_distances(instance, config, &pool);
 
-    // Enumerate seed subsets (indices into the pool).
-    let mut subsets: Vec<Vec<usize>> = Vec::new();
-    let mut enumerated = 0usize;
-    let mut chain_pruned = 0usize;
-    let mut combo = (0..s).collect::<Vec<usize>>();
-    if s <= pool.len() {
-        loop {
-            enumerated += 1;
-            let keep = match &pool_dists {
-                Some(d) => chain_feasible(d, &combo, &chain_budgets),
-                None => true,
-            };
-            if keep {
-                subsets.push(combo.iter().map(|&i| pool[i]).collect());
-                if let Some(limit) = config.max_subsets {
-                    if subsets.len() > limit {
-                        return Err(CoreError::InvalidParameters(format!(
-                            "more than {limit} seed subsets survive pruning; \
-                             coarsen the grid or raise max_subsets"
-                        )));
-                    }
-                }
-            } else {
-                chain_pruned += 1;
-            }
-            if !next_combination(&mut combo, pool.len()) {
+    // Streaming sweep: combinations are generated on the fly behind a
+    // chunked atomic cursor, so memory stays `O(s · threads)` instead
+    // of materializing all `C(m, s)` subsets up front. Each worker
+    // unranks its chunk's first combination and steps lexicographically
+    // through the rest, evaluating against its own reusable workspace.
+    let total = binomial(pool.len(), s);
+    const CHUNK: u64 = 64;
+    let cursor = AtomicU64::new(0);
+    let survivors = AtomicUsize::new(0);
+    let chain_pruned = AtomicUsize::new(0);
+    let unconnectable = AtomicUsize::new(0);
+    let over_limit = AtomicBool::new(false);
+    let gain_queries = AtomicU64::new(0);
+    let enumeration_ns = AtomicU64::new(0);
+    let greedy_ns = AtomicU64::new(0);
+    let connection_ns = AtomicU64::new(0);
+    let scoring_ns = AtomicU64::new(0);
+    let threads = config.threads.min(total.div_ceil(CHUNK).max(1) as usize);
+
+    // (served, enumeration rank, placements, seeds) of a worker's best.
+    type Best = Option<(usize, u64, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
+
+    let worker = || -> Best {
+        let mut ws = SweepWorkspace::new(instance);
+        let mut profile = PhaseNanos::default();
+        let mut combo: Vec<usize> = Vec::with_capacity(s);
+        let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
+        let mut local_best: Best = None;
+        'chunks: while !over_limit.load(Ordering::Relaxed) {
+            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+            if start >= total {
                 break;
             }
-        }
-    }
-
-    // Parallel sweep over the surviving subsets.
-    let next = AtomicUsize::new(0);
-    let unconnectable = AtomicUsize::new(0);
-    type Best = Option<(usize, usize, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
-    let best: Mutex<Best> = Mutex::new(None);
-    let threads = config.threads.min(subsets.len().max(1));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(seeds) = subsets.get(i) else { break };
-                match solve_subset(instance, &plan, seeds) {
-                    Some((served, placements)) => {
-                        let mut guard = best.lock();
-                        let better = match &*guard {
+            let end = (start + CHUNK).min(total);
+            for rank in start..end {
+                let t_enum = Instant::now();
+                if rank == start {
+                    unrank_combination(rank, pool.len(), s, &mut combo);
+                } else {
+                    let advanced = next_combination(&mut combo, pool.len());
+                    debug_assert!(advanced, "rank < total implies a successor");
+                }
+                let keep = match &pool_dists {
+                    Some(d) => chain_feasible(d, &combo, &chain_budgets),
+                    None => true,
+                };
+                profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                if !keep {
+                    chain_pruned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(limit) = config.max_subsets {
+                    if survivors.fetch_add(1, Ordering::Relaxed) >= limit {
+                        over_limit.store(true, Ordering::Relaxed);
+                        break 'chunks;
+                    }
+                } else {
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                }
+                seeds.clear();
+                seeds.extend(combo.iter().map(|&i| pool[i]));
+                match ws.solve_subset(&plan, &seeds, &mut profile) {
+                    Some(served) => {
+                        let better = match &local_best {
                             None => true,
-                            Some((bs, bi, _, _)) => served > *bs || (served == *bs && i < *bi),
+                            Some((bs, br, _, _)) => served > *bs || (served == *bs && rank < *br),
                         };
                         if better {
-                            *guard = Some((served, i, placements, seeds.clone()));
+                            local_best =
+                                Some((served, rank, ws.placements().to_vec(), seeds.clone()));
                         }
                     }
                     None => {
                         unconnectable.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-            });
+            }
         }
-    })
-    .expect("subset sweep worker panicked");
+        // Fold this worker's instrumentation into the shared totals
+        // once, instead of contending per subset.
+        gain_queries.fetch_add(ws.gain_queries(), Ordering::Relaxed);
+        enumeration_ns.fetch_add(profile.enumeration, Ordering::Relaxed);
+        greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
+        connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
+        scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
+        local_best
+    };
 
-    let best = best.into_inner();
+    let bests: Vec<Best> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("subset sweep worker panicked"))
+            .collect()
+    });
+
+    if over_limit.load(Ordering::Relaxed) {
+        let limit = config.max_subsets.expect("over_limit implies a limit");
+        return Err(CoreError::InvalidParameters(format!(
+            "more than {limit} seed subsets survive pruning; \
+             coarsen the grid or raise max_subsets"
+        )));
+    }
+
+    // Join-time reduction of the per-thread bests. Comparing by
+    // (served desc, enumeration rank asc) keeps the winner bit-for-bit
+    // identical to a sequential sweep regardless of the thread count or
+    // chunk scheduling.
+    let mut best: Best = None;
+    for cand in bests.into_iter().flatten() {
+        let better = match &best {
+            None => true,
+            Some((bs, br, _, _)) => cand.0 > *bs || (cand.0 == *bs && cand.1 < *br),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+
+    // All counter loads below happen after `std::thread::scope`
+    // returned, which joins every worker; the joins establish a
+    // happens-before edge from each worker's `fetch_add`s to this
+    // thread, so `Relaxed` loads observe the final values. The atomics
+    // never synchronize any other data — they are pure counters — so no
+    // stronger ordering is needed anywhere in the sweep.
+    let stats = ApproxStats {
+        plan,
+        seed_pool_size: pool.len(),
+        subsets_enumerated: total as usize,
+        subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
+        subsets_evaluated: survivors.load(Ordering::Relaxed),
+        subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
+        best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
+        gain_queries: gain_queries.load(Ordering::Relaxed),
+        profile: SweepProfile {
+            enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
+            greedy_ns: greedy_ns.load(Ordering::Relaxed),
+            connection_ns: connection_ns.load(Ordering::Relaxed),
+            scoring_ns: scoring_ns.load(Ordering::Relaxed),
+            subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
+        },
+    };
+
+    let mut placements = match best {
+        Some((_, _, placements, _)) => placements,
+        None => fallback_single_uav(instance),
+    };
+    if config.deploy_leftovers {
+        deploy_leftovers(instance, &mut placements);
+    }
+    Ok((score_deployment(instance, placements), stats))
+}
+
+/// The seed pool: locations admitted as enumeration candidates.
+fn seed_pool(instance: &Instance, config: &ApproxConfig) -> Vec<usize> {
+    let m = instance.num_locations();
+    let mut pool: Vec<usize> = (0..m)
+        .filter(|&v| !config.prune_empty_seeds || instance.best_coverage_count(v) > 0)
+        .collect();
+    if pool.len() < config.s {
+        // Degenerate coverage: refill so that the enumeration exists.
+        pool = (0..m).collect();
+    }
+    pool
+}
+
+/// Hop distances between pool members for the chain pruning (`None`
+/// when the pruning is off or trivial).
+fn pool_distances(
+    instance: &Instance,
+    config: &ApproxConfig,
+    pool: &[usize],
+) -> Option<Vec<Vec<Option<u32>>>> {
+    if !config.prune_chain || config.s < 2 {
+        return None;
+    }
+    let graph = instance.location_graph();
+    let m = instance.num_locations();
+    let index_of: Vec<Option<usize>> = {
+        let mut idx = vec![None; m];
+        for (i, &v) in pool.iter().enumerate() {
+            idx[v] = Some(i);
+        }
+        idx
+    };
+    Some(
+        pool.iter()
+            .map(|&v| {
+                let d = bfs_hops(graph, v);
+                let mut row = vec![None; pool.len()];
+                for (loc, dist) in d.into_iter().enumerate() {
+                    if let (Some(i), Some(dist)) = (index_of[loc], dist) {
+                        row[i] = Some(dist);
+                    }
+                }
+                row
+            })
+            .collect(),
+    )
+}
+
+/// Reference implementation of the subset sweep kept for equivalence
+/// testing: materializes every surviving subset up front and evaluates
+/// them sequentially, each with a fresh workspace. Produces exactly the
+/// same solution and (timing-independent) statistics as the streaming
+/// sweep in [`approx_alg_with_stats`].
+#[doc(hidden)]
+pub fn approx_alg_materialized(
+    instance: &Instance,
+    config: &ApproxConfig,
+) -> Result<(Solution, ApproxStats), CoreError> {
+    let k = instance.num_uavs();
+    let s = config.s;
+    let m = instance.num_locations();
+    if s > m {
+        return Err(CoreError::InvalidParameters(format!(
+            "s = {s} exceeds the {m} candidate locations"
+        )));
+    }
+    let plan = SegmentPlan::optimal(k, s)?;
+    let pool = seed_pool(instance, config);
+    let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
+    let pool_dists = pool_distances(instance, config, &pool);
+
+    let mut subsets: Vec<Vec<CellIndex>> = Vec::new();
+    let mut enumerated = 0usize;
+    let mut chain_pruned = 0usize;
+    let mut combo = (0..s).collect::<Vec<usize>>();
+    loop {
+        enumerated += 1;
+        let keep = match &pool_dists {
+            Some(d) => chain_feasible(d, &combo, &chain_budgets),
+            None => true,
+        };
+        if keep {
+            subsets.push(combo.iter().map(|&i| pool[i]).collect());
+            if let Some(limit) = config.max_subsets {
+                if subsets.len() > limit {
+                    return Err(CoreError::InvalidParameters(format!(
+                        "more than {limit} seed subsets survive pruning; \
+                         coarsen the grid or raise max_subsets"
+                    )));
+                }
+            }
+        } else {
+            chain_pruned += 1;
+        }
+        if !next_combination(&mut combo, pool.len()) {
+            break;
+        }
+    }
+
+    let mut gain_queries = 0;
+    let mut unconnectable = 0usize;
+    type MaterializedBest = Option<(usize, usize, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
+    let mut best: MaterializedBest = None;
+    for (i, seeds) in subsets.iter().enumerate() {
+        let mut ws = SweepWorkspace::new(instance);
+        let mut profile = PhaseNanos::default();
+        match ws.solve_subset(&plan, seeds, &mut profile) {
+            Some(served) => {
+                let better = match &best {
+                    None => true,
+                    Some((bs, bi, _, _)) => served > *bs || (served == *bs && i < *bi),
+                };
+                if better {
+                    best = Some((served, i, ws.placements().to_vec(), seeds.clone()));
+                }
+            }
+            None => unconnectable += 1,
+        }
+        gain_queries += ws.gain_queries();
+    }
+
     let stats = ApproxStats {
         plan,
         seed_pool_size: pool.len(),
         subsets_enumerated: enumerated,
         subsets_chain_pruned: chain_pruned,
         subsets_evaluated: subsets.len(),
-        subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
+        subsets_unconnectable: unconnectable,
         best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
+        gain_queries,
+        profile: SweepProfile::default(),
     };
-
     let mut placements = match best {
         Some((_, _, placements, _)) => placements,
         None => fallback_single_uav(instance),
@@ -353,10 +561,7 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
     let mut matching = CapacitatedMatching::new(instance.num_users());
     let mut occupied = vec![false; m];
     for &(uav, loc) in placements.iter() {
-        let st = matching.add_station(
-            instance.uavs()[uav].capacity,
-            instance.coverable(uav, loc).to_vec(),
-        );
+        let st = matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
         matching.saturate(st);
         occupied[loc] = true;
     }
@@ -404,17 +609,22 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
             uav: usize,
             loc: usize,
         ) {
-            let st = matching.add_station(
-                instance.uavs()[uav].capacity,
-                instance.coverable(uav, loc).to_vec(),
-            );
+            let st =
+                matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
             matching.saturate(st);
             occupied[loc] = true;
             placements.push((uav, loc));
         }
         if placements.is_empty() || d == 1 {
             let uav = remaining.pop_front().expect("checked front");
-            place(instance, &mut matching, &mut occupied, placements, uav, target);
+            place(
+                instance,
+                &mut matching,
+                &mut occupied,
+                placements,
+                uav,
+                target,
+            );
             continue;
         }
         // Walk a shortest chain from the network to the target: relay
@@ -434,7 +644,14 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
             } else {
                 remaining.pop_back().expect("budget checked")
             };
-            place(instance, &mut matching, &mut occupied, placements, uav, cell);
+            place(
+                instance,
+                &mut matching,
+                &mut occupied,
+                placements,
+                uav,
+                cell,
+            );
         }
     }
 }
@@ -483,11 +700,7 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
 }
 
 /// Does some ordering of `combo` respect consecutive hop budgets?
-fn chain_feasible(
-    pool_dists: &[Vec<Option<u32>>],
-    combo: &[usize],
-    budgets: &[usize],
-) -> bool {
+fn chain_feasible(pool_dists: &[Vec<Option<u32>>], combo: &[usize], budgets: &[usize]) -> bool {
     debug_assert_eq!(budgets.len() + 1, combo.len());
     let mut perm: Vec<usize> = combo.to_vec();
     permute_check(&mut perm, 0, pool_dists, budgets)
@@ -516,58 +729,168 @@ fn permute_check(
     false
 }
 
-/// Greedy + connection + scoring for one seed subset. Returns `None`
-/// when the connected set would exceed the fleet.
-fn solve_subset(
-    instance: &Instance,
-    plan: &SegmentPlan,
-    seeds: &[usize],
-) -> Option<(usize, Vec<(usize, CellIndex)>)> {
-    let graph = instance.location_graph();
-    let m2 = seed_matroid(graph, seeds, plan);
-    let ground: Vec<usize> = (0..instance.num_locations())
-        .filter(|&v| m2.depth_of(v).is_some())
-        .collect();
-    let mut oracle = CoverageOracle::new(instance);
-    lazy_greedy(
-        &mut oracle,
-        &ground,
-        |set, e| m2.can_extend(set, e),
-        GreedyOptions {
-            max_picks: plan.l_max(),
-            allow_zero_gain: false,
-        },
-    );
-    // Seeds must end up in the chosen set (§III-E); commit any the
-    // greedy skipped for lack of marginal value.
-    for &seed in seeds {
-        if !oracle.placements().iter().any(|&(_, l)| l == seed) {
-            oracle.next_uav()?;
-            oracle.commit(seed);
+/// Per-worker accumulator for the sweep's phase timings; folded into
+/// the shared atomics once per worker.
+#[derive(Debug, Default)]
+struct PhaseNanos {
+    enumeration: u64,
+    greedy: u64,
+    connection: u64,
+    scoring: u64,
+}
+
+/// Per-worker reusable state for the subset sweep: the coverage oracle
+/// (whose incremental-matching buffers persist across subsets via
+/// [`CoverageOracle::reset`]), the lazy-greedy workspace, and the
+/// ground/relay scratch vectors. One workspace evaluates thousands of
+/// subsets without allocating on the oracle's query path.
+struct SweepWorkspace<'a> {
+    instance: &'a Instance,
+    oracle: CoverageOracle<'a>,
+    greedy: LazyGreedyWorkspace,
+    ground: Vec<usize>,
+    locs: Vec<usize>,
+    relays: Vec<usize>,
+}
+
+impl<'a> SweepWorkspace<'a> {
+    fn new(instance: &'a Instance) -> Self {
+        SweepWorkspace {
+            instance,
+            oracle: CoverageOracle::new(instance),
+            greedy: LazyGreedyWorkspace::new(),
+            ground: Vec::new(),
+            locs: Vec::new(),
+            relays: Vec::new(),
         }
     }
-    let locs: Vec<usize> = oracle.placements().iter().map(|&(_, l)| l).collect();
-    let mut all = connect_via_mst(graph, &locs).ok()?;
-    if instance.gateway().is_some() {
-        let extra =
-            crate::connecting::extend_to_gateway(graph, &all, |c| instance.is_gateway_cell(c))
-                .ok()?;
-        all.extend(extra);
+
+    /// The full deployment (greedy picks, forced seeds, then relays)
+    /// of the last successful [`solve_subset`](Self::solve_subset).
+    fn placements(&self) -> &[(usize, CellIndex)] {
+        self.oracle.placements()
     }
-    if all.len() > instance.num_uavs() {
-        return None;
+
+    /// Cumulative gain queries across every subset this workspace
+    /// evaluated.
+    fn gain_queries(&self) -> u64 {
+        self.oracle.gain_queries()
     }
-    // Deploy the remaining (smaller) UAVs on the relays; give larger
-    // leftovers to relays with more coverable users.
-    let mut relays: Vec<usize> = all[locs.len()..].to_vec();
-    relays.sort_by_key(|&v| (Reverse(instance.best_coverage_count(v)), v));
-    let mut placements = oracle.placements().to_vec();
-    let order = instance.uavs_by_capacity();
-    for (i, &relay) in relays.iter().enumerate() {
-        placements.push((order[locs.len() + i], relay));
+
+    /// Greedy + connection + scoring for one seed subset. Returns the
+    /// served-user count, or `None` when the connected set would
+    /// exceed the fleet; on success the deployment is
+    /// [`placements`](Self::placements).
+    fn solve_subset(
+        &mut self,
+        plan: &SegmentPlan,
+        seeds: &[usize],
+        profile: &mut PhaseNanos,
+    ) -> Option<usize> {
+        let instance = self.instance;
+        let graph = instance.location_graph();
+        let t = Instant::now();
+        self.oracle.reset();
+        let m2 = seed_matroid(graph, seeds, plan);
+        self.ground.clear();
+        self.ground
+            .extend((0..instance.num_locations()).filter(|&v| m2.depth_of(v).is_some()));
+        lazy_greedy_with(
+            &mut self.greedy,
+            &mut self.oracle,
+            &self.ground,
+            |set, e| m2.can_extend(set, e),
+            GreedyOptions {
+                max_picks: plan.l_max(),
+                allow_zero_gain: false,
+            },
+        );
+        // Seeds must end up in the chosen set (§III-E); commit any the
+        // greedy skipped for lack of marginal value.
+        for &seed in seeds {
+            if !self.oracle.placements().iter().any(|&(_, l)| l == seed) {
+                self.oracle.next_uav()?;
+                self.oracle.commit(seed);
+            }
+        }
+        self.locs.clear();
+        self.locs
+            .extend(self.oracle.placements().iter().map(|&(_, l)| l));
+        profile.greedy += t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let mut all = connect_via_mst(graph, &self.locs).ok()?;
+        if instance.gateway().is_some() {
+            let extra =
+                crate::connecting::extend_to_gateway(graph, &all, |c| instance.is_gateway_cell(c))
+                    .ok()?;
+            all.extend(extra);
+        }
+        profile.connection += t.elapsed().as_nanos() as u64;
+        if all.len() > instance.num_uavs() {
+            return None;
+        }
+
+        // Deploy the remaining (smaller) UAVs on the relays; give
+        // larger leftovers to relays with more coverable users. Commits
+        // continue down `uavs_by_capacity`, so scoring rides the same
+        // incremental matching instead of re-solving the assignment
+        // from scratch.
+        let t = Instant::now();
+        self.relays.clear();
+        self.relays.extend_from_slice(&all[self.locs.len()..]);
+        self.relays
+            .sort_by_key(|&v| (Reverse(instance.best_coverage_count(v)), v));
+        for i in 0..self.relays.len() {
+            let relay = self.relays[i];
+            debug_assert!(self.oracle.next_uav().is_some(), "fleet bound checked");
+            self.oracle.commit(relay);
+        }
+        let served = self.oracle.served();
+        profile.scoring += t.elapsed().as_nanos() as u64;
+        Some(served)
     }
-    let assignment = crate::assign::assign_users(instance, &placements);
-    Some((assignment.served, placements))
+}
+
+/// `C(n, k)`, saturating at `u64::MAX`. Exact for every value the sweep
+/// can actually enumerate; a saturated total only means the cursor
+/// never reaches the end, and `max_subsets` trips long before.
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u128 = 1;
+    for i in 0..k {
+        // Incrementally exact: after this step r = C(n - k + 1 + i, i + 1).
+        r = r * (n - k + 1 + i) as u128 / (i + 1) as u128;
+        if r > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    r as u64
+}
+
+/// Writes the `rank`-th (0-based, lexicographic) `s`-combination of
+/// `0..n` into `combo` — combinadic unranking, the random-access
+/// counterpart of [`next_combination`].
+fn unrank_combination(mut rank: u64, n: usize, s: usize, combo: &mut Vec<usize>) {
+    debug_assert!(rank < binomial(n, s));
+    combo.clear();
+    let mut next = 0usize;
+    for remaining in (1..=s).rev() {
+        loop {
+            // Combinations starting with `next` among those left.
+            let with_next = binomial(n - next - 1, remaining - 1);
+            if rank < with_next {
+                combo.push(next);
+                next += 1;
+                break;
+            }
+            rank -= with_next;
+            next += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -601,7 +924,8 @@ mod tests {
     #[test]
     fn solves_and_validates_two_clusters() {
         let inst = two_cluster_instance();
-        let (sol, stats) = approx_alg_with_stats(&inst, &ApproxConfig::with_s(1).threads(2)).unwrap();
+        let (sol, stats) =
+            approx_alg_with_stats(&inst, &ApproxConfig::with_s(1).threads(2)).unwrap();
         sol.validate(&inst).unwrap();
         assert!(sol.served_users() >= 6, "served {}", sol.served_users());
         assert!(stats.subsets_evaluated > 0);
@@ -781,5 +1105,78 @@ mod tests {
             stats.subsets_evaluated + stats.subsets_chain_pruned
         );
         assert!(stats.subsets_unconnectable <= stats.subsets_evaluated);
+        assert!(stats.gain_queries > 0);
+    }
+
+    #[test]
+    fn binomial_matches_pascal_triangle() {
+        for n in 0..20usize {
+            for k in 0..=n {
+                let expect = if k == 0 {
+                    1
+                } else {
+                    binomial(n - 1, k - 1).saturating_add(binomial(n.saturating_sub(1), k))
+                };
+                assert_eq!(binomial(n, k), expect, "C({n}, {k})");
+            }
+        }
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(u32::MAX as usize, 20), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn unranking_agrees_with_lexicographic_enumeration() {
+        for (n, s) in [(1usize, 1usize), (5, 1), (6, 2), (7, 3), (8, 5)] {
+            let mut combo = (0..s).collect::<Vec<usize>>();
+            let mut rank = 0u64;
+            loop {
+                let mut unranked = Vec::new();
+                unrank_combination(rank, n, s, &mut unranked);
+                assert_eq!(unranked, combo, "rank {rank} of C({n}, {s})");
+                rank += 1;
+                if !next_combination(&mut combo, n) {
+                    break;
+                }
+            }
+            assert_eq!(rank, binomial(n, s));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_reference() {
+        let inst = two_cluster_instance();
+        for s in [1usize, 2] {
+            let config = ApproxConfig::with_s(s).threads(4);
+            let (ref_sol, ref_stats) = approx_alg_materialized(&inst, &config).unwrap();
+            let (sol, stats) = approx_alg_with_stats(&inst, &config).unwrap();
+            assert_eq!(
+                sol.deployment().placements(),
+                ref_sol.deployment().placements(),
+                "s = {s}"
+            );
+            assert_eq!(sol.served_users(), ref_sol.served_users());
+            assert_eq!(stats.subsets_enumerated, ref_stats.subsets_enumerated);
+            assert_eq!(stats.subsets_chain_pruned, ref_stats.subsets_chain_pruned);
+            assert_eq!(stats.subsets_evaluated, ref_stats.subsets_evaluated);
+            assert_eq!(stats.subsets_unconnectable, ref_stats.subsets_unconnectable);
+            assert_eq!(stats.best_seeds, ref_stats.best_seeds);
+            assert_eq!(stats.gain_queries, ref_stats.gain_queries);
+        }
+    }
+
+    #[test]
+    fn gain_queries_are_thread_count_invariant() {
+        let inst = two_cluster_instance();
+        let counts: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&t| {
+                approx_alg_with_stats(&inst, &ApproxConfig::with_s(2).threads(t))
+                    .unwrap()
+                    .1
+                    .gain_queries
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], counts[2]);
     }
 }

@@ -49,10 +49,7 @@ pub struct Assignment {
 pub fn assign_users(instance: &Instance, placements: &[(usize, CellIndex)]) -> Assignment {
     let mut matching = CapacitatedMatching::new(instance.num_users());
     for &(uav, loc) in placements {
-        let st = matching.add_station(
-            instance.uavs()[uav].capacity,
-            instance.coverable(uav, loc).to_vec(),
-        );
+        let st = matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
         matching.saturate(st);
     }
     let user_placement = matching.assignment().to_vec();
@@ -152,8 +149,8 @@ pub fn assign_users_max_rate(
         let hover = instance.grid().hover_position(loc);
         let radio = &instance.uavs()[uav].radio;
         for &u in instance.coverable(uav, loc) {
-            let rate =
-                (atg.data_rate_bps(radio, hover, instance.users()[u as usize].pos) / 1_000.0) as i64;
+            let rate = (atg.data_rate_bps(radio, hover, instance.users()[u as usize].pos) / 1_000.0)
+                as i64;
             r_max = r_max.max(rate);
             pending.push((u as usize, pi, rate));
         }
@@ -163,7 +160,12 @@ pub fn assign_users_max_rate(
         rated_arcs.push((arc, user, pi, rate));
     }
     for (pi, &(uav, _)) in placements.iter().enumerate() {
-        net.add_arc(1 + n + pi, sink, i64::from(instance.uavs()[uav].capacity), 0);
+        net.add_arc(
+            1 + n + pi,
+            sink,
+            i64::from(instance.uavs()[uav].capacity),
+            0,
+        );
     }
     let (served, _) = net.run(source, sink);
     let mut user_placement = vec![None; n];
@@ -196,13 +198,9 @@ mod tests {
         users: &[(f64, f64)],
         uavs: &[(u32, f64)], // (capacity, user range)
     ) -> Instance {
-        let grid = GridSpec::new(
-            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-            300.0,
-            300.0,
-        )
-        .unwrap()
-        .build();
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
         let mut b = Instance::builder(grid, 600.0);
         for &(x, y) in users {
             b.add_user(Point2::new(x, y), 2_000.0);
@@ -217,16 +215,18 @@ mod tests {
     fn single_uav_capacity_binds() {
         // 4 users around cell 4's center; capacity 2.
         let inst = instance_with(
-            &[(440.0, 450.0), (460.0, 450.0), (450.0, 440.0), (450.0, 460.0)],
+            &[
+                (440.0, 450.0),
+                (460.0, 450.0),
+                (450.0, 440.0),
+                (450.0, 460.0),
+            ],
             &[(2, 500.0)],
         );
         let a = assign_users(&inst, &[(0, 4)]);
         assert_eq!(a.served, 2);
         assert_eq!(a.loads, vec![2]);
-        assert_eq!(
-            a.user_placement.iter().filter(|p| p.is_some()).count(),
-            2
-        );
+        assert_eq!(a.user_placement.iter().filter(|p| p.is_some()).count(), 2);
     }
 
     #[test]
@@ -328,10 +328,7 @@ mod tests {
     fn max_rate_beats_arbitrary_assignment_in_rate() {
         // Two users, two UAVs at different distances; the rate-optimal
         // matching must not be worse than the crosswise one.
-        let inst = instance_with(
-            &[(150.0, 150.0), (450.0, 450.0)],
-            &[(1, 600.0), (1, 600.0)],
-        );
+        let inst = instance_with(&[(150.0, 150.0), (450.0, 450.0)], &[(1, 600.0), (1, 600.0)]);
         let placements = vec![(0usize, 0usize), (1usize, 4usize)];
         let rated = assign_users_max_rate(&inst, &placements);
         assert_eq!(rated.assignment.served, 2);

@@ -202,7 +202,9 @@ pub fn extend_to_gateway(
     let Some((_, target)) = target else {
         return Err(ConnectError::Unreachable {
             a: current[0],
-            b: (0..graph.num_nodes()).find(|&c| is_gateway(c)).unwrap_or(current[0]),
+            b: (0..graph.num_nodes())
+                .find(|&c| is_gateway(c))
+                .unwrap_or(current[0]),
         });
     };
     // Walk back from the target to the nearest set member.
@@ -213,10 +215,7 @@ pub fn extend_to_gateway(
         .min()
         .expect("target reachable implies a finite back-distance");
     let path = shortest_path(graph, start, target).expect("reachable");
-    Ok(path
-        .into_iter()
-        .filter(|v| !current.contains(v))
-        .collect())
+    Ok(path.into_iter().filter(|v| !current.contains(v)).collect())
 }
 
 #[cfg(test)]
@@ -267,7 +266,12 @@ mod tests {
     #[test]
     fn result_is_always_induced_connected() {
         let g = grid_graph(4, 4);
-        for nodes in [vec![0, 15], vec![3, 12, 0], vec![5, 10, 6, 9], vec![0, 3, 12, 15]] {
+        for nodes in [
+            vec![0, 15],
+            vec![3, 12, 0],
+            vec![5, 10, 6, 9],
+            vec![0, 3, 12, 15],
+        ] {
             let all = connect_via_mst(&g, &nodes).unwrap();
             assert!(is_connected_subset(&g, &all), "{nodes:?} -> {all:?}");
             // Every requested node is present.

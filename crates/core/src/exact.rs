@@ -43,7 +43,7 @@ pub fn exact_optimum(instance: &Instance) -> Result<Solution, CoreError> {
             let placements: Vec<(usize, usize)> =
                 uavs.iter().copied().zip(locs.iter().copied()).collect();
             let served = crate::assign::assign_users(instance, &placements).served;
-            if best.as_ref().map_or(true, |(bs, _)| served > *bs) {
+            if best.as_ref().is_none_or(|(bs, _)| served > *bs) {
                 best = Some((served, placements));
             }
         });
@@ -75,13 +75,7 @@ fn for_each_injection(items: &[usize], t: usize, f: &mut impl FnMut(&[usize])) {
             }
         }
     }
-    rec(
-        items,
-        t,
-        &mut vec![false; items.len()],
-        &mut Vec::new(),
-        f,
-    );
+    rec(items, t, &mut vec![false; items.len()], &mut Vec::new(), f);
 }
 
 #[cfg(test)]
@@ -92,13 +86,9 @@ mod tests {
     use uavnet_geom::{AreaSpec, GridSpec, Point2};
 
     fn tiny_instance(seed_users: &[(f64, f64)], caps: &[u32]) -> Instance {
-        let grid = GridSpec::new(
-            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-            300.0,
-            300.0,
-        )
-        .unwrap()
-        .build();
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
         let mut b = Instance::builder(grid, 450.0);
         for &(x, y) in seed_users {
             b.add_user(Point2::new(x, y), 2_000.0);
@@ -154,12 +144,14 @@ mod tests {
     fn approx_never_beats_exact() {
         let instances = [
             tiny_instance(&[(150.0, 150.0), (450.0, 450.0)], &[1, 1]),
+            tiny_instance(&[(150.0, 150.0), (160.0, 160.0), (750.0, 150.0)], &[2, 1]),
             tiny_instance(
-                &[(150.0, 150.0), (160.0, 160.0), (750.0, 150.0)],
-                &[2, 1],
-            ),
-            tiny_instance(
-                &[(150.0, 150.0), (450.0, 460.0), (740.0, 750.0), (460.0, 440.0)],
+                &[
+                    (150.0, 150.0),
+                    (450.0, 460.0),
+                    (740.0, 750.0),
+                    (460.0, 440.0),
+                ],
                 &[2, 2, 1],
             ),
         ];

@@ -72,8 +72,12 @@ mod segments;
 mod solution;
 
 pub use alg1::SegmentPlan;
-pub use approx::{approx_alg, approx_alg_with_stats, ApproxConfig, ApproxStats};
-pub use assign::{assign_users, assign_users_max_flow, assign_users_max_rate, Assignment, ThroughputAssignment};
+#[doc(hidden)]
+pub use approx::approx_alg_materialized;
+pub use approx::{approx_alg, approx_alg_with_stats, ApproxConfig, ApproxStats, SweepProfile};
+pub use assign::{
+    assign_users, assign_users_max_flow, assign_users_max_rate, Assignment, ThroughputAssignment,
+};
 pub use connecting::{connect_via_mst, extend_to_gateway, ConnectError};
 pub use error::CoreError;
 pub use exact::exact_optimum;

@@ -49,6 +49,8 @@ pub struct Instance {
     radio_class: Vec<usize>,
     /// `coverage[class][location]` = sorted user ids coverable there.
     coverage: Vec<Vec<Vec<u32>>>,
+    /// `best_coverage[location]` = max coverage count over all classes.
+    best_coverage: Vec<usize>,
     /// UAV indices sorted by capacity, largest first.
     uavs_by_capacity: Vec<usize>,
     /// Ground position of the Internet uplink (emergency vehicle).
@@ -194,13 +196,15 @@ impl Instance {
     }
 
     /// The largest coverage count over the fleet at `loc` — a cheap
-    /// upper bound used for seed pruning.
+    /// upper bound used for seed pruning and relay ordering.
+    /// Precomputed at build time, so this is a plain table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    #[inline]
     pub fn best_coverage_count(&self, loc: CellIndex) -> usize {
-        self.coverage
-            .iter()
-            .map(|per_loc| per_loc[loc].len())
-            .max()
-            .unwrap_or(0)
+        self.best_coverage[loc]
     }
 }
 
@@ -285,7 +289,9 @@ impl InstanceBuilder {
             }
         }
         if self.users.len() > u32::MAX as usize {
-            return Err(CoreError::InvalidInstance("more than u32::MAX users".into()));
+            return Err(CoreError::InvalidInstance(
+                "more than u32::MAX users".into(),
+            ));
         }
 
         let m = self.grid.num_cells();
@@ -318,8 +324,8 @@ impl InstanceBuilder {
 
         // Coverage tables per class and location.
         let mut coverage = vec![vec![Vec::new(); m]; classes.len()];
-        for (cls, radio) in classes.iter().enumerate() {
-            for loc in 0..m {
+        for (radio, per_loc) in classes.iter().zip(coverage.iter_mut()) {
+            for (loc, slot) in per_loc.iter_mut().enumerate() {
                 let center = self.grid.cell_center(loc);
                 let hover = self.grid.hover_position(loc);
                 let mut list = Vec::new();
@@ -330,13 +336,26 @@ impl InstanceBuilder {
                     if user.pos.distance_sq(center) > range_sq {
                         continue;
                     }
-                    if self.atg.can_serve(radio, hover, user.pos, user.min_rate_bps) {
+                    if self
+                        .atg
+                        .can_serve(radio, hover, user.pos, user.min_rate_bps)
+                    {
                         list.push(uid as u32);
                     }
                 }
-                coverage[cls][loc] = list;
+                *slot = list;
             }
         }
+
+        let best_coverage: Vec<usize> = (0..m)
+            .map(|loc| {
+                coverage
+                    .iter()
+                    .map(|per_loc| per_loc[loc].len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
 
         let mut uavs_by_capacity: Vec<usize> = (0..self.uavs.len()).collect();
         uavs_by_capacity.sort_by_key(|&k| (std::cmp::Reverse(self.uavs[k].capacity), k));
@@ -346,8 +365,7 @@ impl InstanceBuilder {
                 let ground = pos.at_altitude(0.0);
                 (0..m)
                     .map(|loc| {
-                        self.grid.hover_position(loc).distance(ground)
-                            <= self.uav_channel.range_m()
+                        self.grid.hover_position(loc).distance(ground) <= self.uav_channel.range_m()
                     })
                     .collect()
             }
@@ -363,6 +381,7 @@ impl InstanceBuilder {
             location_graph,
             radio_class,
             coverage,
+            best_coverage,
             uavs_by_capacity,
             gateway: self.gateway,
             gateway_cells,
@@ -437,7 +456,7 @@ mod tests {
         let g = inst.location_graph();
         assert!(g.has_edge(0, 1));
         assert!(!g.has_edge(0, 4)); // diagonal
-        // Each interior node has exactly 4 neighbors.
+                                    // Each interior node has exactly 4 neighbors.
         assert_eq!(g.degree(4), 4);
     }
 

@@ -16,6 +16,13 @@ use uavnet_matroid::MarginalOracle;
 /// evaluations upper-bound later ones — exactly the contract the lazy
 /// greedy requires.
 ///
+/// The oracle is designed for *workspace reuse*: [`reset`]
+/// (CoverageOracle::reset) rolls it back to the no-UAV state while
+/// keeping the matching's internal buffers allocated, so a sweep that
+/// evaluates thousands of seed subsets against the same instance pays
+/// for its scratch memory once. Gain queries themselves are
+/// allocation-free trial insertions into the incremental matching.
+///
 /// # Examples
 ///
 /// ```
@@ -41,6 +48,7 @@ pub struct CoverageOracle<'a> {
     instance: &'a Instance,
     matching: CapacitatedMatching,
     placements: Vec<(usize, CellIndex)>,
+    gain_queries: u64,
 }
 
 impl<'a> CoverageOracle<'a> {
@@ -50,7 +58,23 @@ impl<'a> CoverageOracle<'a> {
             instance,
             matching: CapacitatedMatching::new(instance.num_users()),
             placements: Vec::new(),
+            gain_queries: 0,
         }
+    }
+
+    /// Rolls the oracle back to the no-UAV state, keeping the
+    /// matching's scratch buffers (and the cumulative query counter) so
+    /// the next run allocates nothing.
+    pub fn reset(&mut self) {
+        self.matching.reset();
+        self.placements.clear();
+    }
+
+    /// Cumulative number of [`gain`](MarginalOracle::gain) queries
+    /// served over the oracle's lifetime (*not* cleared by
+    /// [`reset`](Self::reset)) — the sweep's throughput denominator.
+    pub fn gain_queries(&self) -> u64 {
+        self.gain_queries
     }
 
     /// The UAV that the next commit will deploy, or `None` when the
@@ -79,6 +103,7 @@ impl MarginalOracle for CoverageOracle<'_> {
         let uav = self
             .next_uav()
             .expect("gain queried with the whole fleet already placed");
+        self.gain_queries += 1;
         let cap = self.instance.uavs()[uav].capacity;
         u64::from(
             self.matching
@@ -93,7 +118,7 @@ impl MarginalOracle for CoverageOracle<'_> {
         let cap = self.instance.uavs()[uav].capacity;
         let st = self
             .matching
-            .add_station(cap, self.instance.coverable(uav, loc).to_vec());
+            .add_station(cap, self.instance.coverable(uav, loc));
         self.matching.saturate(st);
         self.placements.push((uav, loc));
     }
@@ -104,9 +129,7 @@ impl MarginalOracle for CoverageOracle<'_> {
         // sets) stays the same.
         let order = self.instance.uavs_by_capacity();
         match (order.get(prev), order.get(next)) {
-            (Some(&a), Some(&b)) => {
-                self.instance.radio_class(a) == self.instance.radio_class(b)
-            }
+            (Some(&a), Some(&b)) => self.instance.radio_class(a) == self.instance.radio_class(b),
             _ => true,
         }
     }
@@ -120,13 +143,9 @@ mod tests {
     use uavnet_geom::{AreaSpec, GridSpec, Point2};
 
     fn instance() -> Instance {
-        let grid = GridSpec::new(
-            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-            300.0,
-            300.0,
-        )
-        .unwrap()
-        .build();
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
         let mut b = Instance::builder(grid, 600.0);
         // Cluster of 3 users near cell 0 and 2 near cell 8.
         b.add_user(Point2::new(140.0, 150.0), 2_000.0);

@@ -145,7 +145,10 @@ impl Solution {
             let radio = &instance.uavs()[uav].radio;
             let u = &instance.users()[user];
             let hover = instance.grid().hover_position(loc);
-            if !instance.atg().can_serve(radio, hover, u.pos, u.min_rate_bps) {
+            if !instance
+                .atg()
+                .can_serve(radio, hover, u.pos, u.min_rate_bps)
+            {
                 return Err(ValidationError::UserNotAdmissible { user, uav, loc });
             }
             loads[pi] += 1;
@@ -372,13 +375,9 @@ mod tests {
     use uavnet_geom::{AreaSpec, GridSpec, Point2};
 
     fn instance() -> Instance {
-        let grid = GridSpec::new(
-            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-            300.0,
-            300.0,
-        )
-        .unwrap()
-        .build();
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
         let mut b = Instance::builder(grid, 320.0);
         b.add_user(Point2::new(150.0, 150.0), 2_000.0);
         b.add_user(Point2::new(160.0, 150.0), 2_000.0);
@@ -513,13 +512,9 @@ mod tests {
 
     #[test]
     fn gateway_violation_is_caught() {
-        let grid = GridSpec::new(
-            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-            300.0,
-            300.0,
-        )
-        .unwrap()
-        .build();
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
         let mut b = Instance::builder(grid, 450.0);
         b.add_user(Point2::new(750.0, 750.0), 2_000.0);
         b.gateway(Point2::new(0.0, 0.0));
@@ -541,6 +536,8 @@ mod tests {
             capacity: 5,
         };
         assert!(e.to_string().contains("7"));
-        assert!(ValidationError::Disconnected.to_string().contains("disconnected"));
+        assert!(ValidationError::Disconnected
+            .to_string()
+            .contains("disconnected"));
     }
 }

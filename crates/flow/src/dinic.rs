@@ -106,7 +106,10 @@ impl FlowNetwork {
     /// [`add_arc`](FlowNetwork::add_arc).
     #[inline]
     pub fn flow_on(&self, id: ArcId) -> i64 {
-        assert!(id % 2 == 0 && id < self.arcs.len(), "bad arc id {id}");
+        assert!(
+            id.is_multiple_of(2) && id < self.arcs.len(),
+            "bad arc id {id}"
+        );
         self.arcs[id ^ 1].cap
     }
 
@@ -117,7 +120,10 @@ impl FlowNetwork {
     /// Panics if `id` is not a forward arc id.
     #[inline]
     pub fn residual_of(&self, id: ArcId) -> i64 {
-        assert!(id % 2 == 0 && id < self.arcs.len(), "bad arc id {id}");
+        assert!(
+            id.is_multiple_of(2) && id < self.arcs.len(),
+            "bad arc id {id}"
+        );
         self.arcs[id].cap
     }
 

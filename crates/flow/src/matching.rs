@@ -8,8 +8,16 @@
 //! *evaluated*: inserted, saturated, its gain recorded, and every change
 //! rolled back — the primitive behind the greedy marginal-gain oracle
 //! `n_{k,l} − n_{k−1}` in Algorithm 2.
-
-use std::collections::VecDeque;
+//!
+//! The structure is allocation-free on the query path: station
+//! adjacency lives in one flattened CSR arena, the BFS queue and the
+//! rollback log are persistent scratch buffers that are reused (never
+//! freed) across searches, and [`evaluate_station`]
+//! (CapacitatedMatching::evaluate_station) borrows the candidate user
+//! list instead of copying it into a temporary station. After warm-up,
+//! repeated gain queries and commits perform no heap allocation, which
+//! is what makes the subset-sweep oracle loop cheap enough to run
+//! millions of times.
 
 /// Identifier of a station returned by
 /// [`CapacitatedMatching::add_station`].
@@ -24,10 +32,10 @@ pub type StationId = usize;
 ///
 /// let mut m = CapacitatedMatching::new(4);
 /// // A station with capacity 2 covering users 0, 1, 2.
-/// let s0 = m.add_station(2, vec![0, 1, 2]);
+/// let s0 = m.add_station(2, &[0, 1, 2]);
 /// assert_eq!(m.saturate(s0), 2);
 /// // A second station covering users 2, 3 picks up the rest.
-/// let s1 = m.add_station(2, vec![2, 3]);
+/// let s1 = m.add_station(2, &[2, 3]);
 /// assert_eq!(m.saturate(s1), 2);
 /// assert_eq!(m.matched_count(), 4);
 /// ```
@@ -36,13 +44,21 @@ pub struct CapacitatedMatching {
     user_station: Vec<Option<StationId>>,
     station_cap: Vec<u32>,
     station_load: Vec<u32>,
-    station_users: Vec<Vec<u32>>,
+    // Station adjacency in CSR form: station `x` covers
+    // `adj[adj_start[x]..adj_start[x + 1]]`.
+    adj: Vec<u32>,
+    adj_start: Vec<usize>,
     matched: usize,
-    // BFS scratch (stamped visited marks avoid clearing)
+    // BFS scratch, one slot per station plus one for the trial station
+    // (stamped visited marks avoid clearing between searches).
     visit_mark: Vec<u64>,
     epoch: u64,
     parent_station: Vec<usize>,
     parent_user: Vec<u32>,
+    // Persistent scratch: BFS queue (head index instead of pop_front)
+    // and the `(user, previous station)` log a trial insertion unwinds.
+    queue: Vec<usize>,
+    rollback: Vec<(u32, Option<StationId>)>,
 }
 
 impl CapacitatedMatching {
@@ -52,12 +68,17 @@ impl CapacitatedMatching {
             user_station: vec![None; num_users],
             station_cap: Vec::new(),
             station_load: Vec::new(),
-            station_users: Vec::new(),
+            adj: Vec::new(),
+            adj_start: vec![0],
             matched: 0,
-            visit_mark: Vec::new(),
+            // One scratch slot exists beyond the last real station so a
+            // trial station (id == num_stations) can use it.
+            visit_mark: vec![0],
             epoch: 0,
-            parent_station: Vec::new(),
-            parent_user: Vec::new(),
+            parent_station: vec![usize::MAX],
+            parent_user: vec![u32::MAX],
+            queue: Vec::new(),
+            rollback: Vec::new(),
         }
     }
 
@@ -105,52 +126,95 @@ impl CapacitatedMatching {
         self.station_cap[st]
     }
 
+    /// Clears all stations and assignments while keeping every buffer's
+    /// capacity, so a reused instance performs no fresh allocations.
+    /// The user count is unchanged.
+    pub fn reset(&mut self) {
+        self.user_station.fill(None);
+        self.station_cap.clear();
+        self.station_load.clear();
+        self.adj.clear();
+        self.adj_start.truncate(1);
+        self.matched = 0;
+        self.visit_mark.truncate(1);
+        self.parent_station.truncate(1);
+        self.parent_user.truncate(1);
+        // `epoch` keeps counting up: stale marks in the retained slot
+        // can never collide with a future epoch.
+        self.queue.clear();
+        self.rollback.clear();
+    }
+
     /// Adds a station with capacity `cap` able to cover `users`, without
     /// matching anyone yet; call [`saturate`](Self::saturate) to let it
-    /// take load.
+    /// take load. The user list is copied into the internal CSR arena
+    /// (one amortized `extend`, no per-station `Vec`).
     ///
     /// # Panics
     ///
     /// Panics if any user id is out of range.
-    pub fn add_station(&mut self, cap: u32, users: Vec<u32>) -> StationId {
+    pub fn add_station(&mut self, cap: u32, users: &[u32]) -> StationId {
         let n = self.num_users();
-        for &u in &users {
+        for &u in users {
             assert!((u as usize) < n, "user {u} out of range for {n} users");
         }
         self.station_cap.push(cap);
         self.station_load.push(0);
-        self.station_users.push(users);
+        self.adj.extend_from_slice(users);
+        self.adj_start.push(self.adj.len());
         self.visit_mark.push(0);
         self.parent_station.push(usize::MAX);
         self.parent_user.push(u32::MAX);
         self.station_cap.len() - 1
     }
 
-    /// One augmenting-path search from `st`; applies the augmentation if
-    /// found. Returns the reassigned `(user, previous_station)` chain
-    /// (empty = no augmenting path). The chain is what
-    /// [`evaluate_station`](Self::evaluate_station) rolls back.
-    fn augment_from(&mut self, st: StationId) -> Option<Vec<(u32, Option<StationId>)>> {
-        if self.station_load[st] >= self.station_cap[st] {
-            return None;
+    /// Adjacency list of station `x`, where `x == num_stations` selects
+    /// the borrowed trial list.
+    #[inline]
+    fn adjacency_bounds(&self, x: usize, trial: Option<&[u32]>) -> (usize, usize, bool) {
+        if x == self.station_cap.len() {
+            let t = trial.expect("trial station visited outside a trial search");
+            (0, t.len(), true)
+        } else {
+            (self.adj_start[x], self.adj_start[x + 1], false)
         }
+    }
+
+    /// One augmenting-path BFS from `st`, applying the augmentation if
+    /// one is found. With `trial = Some(users)`, `st` is the phantom
+    /// station `num_stations` whose adjacency is the borrowed `users`
+    /// slice; its capacity is enforced by the caller and its load is
+    /// never stored. With `record`, every user reassignment is pushed
+    /// onto the persistent rollback log for the caller to unwind.
+    fn augment_once(&mut self, st: usize, trial: Option<&[u32]>, record: bool) -> bool {
         self.epoch += 1;
         let epoch = self.epoch;
+        let trial_id = self.station_cap.len();
         self.visit_mark[st] = epoch;
-        let mut queue = VecDeque::new();
-        queue.push_back(st);
-        while let Some(x) = queue.pop_front() {
-            for idx in 0..self.station_users[x].len() {
-                let u = self.station_users[x][idx];
+        self.queue.clear();
+        self.queue.push(st);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            let (start, end, is_trial) = self.adjacency_bounds(x, trial);
+            for idx in start..end {
+                let u = if is_trial {
+                    trial.expect("trial adjacency without a trial slice")[idx]
+                } else {
+                    self.adj[idx]
+                };
                 match self.user_station[u as usize] {
                     None => {
                         // Found an augmenting path ending at unmatched u:
                         // reassign along the parent chain back to st.
-                        let mut log = Vec::new();
                         let mut user = u;
                         let mut station = x;
                         loop {
-                            log.push((user, self.user_station[user as usize]));
+                            let old = self.user_station[user as usize];
+                            if record {
+                                self.rollback.push((user, old));
+                            }
                             self.user_station[user as usize] = Some(station);
                             if station == st {
                                 break;
@@ -160,22 +224,24 @@ impl CapacitatedMatching {
                             user = pu;
                             station = ps;
                         }
-                        self.station_load[st] += 1;
+                        if st != trial_id {
+                            self.station_load[st] += 1;
+                        }
                         self.matched += 1;
-                        return Some(log);
+                        return true;
                     }
                     Some(y) => {
                         if self.visit_mark[y] != epoch {
                             self.visit_mark[y] = epoch;
                             self.parent_station[y] = x;
                             self.parent_user[y] = u;
-                            queue.push_back(y);
+                            self.queue.push(y);
                         }
                     }
                 }
             }
         }
-        None
+        false
     }
 
     /// Augments from `st` until its capacity is full or no augmenting
@@ -189,8 +255,9 @@ impl CapacitatedMatching {
     ///
     /// Panics if `st` is out of range.
     pub fn saturate(&mut self, st: StationId) -> u32 {
+        assert!(st < self.num_stations(), "station {st} out of range");
         let mut gained = 0;
-        while self.augment_from(st).is_some() {
+        while self.station_load[st] < self.station_cap[st] && self.augment_once(st, None, false) {
             gained += 1;
         }
         gained
@@ -200,39 +267,40 @@ impl CapacitatedMatching {
     /// capacity `cap` covering `users` serve, on top of the current
     /// matching? The matching is left exactly as it was.
     ///
+    /// The candidate list is only borrowed: the search runs against a
+    /// phantom station whose adjacency is `users` itself, and all
+    /// reassignments are unwound from the persistent rollback log, so a
+    /// warm structure performs no allocation per call.
+    ///
     /// # Panics
     ///
     /// Panics if any user id is out of range.
     pub fn evaluate_station(&mut self, cap: u32, users: &[u32]) -> u32 {
-        let st = self.add_station(cap, users.to_vec());
-        let mut log: Vec<(u32, Option<StationId>)> = Vec::new();
+        let n = self.num_users();
+        for &u in users {
+            assert!((u as usize) < n, "user {u} out of range for {n} users");
+        }
+        let trial_id = self.station_cap.len();
+        self.rollback.clear();
         let mut gained = 0;
-        while let Some(mut chain) = self.augment_from(st) {
+        while gained < cap && self.augment_once(trial_id, Some(users), true) {
             gained += 1;
-            log.append(&mut chain);
         }
         // Roll back user assignments in reverse order of application.
-        for &(user, old) in log.iter().rev() {
+        while let Some((user, old)) = self.rollback.pop() {
             self.user_station[user as usize] = old;
         }
         self.matched -= gained as usize;
-        // Remove the trial station.
-        self.station_cap.pop();
-        self.station_load.pop();
-        self.station_users.pop();
-        self.visit_mark.pop();
-        self.parent_station.pop();
-        self.parent_user.pop();
         gained
     }
 
     /// Builds a matching from scratch: adds every `(capacity, coverable
     /// users)` station in order, saturating each, and returns the
     /// structure. The result is a *maximum* assignment.
-    pub fn solve(num_users: usize, stations: Vec<(u32, Vec<u32>)>) -> Self {
+    pub fn solve(num_users: usize, stations: &[(u32, Vec<u32>)]) -> Self {
         let mut m = CapacitatedMatching::new(num_users);
         for (cap, users) in stations {
-            let st = m.add_station(cap, users);
+            let st = m.add_station(*cap, users);
             m.saturate(st);
         }
         m
@@ -268,7 +336,7 @@ mod tests {
     #[test]
     fn simple_saturation() {
         let mut m = CapacitatedMatching::new(3);
-        let st = m.add_station(2, vec![0, 1, 2]);
+        let st = m.add_station(2, &[0, 1, 2]);
         assert_eq!(m.saturate(st), 2);
         assert_eq!(m.matched_count(), 2);
         assert_eq!(m.station_load(st), 2);
@@ -279,9 +347,9 @@ mod tests {
         // Station A covers {0,1} cap 1; B covers {1} cap 1.
         // Greedy could give A user 1 and strand B; augmentation fixes it.
         let mut m = CapacitatedMatching::new(2);
-        let a = m.add_station(1, vec![1, 0]); // list order tempts A to take 1
+        let a = m.add_station(1, &[1, 0]); // list order tempts A to take 1
         m.saturate(a);
-        let b = m.add_station(1, vec![1]);
+        let b = m.add_station(1, &[1]);
         assert_eq!(m.saturate(b), 1);
         assert_eq!(m.matched_count(), 2);
         assert_eq!(m.assignment()[1], Some(b));
@@ -295,11 +363,11 @@ mod tests {
         // C must trigger a chain C←1, B←2 (or equivalent) so that all
         // three users 0, 1, 2 end up served.
         let mut m = CapacitatedMatching::new(3);
-        let a = m.add_station(1, vec![1, 0]);
+        let a = m.add_station(1, &[1, 0]);
         m.saturate(a);
-        let b = m.add_station(1, vec![1, 2]);
+        let b = m.add_station(1, &[1, 2]);
         m.saturate(b);
-        let c = m.add_station(1, vec![1]);
+        let c = m.add_station(1, &[1]);
         assert_eq!(m.saturate(c), 1);
         assert_eq!(m.matched_count(), 3);
         // Every user served by a station that covers it.
@@ -309,7 +377,7 @@ mod tests {
     #[test]
     fn capacity_limits_load() {
         let mut m = CapacitatedMatching::new(5);
-        let st = m.add_station(3, vec![0, 1, 2, 3, 4]);
+        let st = m.add_station(3, &[0, 1, 2, 3, 4]);
         assert_eq!(m.saturate(st), 3);
         assert_eq!(m.station_load(st), 3);
         assert_eq!(m.station_cap(st), 3);
@@ -318,7 +386,7 @@ mod tests {
     #[test]
     fn zero_capacity_station() {
         let mut m = CapacitatedMatching::new(2);
-        let st = m.add_station(0, vec![0, 1]);
+        let st = m.add_station(0, &[0, 1]);
         assert_eq!(m.saturate(st), 0);
         assert_eq!(m.matched_count(), 0);
     }
@@ -326,7 +394,7 @@ mod tests {
     #[test]
     fn evaluate_leaves_state_untouched() {
         let mut m = CapacitatedMatching::new(4);
-        let a = m.add_station(1, vec![0, 1]);
+        let a = m.add_station(1, &[0, 1]);
         m.saturate(a);
         let before: Vec<_> = m.assignment().to_vec();
         let loads: Vec<_> = (0..m.num_stations()).map(|s| m.station_load(s)).collect();
@@ -354,7 +422,7 @@ mod tests {
                 let users: Vec<u32> = (0..num_users as u32)
                     .filter(|_| rng.gen_bool(0.4))
                     .collect();
-                let st = m.add_station(cap, users);
+                let st = m.add_station(cap, &users);
                 m.saturate(st);
             }
             let cap = rng.gen_range(0..5);
@@ -362,7 +430,7 @@ mod tests {
                 .filter(|_| rng.gen_bool(0.5))
                 .collect();
             let predicted = m.evaluate_station(cap, &users);
-            let st = m.add_station(cap, users);
+            let st = m.add_station(cap, &users);
             let actual = m.saturate(st);
             assert_eq!(predicted, actual);
         }
@@ -377,11 +445,13 @@ mod tests {
             let stations: Vec<(u32, Vec<u32>)> = (0..num_stations)
                 .map(|_| {
                     let cap = rng.gen_range(0..6);
-                    let users = (0..num_users as u32).filter(|_| rng.gen_bool(0.3)).collect();
+                    let users = (0..num_users as u32)
+                        .filter(|_| rng.gen_bool(0.3))
+                        .collect();
                     (cap, users)
                 })
                 .collect();
-            let m = CapacitatedMatching::solve(num_users, stations.clone());
+            let m = CapacitatedMatching::solve(num_users, &stations);
             let reference = flow_reference(num_users, &stations);
             assert_eq!(m.matched_count() as i64, reference, "round {round}");
         }
@@ -395,11 +465,13 @@ mod tests {
             let stations: Vec<(u32, Vec<u32>)> = (0..rng.gen_range(1..5))
                 .map(|_| {
                     let cap = rng.gen_range(1..5);
-                    let users = (0..num_users as u32).filter(|_| rng.gen_bool(0.4)).collect();
+                    let users = (0..num_users as u32)
+                        .filter(|_| rng.gen_bool(0.4))
+                        .collect();
                     (cap, users)
                 })
                 .collect();
-            let m = CapacitatedMatching::solve(num_users, stations.clone());
+            let m = CapacitatedMatching::solve(num_users, &stations);
             let mut loads = vec![0u32; stations.len()];
             for (u, st) in m.assignment().iter().enumerate() {
                 if let Some(st) = *st {
@@ -418,9 +490,57 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_then_reset_yields_reusable_empty_matching() {
+        let mut m = CapacitatedMatching::new(6);
+        let a = m.add_station(2, &[0, 1, 2]);
+        m.saturate(a);
+        let b = m.add_station(1, &[2, 3]);
+        m.saturate(b);
+        assert!(m.evaluate_station(3, &[3, 4, 5]) > 0);
+
+        m.reset();
+        assert_eq!(m.num_stations(), 0);
+        assert_eq!(m.matched_count(), 0);
+        assert_eq!(m.num_users(), 6);
+        assert!(m.assignment().iter().all(|a| a.is_none()));
+
+        // The reused structure behaves exactly like a fresh one.
+        let st = m.add_station(2, &[0, 1, 2]);
+        assert_eq!(m.evaluate_station(2, &[1, 3]), 2);
+        assert_eq!(m.saturate(st), 2);
+        assert_eq!(m.matched_count(), 2);
+        let mut fresh = CapacitatedMatching::new(6);
+        let fs = fresh.add_station(2, &[0, 1, 2]);
+        fresh.saturate(fs);
+        assert_eq!(fresh.assignment(), m.assignment());
+    }
+
+    #[test]
+    fn trial_station_can_be_revisited_in_chained_augmentations() {
+        // The trial station takes user 1 first; its second augmenting
+        // path must route through its own earlier assignment (the BFS
+        // revisits the phantom id), then everything rolls back.
+        let mut m = CapacitatedMatching::new(3);
+        let a = m.add_station(1, &[0, 1]);
+        m.saturate(a); // a ← user 0
+        let before = m.assignment().to_vec();
+        let gain = m.evaluate_station(2, &[1, 2]);
+        assert_eq!(gain, 2);
+        assert_eq!(m.assignment(), &before[..]);
+        assert_eq!(m.matched_count(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_bad_user_id() {
         let mut m = CapacitatedMatching::new(2);
-        m.add_station(1, vec![2]);
+        m.add_station(1, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn evaluate_rejects_bad_user_id() {
+        let mut m = CapacitatedMatching::new(2);
+        m.evaluate_station(1, &[5]);
     }
 }

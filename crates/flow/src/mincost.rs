@@ -93,7 +93,10 @@ impl MinCostFlow {
     /// Panics if `id` is not a forward arc id.
     #[inline]
     pub fn flow_on(&self, id: CostArcId) -> i64 {
-        assert!(id % 2 == 0 && id < self.arcs.len(), "bad arc id {id}");
+        assert!(
+            id.is_multiple_of(2) && id < self.arcs.len(),
+            "bad arc id {id}"
+        );
         self.arcs[id ^ 1].cap
     }
 

@@ -74,7 +74,11 @@ pub fn eulerian_path(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
     if touched.iter().any(|&v| uf.find(v) != root) {
         return None;
     }
-    let odd: Vec<usize> = touched.iter().copied().filter(|&v| degree[v] % 2 == 1).collect();
+    let odd: Vec<usize> = touched
+        .iter()
+        .copied()
+        .filter(|&v| degree[v] % 2 == 1)
+        .collect();
     let start = match odd.len() {
         0 => touched[0],
         2 => odd[0],

@@ -89,7 +89,7 @@ pub fn prim_mst(weights: &[Vec<Option<Hops>>]) -> Result<Vec<(usize, usize, Hops
                 continue;
             }
             if let Some((w, p)) = best[v] {
-                if pick.map_or(true, |(_, bw, _)| w < bw) {
+                if pick.is_none_or(|(_, bw, _)| w < bw) {
                     pick = Some((v, w, p));
                 }
             }
@@ -108,7 +108,7 @@ pub fn prim_mst(weights: &[Vec<Option<Hops>>]) -> Result<Vec<(usize, usize, Hops
                 continue;
             }
             if let Some(w2) = weights[v][u] {
-                if best[u].map_or(true, |(bw, _)| w2 < bw) {
+                if best[u].is_none_or(|(bw, _)| w2 < bw) {
                     best[u] = Some((w2, v));
                 }
             }
@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         let m = vec![vec![None, Some(1)], vec![Some(1)]];
-        assert!(matches!(prim_mst(&m), Err(MstError::MalformedMatrix { .. })));
+        assert!(matches!(
+            prim_mst(&m),
+            Err(MstError::MalformedMatrix { .. })
+        ));
     }
 
     #[test]
@@ -221,9 +224,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(MstError::Disconnected { node: 3 }
-            .to_string()
-            .contains("3"));
+        assert!(MstError::Disconnected { node: 3 }.to_string().contains("3"));
         assert!(MstError::MalformedMatrix { expected: 2 }
             .to_string()
             .contains("2x2"));

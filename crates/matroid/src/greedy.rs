@@ -53,6 +53,28 @@ pub struct GreedyOptions {
     pub allow_zero_gain: bool,
 }
 
+/// Reusable buffers for [`lazy_greedy_with`].
+///
+/// The greedy's upper-bound heap and chosen-set vector are the only
+/// allocations a run needs; keeping them in a workspace lets a caller
+/// that runs the greedy many times (e.g. once per seed subset of the
+/// sweep) amortize them down to zero per-run allocations after warm-up.
+#[derive(Debug, Default)]
+pub struct LazyGreedyWorkspace {
+    heap: BinaryHeap<(u64, Reverse<usize>, usize)>,
+    // Scratch for re-seeding the heap when cached bounds are invalidated.
+    stale: Vec<usize>,
+    chosen: Vec<usize>,
+}
+
+impl LazyGreedyWorkspace {
+    /// An empty workspace; buffers grow on first use and are then
+    /// reused across runs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Fisher–Nemhauser–Wolsey greedy with lazy marginal evaluation.
 ///
 /// Selects up to `options.max_picks` elements from `ground`, each time
@@ -64,6 +86,9 @@ pub struct GreedyOptions {
 ///
 /// Under the intersection of `ρ` matroids this achieves the classic
 /// `1/(ρ+1)` approximation for monotone submodular objectives.
+///
+/// Allocates a fresh workspace per call; use [`lazy_greedy_with`] to
+/// reuse buffers across many runs.
 ///
 /// [`Matroid::can_extend`]: crate::Matroid::can_extend
 ///
@@ -104,9 +129,29 @@ pub struct GreedyOptions {
 pub fn lazy_greedy<O, F>(
     oracle: &mut O,
     ground: &[usize],
-    mut feasible: F,
+    feasible: F,
     options: GreedyOptions,
 ) -> Vec<usize>
+where
+    O: MarginalOracle,
+    F: FnMut(&[usize], usize) -> bool,
+{
+    let mut workspace = LazyGreedyWorkspace::new();
+    lazy_greedy_with(&mut workspace, oracle, ground, feasible, options);
+    workspace.chosen
+}
+
+/// [`lazy_greedy`] running inside a caller-owned [`LazyGreedyWorkspace`],
+/// so repeated runs reuse the heap and chosen-set buffers instead of
+/// reallocating them. Returns the chosen elements as a slice into the
+/// workspace (valid until the next run).
+pub fn lazy_greedy_with<'w, O, F>(
+    workspace: &'w mut LazyGreedyWorkspace,
+    oracle: &mut O,
+    ground: &[usize],
+    mut feasible: F,
+    options: GreedyOptions,
+) -> &'w [usize]
 where
     O: MarginalOracle,
     F: FnMut(&[usize], usize) -> bool,
@@ -115,26 +160,30 @@ where
     // `Reverse` on the element makes ties deterministic (smallest id
     // first), matching the eager reference implementation in tests.
     const NEVER: usize = usize::MAX;
-    let mut heap: BinaryHeap<(u64, Reverse<usize>, usize)> = ground
-        .iter()
-        .map(|&e| (u64::MAX, Reverse(e), NEVER))
-        .collect();
-    let mut chosen: Vec<usize> = Vec::new();
+    let LazyGreedyWorkspace {
+        heap,
+        stale,
+        chosen,
+    } = workspace;
+    heap.clear();
+    heap.extend(ground.iter().map(|&e| (u64::MAX, Reverse(e), NEVER)));
+    chosen.clear();
 
     for k in 0..options.max_picks {
         oracle.begin_iteration(k);
         if k > 0 && !oracle.bounds_carry_over(k - 1, k) {
             // Cached gains may now under-report; reset every entry to
             // "never evaluated" so each is recomputed before use.
-            let entries: Vec<usize> = heap.drain().map(|(_, Reverse(e), _)| e).collect();
-            heap.extend(entries.into_iter().map(|e| (u64::MAX, Reverse(e), NEVER)));
+            stale.clear();
+            stale.extend(heap.drain().map(|(_, Reverse(e), _)| e));
+            heap.extend(stale.iter().map(|&e| (u64::MAX, Reverse(e), NEVER)));
         }
         let mut pick = None;
         while let Some((cached, Reverse(e), computed_at)) = heap.pop() {
             if chosen.contains(&e) {
                 continue;
             }
-            if !feasible(&chosen, e) {
+            if !feasible(chosen, e) {
                 // Hereditary constraints: infeasible now ⇒ infeasible
                 // forever; drop the element.
                 continue;
@@ -369,12 +418,7 @@ mod tests {
                     allow_zero_gain: false,
                 },
             );
-            let eager = eager_greedy(
-                &sets,
-                universe,
-                |set, e| m.can_extend(set, e),
-                max_picks,
-            );
+            let eager = eager_greedy(&sets, universe, |set, e| m.can_extend(set, e), max_picks);
             assert_eq!(lazy, eager, "round {round}");
         }
     }

@@ -35,7 +35,9 @@ mod matroid;
 mod nested;
 mod partition;
 
-pub use greedy::{lazy_greedy, GreedyOptions, MarginalOracle};
+pub use greedy::{
+    lazy_greedy, lazy_greedy_with, GreedyOptions, LazyGreedyWorkspace, MarginalOracle,
+};
 pub use matroid::{check_axioms_exhaustive, Matroid, UniformMatroid};
 pub use nested::NestedFamilyMatroid;
 pub use partition::PartitionMatroid;

@@ -92,10 +92,9 @@ pub fn check_axioms_exhaustive<M: Matroid>(m: &M) -> Result<(), String> {
     assert!(n <= 10, "exhaustive axiom check limited to 10 elements");
     let subsets = 1usize << n;
     let members = |mask: usize| -> Vec<usize> { (0..n).filter(|i| mask >> i & 1 == 1).collect() };
-    let mut indep = vec![false; subsets];
-    for mask in 0..subsets {
-        indep[mask] = m.is_independent(&members(mask));
-    }
+    let indep: Vec<bool> = (0..subsets)
+        .map(|mask| m.is_independent(&members(mask)))
+        .collect();
     if !indep[0] {
         return Err("empty set is not independent".into());
     }
@@ -124,9 +123,8 @@ pub fn check_axioms_exhaustive<M: Matroid>(m: &M) -> Result<(), String> {
                 continue;
             }
             // Augmentation: some element of A \ B extends B.
-            let extendable = (0..n).any(|e| {
-                a >> e & 1 == 1 && b >> e & 1 == 0 && indep[b | (1 << e)]
-            });
+            let extendable =
+                (0..n).any(|e| a >> e & 1 == 1 && b >> e & 1 == 0 && indep[b | (1 << e)]);
             if !extendable {
                 return Err(format!("augmentation violated: A={a:b}, B={b:b}"));
             }

@@ -150,10 +150,7 @@ mod tests {
         check_axioms_exhaustive(&m).unwrap();
 
         // Tight budgets.
-        let m = NestedFamilyMatroid::new(
-            vec![Some(0), Some(1), Some(2), Some(2)],
-            vec![2, 2, 0],
-        );
+        let m = NestedFamilyMatroid::new(vec![Some(0), Some(1), Some(2), Some(2)], vec![2, 2, 0]);
         check_axioms_exhaustive(&m).unwrap();
     }
 
@@ -185,10 +182,7 @@ mod tests {
     #[test]
     fn suffix_budgets_bind() {
         // Q = [3, 1]: at most one deep element, three total.
-        let m = NestedFamilyMatroid::new(
-            vec![Some(0), Some(0), Some(1), Some(1)],
-            vec![3, 1],
-        );
+        let m = NestedFamilyMatroid::new(vec![Some(0), Some(0), Some(1), Some(1)], vec![3, 1]);
         assert!(m.is_independent(&[0, 1, 2]));
         assert!(!m.is_independent(&[2, 3]));
         assert!(m.can_extend(&[0, 1], 2));

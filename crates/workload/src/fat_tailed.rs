@@ -48,21 +48,31 @@ const BACKGROUND_FRACTION: f64 = 0.10;
 ///
 /// Panics if a fat-tailed distribution is requested with zero clusters
 /// or a non-finite exponent.
-pub fn sample_users<R: Rng>(rng: &mut R, area: AreaSpec, n: usize, distribution: UserDistribution) -> Vec<Point2> {
+pub fn sample_users<R: Rng>(
+    rng: &mut R,
+    area: AreaSpec,
+    n: usize,
+    distribution: UserDistribution,
+) -> Vec<Point2> {
     match distribution {
         UserDistribution::Uniform => (0..n).map(|_| uniform_point(rng, area)).collect(),
         UserDistribution::FatTailed {
             clusters,
             zipf_exponent,
         } => {
-            assert!(clusters > 0, "fat-tailed placement needs at least one cluster");
+            assert!(
+                clusters > 0,
+                "fat-tailed placement needs at least one cluster"
+            );
             assert!(
                 zipf_exponent.is_finite() && zipf_exponent >= 0.0,
                 "invalid Zipf exponent {zipf_exponent}"
             );
             // Hotspot centers, kept a sigma away from the border so the
             // mass is not clipped too aggressively.
-            let margin = CLUSTER_SIGMA_M.min(area.length_m() / 4.0).min(area.width_m() / 4.0);
+            let margin = CLUSTER_SIGMA_M
+                .min(area.length_m() / 4.0)
+                .min(area.width_m() / 4.0);
             let centers: Vec<Point2> = (0..clusters)
                 .map(|_| {
                     Point2::new(
@@ -89,7 +99,10 @@ pub fn sample_users<R: Rng>(rng: &mut R, area: AreaSpec, n: usize, distribution:
                         return uniform_point(rng, area);
                     }
                     let u: f64 = rng.gen();
-                    let cluster = cumulative.iter().position(|&c| u <= c).unwrap_or(clusters - 1);
+                    let cluster = cumulative
+                        .iter()
+                        .position(|&c| u <= c)
+                        .unwrap_or(clusters - 1);
                     gaussian_around(rng, area, centers[cluster], CLUSTER_SIGMA_M)
                 })
                 .collect()
@@ -157,10 +170,25 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = sample_users(&mut SmallRng::seed_from_u64(7), area(), 100, UserDistribution::default());
-        let b = sample_users(&mut SmallRng::seed_from_u64(7), area(), 100, UserDistribution::default());
+        let a = sample_users(
+            &mut SmallRng::seed_from_u64(7),
+            area(),
+            100,
+            UserDistribution::default(),
+        );
+        let b = sample_users(
+            &mut SmallRng::seed_from_u64(7),
+            area(),
+            100,
+            UserDistribution::default(),
+        );
         assert_eq!(a, b);
-        let c = sample_users(&mut SmallRng::seed_from_u64(8), area(), 100, UserDistribution::default());
+        let c = sample_users(
+            &mut SmallRng::seed_from_u64(8),
+            area(),
+            100,
+            UserDistribution::default(),
+        );
         assert_ne!(a, c);
     }
 

@@ -64,8 +64,7 @@ pub fn sample_fleet<R: Rng>(
                     let rel = if capacity_max == capacity_min {
                         1.0
                     } else {
-                        f64::from(capacity - capacity_min)
-                            / f64::from(capacity_max - capacity_min)
+                        f64::from(capacity - capacity_min) / f64::from(capacity_max - capacity_min)
                     };
                     UavRadio::new(
                         tx_power_dbm - 6.0 * (1.0 - rel),
@@ -88,7 +87,16 @@ mod tests {
     #[test]
     fn capacities_stay_in_range() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let fleet = sample_fleet(&mut rng, 200, 50, 300, 30.0, 5.0, 500.0, FleetStyle::CommonRadio);
+        let fleet = sample_fleet(
+            &mut rng,
+            200,
+            50,
+            300,
+            30.0,
+            5.0,
+            500.0,
+            FleetStyle::CommonRadio,
+        );
         assert!(fleet.iter().all(|u| (50..=300).contains(&u.capacity)));
         // Heterogeneity: with 200 draws the spread should be wide.
         let min = fleet.iter().map(|u| u.capacity).min().unwrap();
@@ -99,7 +107,16 @@ mod tests {
     #[test]
     fn common_radio_is_identical() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let fleet = sample_fleet(&mut rng, 10, 50, 300, 30.0, 5.0, 500.0, FleetStyle::CommonRadio);
+        let fleet = sample_fleet(
+            &mut rng,
+            10,
+            50,
+            300,
+            30.0,
+            5.0,
+            500.0,
+            FleetStyle::CommonRadio,
+        );
         for u in &fleet {
             assert_eq!(u.radio, fleet[0].radio);
         }
@@ -151,6 +168,15 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn rejects_inverted_range() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let _ = sample_fleet(&mut rng, 5, 300, 50, 30.0, 5.0, 500.0, FleetStyle::CommonRadio);
+        let _ = sample_fleet(
+            &mut rng,
+            5,
+            300,
+            50,
+            30.0,
+            5.0,
+            500.0,
+            FleetStyle::CommonRadio,
+        );
     }
 }

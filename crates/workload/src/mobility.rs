@@ -160,7 +160,12 @@ mod tests {
 
     fn start() -> Vec<Point2> {
         (0..50)
-            .map(|i| Point2::new(20.0 * (i % 10) as f64 + 100.0, 15.0 * (i / 10) as f64 + 100.0))
+            .map(|i| {
+                Point2::new(
+                    20.0 * (i % 10) as f64 + 100.0,
+                    15.0 * (i / 10) as f64 + 100.0,
+                )
+            })
             .collect()
     }
 

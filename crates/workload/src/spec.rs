@@ -95,11 +95,7 @@ impl ScenarioSpec {
     /// The paper's Figure 4/5/6 environment at reduced grid
     /// resolution: `n` users, `K` UAVs, everything else §IV-A.
     pub fn paper_figure(n: usize, k: usize, seed: u64) -> Result<ScenarioSpec, WorkloadError> {
-        ScenarioSpec::builder()
-            .users(n)
-            .uavs(k)
-            .seed(seed)
-            .build()
+        ScenarioSpec::builder().users(n).uavs(k).seed(seed).build()
     }
 
     /// Instantiates the scenario into a solvable [`Instance`].
@@ -349,12 +345,22 @@ mod tests {
 
     #[test]
     fn instantiation_is_deterministic() {
-        let spec = ScenarioSpec::builder().users(30).uavs(3).seed(9).build().unwrap();
+        let spec = ScenarioSpec::builder()
+            .users(30)
+            .uavs(3)
+            .seed(9)
+            .build()
+            .unwrap();
         let a = spec.instantiate().unwrap();
         let b = spec.instantiate().unwrap();
         assert_eq!(a.users(), b.users());
         assert_eq!(a.uavs(), b.uavs());
-        let other = ScenarioSpec::builder().users(30).uavs(3).seed(10).build().unwrap();
+        let other = ScenarioSpec::builder()
+            .users(30)
+            .uavs(3)
+            .seed(10)
+            .build()
+            .unwrap();
         let c = other.instantiate().unwrap();
         assert_ne!(a.users(), c.users());
     }
@@ -371,7 +377,10 @@ mod tests {
     fn validation_failures() {
         assert!(ScenarioSpec::builder().users(0).build().is_err());
         assert!(ScenarioSpec::builder().uavs(0).build().is_err());
-        assert!(ScenarioSpec::builder().capacity_range(10, 5).build().is_err());
+        assert!(ScenarioSpec::builder()
+            .capacity_range(10, 5)
+            .build()
+            .is_err());
         assert!(ScenarioSpec::builder().user_range_m(-1.0).build().is_err());
         assert!(ScenarioSpec::builder().cell_m(7.0).build().is_err()); // 3000 % 7 ≠ 0
     }

@@ -15,7 +15,10 @@ use uavnet::workload::{ScenarioSpec, UserDistribution};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target_coverage = 0.80;
-    println!("target: serve ≥ {:.0}% of trapped users\n", target_coverage * 100.0);
+    println!(
+        "target: serve ≥ {:.0}% of trapped users\n",
+        target_coverage * 100.0
+    );
 
     println!(
         "{:>3} {:>7} {:>9} {:>6} {:>5} {:>7}",
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     match chosen_k {
-        Some(k) => println!("\n→ a fleet of {k} UAVs meets the {:.0}% target", target_coverage * 100.0),
+        Some(k) => println!(
+            "\n→ a fleet of {k} UAVs meets the {:.0}% target",
+            target_coverage * 100.0
+        ),
         None => println!("\n→ no fleet size up to 12 meets the target; consider stronger radios"),
     }
     Ok(())

@@ -6,8 +6,8 @@
 //! cargo run --release --example mobility_redeploy
 //! ```
 
-use uavnet::core::{approx_alg, redeploy, ApproxConfig, Instance};
 use uavnet::channel::UavRadio;
+use uavnet::core::{approx_alg, redeploy, ApproxConfig, Instance};
 use uavnet::geom::{AreaSpec, GridSpec};
 use uavnet::workload::{sample_users, MobilityModel, MobilitySimulator, UserDistribution};
 

@@ -11,13 +11,9 @@ use rand::{Rng, SeedableRng};
 
 fn tiny_random_instance(rng: &mut SmallRng) -> Instance {
     // 3×3 grid, ≤ 3 UAVs — small enough for the exhaustive solver.
-    let grid = GridSpec::new(
-        AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-        300.0,
-        300.0,
-    )
-    .unwrap()
-    .build();
+    let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+        .unwrap()
+        .build();
     let mut b = Instance::builder(grid, rng.gen_range(350.0..650.0));
     let n = rng.gen_range(3..12);
     for _ in 0..n {
@@ -98,13 +94,9 @@ fn heterogeneity_awareness_pays_on_a_crafted_instance() {
     // one capacity-6 UAV listed *last*. Index-order baselines put the
     // big UAV wherever their first pick lands; approAlg must send the
     // big one to the big cluster.
-    let grid = GridSpec::new(
-        AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
-        300.0,
-        300.0,
-    )
-    .unwrap()
-    .build();
+    let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+        .unwrap()
+        .build();
     let mut b = Instance::builder(grid, 450.0);
     // Dense cluster tight around cell 0's center, out of a 280 m radio's
     // reach from the neighboring cell.

@@ -37,12 +37,7 @@ fn random_instance(rng: &mut SmallRng, n: usize, k: usize) -> Instance {
 /// Brute force: maximize served users over all assignments by search
 /// with memoization-free recursion (users one by one).
 fn brute_force_served(instance: &Instance, placements: &[(usize, usize)]) -> usize {
-    fn rec(
-        user: usize,
-        loads: &mut Vec<u32>,
-        coverers: &[Vec<usize>],
-        caps: &[u32],
-    ) -> usize {
+    fn rec(user: usize, loads: &mut Vec<u32>, coverers: &[Vec<usize>], caps: &[u32]) -> usize {
         if user == coverers.len() {
             return 0;
         }

@@ -3,8 +3,8 @@
 //! valid deployment must keep one UAV within `R_uav` of it.
 
 use uavnet::baselines::{DeploymentAlgorithm, Mcs};
-use uavnet::core::{approx_alg, score_deployment, ApproxConfig, ValidationError};
 use uavnet::core::connect_via_mst;
+use uavnet::core::{approx_alg, score_deployment, ApproxConfig, ValidationError};
 use uavnet::workload::{ScenarioSpec, UserDistribution};
 
 fn gateway_spec() -> ScenarioSpec {
@@ -88,8 +88,7 @@ fn manual_repair_with_extend_to_gateway() {
             .expect("still reachable");
         all.extend(extra2);
         if all.len() <= inst.num_uavs() {
-            let placements: Vec<(usize, usize)> =
-                all.iter().copied().enumerate().map(|(i, l)| (i, l)).collect();
+            let placements: Vec<(usize, usize)> = all.iter().copied().enumerate().collect();
             let repaired = score_deployment(&inst, placements);
             repaired.validate(&inst).unwrap();
         }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use uavnet::baselines::{DeploymentAlgorithm, GreedyAssign, MaxThroughput, Mcs, RandomConnected};
-use uavnet::core::{approx_alg, assign_users, ApproxConfig, Instance};
 use uavnet::channel::UavRadio;
+use uavnet::core::{approx_alg, assign_users, ApproxConfig, Instance};
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 
 prop_compose! {

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 
 use uavnet::flow::{CapacitatedMatching, FlowNetwork};
 use uavnet::graph::{bfs_hops, hop_distance, prim_mst, Graph, UnionFind};
-use uavnet::matroid::{
-    check_axioms_exhaustive, Matroid, NestedFamilyMatroid, PartitionMatroid,
-};
+use uavnet::matroid::{check_axioms_exhaustive, Matroid, NestedFamilyMatroid, PartitionMatroid};
 
 /// Builds the assignment flow network and returns its max flow.
 fn flow_value(num_users: usize, stations: &[(u32, Vec<u32>)]) -> i64 {
@@ -56,14 +54,14 @@ prop_compose! {
 proptest! {
     #[test]
     fn matching_cardinality_equals_max_flow((num_users, stations) in station_instances()) {
-        let matching = CapacitatedMatching::solve(num_users, stations.clone());
+        let matching = CapacitatedMatching::solve(num_users, &stations);
         let flow = flow_value(num_users, &stations);
         prop_assert_eq!(matching.matched_count() as i64, flow);
     }
 
     #[test]
     fn matching_respects_capacity_and_coverage((num_users, stations) in station_instances()) {
-        let matching = CapacitatedMatching::solve(num_users, stations.clone());
+        let matching = CapacitatedMatching::solve(num_users, &stations);
         let mut loads = vec![0u32; stations.len()];
         for (user, st) in matching.assignment().iter().enumerate() {
             if let Some(st) = *st {
@@ -82,7 +80,7 @@ proptest! {
         cap in 0u32..5,
         probe in vec(0u32..15, 0..10)
     ) {
-        let mut matching = CapacitatedMatching::solve(num_users, stations);
+        let mut matching = CapacitatedMatching::solve(num_users, &stations);
         let probe: Vec<u32> = {
             let mut p: Vec<u32> = probe.into_iter().map(|u| u % num_users as u32).collect();
             p.sort_unstable();
@@ -175,6 +173,9 @@ proptest! {
         let mut matrix = vec![vec![None; k]; k];
         let mut edges = Vec::new();
         let mut it = weights.into_iter();
+        // Symmetric writes (`matrix[u][v]` and `matrix[v][u]`) don't
+        // translate to a disjoint iterator borrow.
+        #[allow(clippy::needless_range_loop)]
         for u in 0..k {
             for v in u + 1..k {
                 let w = it.next().expect("45 weights for K10");

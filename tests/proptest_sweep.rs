@@ -1,0 +1,90 @@
+//! Equivalence properties of the streaming subset sweep: on random
+//! small scenarios, the streaming enumeration (chunked cursor +
+//! per-thread workspaces) must reproduce the materialized reference
+//! sweep bit-for-bit — same solution, same statistics — at every
+//! thread count.
+
+use proptest::prelude::*;
+use uavnet::channel::UavRadio;
+use uavnet::core::{approx_alg_materialized, approx_alg_with_stats, ApproxConfig, Instance};
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+
+prop_compose! {
+    fn instances()(
+        seed_users in proptest::collection::vec((0.0f64..900.0, 0.0f64..900.0), 1..18),
+        caps in proptest::collection::vec(1u32..6, 2..5),
+        uav_range in 320.0f64..700.0,
+        user_range in 250.0f64..500.0,
+    ) -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, uav_range);
+        for (x, y) in seed_users {
+            b.add_user(Point2::new(x, y), 2_000.0);
+        }
+        for cap in caps {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, user_range));
+        }
+        b.build().expect("valid instance")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn streaming_sweep_matches_materialized_reference(
+        instance in instances(),
+        s in 1usize..=2,
+    ) {
+        let s = s.min(instance.num_uavs());
+        let config = ApproxConfig::with_s(s).threads(2);
+        let (reference_sol, reference_stats) =
+            approx_alg_materialized(&instance, &config).unwrap();
+        let (sol, stats) = approx_alg_with_stats(&instance, &config).unwrap();
+
+        prop_assert_eq!(
+            sol.deployment().placements(),
+            reference_sol.deployment().placements()
+        );
+        prop_assert_eq!(sol.served_users(), reference_sol.served_users());
+        prop_assert_eq!(stats.plan, reference_stats.plan);
+        prop_assert_eq!(stats.seed_pool_size, reference_stats.seed_pool_size);
+        prop_assert_eq!(stats.subsets_enumerated, reference_stats.subsets_enumerated);
+        prop_assert_eq!(stats.subsets_chain_pruned, reference_stats.subsets_chain_pruned);
+        prop_assert_eq!(stats.subsets_evaluated, reference_stats.subsets_evaluated);
+        prop_assert_eq!(stats.subsets_unconnectable, reference_stats.subsets_unconnectable);
+        prop_assert_eq!(stats.best_seeds.clone(), reference_stats.best_seeds.clone());
+        prop_assert_eq!(stats.gain_queries, reference_stats.gain_queries);
+    }
+
+    #[test]
+    fn streaming_sweep_is_identical_across_thread_counts(
+        instance in instances(),
+        s in 1usize..=2,
+    ) {
+        let s = s.min(instance.num_uavs());
+        let mut runs = [1usize, 2, 8].into_iter().map(|threads| {
+            approx_alg_with_stats(&instance, &ApproxConfig::with_s(s).threads(threads)).unwrap()
+        });
+        let (first_sol, first_stats) = runs.next().unwrap();
+        for (sol, stats) in runs {
+            prop_assert_eq!(
+                sol.deployment().placements(),
+                first_sol.deployment().placements()
+            );
+            prop_assert_eq!(sol.served_users(), first_sol.served_users());
+            prop_assert_eq!(stats.subsets_enumerated, first_stats.subsets_enumerated);
+            prop_assert_eq!(stats.subsets_chain_pruned, first_stats.subsets_chain_pruned);
+            prop_assert_eq!(stats.subsets_evaluated, first_stats.subsets_evaluated);
+            prop_assert_eq!(stats.subsets_unconnectable, first_stats.subsets_unconnectable);
+            prop_assert_eq!(stats.best_seeds.clone(), first_stats.best_seeds.clone());
+            prop_assert_eq!(stats.gain_queries, first_stats.gain_queries);
+        }
+    }
+}

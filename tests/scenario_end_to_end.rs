@@ -101,7 +101,9 @@ fn more_uavs_never_hurt_at_fixed_seeds() {
             .build()
             .unwrap();
         let inst = spec.instantiate().unwrap();
-        approx_alg(&inst, &ApproxConfig::with_s(1)).unwrap().served_users()
+        approx_alg(&inst, &ApproxConfig::with_s(1))
+            .unwrap()
+            .served_users()
     };
     // Not a theorem (fleets are re-sampled per K), but on this seed
     // the trend must be visibly upward.
