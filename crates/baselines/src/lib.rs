@@ -77,4 +77,25 @@ pub trait DeploymentAlgorithm {
     /// Algorithm-specific failures; all implementations here always
     /// succeed on non-degenerate instances.
     fn deploy(&self, instance: &Instance) -> Result<Solution, CoreError>;
+
+    /// [`deploy`](DeploymentAlgorithm::deploy), then — when the
+    /// `debug-validate` feature is on — run the result through the
+    /// independent feasibility validator and the matching-vs-max-flow
+    /// assignment oracle. Without the feature this is exactly
+    /// `deploy`; experiments can call it unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `deploy` errors, plus
+    /// [`CoreError::Validation`] / [`CoreError::Verification`] when a
+    /// check trips under `debug-validate`.
+    fn deploy_verified(&self, instance: &Instance) -> Result<Solution, CoreError> {
+        let solution = self.deploy(instance)?;
+        #[cfg(feature = "debug-validate")]
+        {
+            solution.validate(instance)?;
+            uavnet_core::check_assignment_oracles(instance, solution.deployment().placements())?;
+        }
+        Ok(solution)
+    }
 }

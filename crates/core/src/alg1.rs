@@ -65,6 +65,9 @@ impl SegmentPlan {
         }
         let (g, p) = Self::min_g_for(lo, s);
         debug_assert!(g <= k);
+        #[cfg(feature = "debug-validate")]
+        crate::verify::check_relay_bound(&p)
+            .expect("debug-validate: Lemma 2 closed form diverged from its Q-sum derivation");
         Ok(SegmentPlan {
             k,
             s,

@@ -389,7 +389,12 @@ pub fn approx_alg_with_stats(
     if config.deploy_leftovers {
         deploy_leftovers(instance, &mut placements);
     }
-    Ok((score_deployment(instance, placements), stats))
+    let solution = score_deployment(instance, placements);
+    #[cfg(feature = "debug-validate")]
+    solution
+        .validate(instance)
+        .expect("debug-validate: sweep produced a solution its own validator rejects");
+    Ok((solution, stats))
 }
 
 /// The seed pool: locations admitted as enumeration candidates.
@@ -531,7 +536,12 @@ pub fn approx_alg_materialized(
     if config.deploy_leftovers {
         deploy_leftovers(instance, &mut placements);
     }
-    Ok((score_deployment(instance, placements), stats))
+    let solution = score_deployment(instance, placements);
+    #[cfg(feature = "debug-validate")]
+    solution
+        .validate(instance)
+        .expect("debug-validate: sweep produced a solution its own validator rejects");
+    Ok((solution, stats))
 }
 
 /// Greedily deploys the UAVs Algorithm 2 left grounded (`q_j < K`),

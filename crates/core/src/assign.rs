@@ -114,8 +114,17 @@ pub fn assign_users_max_flow(instance: &Instance, placements: &[(usize, CellInde
 pub struct ThroughputAssignment {
     /// The underlying user→placement assignment.
     pub assignment: Assignment,
-    /// Total downlink rate of all served users, in kbit/s.
-    pub total_rate_kbps: u64,
+    /// Total downlink rate of all served users, in bit/s (rounded per
+    /// serving arc) — the resolution the min-cost objective optimizes.
+    pub total_rate_bps: u64,
+}
+
+impl ThroughputAssignment {
+    /// Total downlink rate in kbit/s (derived from
+    /// [`total_rate_bps`](Self::total_rate_bps)).
+    pub fn total_rate_kbps(&self) -> u64 {
+        self.total_rate_bps / 1_000
+    }
 }
 
 /// Computes an assignment that serves the **maximum** number of users
@@ -140,7 +149,11 @@ pub fn assign_users_max_rate(
     for u in 0..n {
         net.add_arc(source, 1 + u, 1, 0);
     }
-    // Rates in kbit/s per coverage arc; R_max normalizes to ≥ 0 costs.
+    // Rates in **bit/s** (rounded, not truncated) per coverage arc;
+    // R_max normalizes to ≥ 0 costs. Full-resolution costs keep
+    // sub-kbps rate differences decisive — truncating to whole kbit/s
+    // used to collapse close users into arbitrary ties and zeroed any
+    // rate below 1 kbit/s.
     let mut rated_arcs: Vec<(usize, usize, usize, i64)> = Vec::new(); // (arc, user, placement, rate)
     let atg = instance.atg();
     let mut r_max = 0i64;
@@ -149,8 +162,9 @@ pub fn assign_users_max_rate(
         let hover = instance.grid().hover_position(loc);
         let radio = &instance.uavs()[uav].radio;
         for &u in instance.coverable(uav, loc) {
-            let rate = (atg.data_rate_bps(radio, hover, instance.users()[u as usize].pos) / 1_000.0)
-                as i64;
+            let rate = atg
+                .data_rate_bps(radio, hover, instance.users()[u as usize].pos)
+                .round() as i64;
             r_max = r_max.max(rate);
             pending.push((u as usize, pi, rate));
         }
@@ -184,7 +198,7 @@ pub fn assign_users_max_rate(
             served: served as usize,
             loads,
         },
-        total_rate_kbps: total_rate,
+        total_rate_bps: total_rate,
     }
 }
 
@@ -307,7 +321,8 @@ mod tests {
         let plain = assign_users(&inst, &placements);
         let rated = assign_users_max_rate(&inst, &placements);
         assert_eq!(rated.assignment.served, plain.served);
-        assert!(rated.total_rate_kbps > 0);
+        assert!(rated.total_rate_bps > 0);
+        assert_eq!(rated.total_rate_kbps(), rated.total_rate_bps / 1_000);
         // The rate-aware assignment validates the same invariants.
         let sum: u32 = rated.assignment.loads.iter().sum();
         assert_eq!(sum as usize, rated.assignment.served);
@@ -322,6 +337,42 @@ mod tests {
         assert_eq!(rated.assignment.served, 1);
         assert_eq!(rated.assignment.user_placement[0], Some(0));
         assert_eq!(rated.assignment.user_placement[1], None);
+    }
+
+    #[test]
+    fn sub_kbps_rate_differences_are_decisive() {
+        // Regression: costs used to be truncated to whole kbit/s, which
+        // made two users whose rates differ by < 1 kbps an arbitrary
+        // tie. Place them a hair apart so their bit/s rates differ by
+        // less than 1000 but the truncated kbit/s values coincide, give
+        // the UAV capacity 1, and demand the strictly-better user wins.
+        // Scan for a second position whose rate sits in the same
+        // truncated-kbit/s bucket as the first (bucket edges shift with
+        // the channel model, so a fixed offset would be brittle).
+        let mut setup = None;
+        let mut x = 451.0;
+        while x < 600.0 {
+            let inst = instance_with(&[(450.0, 450.0), (x, 450.0)], &[(1, 400.0)]);
+            let atg = inst.atg();
+            let radio = &inst.uavs()[0].radio;
+            let hover = inst.grid().hover_position(4);
+            let r0 = atg.data_rate_bps(radio, hover, inst.users()[0].pos);
+            let r1 = atg.data_rate_bps(radio, hover, inst.users()[1].pos);
+            let diff = (r0 - r1).abs();
+            if diff > 0.0 && diff < 1_000.0 && (r0 / 1_000.0) as u64 == (r1 / 1_000.0) as u64 {
+                setup = Some((inst, r0, r1));
+                break;
+            }
+            x += 0.5;
+        }
+        let (inst, r0, r1) = setup.expect("some offset yields a same-bucket sub-kbps gap");
+        let rated = assign_users_max_rate(&inst, &[(0, 4)]);
+        assert_eq!(rated.assignment.served, 1);
+        let winner = if r0 > r1 { 0 } else { 1 };
+        let loser = 1 - winner;
+        assert_eq!(rated.assignment.user_placement[winner], Some(0));
+        assert_eq!(rated.assignment.user_placement[loser], None);
+        assert_eq!(rated.total_rate_bps, r0.max(r1).round() as u64);
     }
 
     #[test]

@@ -12,8 +12,9 @@ use std::error::Error;
 use std::fmt;
 use uavnet_graph::{bfs_hops, prim_mst, shortest_path, Graph, Hops};
 
-/// Error from [`connect_via_mst`].
+/// Error from [`connect_via_mst`] / [`extend_to_gateway`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ConnectError {
     /// Two of the requested nodes lie in different components of the
     /// candidate graph, so no relay chain can join them.
@@ -23,6 +24,20 @@ pub enum ConnectError {
         /// The other endpoint.
         b: usize,
     },
+    /// A requested node does not exist in the candidate graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// The same node was requested twice.
+    DuplicateNode {
+        /// The repeated node.
+        node: usize,
+    },
+    /// [`extend_to_gateway`] was called with no deployed location.
+    EmptyDeployment,
 }
 
 impl fmt::Display for ConnectError {
@@ -30,6 +45,13 @@ impl fmt::Display for ConnectError {
         match self {
             ConnectError::Unreachable { a, b } => {
                 write!(f, "locations {a} and {b} cannot be connected by relays")
+            }
+            ConnectError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} outside the {num_nodes}-node graph")
+            }
+            ConnectError::DuplicateNode { node } => write!(f, "duplicate node {node}"),
+            ConnectError::EmptyDeployment => {
+                write!(f, "cannot extend an empty deployment to the gateway")
             }
         }
     }
@@ -49,12 +71,11 @@ impl Error for ConnectError {}
 ///
 /// # Errors
 ///
-/// [`ConnectError::Unreachable`] if the nodes span multiple components
-/// of `graph`.
-///
-/// # Panics
-///
-/// Panics if `nodes` contains duplicates or an out-of-range node.
+/// * [`ConnectError::Unreachable`] if the nodes span multiple
+///   components of `graph`;
+/// * [`ConnectError::NodeOutOfRange`] / [`ConnectError::DuplicateNode`]
+///   on malformed input — typed errors, not panics, so fault-injected
+///   location sets degrade gracefully.
 ///
 /// # Examples
 ///
@@ -71,8 +92,15 @@ impl Error for ConnectError {}
 pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, ConnectError> {
     let k = nodes.len();
     for (i, &v) in nodes.iter().enumerate() {
-        assert!(v < graph.num_nodes(), "node {v} out of range");
-        assert!(!nodes[..i].contains(&v), "duplicate node {v}");
+        if v >= graph.num_nodes() {
+            return Err(ConnectError::NodeOutOfRange {
+                node: v,
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        if nodes[..i].contains(&v) {
+            return Err(ConnectError::DuplicateNode { node: v });
+        }
     }
     if k <= 1 {
         return Ok(nodes.to_vec());
@@ -113,7 +141,19 @@ pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, Con
             }
         }
     }
-    Ok(prune_relay_leaves(graph, nodes, all))
+    let pruned = prune_relay_leaves(graph, nodes, all);
+    #[cfg(feature = "debug-validate")]
+    {
+        assert!(
+            uavnet_graph::is_connected_subset(graph, &pruned),
+            "debug-validate: pruned relay set is not induced-connected"
+        );
+        assert!(
+            nodes.iter().all(|v| pruned.contains(v)),
+            "debug-validate: pruning dropped a terminal"
+        );
+    }
+    Ok(pruned)
 }
 
 /// KMB step 4–5: spanning tree of the induced union, then iterative
@@ -179,18 +219,24 @@ fn prune_relay_leaves(graph: &Graph, terminals: &[usize], all: Vec<usize>) -> Ve
 ///
 /// # Errors
 ///
-/// [`ConnectError::Unreachable`] if no gateway-capable cell is
-/// reachable from the set.
-///
-/// # Panics
-///
-/// Panics if `current` is empty or contains an out-of-range node.
+/// * [`ConnectError::Unreachable`] if no gateway-capable cell is
+///   reachable from the set;
+/// * [`ConnectError::EmptyDeployment`] /
+///   [`ConnectError::NodeOutOfRange`] on malformed input.
 pub fn extend_to_gateway(
     graph: &Graph,
     current: &[usize],
     mut is_gateway: impl FnMut(usize) -> bool,
 ) -> Result<Vec<usize>, ConnectError> {
-    assert!(!current.is_empty(), "cannot extend an empty deployment");
+    if current.is_empty() {
+        return Err(ConnectError::EmptyDeployment);
+    }
+    if let Some(&node) = current.iter().find(|&&v| v >= graph.num_nodes()) {
+        return Err(ConnectError::NodeOutOfRange {
+            node,
+            num_nodes: graph.num_nodes(),
+        });
+    }
     if current.iter().any(|&l| is_gateway(l)) {
         return Ok(Vec::new());
     }
@@ -304,10 +350,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
-    fn rejects_duplicates() {
+    fn malformed_inputs_are_typed_errors() {
         let g = grid_graph(2, 2);
-        let _ = connect_via_mst(&g, &[0, 0]);
+        assert_eq!(
+            connect_via_mst(&g, &[0, 0]),
+            Err(ConnectError::DuplicateNode { node: 0 })
+        );
+        assert_eq!(
+            connect_via_mst(&g, &[0, 7]),
+            Err(ConnectError::NodeOutOfRange {
+                node: 7,
+                num_nodes: 4
+            })
+        );
+        assert_eq!(
+            extend_to_gateway(&g, &[9], |_| true),
+            Err(ConnectError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            })
+        );
     }
 
     #[test]
@@ -393,9 +455,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty deployment")]
     fn gateway_extension_rejects_empty_set() {
         let g = grid_graph(2, 2);
-        let _ = extend_to_gateway(&g, &[], |_| true);
+        assert_eq!(
+            extend_to_gateway(&g, &[], |_| true),
+            Err(ConnectError::EmptyDeployment)
+        );
     }
 }

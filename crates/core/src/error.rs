@@ -1,12 +1,15 @@
 //! Error types of the core crate.
 
+use crate::connecting::ConnectError;
 use crate::solution::ValidationError;
+use crate::verify::VerifyError;
 use std::error::Error;
 use std::fmt;
 
 /// Errors raised while building instances or running the deployment
 /// algorithms.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The instance under construction is malformed.
     InvalidInstance(String),
@@ -17,6 +20,12 @@ pub enum CoreError {
     Infeasible(String),
     /// A produced solution failed independent validation.
     Validation(ValidationError),
+    /// Locations could not be connected through relays (e.g. the
+    /// survivor set of a fault spans severed components).
+    Connect(ConnectError),
+    /// A differential oracle of the verification harness found two
+    /// supposedly equivalent computations disagreeing.
+    Verification(VerifyError),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +35,8 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             CoreError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
             CoreError::Validation(e) => write!(f, "validation failed: {e}"),
+            CoreError::Connect(e) => write!(f, "connection failed: {e}"),
+            CoreError::Verification(e) => write!(f, "verification failed: {e}"),
         }
     }
 }
@@ -34,6 +45,8 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Validation(e) => Some(e),
+            CoreError::Connect(e) => Some(e),
+            CoreError::Verification(e) => Some(e),
             _ => None,
         }
     }
@@ -42,6 +55,18 @@ impl Error for CoreError {
 impl From<ValidationError> for CoreError {
     fn from(e: ValidationError) -> Self {
         CoreError::Validation(e)
+    }
+}
+
+impl From<ConnectError> for CoreError {
+    fn from(e: ConnectError) -> Self {
+        CoreError::Connect(e)
+    }
+}
+
+impl From<VerifyError> for CoreError {
+    fn from(e: VerifyError) -> Self {
+        CoreError::Verification(e)
     }
 }
 

@@ -167,13 +167,20 @@ mod tests {
                 );
                 // Theorem 1 floor: ratio is 1/(3Δ); on these toy
                 // instances the greedy should do far better — demand
-                // at least the proven bound.
+                // at least the proven bound. Checked in pure integer
+                // arithmetic (`served·3Δ ≥ opt`): the former
+                // float-floor comparison could demand one user too
+                // many near exact multiples of 3Δ.
                 let plan = crate::SegmentPlan::optimal(inst.num_uavs(), s).unwrap();
-                let floor = (plan.approx_ratio() * opt.served_users() as f64).floor() as usize;
                 assert!(
-                    apx.served_users() >= floor,
-                    "approx {} below ratio floor {floor} (opt {})",
+                    crate::verify::theorem1_ratio_holds(
+                        apx.served_users(),
+                        opt.served_users(),
+                        plan.delta()
+                    ),
+                    "approx {} below the 1/(3Δ) floor, Δ={} (opt {})",
                     apx.served_users(),
+                    plan.delta(),
                     opt.served_users()
                 );
             }

@@ -29,7 +29,13 @@
 //! * [`Solution`] / [`Solution::validate`] — deployments with their
 //!   assignments and an independent feasibility checker;
 //! * [`exact_optimum`] — a brute-force reference for tiny instances,
-//!   used by the test-suite to sanity-check the approximation ratio.
+//!   used by the test-suite to sanity-check the approximation ratio;
+//! * the `verify` module — differential oracles over every redundant
+//!   implementation pair (matching vs max-flow, streaming vs
+//!   materialized sweep, closed-form vs `Σ Q_h` relay bound, approx vs
+//!   exact with the Theorem 1 floor) plus fault injection with typed
+//!   repair ([`inject_and_repair`]); the hot-path cross-checks compile
+//!   in under the `debug-validate` cargo feature.
 //!
 //! # Examples
 //!
@@ -70,6 +76,7 @@ mod redeploy;
 mod seed_matroid;
 mod segments;
 mod solution;
+mod verify;
 
 pub use alg1::SegmentPlan;
 #[doc(hidden)]
@@ -86,4 +93,11 @@ pub use oracle::CoverageOracle;
 pub use redeploy::{redeploy, rescore, RedeployStats};
 pub use seed_matroid::seed_matroid;
 pub use segments::{g_upper_bound, g_via_q_sums, h_max, q_budgets};
-pub use solution::{score_deployment, Deployment, Solution, SolutionSummary, ValidationError};
+pub use solution::{
+    score_deployment, try_score_deployment, Deployment, Solution, SolutionSummary, ValidationError,
+};
+pub use verify::{
+    check_against_exact, check_assignment_oracles, check_relay_bound, check_sweep_oracles,
+    inject_and_repair, theorem1_ratio_holds, verify_pipeline, DegradationReport, Fault,
+    VerifyError,
+};

@@ -206,6 +206,64 @@ impl Instance {
     pub fn best_coverage_count(&self, loc: CellIndex) -> usize {
         self.best_coverage[loc]
     }
+
+    /// A degraded copy of this instance whose location graph lost the
+    /// given UAV-to-UAV links (unordered cell pairs; pairs that were
+    /// never edges are ignored). Coverage tables, fleet and users are
+    /// shared semantics — only connectivity changes. Used by the
+    /// fault-injection harness ([`crate::verify`]) to model jammed or
+    /// shadowed inter-UAV links.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] if a pair references a
+    /// non-existent location.
+    pub fn with_severed_links(
+        &self,
+        severed: &[(CellIndex, CellIndex)],
+    ) -> Result<Instance, CoreError> {
+        let m = self.num_locations();
+        for &(a, b) in severed {
+            if a >= m || b >= m {
+                return Err(CoreError::InvalidParameters(format!(
+                    "severed link ({a}, {b}) references a location outside 0..{m}"
+                )));
+            }
+        }
+        let cut = |u: usize, v: usize| {
+            severed
+                .iter()
+                .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        };
+        let graph = Graph::from_edges(m, self.location_graph.edges().filter(|&(u, v)| !cut(u, v)));
+        let mut degraded = self.clone();
+        degraded.location_graph = graph;
+        Ok(degraded)
+    }
+
+    /// A copy of this instance with `extra` users appended (a demand
+    /// surge). Coverage tables are rebuilt; existing user ids are
+    /// preserved, the new users take ids `n..n + extra.len()`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInstance`] if an extra user lies outside the
+    /// zone or has an invalid minimum rate.
+    pub fn with_extra_users(&self, extra: &[User]) -> Result<Instance, CoreError> {
+        let builder = InstanceBuilder {
+            grid: self.grid.clone(),
+            users: self.users.iter().chain(extra).copied().collect(),
+            uavs: self.uavs.clone(),
+            atg: self.atg,
+            uav_channel: self.uav_channel,
+            gateway: self.gateway,
+        };
+        let mut rebuilt = builder.build()?;
+        // Preserve this instance's connectivity, which may already be
+        // degraded by severed links.
+        rebuilt.location_graph = self.location_graph.clone();
+        Ok(rebuilt)
+    }
 }
 
 /// Builder for [`Instance`]; see [`Instance::builder`].
@@ -261,17 +319,19 @@ impl InstanceBuilder {
 
     /// Validates and preprocesses the instance.
     ///
+    /// A zone with **zero users** is a valid (degenerate) instance:
+    /// every deployment serves nobody, but the solvers, validators and
+    /// the fault-injection harness all degrade gracefully instead of
+    /// erroring — a disaster zone can empty out mid-mission.
+    ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidInstance`] if there are no UAVs, no users,
-    /// a user lies outside the disaster zone, or a user has a
-    /// non-positive minimum rate.
+    /// [`CoreError::InvalidInstance`] if there are no UAVs, a user lies
+    /// outside the disaster zone, or a user has a non-positive minimum
+    /// rate.
     pub fn build(&self) -> Result<Instance, CoreError> {
         if self.uavs.is_empty() {
             return Err(CoreError::InvalidInstance("fleet is empty".into()));
-        }
-        if self.users.is_empty() {
-            return Err(CoreError::InvalidInstance("no users".into()));
         }
         let area = self.grid.spec().area();
         for (i, u) in self.users.iter().enumerate() {
@@ -416,15 +476,71 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_fleet_and_users() {
+    fn rejects_empty_fleet_but_allows_zero_users() {
         let b = Instance::builder(grid_900(300.0), 600.0);
         assert!(matches!(b.build(), Err(CoreError::InvalidInstance(_))));
         let mut b = Instance::builder(grid_900(300.0), 600.0);
-        b.add_uav(10, radio());
-        assert!(b.build().is_err());
-        let mut b = Instance::builder(grid_900(300.0), 600.0);
         b.add_user(Point2::new(1.0, 1.0), 2_000.0);
-        assert!(b.build().is_err());
+        assert!(b.build().is_err()); // users but no fleet
+                                     // A fleet over an evacuated zone is a valid degenerate instance.
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_users(), 0);
+        for loc in 0..inst.num_locations() {
+            assert_eq!(inst.coverage_count(0, loc), 0);
+        }
+    }
+
+    #[test]
+    fn severed_links_disappear_from_the_graph() {
+        let mut b = Instance::builder(grid_900(300.0), 350.0);
+        b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        assert!(inst.location_graph().has_edge(0, 1));
+        let degraded = inst.with_severed_links(&[(1, 0), (4, 5)]).unwrap();
+        assert!(!degraded.location_graph().has_edge(0, 1));
+        assert!(!degraded.location_graph().has_edge(4, 5));
+        assert!(degraded.location_graph().has_edge(1, 2)); // untouched
+        assert_eq!(degraded.num_users(), 1);
+        // Out-of-range pairs are rejected, not panicked on.
+        assert!(matches!(
+            inst.with_severed_links(&[(0, 99)]),
+            Err(CoreError::InvalidParameters(_))
+        ));
+    }
+
+    #[test]
+    fn extra_users_extend_coverage_tables() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        let surged = inst
+            .with_extra_users(&[User {
+                pos: Point2::new(160.0, 150.0),
+                min_rate_bps: 2_000.0,
+            }])
+            .unwrap();
+        assert_eq!(surged.num_users(), 2);
+        assert_eq!(surged.coverable(0, 0), &[0, 1]);
+        // Invalid extras are typed errors.
+        assert!(surged
+            .with_extra_users(&[User {
+                pos: Point2::new(-5.0, 0.0),
+                min_rate_bps: 2_000.0,
+            }])
+            .is_err());
+        // A severed graph survives the surge rebuild.
+        let degraded = inst.with_severed_links(&[(0, 1)]).unwrap();
+        let both = degraded
+            .with_extra_users(&[User {
+                pos: Point2::new(450.0, 450.0),
+                min_rate_bps: 2_000.0,
+            }])
+            .unwrap();
+        assert!(!both.location_graph().has_edge(0, 1));
     }
 
     #[test]

@@ -16,11 +16,26 @@ use crate::solution::{score_deployment, Solution};
 use crate::{CoreError, Instance};
 
 /// Fleet-movement summary of a re-deployment.
+///
+/// Launch-site convention: UAVs entering or leaving the air are **not**
+/// `moved_uavs` — they are counted separately as [`launched`]
+/// (RedeployStats::launched) / [`grounded`](RedeployStats::grounded),
+/// because no launch site is modeled and their flight distance is
+/// unknown. This keeps `moved_uavs` and `total_move_m` consistent: a
+/// UAV contributes to `moved_uavs` exactly when its (possibly zero-m)
+/// cell-to-cell flight is part of `total_move_m`, so
+/// `moved_uavs == 0 ⇔ total_move_m == 0`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RedeployStats {
-    /// UAVs whose hovering cell changed (including UAVs newly deployed
-    /// or newly grounded).
+    /// UAVs deployed in *both* plans whose hovering cell changed; each
+    /// contributes its cell-center distance to [`total_move_m`]
+    /// (RedeployStats::total_move_m).
     pub moved_uavs: usize,
+    /// UAVs deployed in the new plan but not the old one (flight from
+    /// the unmodeled launch site, 0 m by convention).
+    pub launched: usize,
+    /// UAVs deployed in the old plan but not the new one.
+    pub grounded: usize,
     /// Total horizontal flight distance (m) of UAVs deployed in both
     /// plans.
     pub total_move_m: f64,
@@ -74,6 +89,8 @@ pub fn redeploy(
         .map(|&(uav, loc)| (uav, loc))
         .collect();
     let mut moved = 0usize;
+    let mut launched = 0usize;
+    let mut grounded = 0usize;
     let mut total_m = 0.0f64;
     for uav in 0..instance.num_uavs() {
         match (old.get(&uav), new.get(&uav)) {
@@ -81,7 +98,8 @@ pub fn redeploy(
                 moved += 1;
                 total_m += grid.cell_center(a).distance(grid.cell_center(b));
             }
-            (Some(_), None) | (None, Some(_)) => moved += 1,
+            (Some(_), None) => grounded += 1,
+            (None, Some(_)) => launched += 1,
             _ => {}
         }
     }
@@ -89,6 +107,8 @@ pub fn redeploy(
         solution,
         RedeployStats {
             moved_uavs: moved,
+            launched,
+            grounded,
             total_move_m: total_m,
             stay_served: stay.served_users(),
         },
@@ -165,9 +185,49 @@ mod tests {
         assert_eq!(new_sol.served_users(), sol.served_users());
         assert_eq!(stats.stay_served, sol.served_users());
         // The algorithm is deterministic, so the same instance yields
-        // the same deployment — zero movement.
+        // the same deployment — zero movement, zero fleet churn.
         assert_eq!(stats.moved_uavs, 0);
+        assert_eq!(stats.launched, 0);
+        assert_eq!(stats.grounded, 0);
         assert_eq!(stats.total_move_m, 0.0);
+    }
+
+    #[test]
+    fn launched_and_grounded_do_not_inflate_moved_uavs() {
+        // Old plan: both UAVs airborne. New users need only one, so
+        // the new plan grounds the other — that must show up as
+        // `grounded`, not as a phantom zero-distance move.
+        // Two clusters one diagonal cell apart, so a connected pair of
+        // UAVs can serve both (424 m between cell centers < 450 m).
+        let before = instance_with_users(
+            &[
+                cluster(Point2::new(120.0, 150.0), 4),
+                cluster(Point2::new(420.0, 450.0), 3),
+            ]
+            .concat(),
+        );
+        let sol = approx_alg(&before, &ApproxConfig::with_s(1)).unwrap();
+        let airborne_before = sol.deployment().placements().len();
+        assert_eq!(airborne_before, 2, "both UAVs should fly at first");
+        // A single tight cluster of 4 users fits the capacity-4 UAV.
+        let after = instance_with_users(&cluster(Point2::new(720.0, 750.0), 4));
+        let (new_sol, stats) = redeploy(&after, &sol, &ApproxConfig::with_s(1)).unwrap();
+        let airborne_after = new_sol.deployment().placements().len();
+        // Fleet-churn bookkeeping must balance exactly.
+        assert_eq!(
+            airborne_before + stats.launched - stats.grounded,
+            airborne_after
+        );
+        // The consistency contract: movement distance comes only from
+        // UAVs counted in `moved_uavs`.
+        if stats.moved_uavs == 0 {
+            assert_eq!(stats.total_move_m, 0.0);
+        } else {
+            assert!(stats.total_move_m > 0.0);
+        }
+        if airborne_after < airborne_before {
+            assert!(stats.grounded >= airborne_before - airborne_after);
+        }
     }
 
     #[test]

@@ -22,15 +22,38 @@ impl Deployment {
     ///
     /// # Panics
     ///
-    /// Panics if a UAV or location appears twice.
+    /// Panics if a UAV or location appears twice. Untrusted inputs
+    /// (e.g. fault-injected or deserialized placements) should go
+    /// through [`Deployment::try_new`] instead.
     pub fn new(placements: Vec<(usize, CellIndex)>) -> Self {
+        match Self::try_new(placements) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid deployment: {e}"),
+        }
+    }
+
+    /// Creates a deployment from `(uav, location)` pairs, returning a
+    /// typed error instead of panicking on duplicates — the
+    /// `Result`-based boundary used by the verification and
+    /// fault-injection paths.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::DuplicateUav`] or
+    /// [`ValidationError::DuplicateLocation`] on the first repeated
+    /// entry.
+    pub fn try_new(placements: Vec<(usize, CellIndex)>) -> Result<Self, ValidationError> {
         for (i, &(uav, loc)) in placements.iter().enumerate() {
             for &(uav2, loc2) in &placements[..i] {
-                assert_ne!(uav, uav2, "UAV {uav} placed twice");
-                assert_ne!(loc, loc2, "location {loc} used twice");
+                if uav == uav2 {
+                    return Err(ValidationError::DuplicateUav { uav });
+                }
+                if loc == loc2 {
+                    return Err(ValidationError::DuplicateLocation { loc });
+                }
             }
         }
-        Deployment { placements }
+        Ok(Deployment { placements })
     }
 
     /// The `(uav, location)` pairs.
@@ -258,10 +281,42 @@ fn jain_index(xs: &[u32]) -> f64 {
 /// # Panics
 ///
 /// Panics if a placement references an out-of-range UAV or location,
-/// or repeats a UAV or location.
+/// or repeats a UAV or location. Untrusted placements should go
+/// through [`try_score_deployment`].
 pub fn score_deployment(instance: &Instance, placements: Vec<(usize, CellIndex)>) -> Solution {
+    #[cfg(feature = "debug-validate")]
+    crate::verify::check_assignment_oracles(instance, &placements)
+        .expect("debug-validate: matching and max-flow assignments diverged");
     let assignment = assign_users(instance, &placements);
     Solution::from_parts(placements, assignment)
+}
+
+/// [`score_deployment`] behind a `Result` boundary: placements are
+/// checked for range and duplicates first, so forged or fault-injected
+/// inputs yield typed errors instead of panics.
+///
+/// # Errors
+///
+/// [`CoreError::Validation`] wrapping the first malformed placement
+/// (bad index or duplicate).
+pub fn try_score_deployment(
+    instance: &Instance,
+    placements: Vec<(usize, CellIndex)>,
+) -> Result<Solution, crate::CoreError> {
+    for &(uav, loc) in &placements {
+        if uav >= instance.num_uavs() {
+            return Err(ValidationError::BadUavIndex { uav }.into());
+        }
+        if loc >= instance.num_locations() {
+            return Err(ValidationError::BadLocationIndex { loc }.into());
+        }
+    }
+    let deployment = Deployment::try_new(placements)?;
+    let assignment = assign_users(instance, deployment.placements());
+    Ok(Solution {
+        deployment,
+        assignment,
+    })
 }
 
 /// A violated constraint found by [`Solution::validate`].
@@ -279,6 +334,16 @@ pub enum ValidationError {
     BadUavIndex {
         /// The offending UAV index.
         uav: usize,
+    },
+    /// The same UAV appears in two placements.
+    DuplicateUav {
+        /// The repeated UAV index.
+        uav: usize,
+    },
+    /// The same location hosts two UAVs (one UAV per cell, §II-A).
+    DuplicateLocation {
+        /// The repeated location index.
+        loc: usize,
     },
     /// A placement references a non-existent location.
     BadLocationIndex {
@@ -338,6 +403,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "{deployed} UAVs deployed but the fleet has {fleet}")
             }
             ValidationError::BadUavIndex { uav } => write!(f, "unknown UAV index {uav}"),
+            ValidationError::DuplicateUav { uav } => write!(f, "UAV {uav} placed twice"),
+            ValidationError::DuplicateLocation { loc } => {
+                write!(f, "location {loc} used twice")
+            }
             ValidationError::BadLocationIndex { loc } => {
                 write!(f, "unknown location index {loc}")
             }
@@ -460,6 +529,44 @@ mod tests {
         sol.validate(&inst).unwrap();
         assert_eq!(sol.served_users(), 0);
         assert!(sol.deployment().is_empty());
+    }
+
+    #[test]
+    fn try_new_returns_typed_duplicate_errors() {
+        assert_eq!(
+            Deployment::try_new(vec![(0, 0), (0, 1)]),
+            Err(ValidationError::DuplicateUav { uav: 0 })
+        );
+        assert_eq!(
+            Deployment::try_new(vec![(0, 3), (1, 3)]),
+            Err(ValidationError::DuplicateLocation { loc: 3 })
+        );
+        assert!(Deployment::try_new(vec![(0, 0), (1, 1)]).is_ok());
+    }
+
+    #[test]
+    fn try_score_deployment_rejects_malformed_placements() {
+        let inst = instance();
+        assert!(matches!(
+            try_score_deployment(&inst, vec![(9, 0)]),
+            Err(crate::CoreError::Validation(ValidationError::BadUavIndex {
+                uav: 9
+            }))
+        ));
+        assert!(matches!(
+            try_score_deployment(&inst, vec![(0, 99)]),
+            Err(crate::CoreError::Validation(
+                ValidationError::BadLocationIndex { loc: 99 }
+            ))
+        ));
+        assert!(matches!(
+            try_score_deployment(&inst, vec![(0, 0), (1, 0)]),
+            Err(crate::CoreError::Validation(
+                ValidationError::DuplicateLocation { loc: 0 }
+            ))
+        ));
+        let sol = try_score_deployment(&inst, vec![(0, 0), (1, 1)]).unwrap();
+        assert_eq!(sol.served_users(), 2);
     }
 
     #[test]

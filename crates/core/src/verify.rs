@@ -1,0 +1,746 @@
+//! Differential verification & fault-injection harness.
+//!
+//! The repo carries several *pairs* of independent implementations of
+//! the same quantity — the incremental matching vs the literal Lemma 1
+//! max-flow, the streaming vs the materialized subset sweep, the
+//! closed-form relay bound vs its `Σ Q_h` derivation, and the
+//! approximation vs the brute-force optimum. This module turns each
+//! pair into an executable **differential oracle**: run both sides,
+//! compare, and report any divergence as a typed [`VerifyError`]
+//! instead of silently trusting one implementation.
+//!
+//! The second half is a **fault-injection** harness
+//! ([`inject_and_repair`]): take a solved [`Solution`], kill UAVs,
+//! sever inter-UAV links or surge the user population, then drive the
+//! repair path (largest surviving component → relay reconnection via
+//! [`connect_via_mst`] → gateway re-extension → re-assignment) and
+//! report how gracefully coverage degraded as a
+//! [`DegradationReport`]. Every failure mode is a typed
+//! [`CoreError`] — repair never panics on a representable fault.
+//!
+//! The cheap oracle checks are additionally wired into the hot paths
+//! behind the `debug-validate` cargo feature (see
+//! [`crate::solution::score_deployment`], [`connect_via_mst`] and the
+//! solver crates), so any CI run with that feature cross-checks every
+//! deployment the algorithms score.
+
+use crate::approx::{approx_alg, approx_alg_materialized, approx_alg_with_stats, ApproxConfig};
+use crate::assign::{assign_users, assign_users_max_flow};
+use crate::connecting::{connect_via_mst, extend_to_gateway};
+use crate::exact::exact_optimum;
+use crate::model::User;
+use crate::solution::{try_score_deployment, Solution};
+use crate::{CoreError, Instance, SegmentPlan};
+use std::cmp::Reverse;
+use std::error::Error;
+use std::fmt;
+use uavnet_geom::CellIndex;
+use uavnet_graph::connected_components;
+
+/// A divergence found by one of the differential oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The incremental matching and the Lemma 1 max-flow disagree on
+    /// the optimal served-user count for the same deployment.
+    AssignmentMismatch {
+        /// Served count from [`assign_users`].
+        matching: usize,
+        /// Served count from [`assign_users_max_flow`].
+        max_flow: usize,
+    },
+    /// An assignment's per-station loads do not sum to its served
+    /// count (an internally inconsistent result).
+    LoadSumMismatch {
+        /// Which oracle produced it (`"matching"` / `"max-flow"`).
+        oracle: &'static str,
+        /// Sum of the per-placement loads.
+        load_sum: usize,
+        /// Claimed served count.
+        served: usize,
+    },
+    /// The streaming and the materialized subset sweep disagree.
+    SweepMismatch {
+        /// Which deterministic field diverged.
+        field: &'static str,
+        /// Value from the streaming sweep.
+        streaming: String,
+        /// Value from the materialized reference.
+        materialized: String,
+    },
+    /// The closed-form relay bound `g` (Eq. 2) disagrees with its
+    /// unsimplified `Σ Q_h` derivation (Lemma 2, inequality 4).
+    RelayBoundMismatch {
+        /// The segment sizes `p_1 … p_{s+1}`.
+        p: Vec<usize>,
+        /// [`crate::g_upper_bound`] value.
+        closed_form: usize,
+        /// [`crate::g_via_q_sums`] value.
+        q_sum: usize,
+    },
+    /// The approximation fell below the proven Theorem 1 floor
+    /// `served · 3Δ ≥ OPT` (or exceeded the optimum).
+    RatioViolated {
+        /// Users served by the approximation.
+        served: usize,
+        /// The brute-force optimum.
+        opt: usize,
+        /// The plan's `Δ`.
+        delta: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::AssignmentMismatch { matching, max_flow } => write!(
+                f,
+                "matching served {matching} users but max-flow served {max_flow}"
+            ),
+            VerifyError::LoadSumMismatch {
+                oracle,
+                load_sum,
+                served,
+            } => write!(
+                f,
+                "{oracle} assignment loads sum to {load_sum} but claims {served} served"
+            ),
+            VerifyError::SweepMismatch {
+                field,
+                streaming,
+                materialized,
+            } => write!(
+                f,
+                "subset sweep diverged on {field}: streaming {streaming} vs materialized {materialized}"
+            ),
+            VerifyError::RelayBoundMismatch { p, closed_form, q_sum } => write!(
+                f,
+                "relay bound for p={p:?}: closed form {closed_form} vs Q-sum {q_sum}"
+            ),
+            VerifyError::RatioViolated { served, opt, delta } => write!(
+                f,
+                "served {served} violates the 1/(3Δ) guarantee against opt {opt} (Δ = {delta})"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Differential oracle 1 — Lemma 1: the incremental capacitated
+/// matching ([`assign_users`]) and the literal max-flow construction
+/// ([`assign_users_max_flow`]) must agree on the optimal served count,
+/// and each must be internally consistent (loads summing to the
+/// served count).
+///
+/// Individual user→UAV arcs may legitimately differ (multiple optima);
+/// only the optimum value and the bookkeeping invariants are compared.
+///
+/// # Errors
+///
+/// [`VerifyError::AssignmentMismatch`] / [`VerifyError::LoadSumMismatch`].
+///
+/// # Panics
+///
+/// Panics if a placement references an out-of-range UAV or location
+/// (same contract as the two assignment functions).
+pub fn check_assignment_oracles(
+    instance: &Instance,
+    placements: &[(usize, CellIndex)],
+) -> Result<(), VerifyError> {
+    let a = assign_users(instance, placements);
+    let b = assign_users_max_flow(instance, placements);
+    let sum_a: usize = a.loads.iter().map(|&l| l as usize).sum();
+    let sum_b: usize = b.loads.iter().map(|&l| l as usize).sum();
+    if sum_a != a.served {
+        return Err(VerifyError::LoadSumMismatch {
+            oracle: "matching",
+            load_sum: sum_a,
+            served: a.served,
+        });
+    }
+    if sum_b != b.served {
+        return Err(VerifyError::LoadSumMismatch {
+            oracle: "max-flow",
+            load_sum: sum_b,
+            served: b.served,
+        });
+    }
+    if a.served != b.served {
+        return Err(VerifyError::AssignmentMismatch {
+            matching: a.served,
+            max_flow: b.served,
+        });
+    }
+    Ok(())
+}
+
+/// Differential oracle 2 — the streaming subset sweep against the
+/// materialized sequential reference: solutions and every
+/// timing-independent statistic must be bit-for-bit identical.
+///
+/// # Errors
+///
+/// [`VerifyError::SweepMismatch`] naming the first diverging field;
+/// propagates solver errors ([`CoreError`]) unchanged.
+pub fn check_sweep_oracles(instance: &Instance, config: &ApproxConfig) -> Result<(), CoreError> {
+    let (sol, stats) = approx_alg_with_stats(instance, config)?;
+    let (ref_sol, ref_stats) = approx_alg_materialized(instance, config)?;
+    let mismatch = |field: &'static str, s: String, m: String| {
+        Err(CoreError::Verification(VerifyError::SweepMismatch {
+            field,
+            streaming: s,
+            materialized: m,
+        }))
+    };
+    if sol.deployment().placements() != ref_sol.deployment().placements() {
+        return mismatch(
+            "placements",
+            format!("{:?}", sol.deployment().placements()),
+            format!("{:?}", ref_sol.deployment().placements()),
+        );
+    }
+    if sol.served_users() != ref_sol.served_users() {
+        return mismatch(
+            "served",
+            sol.served_users().to_string(),
+            ref_sol.served_users().to_string(),
+        );
+    }
+    for (field, s, m) in [
+        (
+            "subsets_enumerated",
+            stats.subsets_enumerated,
+            ref_stats.subsets_enumerated,
+        ),
+        (
+            "subsets_chain_pruned",
+            stats.subsets_chain_pruned,
+            ref_stats.subsets_chain_pruned,
+        ),
+        (
+            "subsets_evaluated",
+            stats.subsets_evaluated,
+            ref_stats.subsets_evaluated,
+        ),
+        (
+            "subsets_unconnectable",
+            stats.subsets_unconnectable,
+            ref_stats.subsets_unconnectable,
+        ),
+        (
+            "gain_queries",
+            stats.gain_queries as usize,
+            ref_stats.gain_queries as usize,
+        ),
+    ] {
+        if s != m {
+            return mismatch(field, s.to_string(), m.to_string());
+        }
+    }
+    if stats.best_seeds != ref_stats.best_seeds {
+        return mismatch(
+            "best_seeds",
+            format!("{:?}", stats.best_seeds),
+            format!("{:?}", ref_stats.best_seeds),
+        );
+    }
+    Ok(())
+}
+
+/// Differential oracle 3 — Lemma 2's algebra: the closed-form relay
+/// bound [`crate::g_upper_bound`] must equal the direct
+/// `s + Σ middle + Σ_{h≥1} Q_h` evaluation
+/// ([`crate::g_via_q_sums`]) for the given segment sizes.
+///
+/// # Errors
+///
+/// [`VerifyError::RelayBoundMismatch`].
+///
+/// # Panics
+///
+/// Panics if `p` has fewer than two entries (same contract as the
+/// bound functions themselves).
+pub fn check_relay_bound(p: &[usize]) -> Result<(), VerifyError> {
+    let s = p.len() - 1;
+    let l = p.iter().sum::<usize>() + s;
+    let closed_form = crate::g_upper_bound(p);
+    let q_sum = crate::g_via_q_sums(l, p);
+    if closed_form != q_sum {
+        return Err(VerifyError::RelayBoundMismatch {
+            p: p.to_vec(),
+            closed_form,
+            q_sum,
+        });
+    }
+    Ok(())
+}
+
+/// Theorem 1's guarantee `served ≥ OPT / (3Δ)`, checked in pure
+/// integer arithmetic as `served · 3 · Δ ≥ OPT` (saturating, so huge
+/// inputs err on the accepting side rather than overflowing). The
+/// float-floor formulation this replaces could demand one user too
+/// many when `OPT` is an exact multiple of `3Δ`.
+pub fn theorem1_ratio_holds(served: usize, opt: usize, delta: usize) -> bool {
+    served.saturating_mul(3).saturating_mul(delta) >= opt
+}
+
+/// Differential oracle 4 — the approximation against the brute-force
+/// optimum on a small instance: `approx ≤ OPT` and the Theorem 1
+/// floor `approx · 3Δ ≥ OPT` must both hold.
+///
+/// Returns the `(approx, optimum)` pair on success so callers can
+/// report the realized ratio.
+///
+/// # Errors
+///
+/// [`VerifyError::RatioViolated`] (wrapped in [`CoreError`]) on a
+/// violated guarantee; [`CoreError::InvalidParameters`] when the
+/// instance exceeds the exact solver's guards (`m > 16` or `K > 4`).
+pub fn check_against_exact(
+    instance: &Instance,
+    config: &ApproxConfig,
+) -> Result<(Solution, Solution), CoreError> {
+    let opt = exact_optimum(instance)?;
+    let apx = approx_alg(instance, config)?;
+    let plan = SegmentPlan::optimal(instance.num_uavs(), config.s())?;
+    let delta = plan.delta();
+    if apx.served_users() > opt.served_users()
+        || !theorem1_ratio_holds(apx.served_users(), opt.served_users(), delta)
+    {
+        return Err(VerifyError::RatioViolated {
+            served: apx.served_users(),
+            opt: opt.served_users(),
+            delta,
+        }
+        .into());
+    }
+    Ok((apx, opt))
+}
+
+/// Runs the full differential battery appropriate for `instance` in
+/// one call: the sweep oracle pair, the relay-bound algebra for the
+/// plan's segment sizes, the assignment oracle pair on the winning
+/// deployment, and independent [`Solution::validate`]. Small
+/// instances (within the exact solver's guards) additionally get the
+/// exact-vs-approx ratio check.
+///
+/// Returns the verified solution.
+///
+/// # Errors
+///
+/// The first failing oracle as a [`CoreError`].
+pub fn verify_pipeline(instance: &Instance, config: &ApproxConfig) -> Result<Solution, CoreError> {
+    check_sweep_oracles(instance, config)?;
+    let (sol, stats) = approx_alg_with_stats(instance, config)?;
+    check_relay_bound(stats.plan.p()).map_err(CoreError::from)?;
+    check_assignment_oracles(instance, sol.deployment().placements()).map_err(CoreError::from)?;
+    sol.validate(instance)?;
+    if instance.num_locations() <= 16 && instance.num_uavs() <= 4 {
+        check_against_exact(instance, config)?;
+    }
+    Ok(sol)
+}
+
+/// A fault injected into a solved scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The listed UAVs (fleet indices) crash or are withdrawn; their
+    /// placements disappear and they are unavailable as relays.
+    KillUavs(Vec<usize>),
+    /// The listed inter-UAV links (unordered cell pairs of the
+    /// location graph) are jammed or shadowed.
+    SeverLinks(Vec<(CellIndex, CellIndex)>),
+    /// Extra users appear (a demand surge into the disaster zone).
+    UserSurge(Vec<User>),
+}
+
+/// The outcome of [`inject_and_repair`]: how far coverage degraded at
+/// each stage, what the repair spent, and the repaired solution
+/// together with the degraded instance it is valid against.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DegradationReport {
+    /// Users served before any fault.
+    pub served_before: usize,
+    /// Users served by the surviving placements immediately after the
+    /// fault, before any repair (re-assigned optimally, but possibly
+    /// on a disconnected or gateway-less network).
+    pub served_after_fault: usize,
+    /// Users served by the repaired, validate-clean solution.
+    pub served_after_repair: usize,
+    /// Killed UAV indices (deduplicated).
+    pub killed_uavs: Vec<usize>,
+    /// Number of severed links applied.
+    pub severed_links: usize,
+    /// Number of surged users appended.
+    pub surged_users: usize,
+    /// Spare (undeployed, surviving) UAVs spent as relays or gateway
+    /// bridges during the repair.
+    pub relays_spent: usize,
+    /// Surviving placements the repair had to abandon (disconnected
+    /// fragments or relay-budget shortfalls).
+    pub dropped_placements: usize,
+    /// The repaired solution; `validate` passes against [`instance`]
+    /// (DegradationReport::instance).
+    pub solution: Solution,
+    /// The degraded instance (severed links and surged users applied)
+    /// the repaired solution lives on.
+    pub instance: Instance,
+}
+
+/// Injects `faults` into a solved scenario and drives the repair path:
+///
+/// 1. apply link/user faults to a copy of the instance and drop the
+///    killed UAVs' placements;
+/// 2. if the survivors' network fell apart, keep the connected
+///    component serving the most users (ties: larger component, then
+///    smaller placement index);
+/// 3. reconnect through [`connect_via_mst`] and re-extend to the
+///    gateway, spending spare (surviving, undeployed) UAVs as relays —
+///    largest spares on the most coverable relay cells; when the spare
+///    budget is short, abandon the least-coverable survivor and retry;
+/// 4. re-run the optimal assignment and independently validate.
+///
+/// The repair is deterministic and total over representable faults:
+/// any unrepairable situation (e.g. the gateway cut off from every
+/// survivor) is a typed [`CoreError`], never a panic.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameters`] for out-of-range UAV ids or
+///   link endpoints, or invalid surge users;
+/// * [`CoreError::Connect`] when no relay chain can restore the
+///   gateway link;
+/// * [`CoreError::Validation`] if the repaired solution fails its own
+///   independent validation (a genuine harness bug — surfaced, not
+///   masked).
+pub fn inject_and_repair(
+    instance: &Instance,
+    solution: &Solution,
+    faults: &[Fault],
+) -> Result<DegradationReport, CoreError> {
+    let mut killed: Vec<usize> = Vec::new();
+    let mut severed: Vec<(CellIndex, CellIndex)> = Vec::new();
+    let mut extra: Vec<User> = Vec::new();
+    for fault in faults {
+        match fault {
+            Fault::KillUavs(ids) => killed.extend(ids.iter().copied()),
+            Fault::SeverLinks(links) => severed.extend(links.iter().copied()),
+            Fault::UserSurge(users) => extra.extend(users.iter().copied()),
+        }
+    }
+    killed.sort_unstable();
+    killed.dedup();
+    if let Some(&bad) = killed.iter().find(|&&u| u >= instance.num_uavs()) {
+        return Err(CoreError::InvalidParameters(format!(
+            "killed UAV {bad} outside the fleet of {}",
+            instance.num_uavs()
+        )));
+    }
+
+    let mut degraded = instance.clone();
+    if !severed.is_empty() {
+        degraded = degraded.with_severed_links(&severed)?;
+    }
+    if !extra.is_empty() {
+        degraded = degraded.with_extra_users(&extra)?;
+    }
+    let graph = degraded.location_graph();
+
+    let served_before = solution.served_users();
+    let mut survivors: Vec<(usize, CellIndex)> = solution
+        .deployment()
+        .placements()
+        .iter()
+        .copied()
+        .filter(|(uav, _)| !killed.contains(uav))
+        .collect();
+    let served_after_fault = assign_users(&degraded, &survivors).served;
+    let mut dropped = 0usize;
+
+    // Step 2: severed links may have split the *location graph*
+    // itself, stranding survivors in different graph components no
+    // relay chain can bridge. Keep the most valuable stranded group.
+    // (Survivors that are merely non-adjacent within one component are
+    // fine — step 3 bridges them with relays.)
+    if survivors.len() > 1 {
+        let keep = best_component(&degraded, &survivors);
+        dropped += survivors.len() - keep.len();
+        survivors = keep;
+    }
+
+    // Spare fleet: surviving UAVs not deployed anywhere, largest
+    // capacity first — servers of the repair's relay chain.
+    let deployed: Vec<usize> = survivors.iter().map(|&(u, _)| u).collect();
+    let spares: Vec<usize> = degraded
+        .uavs_by_capacity()
+        .iter()
+        .copied()
+        .filter(|u| !killed.contains(u) && !deployed.contains(u))
+        .collect();
+
+    // Step 3: reconnect within the spare budget, abandoning the
+    // least-coverable survivor on shortfall. Terminates because the
+    // survivor set strictly shrinks; one survivor needs no relays.
+    let mut relay_cells: Vec<usize>;
+    loop {
+        if survivors.is_empty() {
+            relay_cells = Vec::new();
+            break;
+        }
+        let locs: Vec<usize> = survivors.iter().map(|&(_, l)| l).collect();
+        let all = connect_via_mst(graph, &locs)?;
+        let mut extra_cells: Vec<usize> = all[locs.len()..].to_vec();
+        if degraded.gateway().is_some() {
+            // The gateway being unreachable from this component cannot
+            // be fixed by shrinking the component further — propagate.
+            let gw = extend_to_gateway(graph, &all, |c| degraded.is_gateway_cell(c))?;
+            extra_cells.extend(gw);
+        }
+        if extra_cells.len() <= spares.len() {
+            relay_cells = extra_cells;
+            break;
+        }
+        let (victim, _) = survivors
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &(uav, loc))| (degraded.coverage_count(uav, loc), i))
+            .expect("survivors is non-empty");
+        survivors.remove(victim);
+        dropped += 1;
+    }
+
+    // Largest spares on the most coverable relay cells (ties by cell).
+    relay_cells.sort_by_key(|&v| (Reverse(degraded.best_coverage_count(v)), v));
+    let relays_spent = relay_cells.len();
+    let mut placements = survivors;
+    for (cell, &uav) in relay_cells.into_iter().zip(spares.iter()) {
+        placements.push((uav, cell));
+    }
+
+    // Step 4: typed-error scoring plus independent validation.
+    let repaired = try_score_deployment(&degraded, placements)?;
+    repaired.validate(&degraded)?;
+    Ok(DegradationReport {
+        served_before,
+        served_after_fault,
+        served_after_repair: repaired.served_users(),
+        killed_uavs: killed,
+        severed_links: severed.len(),
+        surged_users: extra.len(),
+        relays_spent,
+        dropped_placements: dropped,
+        solution: repaired,
+        instance: degraded,
+    })
+}
+
+/// The survivors of the location-graph component serving the most
+/// users (ties: more placements, then the smaller first placement
+/// index) — deterministic triage after severed links split the graph.
+/// Returns all survivors unchanged when they share one component.
+fn best_component(
+    degraded: &Instance,
+    survivors: &[(usize, CellIndex)],
+) -> Vec<(usize, CellIndex)> {
+    let mut comp_of = vec![usize::MAX; degraded.num_locations()];
+    for (ci, comp) in connected_components(degraded.location_graph())
+        .iter()
+        .enumerate()
+    {
+        for &v in comp {
+            comp_of[v] = ci;
+        }
+    }
+    let mut groups: Vec<(usize, Vec<(usize, CellIndex)>)> = Vec::new();
+    for &(uav, loc) in survivors {
+        match groups.iter_mut().find(|(c, _)| *c == comp_of[loc]) {
+            Some((_, g)) => g.push((uav, loc)),
+            None => groups.push((comp_of[loc], vec![(uav, loc)])),
+        }
+    }
+    if groups.len() <= 1 {
+        return survivors.to_vec();
+    }
+    // Groups are in first-occurrence order; `Reverse(i)` makes every
+    // key distinct, so ties on (served, size) go to the group holding
+    // the earliest placement.
+    groups
+        .into_iter()
+        .enumerate()
+        .max_by_key(|(i, (_, g))| (assign_users(degraded, g).served, g.len(), Reverse(*i)))
+        .map(|(_, (_, g))| g)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn instance_3x3(uav_range: f64, caps: &[u32]) -> Instance {
+        let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+            .unwrap()
+            .build();
+        let mut b = Instance::builder(grid, uav_range);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(160.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+        b.add_user(Point2::new(750.0, 750.0), 2_000.0);
+        for &c in caps {
+            b.add_uav(c, UavRadio::new(30.0, 5.0, 350.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn assignment_oracles_agree_on_varied_deployments() {
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        for placements in [
+            vec![],
+            vec![(0usize, 0usize)],
+            vec![(0, 0), (1, 4)],
+            vec![(2, 8), (0, 0), (1, 4)],
+        ] {
+            check_assignment_oracles(&inst, &placements).unwrap();
+        }
+    }
+
+    #[test]
+    fn relay_bound_oracle_accepts_lemma2_algebra() {
+        for p in [
+            vec![0usize, 0],
+            vec![1, 2, 2, 2],
+            vec![5, 3],
+            vec![0, 4, 4, 0],
+            vec![3, 3, 3, 3, 3],
+        ] {
+            check_relay_bound(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn ratio_check_is_integer_exact() {
+        // served = 2, opt = 6, Δ = 1: 2·3·1 = 6 ≥ 6 — exactly on the
+        // floor must PASS (the float-floor version rejected this).
+        assert!(theorem1_ratio_holds(2, 6, 1));
+        assert!(!theorem1_ratio_holds(1, 6, 1)); // 3 < 6
+        assert!(theorem1_ratio_holds(0, 0, 3)); // degenerate: no users
+        assert!(theorem1_ratio_holds(usize::MAX / 2, usize::MAX, 7)); // saturates
+    }
+
+    #[test]
+    fn sweep_and_exact_oracles_pass_on_a_small_instance() {
+        let inst = instance_3x3(450.0, &[2, 1]);
+        let config = ApproxConfig::with_s(1).threads(2);
+        check_sweep_oracles(&inst, &config).unwrap();
+        let (apx, opt) = check_against_exact(&inst, &config).unwrap();
+        assert!(apx.served_users() <= opt.served_users());
+        let sol = verify_pipeline(&inst, &config).unwrap();
+        assert_eq!(sol.served_users(), apx.served_users());
+    }
+
+    #[test]
+    fn kill_fault_repairs_to_a_valid_solution() {
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        let sol = approx_alg(&inst, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        sol.validate(&inst).unwrap();
+        for &(uav, _) in sol.deployment().placements() {
+            let report = inject_and_repair(&inst, &sol, &[Fault::KillUavs(vec![uav])]).unwrap();
+            report.solution.validate(&report.instance).unwrap();
+            assert!(report
+                .solution
+                .deployment()
+                .placements()
+                .iter()
+                .all(|&(u, _)| u != uav));
+            assert!(report.served_after_repair <= report.served_before);
+            assert_eq!(report.killed_uavs, vec![uav]);
+        }
+    }
+
+    #[test]
+    fn severed_link_fault_triages_the_best_component() {
+        // Chain deployment across the diagonal; cutting a middle link
+        // must keep the component serving more users.
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        let sol = approx_alg(&inst, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        let links: Vec<(usize, usize)> = inst.location_graph().edges().collect();
+        for &link in links.iter().take(6) {
+            let report = inject_and_repair(&inst, &sol, &[Fault::SeverLinks(vec![link])]).unwrap();
+            report.solution.validate(&report.instance).unwrap();
+        }
+    }
+
+    #[test]
+    fn user_surge_fault_reassigns() {
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        let sol = approx_alg(&inst, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        let surge: Vec<User> = (0..3)
+            .map(|i| User {
+                pos: Point2::new(150.0 + 5.0 * i as f64, 160.0),
+                min_rate_bps: 2_000.0,
+            })
+            .collect();
+        let report = inject_and_repair(&inst, &sol, &[Fault::UserSurge(surge)]).unwrap();
+        assert_eq!(report.surged_users, 3);
+        assert_eq!(report.instance.num_users(), inst.num_users() + 3);
+        report.solution.validate(&report.instance).unwrap();
+        // More demand can only help the served count.
+        assert!(report.served_after_repair >= report.served_before.min(1));
+    }
+
+    #[test]
+    fn combined_faults_and_whole_fleet_loss_degrade_gracefully() {
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        let sol = approx_alg(&inst, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        // Everything at once.
+        let report = inject_and_repair(
+            &inst,
+            &sol,
+            &[
+                Fault::KillUavs(vec![0]),
+                Fault::SeverLinks(vec![(0, 1)]),
+                Fault::UserSurge(vec![User {
+                    pos: Point2::new(450.0, 460.0),
+                    min_rate_bps: 2_000.0,
+                }]),
+            ],
+        )
+        .unwrap();
+        report.solution.validate(&report.instance).unwrap();
+        // The whole fleet gone: empty but valid.
+        let report = inject_and_repair(&inst, &sol, &[Fault::KillUavs(vec![0, 1, 2])]).unwrap();
+        assert_eq!(report.served_after_repair, 0);
+        assert!(report.solution.deployment().is_empty());
+        report.solution.validate(&report.instance).unwrap();
+    }
+
+    #[test]
+    fn malformed_faults_are_typed_errors() {
+        let inst = instance_3x3(450.0, &[2, 1]);
+        let sol = approx_alg(&inst, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        assert!(matches!(
+            inject_and_repair(&inst, &sol, &[Fault::KillUavs(vec![99])]),
+            Err(CoreError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            inject_and_repair(&inst, &sol, &[Fault::SeverLinks(vec![(0, 99)])]),
+            Err(CoreError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            inject_and_repair(
+                &inst,
+                &sol,
+                &[Fault::UserSurge(vec![User {
+                    pos: Point2::new(-10.0, 0.0),
+                    min_rate_bps: 2_000.0,
+                }])]
+            ),
+            Err(CoreError::InvalidInstance(_))
+        ));
+    }
+}

@@ -260,7 +260,36 @@ impl CapacitatedMatching {
         while self.station_load[st] < self.station_cap[st] && self.augment_once(st, None, false) {
             gained += 1;
         }
+        #[cfg(feature = "debug-validate")]
+        self.assert_consistent();
         gained
+    }
+
+    /// Full-state audit: every user's assignment is mirrored in its
+    /// station's load, no station exceeds its capacity and the matched
+    /// tally agrees. Compiled only under `debug-validate`.
+    #[cfg(feature = "debug-validate")]
+    fn assert_consistent(&self) {
+        let mut loads = vec![0u32; self.num_stations()];
+        let mut matched = 0usize;
+        for &st in self.user_station.iter().flatten() {
+            loads[st] += 1;
+            matched += 1;
+        }
+        assert_eq!(
+            matched, self.matched,
+            "debug-validate: matched count drifted"
+        );
+        for st in 0..self.num_stations() {
+            assert_eq!(
+                loads[st], self.station_load[st],
+                "debug-validate: station {st} load drifted"
+            );
+            assert!(
+                loads[st] <= self.station_cap[st],
+                "debug-validate: station {st} over capacity"
+            );
+        }
     }
 
     /// Trial insertion: how many extra users would a station with
@@ -291,6 +320,10 @@ impl CapacitatedMatching {
             self.user_station[user as usize] = old;
         }
         self.matched -= gained as usize;
+        // The rollback must have restored the pre-trial matching
+        // exactly — a drift here corrupts every later gain query.
+        #[cfg(feature = "debug-validate")]
+        self.assert_consistent();
         gained
     }
 

@@ -114,6 +114,19 @@ pub fn prim_mst(weights: &[Vec<Option<Hops>>]) -> Result<Vec<(usize, usize, Hops
             }
         }
     }
+    #[cfg(feature = "debug-validate")]
+    {
+        let mut uf = crate::UnionFind::new(k);
+        assert_eq!(edges.len(), k - 1, "debug-validate: MST edge count");
+        for &(a, b, w) in &edges {
+            assert_eq!(
+                weights[a][b],
+                Some(w),
+                "debug-validate: MST edge ({a}, {b}) not in the weight matrix"
+            );
+            assert!(uf.union(a, b), "debug-validate: MST contains a cycle");
+        }
+    }
     Ok(edges)
 }
 

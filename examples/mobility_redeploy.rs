@@ -67,12 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         new_plan.validate(&instance)?;
         println!(
             "epoch {epoch}: stay-put serves {:>3}, re-plan serves {:>3} \
-             (+{:>3}); {} UAVs moved {:>6.0} m total",
+             (+{:>3}); {} UAVs moved {:>6.0} m total, {} launched, {} grounded",
             stats.stay_served,
             new_plan.served_users(),
             new_plan.served_users().saturating_sub(stats.stay_served),
             stats.moved_uavs,
-            stats.total_move_m
+            stats.total_move_m,
+            stats.launched,
+            stats.grounded
         );
         plan = new_plan;
     }

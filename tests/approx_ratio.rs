@@ -3,7 +3,9 @@
 //! in practice lands far closer to the optimum.
 
 use uavnet::channel::UavRadio;
-use uavnet::core::{approx_alg, exact_optimum, ApproxConfig, Instance, SegmentPlan};
+use uavnet::core::{
+    approx_alg, exact_optimum, theorem1_ratio_holds, ApproxConfig, Instance, SegmentPlan,
+};
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 
 use rand::rngs::SmallRng;
@@ -49,11 +51,14 @@ fn approx_clears_its_ratio_floor_on_tiny_instances() {
                 "round {round}: approx above optimum?!"
             );
             let plan = SegmentPlan::optimal(instance.num_uavs(), s).unwrap();
-            let floor = (plan.approx_ratio() * opt.served_users() as f64).floor() as usize;
+            // Integer form of `served ≥ opt / (3Δ)`: the float-floor
+            // version could demand one user too many when `opt` is an
+            // exact multiple of 3Δ.
             assert!(
-                apx.served_users() >= floor,
-                "round {round} s={s}: approx {} below floor {floor} (opt {})",
+                theorem1_ratio_holds(apx.served_users(), opt.served_users(), plan.delta()),
+                "round {round} s={s}: approx {} below the 1/(3Δ) floor, Δ={} (opt {})",
                 apx.served_users(),
+                plan.delta(),
                 opt.served_users()
             );
             if s == 1 {
@@ -83,8 +88,11 @@ fn literal_paper_configuration_clears_the_floor_too() {
         let apx = approx_alg(&instance, &config).unwrap();
         apx.validate(&instance).unwrap();
         let plan = SegmentPlan::optimal(instance.num_uavs(), 1).unwrap();
-        let floor = (plan.approx_ratio() * opt.served_users() as f64).floor() as usize;
-        assert!(apx.served_users() >= floor);
+        assert!(theorem1_ratio_holds(
+            apx.served_users(),
+            opt.served_users(),
+            plan.delta()
+        ));
     }
 }
 

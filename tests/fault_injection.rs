@@ -1,0 +1,150 @@
+//! Fault-injection acceptance suite: on a solved FIG6-scale scenario,
+//! killing any single UAV (and harsher faults) must yield a repaired,
+//! validate-clean solution or a *typed* error — never a panic.
+
+use uavnet::core::{
+    approx_alg, inject_and_repair, ApproxConfig, CoreError, Fault, Instance, Solution, User,
+};
+use uavnet::geom::Point2;
+use uavnet::workload::ScenarioSpec;
+
+fn fig6_scale() -> (Instance, Solution) {
+    // The paper's §IV-A environment at reduced scale: 40 users, 8
+    // heterogeneous UAVs.
+    let spec = ScenarioSpec::paper_figure(40, 8, 11).expect("valid spec");
+    let instance = spec.instantiate().expect("instantiable scenario");
+    let solution = approx_alg(&instance, &ApproxConfig::with_s(2)).expect("solvable scenario");
+    solution.validate(&instance).expect("clean solve");
+    (instance, solution)
+}
+
+#[test]
+fn any_single_uav_loss_is_survivable() {
+    let (instance, solution) = fig6_scale();
+    assert!(solution.served_users() > 0, "degenerate scenario");
+    for uav in 0..instance.num_uavs() {
+        let report = inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![uav])])
+            .unwrap_or_else(|e| panic!("killing UAV {uav} must be repairable, got {e}"));
+        report
+            .solution
+            .validate(&report.instance)
+            .unwrap_or_else(|e| panic!("repair after killing UAV {uav} is invalid: {e}"));
+        assert!(
+            report
+                .solution
+                .deployment()
+                .placements()
+                .iter()
+                .all(|&(u, _)| u != uav),
+            "killed UAV {uav} still deployed"
+        );
+        assert!(report.served_after_repair <= report.served_before);
+    }
+}
+
+#[test]
+fn repair_recovers_at_least_the_post_fault_service() {
+    // The repair may relocate nothing (survivors already connected),
+    // but it must never end below what the raw survivors served.
+    let (instance, solution) = fig6_scale();
+    for uav in 0..instance.num_uavs() {
+        let report =
+            inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![uav])]).unwrap();
+        assert!(
+            report.served_after_repair >= report.served_after_fault
+                || report.dropped_placements > 0,
+            "killing UAV {uav}: repair served {} < post-fault {} without dropping anyone",
+            report.served_after_repair,
+            report.served_after_fault
+        );
+    }
+}
+
+#[test]
+fn pair_losses_and_link_cuts_never_panic() {
+    let (instance, solution) = fig6_scale();
+    let links: Vec<(usize, usize)> = instance.location_graph().edges().collect();
+    for a in 0..instance.num_uavs() {
+        for b in (a + 1)..instance.num_uavs() {
+            let report =
+                inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![a, b])]).unwrap();
+            report.solution.validate(&report.instance).unwrap();
+        }
+    }
+    // Sample link cuts across the graph (every 7th edge keeps the
+    // suite fast while touching all regions).
+    for chunk in links.chunks(7) {
+        let report =
+            inject_and_repair(&instance, &solution, &[Fault::SeverLinks(chunk.to_vec())]).unwrap();
+        report.solution.validate(&report.instance).unwrap();
+    }
+}
+
+#[test]
+fn surge_plus_loss_compound_fault_is_survivable() {
+    let (instance, solution) = fig6_scale();
+    let surge: Vec<User> = (0..10)
+        .map(|i| User {
+            pos: Point2::new(200.0 + 30.0 * i as f64, 300.0),
+            min_rate_bps: 2_000.0,
+        })
+        .collect();
+    let report = inject_and_repair(
+        &instance,
+        &solution,
+        &[Fault::KillUavs(vec![0]), Fault::UserSurge(surge)],
+    )
+    .unwrap();
+    assert_eq!(report.surged_users, 10);
+    assert_eq!(report.instance.num_users(), instance.num_users() + 10);
+    report.solution.validate(&report.instance).unwrap();
+}
+
+#[test]
+fn gateway_scenarios_repair_or_fail_typed() {
+    // With a gateway pinned at a corner, repairs must keep the relay
+    // chain to it — or fail with a typed connect error, never panic.
+    let spec = ScenarioSpec::builder()
+        .users(40)
+        .uavs(8)
+        .gateway_m(50.0, 50.0)
+        .seed(11)
+        .build()
+        .expect("valid spec");
+    let instance = spec.instantiate().expect("instantiable scenario");
+    let solution = match approx_alg(&instance, &ApproxConfig::with_s(2)) {
+        Ok(s) => s,
+        // A gateway the fleet cannot reach at all is a legitimate
+        // typed outcome for the *solver*; nothing left to fault.
+        Err(CoreError::Connect(_)) => return,
+        Err(e) => panic!("unexpected solver error: {e}"),
+    };
+    for uav in 0..instance.num_uavs() {
+        match inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![uav])]) {
+            Ok(report) => report.solution.validate(&report.instance).unwrap(),
+            Err(CoreError::Connect(_)) | Err(CoreError::InvalidParameters(_)) => {}
+            Err(e) => panic!("killing UAV {uav}: untyped failure {e}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_faults_are_rejected_not_panicked() {
+    let (instance, solution) = fig6_scale();
+    assert!(matches!(
+        inject_and_repair(
+            &instance,
+            &solution,
+            &[Fault::KillUavs(vec![instance.num_uavs()])]
+        ),
+        Err(CoreError::InvalidParameters(_))
+    ));
+    assert!(matches!(
+        inject_and_repair(
+            &instance,
+            &solution,
+            &[Fault::SeverLinks(vec![(0, instance.num_locations())])]
+        ),
+        Err(CoreError::InvalidParameters(_))
+    ));
+}

@@ -1,0 +1,130 @@
+//! Property tests for the differential-verification harness: the
+//! assignment oracle pair agrees on arbitrary deployments, the
+//! validator accepts every solver output (including degenerate
+//! instances), and fault injection + repair is panic-free and
+//! validate-clean across random faults.
+
+use proptest::prelude::*;
+use uavnet::channel::UavRadio;
+use uavnet::core::{
+    approx_alg, assign_users, assign_users_max_flow, check_assignment_oracles, inject_and_repair,
+    ApproxConfig, CoreError, Fault, Instance,
+};
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+
+fn build_instance(
+    seed_users: &[(f64, f64)],
+    caps: &[u32],
+    uav_range: f64,
+    user_range: f64,
+) -> Instance {
+    let grid = GridSpec::new(
+        AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+        300.0,
+        300.0,
+    )
+    .unwrap()
+    .build();
+    let mut b = Instance::builder(grid, uav_range);
+    for &(x, y) in seed_users {
+        b.add_user(Point2::new(x, y), 2_000.0);
+    }
+    for &cap in caps {
+        b.add_uav(cap, UavRadio::new(30.0, 5.0, user_range));
+    }
+    b.build().expect("valid instance")
+}
+
+prop_compose! {
+    fn instances()(
+        seed_users in proptest::collection::vec((0.0f64..1_500.0, 0.0f64..1_500.0), 0..25),
+        caps in proptest::collection::vec(0u32..8, 1..5),
+        uav_range in 320.0f64..700.0,
+        user_range in 250.0f64..500.0,
+    ) -> Instance {
+        // Note the degenerate corners on purpose: zero users, and
+        // zero-capacity UAVs that can relay but serve nobody.
+        build_instance(&seed_users, &caps, uav_range, user_range)
+    }
+}
+
+prop_compose! {
+    fn solvable_instances()(
+        seed_users in proptest::collection::vec((0.0f64..1_500.0, 0.0f64..1_500.0), 1..25),
+        caps in proptest::collection::vec(1u32..8, 2..6),
+        uav_range in 430.0f64..700.0,
+        user_range in 250.0f64..500.0,
+    ) -> Instance {
+        build_instance(&seed_users, &caps, uav_range, user_range)
+    }
+}
+
+/// Arbitrary (possibly nonsensical but in-range) deployments: distinct
+/// UAVs on distinct locations.
+fn arbitrary_placements(instance: &Instance, picks: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut used_uavs = vec![false; instance.num_uavs()];
+    let mut used_locs = vec![false; instance.num_locations()];
+    let mut placements = Vec::new();
+    for &(u, l) in picks {
+        let (u, l) = (u % instance.num_uavs(), l % instance.num_locations());
+        if !used_uavs[u] && !used_locs[l] {
+            used_uavs[u] = true;
+            used_locs[l] = true;
+            placements.push((u, l));
+        }
+    }
+    placements
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matching_and_max_flow_agree_everywhere(
+        instance in instances(),
+        picks in proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+    ) {
+        let placements = arbitrary_placements(&instance, &picks);
+        // The full oracle (also checks load bookkeeping).
+        prop_assert!(check_assignment_oracles(&instance, &placements).is_ok());
+        // And the raw served counts, belt-and-braces.
+        let a = assign_users(&instance, &placements);
+        let b = assign_users_max_flow(&instance, &placements);
+        prop_assert_eq!(a.served, b.served);
+    }
+
+    #[test]
+    fn validator_accepts_every_solver_output(instance in instances()) {
+        // Degenerate corners included: zero users and zero-capacity
+        // fleets must produce an (empty or relay-only) valid solution,
+        // not a crash.
+        let sol = approx_alg(&instance, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        prop_assert!(sol.validate(&instance).is_ok(), "{:?}", sol.validate(&instance));
+        prop_assert!(sol.served_users() <= instance.num_users());
+    }
+
+    #[test]
+    fn random_faults_repair_cleanly_or_fail_typed(
+        instance in solvable_instances(),
+        kill_mask in 0usize..32,
+        cut_picks in proptest::collection::vec((0usize..64, 0usize..64), 0..4),
+    ) {
+        let sol = approx_alg(&instance, &ApproxConfig::with_s(1).threads(1)).unwrap();
+        let kills: Vec<usize> =
+            (0..instance.num_uavs()).filter(|u| kill_mask >> u & 1 == 1).collect();
+        let m = instance.num_locations();
+        let cuts: Vec<(usize, usize)> =
+            cut_picks.iter().map(|&(a, b)| (a % m, b % m)).collect();
+        let faults = [Fault::KillUavs(kills), Fault::SeverLinks(cuts)];
+        match inject_and_repair(&instance, &sol, &faults) {
+            Ok(report) => {
+                prop_assert!(report.solution.validate(&report.instance).is_ok());
+                prop_assert!(report.served_after_repair <= report.served_before);
+            }
+            // Gateway-less instances can't hit Connect errors here, but
+            // typed failures remain acceptable outcomes by contract.
+            Err(CoreError::Connect(_)) | Err(CoreError::InvalidParameters(_)) => {}
+            Err(e) => prop_assert!(false, "untyped failure: {e}"),
+        }
+    }
+}
