@@ -1,0 +1,39 @@
+//! Instance-construction hot path: the grid-binned spatial-index
+//! coverage build and the one-time connectivity-substrate
+//! precomputation (CSR adjacency + all-pairs `u16` hop matrix).
+//!
+//! These are the per-instance fixed costs the PR 3 scale layer
+//! amortizes across the whole subset sweep; `sweep_report --scale
+//! large` measures the same path at 100 000 users.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uavnet_bench::Scale;
+use uavnet_graph::ConnectivitySubstrate;
+
+fn bench_build_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_hotpath");
+    group.sample_size(10);
+    // Quick geometry at its sweep population, laptop geometry pushed
+    // well past its sweep maximum to make the index's asymptotics
+    // visible without the full 100k stress run.
+    let cases: Vec<(Scale, usize)> = vec![(Scale::quick(), 120), (Scale::laptop(), 5_000)];
+    for (scale, n) in cases {
+        let k = scale.k_max();
+        group.bench_with_input(
+            BenchmarkId::new("instance_build", format!("{}_n{n}", scale.name)),
+            &(scale.clone(), n, k),
+            |b, (scale, n, k)| b.iter(|| black_box(scale.instance(*n, *k))),
+        );
+        let instance = scale.instance(n, k);
+        group.bench_with_input(
+            BenchmarkId::new("substrate_build", scale.name),
+            instance.location_graph(),
+            |b, g| b.iter(|| black_box(ConnectivitySubstrate::build(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_hotpath);
+criterion_main!(benches);

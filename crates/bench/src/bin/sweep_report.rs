@@ -1,35 +1,42 @@
 //! Regenerates `BENCH_sweep.json`: machine-readable evidence for the
-//! zero-allocation matching kernel + streaming subset sweep.
+//! subset-sweep hot path — the zero-allocation matching kernel, the
+//! streaming enumeration, and (PR 3) the spatial-index instance build
+//! plus the shared connectivity substrate.
 //!
-//! Runs the `Scale::quick()` FIG6-style workload (`n = n_max`,
-//! `K = k_max`, every `s` in `s_sweep`) through
-//! [`approx_alg_with_stats`] and reports, per seed count:
+//! For each selected scale, runs the FIG6-style workload
+//! (`n = n_max`, `K = k_max`, every `s` in `s_sweep`) through
+//! [`approx_alg_with_stats`] and reports:
 //!
+//! * instance-construction time (`build_ns` — the spatial-index
+//!   coverage build; the `large` scale at 100 000 users exists to
+//!   exercise exactly this path),
 //! * wall-clock per sweep (mean and min over the measured reps),
 //! * per-phase wall-clock from [`SweepProfile`] (enumeration, greedy,
-//!   connection, scoring — summed across worker threads),
+//!   connection, scoring — summed across worker threads — plus the
+//!   one-time substrate build and the portion of greedy/connection
+//!   spent on substrate reads),
 //! * marginal-gain queries per second (the sweep's throughput metric;
 //!   the query *count* is deterministic and thread-count invariant, so
 //!   before/after throughput is directly comparable),
-//! * peak subset-combination buffer bytes (`O(s · threads)` for the
-//!   streaming enumeration, vs. `O(s · C(m, s))` materialized).
+//! * peak subset-combination buffer bytes.
 //!
 //! The `baseline_wall_ns` figures are the pre-optimization means of the
 //! `fig6_s_sweep` Criterion bench (same instance, `threads = 2`)
 //! recorded at the growth seed, so the JSON carries its own
-//! before/after comparison.
+//! before/after comparison; they only exist for the `quick` scale.
 //!
 //! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
-//! [--threads N] [--reps N] [--out PATH]`
+//! [--threads N] [--reps N] [--out PATH] [--scale quick|large|all]`
 
 use std::time::Instant;
 
 use uavnet_bench::Scale;
-use uavnet_core::{approx_alg_with_stats, ApproxConfig, ApproxStats};
+use uavnet_core::{approx_alg_with_stats, ApproxConfig, ApproxStats, Instance};
 
 /// Pre-optimization wall-clock means (ns) per seed count `s`, measured
-/// with the seed-commit algorithm on this workload (`fig6_s_sweep`,
-/// `Scale::quick()`, `threads = 2`, mean of 3 × 10 Criterion samples).
+/// with the seed-commit algorithm on the quick workload
+/// (`fig6_s_sweep`, `Scale::quick()`, `threads = 2`, mean of 3 × 10
+/// Criterion samples).
 const BASELINE_WALL_NS: &[(usize, u64)] = &[(1, 938_750), (2, 4_566_690)];
 
 struct RunReport {
@@ -41,7 +48,7 @@ struct RunReport {
     served: usize,
 }
 
-fn measure(instance: &uavnet_core::Instance, s: usize, threads: usize, reps: u32) -> RunReport {
+fn measure(instance: &Instance, s: usize, threads: usize, reps: u32) -> RunReport {
     let config = ApproxConfig::with_s(s).threads(threads);
     // Warm-up run (also the source of the deterministic statistics).
     let (sol, stats) = approx_alg_with_stats(instance, &config).expect("sweep succeeds");
@@ -70,23 +77,27 @@ fn queries_per_sec(queries: u64, wall_ns: u64) -> f64 {
     queries as f64 * 1e9 / wall_ns as f64
 }
 
-fn run_json(r: &RunReport, threads: usize) -> String {
+fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
     let p = &r.stats.profile;
     let after_qps = queries_per_sec(r.stats.gain_queries, r.wall_ns_mean);
-    let baseline = BASELINE_WALL_NS
-        .iter()
-        .find(|(s, _)| *s == r.s)
-        .map(|&(_, ns)| ns);
+    let baseline = with_baseline
+        .then(|| {
+            BASELINE_WALL_NS
+                .iter()
+                .find(|(s, _)| *s == r.s)
+                .map(|&(_, ns)| ns)
+        })
+        .flatten();
     let (baseline_fields, speedup_fields) = match baseline {
         Some(base_ns) => {
             let before_qps = queries_per_sec(r.stats.gain_queries, base_ns);
             (
                 format!(
-                    "      \"baseline_wall_ns\": {base_ns},\n      \
+                    "        \"baseline_wall_ns\": {base_ns},\n        \
                      \"baseline_gain_queries_per_sec\": {before_qps:.1},\n"
                 ),
                 format!(
-                    "      \"speedup_vs_baseline\": {:.2},\n",
+                    "        \"speedup_vs_baseline\": {:.2},\n",
                     base_ns as f64 / r.wall_ns_mean as f64
                 ),
             )
@@ -94,19 +105,21 @@ fn run_json(r: &RunReport, threads: usize) -> String {
         None => (String::new(), String::new()),
     };
     format!(
-        "    {{\n      \"s\": {s},\n      \"threads\": {threads},\n      \
-         \"reps\": {reps},\n      \"served_users\": {served},\n      \
-         \"wall_ns_mean\": {mean},\n      \"wall_ns_min\": {min},\n\
-         {baseline_fields}{speedup_fields}      \
-         \"gain_queries\": {queries},\n      \
-         \"gain_queries_per_sec\": {qps:.1},\n      \
-         \"phases_ns\": {{\n        \"enumeration\": {enumeration},\n        \
-         \"greedy\": {greedy},\n        \"connection\": {connection},\n        \
-         \"scoring\": {scoring}\n      }},\n      \
-         \"subset_buffer_peak_bytes\": {peak},\n      \
-         \"subsets\": {{\n        \"enumerated\": {enumerated},\n        \
-         \"chain_pruned\": {pruned},\n        \"evaluated\": {evaluated},\n        \
-         \"unconnectable\": {unconnectable}\n      }}\n    }}",
+        "      {{\n        \"s\": {s},\n        \"threads\": {threads},\n        \
+         \"reps\": {reps},\n        \"served_users\": {served},\n        \
+         \"wall_ns_mean\": {mean},\n        \"wall_ns_min\": {min},\n\
+         {baseline_fields}{speedup_fields}        \
+         \"gain_queries\": {queries},\n        \
+         \"gain_queries_per_sec\": {qps:.1},\n        \
+         \"phases_ns\": {{\n          \"enumeration\": {enumeration},\n          \
+         \"greedy\": {greedy},\n          \"connection\": {connection},\n          \
+         \"scoring\": {scoring},\n          \
+         \"substrate_build\": {sub_build},\n          \
+         \"substrate_query\": {sub_query}\n        }},\n        \
+         \"subset_buffer_peak_bytes\": {peak},\n        \
+         \"subsets\": {{\n          \"enumerated\": {enumerated},\n          \
+         \"chain_pruned\": {pruned},\n          \"evaluated\": {evaluated},\n          \
+         \"unconnectable\": {unconnectable}\n        }}\n      }}",
         s = r.s,
         reps = r.reps,
         served = r.served,
@@ -118,6 +131,8 @@ fn run_json(r: &RunReport, threads: usize) -> String {
         greedy = p.greedy_ns,
         connection = p.connection_ns,
         scoring = p.scoring_ns,
+        sub_build = p.substrate_build_ns,
+        sub_query = p.substrate_query_ns,
         peak = p.subset_buffer_peak_bytes,
         enumerated = r.stats.subsets_enumerated,
         pruned = r.stats.subsets_chain_pruned,
@@ -126,32 +141,24 @@ fn run_json(r: &RunReport, threads: usize) -> String {
     )
 }
 
-fn main() {
-    let mut threads = 2usize;
-    let mut reps = 20u32;
-    let mut out = String::from("BENCH_sweep.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
-        };
-        match arg.as_str() {
-            "--threads" => threads = value("--threads").parse().expect("integer thread count"),
-            "--reps" => reps = value("--reps").parse().expect("integer rep count"),
-            "--out" => out = value("--out"),
-            other => panic!("unknown argument {other:?}"),
-        }
-    }
-    assert!(reps > 0, "--reps must be positive");
-
-    let scale = Scale::quick();
+fn scale_json(scale: &Scale, threads: usize, reps: u32) -> String {
+    // The large scale measures instance construction as much as the
+    // sweep; cap its reps so a full regeneration stays interactive.
+    let reps = if scale.name == "large" {
+        reps.min(2)
+    } else {
+        reps
+    };
+    let t_build = Instant::now();
     let instance = scale.instance(scale.n_max(), scale.k_max());
+    let build_ns = t_build.elapsed().as_nanos() as u64;
     eprintln!(
-        "sweep_report: scale=quick n={} K={} m={} threads={threads} reps={reps}",
+        "sweep_report: scale={} n={} K={} m={} build {:.3} ms (threads={threads} reps={reps})",
+        scale.name,
         instance.num_users(),
         instance.num_uavs(),
-        instance.num_locations()
+        instance.num_locations(),
+        build_ns as f64 / 1e6,
     );
 
     let runs: Vec<String> = scale
@@ -165,21 +172,61 @@ fn main() {
                 report.stats.gain_queries,
                 queries_per_sec(report.stats.gain_queries, report.wall_ns_mean)
             );
-            run_json(&report, threads)
+            run_json(&report, threads, scale.name == "quick")
         })
         .collect();
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \"scale\": \"quick\",\n  \
-         \"instance\": {{\n    \"users\": {n},\n    \"uavs\": {k},\n    \
-         \"candidate_locations\": {m}\n  }},\n  \
-         \"baseline\": \"fig6_s_sweep means at the growth seed (pre-optimization), threads = 2\",\n  \
-         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report\",\n  \
-         \"runs\": [\n{runs}\n  ]\n}}\n",
+    format!(
+        "    {{\n      \"scale\": \"{name}\",\n      \
+         \"instance\": {{\n        \"users\": {n},\n        \"uavs\": {k},\n        \
+         \"candidate_locations\": {m},\n        \"build_ns\": {build_ns}\n      }},\n      \
+         \"runs\": [\n{runs}\n      ]\n    }}",
+        name = scale.name,
         n = instance.num_users(),
         k = instance.num_uavs(),
         m = instance.num_locations(),
         runs = runs.join(",\n"),
+    )
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut reps = 20u32;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut which = String::from("quick");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => threads = value("--threads").parse().expect("integer thread count"),
+            "--reps" => reps = value("--reps").parse().expect("integer rep count"),
+            "--out" => out = value("--out"),
+            "--scale" => which = value("--scale"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(reps > 0, "--reps must be positive");
+    let scales: Vec<Scale> = match which.as_str() {
+        "quick" => vec![Scale::quick()],
+        "large" => vec![Scale::large()],
+        "all" => vec![Scale::quick(), Scale::large()],
+        other => panic!("unknown --scale {other:?} (expected quick|large|all)"),
+    };
+
+    let scale_blocks: Vec<String> = scales
+        .iter()
+        .map(|scale| scale_json(scale, threads, reps))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \
+         \"baseline\": \"fig6_s_sweep means at the growth seed (pre-optimization), threads = 2; quick scale only\",\n  \
+         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report -- --scale all\",\n  \
+         \"scales\": [\n{blocks}\n  ]\n}}\n",
+        blocks = scale_blocks.join(",\n"),
     );
     std::fs::write(&out, json).expect("write report");
     eprintln!("sweep_report: wrote {out}");

@@ -40,16 +40,16 @@
 //! `ApproxConfig::leftover_deployment(false)` restores the literal
 //! behavior.
 
-use crate::connecting::connect_via_mst;
+use crate::connecting::{connect_via_mst, connect_via_substrate};
 use crate::oracle::CoverageOracle;
-use crate::seed_matroid::seed_matroid;
+use crate::seed_matroid::{seed_matroid, seed_matroid_substrate};
 use crate::solution::{score_deployment, Solution};
 use crate::{CoreError, Instance, SegmentPlan};
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use uavnet_geom::CellIndex;
-use uavnet_graph::bfs_hops;
+use uavnet_graph::{ConnectivitySubstrate, UNREACHABLE_HOPS};
 use uavnet_matroid::{
     lazy_greedy_with, GreedyOptions, LazyGreedyWorkspace, MarginalOracle as _, Matroid as _,
 };
@@ -201,6 +201,16 @@ pub struct SweepProfile {
     /// workers: the streaming sweep keeps `O(s · threads)` indices in
     /// flight instead of materializing all `C(m, s)` subsets.
     pub subset_buffer_peak_bytes: usize,
+    /// Nanoseconds building the per-sweep [`ConnectivitySubstrate`]
+    /// (all-pairs hop matrix + component bitsets). Paid once; every
+    /// subset afterwards reads rows instead of re-running BFS.
+    pub substrate_build_ns: u64,
+    /// Nanoseconds answering hop-structure queries from the substrate
+    /// (matroid depths, MST weights, path descent, gateway extension),
+    /// summed across workers. Also included in `greedy_ns` /
+    /// `connection_ns`; reported separately so the build-once-query-
+    /// often trade is visible in `sweep_report`.
+    pub substrate_query_ns: u64,
 }
 
 /// Runs Algorithm 2 and returns the best solution found.
@@ -235,17 +245,28 @@ pub fn approx_alg_with_stats(
     }
     let plan = SegmentPlan::optimal(k, s)?;
 
-    let pool = seed_pool(instance, config);
+    // Build the shared connectivity substrate once: every worker then
+    // reads precomputed hop rows for matroid depths, MST weights and
+    // relay paths instead of re-running BFS per subset.
+    let t_substrate = Instant::now();
+    let substrate = ConnectivitySubstrate::build(instance.location_graph());
+    let substrate_build_ns = t_substrate.elapsed().as_nanos() as u64;
+
+    let pool = seed_pool(instance, config, &substrate);
     let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
-    let pool_dists = pool_distances(instance, config, &pool);
+    let pool_dists = pool_distances(config, &pool, &substrate);
 
     // Streaming sweep: combinations are generated on the fly behind a
     // chunked atomic cursor, so memory stays `O(s · threads)` instead
     // of materializing all `C(m, s)` subsets up front. Each worker
     // unranks its chunk's first combination and steps lexicographically
     // through the rest, evaluating against its own reusable workspace.
+    // The chunk size adapts downward for small enumerations (e.g. the
+    // s = 1 sweep over a quick-scale pool) so they still spread across
+    // the workers; the join-time reduction keeps the result
+    // deterministic for any chunking.
     let total = binomial(pool.len(), s);
-    const CHUNK: u64 = 64;
+    let chunk = (total / (config.threads as u64 * 4)).clamp(1, 64);
     let cursor = AtomicU64::new(0);
     let survivors = AtomicUsize::new(0);
     let chain_pruned = AtomicUsize::new(0);
@@ -256,23 +277,24 @@ pub fn approx_alg_with_stats(
     let greedy_ns = AtomicU64::new(0);
     let connection_ns = AtomicU64::new(0);
     let scoring_ns = AtomicU64::new(0);
-    let threads = config.threads.min(total.div_ceil(CHUNK).max(1) as usize);
+    let substrate_query_ns = AtomicU64::new(0);
+    let threads = config.threads.min(total.div_ceil(chunk).max(1) as usize);
 
     // (served, enumeration rank, placements, seeds) of a worker's best.
     type Best = Option<(usize, u64, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
 
     let worker = || -> Best {
-        let mut ws = SweepWorkspace::new(instance);
+        let mut ws = SweepWorkspace::with_substrate(instance, &substrate);
         let mut profile = PhaseNanos::default();
         let mut combo: Vec<usize> = Vec::with_capacity(s);
         let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
         let mut local_best: Best = None;
         'chunks: while !over_limit.load(Ordering::Relaxed) {
-            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= total {
                 break;
             }
-            let end = (start + CHUNK).min(total);
+            let end = (start + chunk).min(total);
             for rank in start..end {
                 let t_enum = Instant::now();
                 if rank == start {
@@ -324,6 +346,7 @@ pub fn approx_alg_with_stats(
         greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
         connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
         scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
+        substrate_query_ns.fetch_add(profile.substrate_query, Ordering::Relaxed);
         local_best
     };
 
@@ -379,6 +402,8 @@ pub fn approx_alg_with_stats(
             connection_ns: connection_ns.load(Ordering::Relaxed),
             scoring_ns: scoring_ns.load(Ordering::Relaxed),
             subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
+            substrate_build_ns,
+            substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
         },
     };
 
@@ -398,12 +423,32 @@ pub fn approx_alg_with_stats(
 }
 
 /// The seed pool: locations admitted as enumeration candidates.
-fn seed_pool(instance: &Instance, config: &ApproxConfig) -> Vec<usize> {
+///
+/// Under empty-seed pruning, zero-coverage locations are dropped, and
+/// so is every location whose substrate component holds fewer than `s`
+/// surviving pool members: any `s`-subset containing such a location
+/// either spans components (unconnectable) or cannot be formed at all,
+/// so `next_combination` / `unrank_combination` never have to
+/// enumerate it. The filter is value-preserving — it only removes
+/// subsets the connection step would reject.
+fn seed_pool(
+    instance: &Instance,
+    config: &ApproxConfig,
+    sub: &ConnectivitySubstrate,
+) -> Vec<usize> {
     let m = instance.num_locations();
+    let s = config.s;
     let mut pool: Vec<usize> = (0..m)
         .filter(|&v| !config.prune_empty_seeds || instance.best_coverage_count(v) > 0)
         .collect();
-    if pool.len() < config.s {
+    if config.prune_empty_seeds && s >= 2 {
+        let mut members_per_component = vec![0usize; sub.num_components()];
+        for &v in &pool {
+            members_per_component[sub.component_of(v)] += 1;
+        }
+        pool.retain(|&v| members_per_component[sub.component_of(v)] >= s);
+    }
+    if pool.len() < s {
         // Degenerate coverage: refill so that the enumeration exists.
         pool = (0..m).collect();
     }
@@ -411,35 +456,26 @@ fn seed_pool(instance: &Instance, config: &ApproxConfig) -> Vec<usize> {
 }
 
 /// Hop distances between pool members for the chain pruning (`None`
-/// when the pruning is off or trivial).
+/// when the pruning is off or trivial), filled from the substrate's
+/// precomputed rows — `O(pool²)` lookups, no BFS.
 fn pool_distances(
-    instance: &Instance,
     config: &ApproxConfig,
     pool: &[usize],
+    sub: &ConnectivitySubstrate,
 ) -> Option<Vec<Vec<Option<u32>>>> {
     if !config.prune_chain || config.s < 2 {
         return None;
     }
-    let graph = instance.location_graph();
-    let m = instance.num_locations();
-    let index_of: Vec<Option<usize>> = {
-        let mut idx = vec![None; m];
-        for (i, &v) in pool.iter().enumerate() {
-            idx[v] = Some(i);
-        }
-        idx
-    };
     Some(
         pool.iter()
             .map(|&v| {
-                let d = bfs_hops(graph, v);
-                let mut row = vec![None; pool.len()];
-                for (loc, dist) in d.into_iter().enumerate() {
-                    if let (Some(i), Some(dist)) = (index_of[loc], dist) {
-                        row[i] = Some(dist);
-                    }
-                }
-                row
+                let row = sub.hop_row(v);
+                pool.iter()
+                    .map(|&w| match row[w] {
+                        UNREACHABLE_HOPS => None,
+                        d => Some(u32::from(d)),
+                    })
+                    .collect()
             })
             .collect(),
     )
@@ -464,9 +500,15 @@ pub fn approx_alg_materialized(
         )));
     }
     let plan = SegmentPlan::optimal(k, s)?;
-    let pool = seed_pool(instance, config);
+    // The substrate is still used for pool construction and chain
+    // pruning (those must match the streaming sweep subset-for-subset),
+    // but every per-subset computation below runs on the brute-force
+    // BFS backend — this path is the differential oracle for the
+    // substrate-backed one.
+    let substrate = ConnectivitySubstrate::build(instance.location_graph());
+    let pool = seed_pool(instance, config, &substrate);
     let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
-    let pool_dists = pool_distances(instance, config, &pool);
+    let pool_dists = pool_distances(config, &pool, &substrate);
 
     let mut subsets: Vec<Vec<CellIndex>> = Vec::new();
     let mut enumerated = 0usize;
@@ -747,6 +789,7 @@ struct PhaseNanos {
     greedy: u64,
     connection: u64,
     scoring: u64,
+    substrate_query: u64,
 }
 
 /// Per-worker reusable state for the subset sweep: the coverage oracle
@@ -756,6 +799,11 @@ struct PhaseNanos {
 /// subsets without allocating on the oracle's query path.
 struct SweepWorkspace<'a> {
     instance: &'a Instance,
+    /// Precomputed hop structure; `None` runs the brute-force BFS
+    /// backend (the materialized differential oracle).
+    substrate: Option<&'a ConnectivitySubstrate>,
+    /// Sorted gateway-capable cells, for the substrate extension path.
+    gateway_cells: Vec<CellIndex>,
     oracle: CoverageOracle<'a>,
     greedy: LazyGreedyWorkspace,
     ground: Vec<usize>,
@@ -767,12 +815,20 @@ impl<'a> SweepWorkspace<'a> {
     fn new(instance: &'a Instance) -> Self {
         SweepWorkspace {
             instance,
+            substrate: None,
+            gateway_cells: instance.gateway_cells(),
             oracle: CoverageOracle::new(instance),
             greedy: LazyGreedyWorkspace::new(),
             ground: Vec::new(),
             locs: Vec::new(),
             relays: Vec::new(),
         }
+    }
+
+    fn with_substrate(instance: &'a Instance, sub: &'a ConnectivitySubstrate) -> Self {
+        let mut ws = SweepWorkspace::new(instance);
+        ws.substrate = Some(sub);
+        ws
     }
 
     /// The full deployment (greedy picks, forced seeds, then relays)
@@ -801,7 +857,13 @@ impl<'a> SweepWorkspace<'a> {
         let graph = instance.location_graph();
         let t = Instant::now();
         self.oracle.reset();
-        let m2 = seed_matroid(graph, seeds, plan);
+        let m2 = match self.substrate {
+            Some(sub) => seed_matroid_substrate(sub, seeds, plan),
+            None => seed_matroid(graph, seeds, plan),
+        };
+        if self.substrate.is_some() {
+            profile.substrate_query += t.elapsed().as_nanos() as u64;
+        }
         self.ground.clear();
         self.ground
             .extend((0..instance.num_locations()).filter(|&v| m2.depth_of(v).is_some()));
@@ -829,14 +891,31 @@ impl<'a> SweepWorkspace<'a> {
         profile.greedy += t.elapsed().as_nanos() as u64;
 
         let t = Instant::now();
-        let mut all = connect_via_mst(graph, &self.locs).ok()?;
+        let mut all = match self.substrate {
+            Some(sub) => connect_via_substrate(graph, sub, &self.locs).ok()?,
+            None => connect_via_mst(graph, &self.locs).ok()?,
+        };
         if instance.gateway().is_some() {
-            let extra =
-                crate::connecting::extend_to_gateway(graph, &all, |c| instance.is_gateway_cell(c))
-                    .ok()?;
+            let extra = match self.substrate {
+                Some(sub) => crate::connecting::extend_to_gateway_substrate(
+                    graph,
+                    sub,
+                    &all,
+                    &self.gateway_cells,
+                )
+                .ok()?,
+                None => crate::connecting::extend_to_gateway(graph, &all, |c| {
+                    instance.is_gateway_cell(c)
+                })
+                .ok()?,
+            };
             all.extend(extra);
         }
-        profile.connection += t.elapsed().as_nanos() as u64;
+        let connection = t.elapsed().as_nanos() as u64;
+        profile.connection += connection;
+        if self.substrate.is_some() {
+            profile.substrate_query += connection;
+        }
         if all.len() > instance.num_uavs() {
             return None;
         }

@@ -10,7 +10,9 @@
 
 use std::error::Error;
 use std::fmt;
-use uavnet_graph::{bfs_hops, prim_mst, shortest_path, Graph, Hops};
+use uavnet_graph::{
+    bfs_hops, prim_mst, shortest_path, ConnectivitySubstrate, Graph, Hops, UNREACHABLE_HOPS,
+};
 
 /// Error from [`connect_via_mst`] / [`extend_to_gateway`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +158,94 @@ pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, Con
     Ok(pruned)
 }
 
+/// [`connect_via_mst`] with the hop structure read from a precomputed
+/// [`ConnectivitySubstrate`] instead of per-call BFS: the `k` full
+/// BFS runs for pairwise weights become `O(k²)` row lookups, and
+/// unreachability is detected from the rows. Only the `k − 1` tree
+/// edges still extract a path, via the same [`shortest_path`] BFS as
+/// [`connect_via_mst`]. `graph` must be the graph the substrate was
+/// built from.
+///
+/// Produces **exactly** the node set of [`connect_via_mst`] — same
+/// relays, same order — because the weights are value-identical and
+/// the path extraction is literally shared; `verify.rs` checks this
+/// differentially and `debug-validate` builds assert it inline.
+///
+/// # Errors
+///
+/// Same contract as [`connect_via_mst`].
+pub fn connect_via_substrate(
+    graph: &Graph,
+    sub: &ConnectivitySubstrate,
+    nodes: &[usize],
+) -> Result<Vec<usize>, ConnectError> {
+    let k = nodes.len();
+    for (i, &v) in nodes.iter().enumerate() {
+        if v >= sub.num_nodes() {
+            return Err(ConnectError::NodeOutOfRange {
+                node: v,
+                num_nodes: sub.num_nodes(),
+            });
+        }
+        if nodes[..i].contains(&v) {
+            return Err(ConnectError::DuplicateNode { node: v });
+        }
+    }
+    if k <= 1 {
+        return Ok(nodes.to_vec());
+    }
+    let mut weights: Vec<Vec<Option<Hops>>> = vec![vec![None; k]; k];
+    for (i, &v) in nodes.iter().enumerate() {
+        let row = sub.hop_row(v);
+        for (j, &w) in nodes.iter().enumerate() {
+            weights[i][j] = match row[w] {
+                UNREACHABLE_HOPS => None,
+                d => Some(Hops::from(d)),
+            };
+        }
+    }
+    let mst = match prim_mst(&weights) {
+        Ok(mst) => mst,
+        Err(_) => {
+            let row = sub.hop_row(nodes[0]);
+            let b = nodes
+                .iter()
+                .copied()
+                .find(|&w| row[w] == UNREACHABLE_HOPS)
+                .unwrap_or(nodes[0]);
+            return Err(ConnectError::Unreachable { a: nodes[0], b });
+        }
+    };
+    let mut all = nodes.to_vec();
+    let mut in_set = vec![false; sub.num_nodes()];
+    for &v in nodes {
+        in_set[v] = true;
+    }
+    // Path extraction deliberately shares `shortest_path` with
+    // `connect_via_mst`: only s − 1 tree edges need a path, and using
+    // the same BFS keeps the chosen relays bit-for-bit identical.
+    for &(i, j, _) in &mst {
+        let path = shortest_path(graph, nodes[i], nodes[j])
+            .expect("MST edge implies a finite hop distance");
+        for v in path {
+            if !in_set[v] {
+                in_set[v] = true;
+                all.push(v);
+            }
+        }
+    }
+    let pruned = prune_relay_leaves(graph, nodes, all);
+    #[cfg(feature = "debug-validate")]
+    {
+        assert_eq!(
+            Ok(&pruned),
+            connect_via_mst(graph, nodes).as_ref(),
+            "debug-validate: substrate connection diverges from BFS connection"
+        );
+    }
+    Ok(pruned)
+}
+
 /// KMB step 4–5: spanning tree of the induced union, then iterative
 /// removal of non-terminal leaves. Keeps the terminal-first ordering.
 fn prune_relay_leaves(graph: &Graph, terminals: &[usize], all: Vec<usize>) -> Vec<usize> {
@@ -258,6 +348,68 @@ pub fn extend_to_gateway(
     let (_, start) = current
         .iter()
         .filter_map(|&v| back[v].map(|d| (d, v)))
+        .min()
+        .expect("target reachable implies a finite back-distance");
+    let path = shortest_path(graph, start, target).expect("reachable");
+    Ok(path.into_iter().filter(|v| !current.contains(v)).collect())
+}
+
+/// [`extend_to_gateway`] from precomputed hop rows: the multi-source
+/// BFS for the nearest gateway-capable cell and the full walk-back BFS
+/// both become row reads (same `(distance, index)` minimization), and
+/// only the single connecting path is extracted — via the same
+/// [`shortest_path`] BFS — so the output is bit-for-bit identical.
+///
+/// `gateway_cells` must be sorted ascending (as
+/// `Instance::gateway_cells` returns them); `graph` must be the graph
+/// the substrate was built from.
+///
+/// # Errors
+///
+/// Same contract as [`extend_to_gateway`].
+pub fn extend_to_gateway_substrate(
+    graph: &Graph,
+    sub: &ConnectivitySubstrate,
+    current: &[usize],
+    gateway_cells: &[usize],
+) -> Result<Vec<usize>, ConnectError> {
+    if current.is_empty() {
+        return Err(ConnectError::EmptyDeployment);
+    }
+    if let Some(&node) = current.iter().find(|&&v| v >= sub.num_nodes()) {
+        return Err(ConnectError::NodeOutOfRange {
+            node,
+            num_nodes: sub.num_nodes(),
+        });
+    }
+    if current
+        .iter()
+        .any(|v| gateway_cells.binary_search(v).is_ok())
+    {
+        return Ok(Vec::new());
+    }
+    // Nearest gateway cell over the min-of-rows multi-source metric.
+    let target = gateway_cells
+        .iter()
+        .filter_map(|&c| {
+            current
+                .iter()
+                .map(|&v| sub.hop_row(v)[c])
+                .min()
+                .filter(|&d| d != UNREACHABLE_HOPS)
+                .map(|d| (d, c))
+        })
+        .min();
+    let Some((_, target)) = target else {
+        return Err(ConnectError::Unreachable {
+            a: current[0],
+            b: gateway_cells.first().copied().unwrap_or(current[0]),
+        });
+    };
+    let back = sub.hop_row(target);
+    let (_, start) = current
+        .iter()
+        .filter_map(|&v| (back[v] != UNREACHABLE_HOPS).then_some((back[v], v)))
         .min()
         .expect("target reachable implies a finite back-distance");
     let path = shortest_path(graph, start, target).expect("reachable");
@@ -460,6 +612,70 @@ mod tests {
         assert_eq!(
             extend_to_gateway(&g, &[], |_| true),
             Err(ConnectError::EmptyDeployment)
+        );
+    }
+
+    #[test]
+    fn substrate_connection_equals_bfs_connection() {
+        let g = grid_graph(5, 5);
+        let sub = ConnectivitySubstrate::build(&g);
+        for nodes in [
+            vec![],
+            vec![12],
+            vec![0, 24],
+            vec![4, 20, 0],
+            vec![6, 18, 8, 16],
+            vec![0, 4, 20, 24, 12],
+        ] {
+            assert_eq!(
+                connect_via_substrate(&g, &sub, &nodes),
+                connect_via_mst(&g, &nodes),
+                "{nodes:?}"
+            );
+        }
+        // Errors match too.
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let sub = ConnectivitySubstrate::build(&split);
+        assert_eq!(
+            connect_via_substrate(&split, &sub, &[0, 3]),
+            connect_via_mst(&split, &[0, 3])
+        );
+        assert_eq!(
+            connect_via_substrate(&split, &sub, &[0, 0]),
+            Err(ConnectError::DuplicateNode { node: 0 })
+        );
+        assert_eq!(
+            connect_via_substrate(&split, &sub, &[9]),
+            Err(ConnectError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            })
+        );
+    }
+
+    #[test]
+    fn substrate_gateway_extension_equals_bfs_extension() {
+        let g = grid_graph(4, 4);
+        let sub = ConnectivitySubstrate::build(&g);
+        for (current, gates) in [
+            (vec![0usize], vec![15usize]),
+            (vec![5, 6], vec![0, 12, 15]),
+            (vec![3], vec![3]),
+            (vec![10], vec![]),
+        ] {
+            let via_bfs = extend_to_gateway(&g, &current, |c| gates.binary_search(&c).is_ok());
+            let via_sub = extend_to_gateway_substrate(&g, &sub, &current, &gates);
+            assert_eq!(via_sub, via_bfs, "{current:?} gates {gates:?}");
+        }
+        assert_eq!(
+            extend_to_gateway_substrate(&g, &sub, &[], &[0]),
+            Err(ConnectError::EmptyDeployment)
+        );
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let sub = ConnectivitySubstrate::build(&split);
+        assert_eq!(
+            extend_to_gateway_substrate(&split, &sub, &[0], &[3]),
+            Err(ConnectError::Unreachable { a: 0, b: 3 })
         );
     }
 }

@@ -32,8 +32,9 @@
 //!   used by the test-suite to sanity-check the approximation ratio;
 //! * the `verify` module — differential oracles over every redundant
 //!   implementation pair (matching vs max-flow, streaming vs
-//!   materialized sweep, closed-form vs `Σ Q_h` relay bound, approx vs
-//!   exact with the Theorem 1 floor) plus fault injection with typed
+//!   materialized sweep, closed-form vs `Σ Q_h` relay bound,
+//!   substrate-backed vs per-call-BFS connection, approx vs exact with
+//!   the Theorem 1 floor) plus fault injection with typed
 //!   repair ([`inject_and_repair`]); the hot-path cross-checks compile
 //!   in under the `debug-validate` cargo feature.
 //!
@@ -85,19 +86,22 @@ pub use approx::{approx_alg, approx_alg_with_stats, ApproxConfig, ApproxStats, S
 pub use assign::{
     assign_users, assign_users_max_flow, assign_users_max_rate, Assignment, ThroughputAssignment,
 };
-pub use connecting::{connect_via_mst, extend_to_gateway, ConnectError};
+pub use connecting::{
+    connect_via_mst, connect_via_substrate, extend_to_gateway, extend_to_gateway_substrate,
+    ConnectError,
+};
 pub use error::CoreError;
 pub use exact::exact_optimum;
 pub use model::{Instance, InstanceBuilder, Uav, User};
 pub use oracle::CoverageOracle;
 pub use redeploy::{redeploy, rescore, RedeployStats};
-pub use seed_matroid::seed_matroid;
+pub use seed_matroid::{seed_matroid, seed_matroid_substrate};
 pub use segments::{g_upper_bound, g_via_q_sums, h_max, q_budgets};
 pub use solution::{
     score_deployment, try_score_deployment, Deployment, Solution, SolutionSummary, ValidationError,
 };
 pub use verify::{
-    check_against_exact, check_assignment_oracles, check_relay_bound, check_sweep_oracles,
-    inject_and_repair, theorem1_ratio_holds, verify_pipeline, DegradationReport, Fault,
-    VerifyError,
+    check_against_exact, check_assignment_oracles, check_connection_substrate, check_relay_bound,
+    check_sweep_oracles, inject_and_repair, theorem1_ratio_holds, verify_pipeline,
+    DegradationReport, Fault, VerifyError,
 };

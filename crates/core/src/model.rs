@@ -4,7 +4,7 @@
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 use uavnet_channel::{AtgChannel, UavRadio, UavToUavChannel};
-use uavnet_geom::{CellIndex, Grid, Point2};
+use uavnet_geom::{CellIndex, Grid, Point2, SpatialIndex};
 use uavnet_graph::Graph;
 
 /// A ground user: position and minimum data-rate requirement
@@ -47,6 +47,11 @@ pub struct Instance {
     location_graph: Graph,
     /// Distinct radio classes; `radio_class[k]` maps UAV `k` to one.
     radio_class: Vec<usize>,
+    /// User positions, extracted once for spatial-index queries.
+    user_positions: Vec<Point2>,
+    /// Uniform-grid index over `user_positions`, binned by the
+    /// coarsest coverage radius of the fleet.
+    user_index: SpatialIndex,
     /// `coverage[class][location]` = sorted user ids coverable there.
     coverage: Vec<Vec<Vec<u32>>>,
     /// `best_coverage[location]` = max coverage count over all classes.
@@ -207,6 +212,56 @@ impl Instance {
         self.best_coverage[loc]
     }
 
+    /// Calls `f` with the id of every user within `radius_m`
+    /// (inclusive, planar) of `center`, via the spatial index built at
+    /// construction time. Ids arrive bin-grouped, **not** globally
+    /// sorted. This is the same index that backs the coverage tables
+    /// and the leftover/redeploy paths.
+    pub fn for_each_user_within(&self, center: Point2, radius_m: f64, f: impl FnMut(u32)) {
+        self.user_index
+            .for_each_within(&self.user_positions, center, radius_m, f);
+    }
+
+    /// Sorted ids of the users within `radius_m` (inclusive, planar)
+    /// of `center`.
+    pub fn users_within(&self, center: Point2, radius_m: f64) -> Vec<u32> {
+        let mut ids = Vec::new();
+        self.for_each_user_within(center, radius_m, |id| ids.push(id));
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Recomputes the coverage tables by the all-pairs reference scan
+    /// (no spatial index), in the same `coverage[class][location]`
+    /// layout. Exists solely so tests can differentially check the
+    /// indexed builder; not part of the public API surface.
+    #[doc(hidden)]
+    pub fn coverage_tables_bruteforce(&self) -> Vec<Vec<Vec<u32>>> {
+        let m = self.num_locations();
+        let num_classes = self.coverage.len();
+        let mut tables = vec![vec![Vec::new(); m]; num_classes];
+        for (class, per_loc) in tables.iter_mut().enumerate() {
+            let uav = self
+                .radio_class
+                .iter()
+                .position(|&c| c == class)
+                .expect("every class has a UAV");
+            let radio = self.uavs[uav].radio;
+            for (loc, slot) in per_loc.iter_mut().enumerate() {
+                *slot = coverable_bruteforce(&self.atg, &radio, &self.grid, loc, &self.users);
+            }
+        }
+        tables
+    }
+
+    /// The coverage tables as built (`[class][location]` → sorted user
+    /// ids). Exists for differential tests; use [`Instance::coverable`]
+    /// in algorithm code.
+    #[doc(hidden)]
+    pub fn coverage_tables(&self) -> &[Vec<Vec<u32>>] {
+        &self.coverage
+    }
+
     /// A degraded copy of this instance whose location graph lost the
     /// given UAV-to-UAV links (unordered cell pairs; pairs that were
     /// never edges are ignored). Coverage tables, fleet and users are
@@ -264,6 +319,31 @@ impl Instance {
         rebuilt.location_graph = self.location_graph.clone();
         Ok(rebuilt)
     }
+}
+
+/// Reference all-pairs coverage scan for one (radio, location) pair:
+/// the planar `d² ≤ r²` prefilter followed by the full admissibility
+/// check, exactly what the indexed builder must reproduce.
+fn coverable_bruteforce(
+    atg: &AtgChannel,
+    radio: &UavRadio,
+    grid: &Grid,
+    loc: CellIndex,
+    users: &[User],
+) -> Vec<u32> {
+    let center = grid.cell_center(loc);
+    let hover = grid.hover_position(loc);
+    let range_sq = radio.user_range_m() * radio.user_range_m();
+    let mut list = Vec::new();
+    for (uid, user) in users.iter().enumerate() {
+        if user.pos.distance_sq(center) > range_sq {
+            continue;
+        }
+        if atg.can_serve(radio, hover, user.pos, user.min_rate_bps) {
+            list.push(uid as u32);
+        }
+    }
+    list
 }
 
 /// Builder for [`Instance`]; see [`Instance::builder`].
@@ -382,28 +462,49 @@ impl InstanceBuilder {
             radio_class.push(id);
         }
 
-        // Coverage tables per class and location.
+        // Spatial index over user positions, binned by the coarsest
+        // coverage radius: a per-class query then touches only the
+        // bins overlapping that class's coverage disc, making the
+        // tables O(users + hits) per location instead of all-pairs.
+        let user_positions: Vec<Point2> = self.users.iter().map(|u| u.pos).collect();
+        let max_range = classes
+            .iter()
+            .map(|r| r.user_range_m())
+            .fold(0.0_f64, f64::max);
+        let user_index = SpatialIndex::build(&user_positions, max_range);
+
+        // Coverage tables per class and location, via the index. The
+        // inclusive d² ≤ r² planar prefilter happens inside the index
+        // scan; the full admissibility check (rate requirement) runs
+        // on the survivors. Ids arrive bin-grouped, so each list is
+        // sorted afterwards to restore the ascending-uid invariant.
         let mut coverage = vec![vec![Vec::new(); m]; classes.len()];
         for (radio, per_loc) in classes.iter().zip(coverage.iter_mut()) {
             for (loc, slot) in per_loc.iter_mut().enumerate() {
                 let center = self.grid.cell_center(loc);
                 let hover = self.grid.hover_position(loc);
                 let mut list = Vec::new();
-                // Planar range prefilter, then the full admissibility
-                // check with the rate requirement.
-                let range_sq = radio.user_range_m() * radio.user_range_m();
-                for (uid, user) in self.users.iter().enumerate() {
-                    if user.pos.distance_sq(center) > range_sq {
-                        continue;
-                    }
+                user_index.for_each_within(&user_positions, center, radio.user_range_m(), |uid| {
+                    let user = &self.users[uid as usize];
                     if self
                         .atg
                         .can_serve(radio, hover, user.pos, user.min_rate_bps)
                     {
-                        list.push(uid as u32);
+                        list.push(uid);
                     }
-                }
+                });
+                list.sort_unstable();
                 *slot = list;
+            }
+        }
+        #[cfg(feature = "debug-validate")]
+        for (class, (radio, per_loc)) in classes.iter().zip(coverage.iter()).enumerate() {
+            for (loc, slot) in per_loc.iter().enumerate() {
+                let brute = coverable_bruteforce(&self.atg, radio, &self.grid, loc, &self.users);
+                assert_eq!(
+                    slot, &brute,
+                    "debug-validate: spatial coverage table diverges at class {class} loc {loc}"
+                );
             }
         }
 
@@ -440,6 +541,8 @@ impl InstanceBuilder {
             uav_channel: self.uav_channel,
             location_graph,
             radio_class,
+            user_positions,
+            user_index,
             coverage,
             best_coverage,
             uavs_by_capacity,
@@ -627,6 +730,57 @@ mod tests {
         b.add_uav(20, radio());
         let inst = b.build().unwrap();
         assert_eq!(inst.uavs_by_capacity(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn indexed_coverage_matches_bruteforce() {
+        // Two radio classes with very different radii over a scattered
+        // population: the spatial-index build must reproduce the
+        // reference scan exactly, per class and location.
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        let mut state = 0xc0ffee_u64;
+        for _ in 0..80 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 33) as f64 % 900.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = (state >> 33) as f64 % 900.0;
+            b.add_user(Point2::new(x, y), 2_000.0);
+        }
+        b.add_uav(10, UavRadio::new(30.0, 5.0, 150.0));
+        b.add_uav(10, radio()); // 500 m class
+        let inst = b.build().unwrap();
+        let brute = inst.coverage_tables_bruteforce();
+        assert_eq!(inst.coverage_tables(), &brute[..]);
+        // Every list is sorted and deduplicated.
+        for per_loc in inst.coverage_tables() {
+            for list in per_loc {
+                assert!(list.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn users_within_matches_linear_scan() {
+        let mut b = Instance::builder(grid_900(300.0), 600.0);
+        b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+        b.add_user(Point2::new(450.0, 450.0), 2_000.0);
+        b.add_user(Point2::new(850.0, 850.0), 2_000.0);
+        b.add_uav(10, radio());
+        let inst = b.build().unwrap();
+        let center = Point2::new(450.0, 450.0);
+        let expect: Vec<u32> = inst
+            .users()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.pos.distance_sq(center) <= 500.0 * 500.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(inst.users_within(center, 500.0), expect);
+        assert!(inst.users_within(center, -1.0).is_empty());
     }
 
     #[test]

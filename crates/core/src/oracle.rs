@@ -154,6 +154,20 @@ impl MarginalOracle for CoverageOracle<'_> {
         self.placements.push((uav, loc));
     }
 
+    fn gain_upper_bound(&self, loc: usize) -> u64 {
+        // Admissible for any matching state: a station can serve at
+        // most its capacity and at most the users it can reach. Exact
+        // on an empty matching, so the first pick of every subset costs
+        // only the top-tie evaluations instead of a full ground scan.
+        match self.next_uav() {
+            Some(uav) => {
+                let cap = u64::from(self.instance.uavs()[uav].capacity);
+                cap.min(self.instance.coverable(uav, loc).len() as u64)
+            }
+            None => 0,
+        }
+    }
+
     fn bounds_carry_over(&self, prev: usize, next: usize) -> bool {
         // Capacities are non-increasing along `uavs_by_capacity`, so
         // bounds carry exactly when the radio (hence the coverable-user

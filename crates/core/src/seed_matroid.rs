@@ -2,7 +2,7 @@
 //! (§III-C).
 
 use crate::SegmentPlan;
-use uavnet_graph::{multi_source_hops, Graph};
+use uavnet_graph::{multi_source_hops, ConnectivitySubstrate, Graph, UNREACHABLE_HOPS};
 use uavnet_matroid::NestedFamilyMatroid;
 
 /// Builds the matroid `M2` over candidate locations for the seed set
@@ -54,6 +54,42 @@ pub fn seed_matroid(graph: &Graph, seeds: &[usize], plan: &SegmentPlan) -> Neste
             _ => None,
         })
         .collect();
+    NestedFamilyMatroid::new(depth, plan.budgets())
+}
+
+/// [`seed_matroid`] with depths read from precomputed substrate hop
+/// rows instead of a fresh multi-source BFS: `d_l = min_seed row[seed][l]`,
+/// clipped at `h_max`. Produces the identical matroid — the sweep hot
+/// path uses this, the materialized oracle keeps the BFS version.
+///
+/// # Panics
+///
+/// Panics if a seed is out of range of the substrate, or the number of
+/// seeds differs from `plan.s()`.
+pub fn seed_matroid_substrate(
+    sub: &ConnectivitySubstrate,
+    seeds: &[usize],
+    plan: &SegmentPlan,
+) -> NestedFamilyMatroid {
+    assert_eq!(
+        seeds.len(),
+        plan.s(),
+        "got {} seeds for a plan with s = {}",
+        seeds.len(),
+        plan.s()
+    );
+    let h_max = plan.h_max();
+    let mut depth: Vec<Option<usize>> = vec![None; sub.num_nodes()];
+    for &seed in seeds {
+        for (&d, slot) in sub.hop_row(seed).iter().zip(depth.iter_mut()) {
+            if d != UNREACHABLE_HOPS && (d as usize) <= h_max {
+                match slot {
+                    Some(best) if *best <= d as usize => {}
+                    _ => *slot = Some(d as usize),
+                }
+            }
+        }
+    }
     NestedFamilyMatroid::new(depth, plan.budgets())
 }
 
@@ -155,5 +191,30 @@ mod tests {
         let g = path_graph(5);
         let plan = SegmentPlan::optimal(5, 2).unwrap();
         let _ = seed_matroid(&g, &[1], &plan);
+    }
+
+    #[test]
+    fn substrate_matroid_equals_bfs_matroid() {
+        let mut g = path_graph(12);
+        g.add_edge(0, 11); // a cycle plus an isolated pair
+        let mut g2 = Graph::new(14);
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            g2.add_edge(u, v);
+        }
+        g2.add_edge(12, 13);
+        let g = g2;
+        let sub = ConnectivitySubstrate::build(&g);
+        for (k, seeds) in [(12, vec![3]), (12, vec![3, 9]), (14, vec![0, 12])] {
+            let plan = SegmentPlan::optimal(k, seeds.len()).unwrap();
+            let via_bfs = seed_matroid(&g, &seeds, &plan);
+            let via_sub = seed_matroid_substrate(&sub, &seeds, &plan);
+            for v in 0..14 {
+                assert_eq!(
+                    via_sub.depth_of(v),
+                    via_bfs.depth_of(v),
+                    "seeds {seeds:?} node {v}"
+                );
+            }
+        }
     }
 }

@@ -26,7 +26,9 @@
 
 use crate::approx::{approx_alg, approx_alg_materialized, approx_alg_with_stats, ApproxConfig};
 use crate::assign::{assign_users, assign_users_max_flow};
-use crate::connecting::{connect_via_mst, extend_to_gateway};
+use crate::connecting::{
+    connect_via_mst, connect_via_substrate, extend_to_gateway, extend_to_gateway_substrate,
+};
 use crate::exact::exact_optimum;
 use crate::model::User;
 use crate::solution::{try_score_deployment, Solution};
@@ -35,7 +37,7 @@ use std::cmp::Reverse;
 use std::error::Error;
 use std::fmt;
 use uavnet_geom::CellIndex;
-use uavnet_graph::connected_components;
+use uavnet_graph::{bfs_hops, connected_components, ConnectivitySubstrate, UNREACHABLE_HOPS};
 
 /// A divergence found by one of the differential oracles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +80,20 @@ pub enum VerifyError {
         /// [`crate::g_via_q_sums`] value.
         q_sum: usize,
     },
+    /// The substrate-backed connection path (precomputed hop rows for
+    /// every distance decision) diverged from the brute-force per-call
+    /// BFS on the same node set.
+    ConnectionMismatch {
+        /// Which stage diverged (`"hops"`, `"connection"`,
+        /// `"gateway_extension"`).
+        stage: &'static str,
+        /// The node set the two implementations were given.
+        nodes: Vec<usize>,
+        /// Result from the substrate-backed implementation.
+        substrate: String,
+        /// Result from the brute-force BFS implementation.
+        brute_force: String,
+    },
     /// The approximation fell below the proven Theorem 1 floor
     /// `served · 3Δ ≥ OPT` (or exceeded the optimum).
     RatioViolated {
@@ -116,6 +132,16 @@ impl fmt::Display for VerifyError {
             VerifyError::RelayBoundMismatch { p, closed_form, q_sum } => write!(
                 f,
                 "relay bound for p={p:?}: closed form {closed_form} vs Q-sum {q_sum}"
+            ),
+            VerifyError::ConnectionMismatch {
+                stage,
+                nodes,
+                substrate,
+                brute_force,
+            } => write!(
+                f,
+                "substrate connection diverged at {stage} for nodes {nodes:?}: \
+                 substrate {substrate} vs brute-force {brute_force}"
             ),
             VerifyError::RatioViolated { served, opt, delta } => write!(
                 f,
@@ -318,10 +344,91 @@ pub fn check_against_exact(
     Ok((apx, opt))
 }
 
+/// Differential oracle 5 — the connectivity substrate against fresh
+/// BFS, on concrete node sets: for every node mentioned in
+/// `node_sets`, the substrate's precomputed hop row must equal a fresh
+/// [`bfs_hops`] run, and for every set the substrate-backed relay
+/// connection ([`connect_via_substrate`]) and gateway extension
+/// ([`extend_to_gateway_substrate`]) must reproduce the brute-force
+/// results ([`connect_via_mst`] / [`extend_to_gateway`]) bit-for-bit —
+/// same relay cells in the same order, or the same typed error.
+///
+/// Exact equality — not just equal cost — is the contract: every
+/// distance decision reads values that are identical by construction,
+/// and the few actual path extractions go through the shared
+/// [`uavnet_graph::shortest_path`] BFS on both sides.
+///
+/// # Errors
+///
+/// [`VerifyError::ConnectionMismatch`] naming the first diverging
+/// stage (`"hops"`, `"connection"`, or `"gateway_extension"`).
+///
+/// # Panics
+///
+/// Panics if a node set mentions a cell outside the instance's grid.
+pub fn check_connection_substrate(
+    instance: &Instance,
+    node_sets: &[Vec<CellIndex>],
+) -> Result<(), VerifyError> {
+    let graph = instance.location_graph();
+    let sub = ConnectivitySubstrate::build(graph);
+    let mut gateway_cells = instance.gateway_cells();
+    gateway_cells.sort_unstable();
+    for nodes in node_sets {
+        for &v in nodes {
+            let fresh = bfs_hops(graph, v);
+            let row = sub.hop_row(v);
+            let diverged = fresh.iter().zip(row.iter()).position(|(f, &r)| {
+                let r = (r != UNREACHABLE_HOPS).then_some(u32::from(r));
+                *f != r
+            });
+            if let Some(w) = diverged {
+                return Err(VerifyError::ConnectionMismatch {
+                    stage: "hops",
+                    nodes: nodes.clone(),
+                    substrate: format!("row[{v}][{w}] = {:?}", row[w]),
+                    brute_force: format!("bfs_hops[{v}][{w}] = {:?}", fresh[w]),
+                });
+            }
+        }
+        let via_sub = connect_via_substrate(graph, &sub, nodes);
+        let via_bfs = connect_via_mst(graph, nodes);
+        if via_sub != via_bfs {
+            return Err(VerifyError::ConnectionMismatch {
+                stage: "connection",
+                nodes: nodes.clone(),
+                substrate: format!("{via_sub:?}"),
+                brute_force: format!("{via_bfs:?}"),
+            });
+        }
+        // Exercise the gateway extension on whatever the connection
+        // produced (union of endpoints and relays), mirroring how the
+        // sweep chains the two calls.
+        if let Ok(relays) = via_bfs {
+            let mut all: Vec<usize> = nodes.iter().copied().chain(relays).collect();
+            all.sort_unstable();
+            all.dedup();
+            let ext_sub = extend_to_gateway_substrate(graph, &sub, &all, &gateway_cells);
+            let ext_bfs =
+                extend_to_gateway(graph, &all, |v| gateway_cells.binary_search(&v).is_ok());
+            if ext_sub != ext_bfs {
+                return Err(VerifyError::ConnectionMismatch {
+                    stage: "gateway_extension",
+                    nodes: nodes.clone(),
+                    substrate: format!("{ext_sub:?}"),
+                    brute_force: format!("{ext_bfs:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full differential battery appropriate for `instance` in
 /// one call: the sweep oracle pair, the relay-bound algebra for the
 /// plan's segment sizes, the assignment oracle pair on the winning
-/// deployment, and independent [`Solution::validate`]. Small
+/// deployment, the substrate-vs-BFS connection oracle on the winning
+/// locations, and independent [`Solution::validate`]. Small
 /// instances (within the exact solver's guards) additionally get the
 /// exact-vs-approx ratio check.
 ///
@@ -335,6 +442,15 @@ pub fn verify_pipeline(instance: &Instance, config: &ApproxConfig) -> Result<Sol
     let (sol, stats) = approx_alg_with_stats(instance, config)?;
     check_relay_bound(stats.plan.p()).map_err(CoreError::from)?;
     check_assignment_oracles(instance, sol.deployment().placements()).map_err(CoreError::from)?;
+    let mut winning_locs: Vec<CellIndex> = sol
+        .deployment()
+        .placements()
+        .iter()
+        .map(|&(_, loc)| loc)
+        .collect();
+    winning_locs.sort_unstable();
+    winning_locs.dedup();
+    check_connection_substrate(instance, &[winning_locs]).map_err(CoreError::from)?;
     sol.validate(instance)?;
     if instance.num_locations() <= 16 && instance.num_uavs() <= 4 {
         check_against_exact(instance, config)?;
@@ -641,6 +757,43 @@ mod tests {
         assert!(apx.served_users() <= opt.served_users());
         let sol = verify_pipeline(&inst, &config).unwrap();
         assert_eq!(sol.served_users(), apx.served_users());
+    }
+
+    #[test]
+    fn connection_substrate_oracle_passes_on_varied_node_sets() {
+        let inst = instance_3x3(450.0, &[2, 2, 1]);
+        // Singletons, adjacent pairs, a spread triple needing relays,
+        // and the full diagonal; all must agree with brute-force BFS
+        // on hops, relay selection and gateway extension.
+        check_connection_substrate(
+            &inst,
+            &[
+                vec![0],
+                vec![0, 1],
+                vec![0, 8],
+                vec![0, 4, 8],
+                vec![2, 6],
+                vec![0, 2, 6, 8],
+            ],
+        )
+        .unwrap();
+        // A short UAV range disconnects the location graph; the two
+        // implementations must agree on the typed error too.
+        let sparse = instance_3x3(250.0, &[2, 1]);
+        check_connection_substrate(&sparse, &[vec![0, 8], vec![0], vec![3, 5]]).unwrap();
+    }
+
+    #[test]
+    fn connection_mismatch_display_names_the_stage() {
+        let err = VerifyError::ConnectionMismatch {
+            stage: "connection",
+            nodes: vec![0, 4],
+            substrate: "Ok([0, 4, 2])".into(),
+            brute_force: "Ok([0, 4, 1])".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("connection"), "{msg}");
+        assert!(msg.contains("[0, 4]"), "{msg}");
     }
 
     #[test]

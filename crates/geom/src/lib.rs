@@ -7,7 +7,10 @@
 //!   height `γ` in the paper's notation);
 //! * [`Grid`] — the partition of the hovering plane at altitude `H_uav`
 //!   into `m = (α/λ) × (β/λ)` square cells of side `λ`, whose centers are
-//!   the candidate hovering locations `v_1 … v_m`.
+//!   the candidate hovering locations `v_1 … v_m`;
+//! * [`SpatialIndex`] — a uniform-grid point index answering "users
+//!   within `R_user^k` of a location" by scanning only neighboring bins,
+//!   the workhorse behind `O(users + hits)` coverage-table construction.
 //!
 //! # Examples
 //!
@@ -30,10 +33,12 @@
 mod area;
 mod grid;
 mod point;
+mod spatial;
 
 pub use area::AreaSpec;
 pub use grid::{CellIndex, Grid, GridSpec, NeighborIter};
 pub use point::{Point2, Point3};
+pub use spatial::SpatialIndex;
 
 use std::error::Error;
 use std::fmt;

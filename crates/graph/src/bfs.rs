@@ -91,6 +91,13 @@ pub fn hop_distance(g: &Graph, u: usize, v: usize) -> Option<Hops> {
 /// A shortest path from `u` to `v` as a node sequence `[u, …, v]`, or
 /// `None` if disconnected.
 ///
+/// Ties between equal-length paths are broken by BFS discovery order
+/// (the first dequeued node to reach a cell becomes its parent), which
+/// is deterministic for a given adjacency insertion order. Layers that
+/// need to reproduce these exact sequences (the substrate-backed
+/// connection in `uavnet-core`) call this same function rather than
+/// re-deriving paths from hop tables.
+///
 /// # Examples
 ///
 /// ```
@@ -107,6 +114,8 @@ pub fn shortest_path(g: &Graph, u: usize, v: usize) -> Option<Vec<usize>> {
 
 /// A shortest path from `u` to `v` using only `allowed` nodes (both
 /// endpoints must be allowed), or `None` if no such path exists.
+///
+/// Same discovery-order tie-break as [`shortest_path`].
 pub fn shortest_path_restricted(
     g: &Graph,
     u: usize,

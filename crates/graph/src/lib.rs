@@ -14,6 +14,9 @@
 //!   greedily chosen locations, Fig. 3 of the paper);
 //! * [`euler`] — Eulerian tours/paths over doubled spanning trees and the
 //!   segment-splitting used in the approximation-ratio analysis (Fig. 2);
+//! * [`ConnectivitySubstrate`] — a precomputed all-pairs hop matrix
+//!   with component bitsets, built once per instance and shared
+//!   read-only across sweep threads;
 //! * [`UnionFind`] and connectivity helpers.
 //!
 //! # Examples
@@ -36,6 +39,7 @@ mod adj;
 mod bfs;
 pub mod euler;
 mod mst;
+mod substrate;
 mod unionfind;
 
 pub use adj::Graph;
@@ -44,6 +48,7 @@ pub use bfs::{
     is_connected_subset, multi_source_hops, shortest_path, shortest_path_restricted,
 };
 pub use mst::{prim_mst, MstError};
+pub use substrate::{ConnectivitySubstrate, UNREACHABLE_HOPS};
 pub use unionfind::UnionFind;
 
 /// Hop count type: BFS layers are small, `u32` is ample.

@@ -1,0 +1,421 @@
+//! Precomputed read-only connectivity substrate over a fixed graph.
+//!
+//! The subset sweep of Algorithm 2 asks the same hop-structure
+//! questions — "how far apart are these two locations?", "are they in
+//! the same component?", "give me a shortest relay path" — thousands
+//! of times per run, once per seed subset. [`ConnectivitySubstrate`]
+//! answers all of them from tables built **once** per instance:
+//!
+//! * a CSR copy of the adjacency (cache-friendly neighbor scans);
+//! * the full all-pairs hop matrix in `u16` (`u16::MAX` = unreachable),
+//!   one BFS per node over the CSR at build time;
+//! * component ids plus one membership bitset per component, so
+//!   reachability is a word-indexed bit test and "how many candidates
+//!   can this seed reach" is a precomputed count.
+//!
+//! Shared immutably (`&ConnectivitySubstrate`) across sweep threads:
+//! every query is a read, no locks. The tables replace the *distance*
+//! BFS runs of the sweep hot path (pairwise weights, matroid depths,
+//! gateway metrics); the handful of actual relay-path extractions per
+//! subset stay on [`crate::shortest_path`] so substrate-backed and
+//! BFS-backed connection code pick **bit-for-bit identical** relays
+//! (same discovery-order tie-breaks), which the differential oracles
+//! in `uavnet-core::verify` rely on.
+//! [`ConnectivitySubstrate::shortest_path_into`] additionally offers a
+//! table-only path descent for callers that need *some* shortest path
+//! without touching the original graph.
+
+use crate::{Graph, Hops};
+
+/// Hop value marking an unreachable pair in the `u16` matrix.
+pub const UNREACHABLE_HOPS: u16 = u16::MAX;
+
+/// All-pairs hop distances, components and reachability bitsets of a
+/// fixed graph, built once and then queried lock-free from any thread.
+///
+/// Memory: `2 n²` bytes for the hop matrix plus `n²/8` for the
+/// component bitsets — ~26 MB at the paper's `m = 3600` candidate
+/// locations, negligible at evaluation scales.
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_graph::{ConnectivitySubstrate, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+/// let sub = ConnectivitySubstrate::build(&g);
+/// assert_eq!(sub.hops(0, 2), Some(2));
+/// assert_eq!(sub.hops(0, 3), None);
+/// assert!(sub.reachable(3, 4));
+/// assert_eq!(sub.component_size(0), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectivitySubstrate {
+    n: usize,
+    /// CSR offsets into `neighbors`; node `u`'s neighbors are
+    /// `neighbors[offsets[u]..offsets[u + 1]]`, sorted ascending.
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    /// Row-major `n × n` hop matrix; [`UNREACHABLE_HOPS`] = no path.
+    hops: Vec<u16>,
+    /// Component id per node (ids are dense, by smallest member).
+    component: Vec<u32>,
+    /// Nodes per component, indexed by component id.
+    component_sizes: Vec<u32>,
+    /// One membership bitset per component, each `words_per_row` words.
+    component_bits: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl ConnectivitySubstrate {
+    /// Builds the substrate: one BFS per node for the hop matrix, one
+    /// labeling pass for components and their bitsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has `u16::MAX` nodes or more (hop distances
+    /// must fit in `u16` with [`UNREACHABLE_HOPS`] reserved).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        assert!(
+            n < UNREACHABLE_HOPS as usize,
+            "substrate supports at most {} nodes, got {n}",
+            UNREACHABLE_HOPS as usize - 1
+        );
+        // CSR adjacency with sorted neighbor lists.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut neighbors: Vec<u32> = Vec::new();
+        for u in 0..n {
+            let start = neighbors.len();
+            neighbors.extend(g.neighbors(u).iter().map(|&v| v as u32));
+            neighbors[start..].sort_unstable();
+            offsets.push(neighbors.len() as u32);
+        }
+
+        // Components by BFS over the CSR, labeled by smallest member.
+        let mut component = vec![u32::MAX; n];
+        let mut component_sizes: Vec<u32> = Vec::new();
+        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for start in 0..n {
+            if component[start] != u32::MAX {
+                continue;
+            }
+            let id = component_sizes.len() as u32;
+            component_sizes.push(0);
+            component[start] = id;
+            queue.push_back(start as u32);
+            while let Some(u) = queue.pop_front() {
+                component_sizes[id as usize] += 1;
+                let (s, e) = (
+                    offsets[u as usize] as usize,
+                    offsets[u as usize + 1] as usize,
+                );
+                for &v in &neighbors[s..e] {
+                    if component[v as usize] == u32::MAX {
+                        component[v as usize] = id;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let words_per_row = n.div_ceil(64).max(1);
+        let mut component_bits = vec![0u64; component_sizes.len() * words_per_row];
+        for (v, &c) in component.iter().enumerate() {
+            component_bits[c as usize * words_per_row + v / 64] |= 1u64 << (v % 64);
+        }
+
+        // All-pairs hops: one BFS per source over the CSR, writing
+        // straight into the row.
+        let mut hops = vec![UNREACHABLE_HOPS; n * n];
+        let mut bfs_queue: Vec<u32> = Vec::with_capacity(n);
+        for src in 0..n {
+            let row = &mut hops[src * n..(src + 1) * n];
+            row[src] = 0;
+            bfs_queue.clear();
+            bfs_queue.push(src as u32);
+            let mut head = 0usize;
+            while head < bfs_queue.len() {
+                let u = bfs_queue[head] as usize;
+                head += 1;
+                let du = row[u];
+                let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+                for &v in &neighbors[s..e] {
+                    if row[v as usize] == UNREACHABLE_HOPS {
+                        row[v as usize] = du + 1;
+                        bfs_queue.push(v);
+                    }
+                }
+            }
+        }
+
+        let sub = ConnectivitySubstrate {
+            n,
+            offsets,
+            neighbors,
+            hops,
+            component,
+            component_sizes,
+            component_bits,
+            words_per_row,
+        };
+        #[cfg(feature = "debug-validate")]
+        for u in 0..n {
+            let fresh = crate::bfs_hops(g, u);
+            for v in 0..n {
+                assert_eq!(
+                    sub.hops(u, v),
+                    fresh[v],
+                    "debug-validate: substrate hop ({u}, {v}) diverges from BFS"
+                );
+            }
+        }
+        sub
+    }
+
+    /// Number of nodes of the indexed graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between `u` and `v`, `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn hops(&self, u: usize, v: usize) -> Option<Hops> {
+        assert!(u < self.n && v < self.n, "node out of range");
+        match self.hops[u * self.n + v] {
+            UNREACHABLE_HOPS => None,
+            d => Some(Hops::from(d)),
+        }
+    }
+
+    /// The raw `u16` hop row of `u` ([`UNREACHABLE_HOPS`] = no path),
+    /// one entry per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn hop_row(&self, u: usize) -> &[u16] {
+        &self.hops[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Whether `u` and `v` share a component (one bit test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn reachable(&self, u: usize, v: usize) -> bool {
+        let row = self.reachability_row(u);
+        row[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// The membership bitset of `u`'s component: bit `v` set iff `v`
+    /// is reachable from `u` (including `u` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn reachability_row(&self, u: usize) -> &[u64] {
+        let c = self.component[u] as usize;
+        &self.component_bits[c * self.words_per_row..(c + 1) * self.words_per_row]
+    }
+
+    /// Dense component id of `u` (components numbered by smallest
+    /// member).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn component_of(&self, u: usize) -> usize {
+        self.component[u] as usize
+    }
+
+    /// Number of connected components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.component_sizes.len()
+    }
+
+    /// Number of nodes in `u`'s component (≥ 1: `u` counts itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn component_size(&self, u: usize) -> usize {
+        self.component_sizes[self.component[u] as usize] as usize
+    }
+
+    /// Sorted neighbor ids of `u` from the CSR copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Writes a shortest path `u → … → v` into `out` (cleared first)
+    /// and returns `true`, or returns `false` leaving `out` empty when
+    /// `v` is unreachable. Pure table descent — no BFS, no access to
+    /// the original graph.
+    ///
+    /// Deterministic: reconstructed backward from `v`, taking the
+    /// **smallest-index** CSR neighbor one hop closer to `u` at every
+    /// step. Note this tie-break differs from the discovery-order one
+    /// of [`crate::shortest_path`]; code that must reproduce the BFS
+    /// paths exactly (the relay connection in `uavnet-core`) calls
+    /// that function instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn shortest_path_into(&self, u: usize, v: usize, out: &mut Vec<usize>) -> bool {
+        out.clear();
+        assert!(u < self.n && v < self.n, "node out of range");
+        let row = self.hop_row(u);
+        if row[v] == UNREACHABLE_HOPS {
+            return false;
+        }
+        out.push(v);
+        let mut cur = v;
+        while cur != u {
+            let d = row[cur];
+            let prev = self
+                .neighbors(cur)
+                .iter()
+                .map(|&w| w as usize)
+                .find(|&w| row[w] + 1 == d)
+                .expect("BFS layering guarantees a closer neighbor");
+            out.push(prev);
+            cur = prev;
+        }
+        out.reverse();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs_hops, connected_components, shortest_path};
+
+    fn grid_graph(cols: usize, rows: usize) -> Graph {
+        let mut g = Graph::new(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(v, v + cols);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn hops_match_bfs_everywhere() {
+        for g in [
+            grid_graph(4, 3),
+            Graph::from_edges(7, [(0, 1), (1, 2), (4, 5), (5, 6), (4, 6)]),
+            Graph::new(3),
+            Graph::new(0),
+        ] {
+            let sub = ConnectivitySubstrate::build(&g);
+            for u in 0..g.num_nodes() {
+                let fresh = bfs_hops(&g, u);
+                for (v, &expected) in fresh.iter().enumerate() {
+                    assert_eq!(sub.hops(u, v), expected, "({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_and_reachability_agree() {
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (3, 4), (6, 7)]);
+        let sub = ConnectivitySubstrate::build(&g);
+        let comps = connected_components(&g);
+        assert_eq!(sub.num_components(), comps.len());
+        for (id, comp) in comps.iter().enumerate() {
+            for &v in comp {
+                assert_eq!(sub.component_of(v), id);
+                assert_eq!(sub.component_size(v), comp.len());
+            }
+        }
+        for u in 0..8 {
+            for v in 0..8 {
+                assert_eq!(
+                    sub.reachable(u, v),
+                    sub.hops(u, v).is_some(),
+                    "reachable({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_paths_are_valid_shortest_paths() {
+        let g = grid_graph(5, 4);
+        let sub = ConnectivitySubstrate::build(&g);
+        let mut buf = Vec::new();
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                let via_bfs = shortest_path(&g, u, v).expect("grid is connected");
+                assert!(sub.shortest_path_into(u, v, &mut buf));
+                // Same optimal length as BFS, valid endpoints, and
+                // every step a real edge (tie-breaks may differ).
+                assert_eq!(buf.len(), via_bfs.len(), "path {u} -> {v}");
+                assert_eq!(buf[0], u);
+                assert_eq!(*buf.last().unwrap(), v);
+                for w in buf.windows(2) {
+                    assert!(
+                        sub.neighbors(w[0]).contains(&(w[1] as u32)),
+                        "non-edge {w:?} on path {u} -> {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_path_is_false_and_empty() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let sub = ConnectivitySubstrate::build(&g);
+        let mut buf = vec![99];
+        assert!(!sub.shortest_path_into(0, 3, &mut buf));
+        assert!(buf.is_empty());
+        assert!(sub.shortest_path_into(2, 2, &mut buf));
+        assert_eq!(buf, vec![2]);
+    }
+
+    #[test]
+    fn csr_neighbors_are_sorted() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 4);
+        g.add_edge(0, 2);
+        g.add_edge(0, 1);
+        let sub = ConnectivitySubstrate::build(&g);
+        assert_eq!(sub.neighbors(0), &[1, 2, 4]);
+        assert_eq!(sub.neighbors(3), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hop_query_rejects_out_of_range() {
+        let sub = ConnectivitySubstrate::build(&Graph::new(2));
+        let _ = sub.hops(0, 5);
+    }
+}

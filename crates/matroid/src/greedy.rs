@@ -38,6 +38,19 @@ pub trait MarginalOracle {
     fn bounds_carry_over(&self, _prev: usize, _next: usize) -> bool {
         true
     }
+
+    /// A cheap *admissible* upper bound on [`gain`](Self::gain) of `e`
+    /// against the oracle's current state — e.g. `min(capacity,
+    /// |coverable users|)` for the coverage oracle. The greedy seeds its
+    /// heap with these instead of `u64::MAX`, so elements whose bound
+    /// never reaches the top are never evaluated at all. Must satisfy
+    /// `gain(e) <= gain_upper_bound(e)` whenever the bound is computed
+    /// (at seeding and at every cache invalidation); the default is the
+    /// trivial bound. The selected elements are identical for any
+    /// admissible bound — tighter bounds only skip evaluations.
+    fn gain_upper_bound(&self, _e: usize) -> u64 {
+        u64::MAX
+    }
 }
 
 /// Options for [`lazy_greedy`].
@@ -166,17 +179,25 @@ where
         chosen,
     } = workspace;
     heap.clear();
-    heap.extend(ground.iter().map(|&e| (u64::MAX, Reverse(e), NEVER)));
+    heap.extend(
+        ground
+            .iter()
+            .map(|&e| (oracle.gain_upper_bound(e), Reverse(e), NEVER)),
+    );
     chosen.clear();
 
     for k in 0..options.max_picks {
         oracle.begin_iteration(k);
         if k > 0 && !oracle.bounds_carry_over(k - 1, k) {
             // Cached gains may now under-report; reset every entry to
-            // "never evaluated" so each is recomputed before use.
+            // a fresh admissible bound so each is recomputed before use.
             stale.clear();
             stale.extend(heap.drain().map(|(_, Reverse(e), _)| e));
-            heap.extend(stale.iter().map(|&e| (u64::MAX, Reverse(e), NEVER)));
+            heap.extend(
+                stale
+                    .iter()
+                    .map(|&e| (oracle.gain_upper_bound(e), Reverse(e), NEVER)),
+            );
         }
         let mut pick = None;
         while let Some((cached, Reverse(e), computed_at)) = heap.pop() {
@@ -193,8 +214,11 @@ where
                 break;
             }
             let g = oracle.gain(e);
+            // Holds both for gains cached at an earlier pick (the lazy
+            // contract) and for never-evaluated entries, whose `cached`
+            // is the oracle's admissible upper bound.
             debug_assert!(
-                computed_at == NEVER || g <= cached,
+                g <= cached,
                 "lazy contract violated for element {e}: {g} > cached {cached}"
             );
             heap.push((g, Reverse(e), k));
@@ -471,6 +495,73 @@ mod tests {
                 "greedy {greedy_val} < OPT/2 (OPT={opt}); picks={picks:?}"
             );
         }
+    }
+
+    /// [`Cover`] plus a query counter and an optional admissible bound:
+    /// `|set|` (a set can never newly cover more items than it
+    /// contains), or the trivial `u64::MAX` when disabled.
+    struct BoundedCover {
+        inner: Cover,
+        use_bound: bool,
+        queries: u64,
+    }
+
+    impl MarginalOracle for BoundedCover {
+        fn gain(&mut self, e: usize) -> u64 {
+            self.queries += 1;
+            self.inner.gain(e)
+        }
+        fn commit(&mut self, e: usize) {
+            self.inner.commit(e);
+        }
+        fn gain_upper_bound(&self, e: usize) -> u64 {
+            if self.use_bound {
+                self.inner.sets[e].len() as u64
+            } else {
+                u64::MAX
+            }
+        }
+    }
+
+    #[test]
+    fn admissible_bounds_pick_identically_with_fewer_queries() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut strictly_fewer = 0;
+        for round in 0..40 {
+            let universe = rng.gen_range(1..30);
+            let num_sets = rng.gen_range(1..12);
+            let sets: Vec<Vec<usize>> = (0..num_sets)
+                .map(|_| (0..universe).filter(|_| rng.gen_bool(0.3)).collect())
+                .collect();
+            let max_picks = rng.gen_range(1..=num_sets);
+            let ground: Vec<usize> = (0..num_sets).collect();
+            let options = GreedyOptions {
+                max_picks,
+                allow_zero_gain: false,
+            };
+
+            let run = |use_bound: bool| {
+                let mut oracle = BoundedCover {
+                    inner: Cover::new(sets.clone(), universe),
+                    use_bound,
+                    queries: 0,
+                };
+                let picks = lazy_greedy(&mut oracle, &ground, |_, _| true, options);
+                (picks, oracle.queries)
+            };
+            let (unbounded_picks, unbounded_queries) = run(false);
+            let (bounded_picks, bounded_queries) = run(true);
+            assert_eq!(bounded_picks, unbounded_picks, "round {round}");
+            // An admissible bound only ever *skips* evaluations.
+            assert!(
+                bounded_queries <= unbounded_queries,
+                "round {round}: {bounded_queries} > {unbounded_queries}"
+            );
+            if bounded_queries < unbounded_queries {
+                strictly_fewer += 1;
+            }
+        }
+        assert!(strictly_fewer > 0, "bounds never pruned a single query");
     }
 
     #[test]

@@ -75,16 +75,21 @@ impl NestedFamilyMatroid {
         self.budgets.len()
     }
 
-    /// Counts elements of `set` per depth, returning `counts[j]` =
-    /// number of elements at depth exactly `j`, or `None` if some
-    /// element is out of range or has no depth.
-    fn depth_histogram(&self, set: &[usize]) -> Option<Vec<usize>> {
-        let mut counts = vec![0usize; self.budgets.len()];
+    /// Suffix count `|X ∩ S_j|` = number of elements of `set` at depth
+    /// ≥ `j`, or `None` if some element is out of range or has no
+    /// depth. `O(|set|)` and allocation-free: both checks below run
+    /// once per greedy heap pop, so a heap-allocated histogram here
+    /// would put an allocator round-trip in the sweep's hot loop.
+    fn count_at_least(&self, set: &[usize], j: usize) -> Option<usize> {
+        let mut count = 0;
         for &e in set {
-            let d = *self.depth.get(e)?;
-            counts[d?] += 1;
+            match self.depth.get(e)? {
+                Some(d) if *d >= j => count += 1,
+                Some(_) => {}
+                None => return None,
+            }
         }
-        Some(counts)
+        Some(count)
     }
 }
 
@@ -94,30 +99,20 @@ impl Matroid for NestedFamilyMatroid {
     }
 
     fn is_independent(&self, set: &[usize]) -> bool {
-        let Some(counts) = self.depth_histogram(set) else {
-            return false;
-        };
-        // Suffix sums: |X ∩ S_j| = #elements at depth ≥ j.
-        let mut at_least = 0usize;
-        for j in (0..self.budgets.len()).rev() {
-            at_least += counts[j];
-            if at_least > self.budgets[j] {
-                return false;
-            }
-        }
-        true
+        (0..self.budgets.len()).rev().all(|j| {
+            self.count_at_least(set, j)
+                .is_some_and(|c| c <= self.budgets[j])
+        })
     }
 
     fn can_extend(&self, set: &[usize], e: usize) -> bool {
         let Some(Some(de)) = self.depth.get(e).copied() else {
             return false;
         };
-        let Some(counts) = self.depth_histogram(set) else {
-            return false;
-        };
-        let mut at_least = 0usize;
         for j in (0..self.budgets.len()).rev() {
-            at_least += counts[j];
+            let Some(at_least) = self.count_at_least(set, j) else {
+                return false;
+            };
             // Adding e increments every suffix count with j ≤ de.
             let after = if j <= de { at_least + 1 } else { at_least };
             if after > self.budgets[j] {

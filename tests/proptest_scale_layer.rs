@@ -1,0 +1,147 @@
+//! Property tests over the PR 3 scale layer: the spatial-index
+//! coverage builder against the all-pairs reference, and the
+//! connectivity substrate (precomputed hop rows + canonical paths)
+//! against fresh per-call BFS.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use uavnet::channel::UavRadio;
+use uavnet::core::{check_connection_substrate, Instance};
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+use uavnet::graph::{
+    bfs_hops, connected_components, ConnectivitySubstrate, Graph, UNREACHABLE_HOPS,
+};
+
+prop_compose! {
+    /// Random small scenario; some draws get a gateway so the
+    /// gateway-extension arm of the substrate oracle is exercised.
+    fn instances()(
+        seed_users in vec((0.0f64..1_500.0, 0.0f64..1_500.0), 1..30),
+        caps in vec(1u32..8, 1..5),
+        uav_range in 320.0f64..700.0,
+        user_range in 250.0f64..500.0,
+        gateway in proptest::option::of((0.0f64..1_500.0, 0.0f64..1_500.0)),
+    ) -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, uav_range);
+        for (x, y) in seed_users {
+            b.add_user(Point2::new(x, y), 2_000.0);
+        }
+        for cap in caps {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, user_range));
+        }
+        if let Some((gx, gy)) = gateway {
+            b.gateway(Point2::new(gx, gy));
+        }
+        b.build().expect("valid instance")
+    }
+}
+
+prop_compose! {
+    /// Random sparse-to-dense undirected graph, possibly disconnected.
+    fn graphs()(n in 2usize..28)(
+        n in Just(n),
+        edges in vec((0usize..28, 0usize..28), 0..70),
+    ) -> Graph {
+        Graph::from_edges(
+            n,
+            edges
+                .into_iter()
+                .map(|(u, v)| (u % n, v % n))
+                .filter(|&(u, v)| u != v),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole part 1: the grid-binned spatial index must build the
+    /// exact coverage tables of the all-pairs scan — same sorted user
+    /// ids for every (class, location) pair.
+    #[test]
+    fn spatial_coverage_tables_match_bruteforce(instance in instances()) {
+        let brute = instance.coverage_tables_bruteforce();
+        prop_assert_eq!(instance.coverage_tables(), &brute[..]);
+        for per_loc in instance.coverage_tables() {
+            for users in per_loc {
+                prop_assert!(users.windows(2).all(|w| w[0] < w[1]), "unsorted/dup: {users:?}");
+            }
+        }
+    }
+
+    /// The index-backed radius query agrees with a linear scan for
+    /// arbitrary centers and radii (including ones unrelated to any
+    /// radio class).
+    #[test]
+    fn users_within_matches_linear_scan(
+        instance in instances(),
+        cx in -200.0f64..1_700.0,
+        cy in -200.0f64..1_700.0,
+        r in 0.0f64..900.0,
+    ) {
+        let center = Point2::new(cx, cy);
+        let got = instance.users_within(center, r);
+        let r2 = r * r;
+        let want: Vec<u32> = instance
+            .users()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.pos.distance_sq(center) <= r2)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Tentpole part 2: every substrate hop row equals a fresh BFS
+    /// from that node, with `u16::MAX` standing in for `None`, and the
+    /// component/reachability structures agree with
+    /// [`connected_components`].
+    #[test]
+    fn substrate_hops_equal_fresh_bfs(g in graphs()) {
+        let sub = ConnectivitySubstrate::build(&g);
+        let mut comp = vec![usize::MAX; g.num_nodes()];
+        for (id, members) in connected_components(&g).iter().enumerate() {
+            for &v in members {
+                comp[v] = id;
+            }
+        }
+        for u in 0..g.num_nodes() {
+            let fresh = bfs_hops(&g, u);
+            for v in 0..g.num_nodes() {
+                let row = sub.hop_row(u)[v];
+                let row = (row != UNREACHABLE_HOPS).then_some(u32::from(row));
+                prop_assert_eq!(row, fresh[v], "hops {}->{}", u, v);
+                prop_assert_eq!(sub.reachable(u, v), comp[u] == comp[v]);
+            }
+        }
+    }
+
+    /// End-to-end connection oracle on real location graphs: substrate
+    /// relay selection and gateway extension must be bit-for-bit the
+    /// brute-force BFS results (value *and* error cases).
+    #[test]
+    fn substrate_connection_equals_bruteforce(
+        instance in instances(),
+        raw_sets in vec(vec(0usize..64, 1..5), 1..4),
+    ) {
+        let m = instance.num_locations();
+        let node_sets: Vec<Vec<usize>> = raw_sets
+            .into_iter()
+            .map(|s| {
+                let mut s: Vec<usize> = s.into_iter().map(|v| v % m).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        check_connection_substrate(&instance, &node_sets).unwrap();
+    }
+}
