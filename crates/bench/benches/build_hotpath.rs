@@ -29,7 +29,7 @@ fn bench_build_hotpath(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("substrate_build", scale.name),
             instance.location_graph(),
-            |b, g| b.iter(|| black_box(ConnectivitySubstrate::build(g))),
+            |b, g| b.iter(|| black_box(ConnectivitySubstrate::build(g).unwrap())),
         );
     }
     group.finish();

@@ -26,7 +26,13 @@
 //! before/after comparison; they only exist for the `quick` scale.
 //!
 //! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
-//! [--threads N] [--reps N] [--out PATH] [--scale quick|large|all]`
+//! [--threads N] [--reps N] [--out PATH] [--scale quick|large|all]
+//! [--obs-log PATH] [--obs-metrics PATH]`
+//!
+//! The two `--obs-*` flags require the `obs` cargo feature
+//! (`--features obs`): they wrap the whole report in a `uavnet-obs`
+//! recording session and write the JSON-lines event log and the
+//! end-of-run metrics snapshot to the given paths.
 
 use std::time::Instant;
 
@@ -194,6 +200,8 @@ fn main() {
     let mut reps = 20u32;
     let mut out = String::from("BENCH_sweep.json");
     let mut which = String::from("quick");
+    let mut obs_log: Option<String> = None;
+    let mut obs_metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -205,6 +213,8 @@ fn main() {
             "--reps" => reps = value("--reps").parse().expect("integer rep count"),
             "--out" => out = value("--out"),
             "--scale" => which = value("--scale"),
+            "--obs-log" => obs_log = Some(value("--obs-log")),
+            "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -216,10 +226,40 @@ fn main() {
         other => panic!("unknown --scale {other:?} (expected quick|large|all)"),
     };
 
+    let want_obs = obs_log.is_some() || obs_metrics.is_some();
+    if want_obs && !uavnet_obs::is_enabled() {
+        eprintln!(
+            "sweep_report: --obs-log/--obs-metrics need the instrumentation compiled in; \
+             rebuild with `--features obs`"
+        );
+        std::process::exit(2);
+    }
+    if want_obs {
+        assert!(uavnet_obs::session_begin(), "obs session already active");
+    }
+
     let scale_blocks: Vec<String> = scales
         .iter()
         .map(|scale| scale_json(scale, threads, reps))
         .collect();
+
+    if want_obs {
+        let snap = uavnet_obs::session_end().expect("obs session was begun above");
+        let events = uavnet_obs::drain_events();
+        if let Some(path) = &obs_log {
+            let mut lines = String::with_capacity(events.len() * 64);
+            for e in &events {
+                lines.push_str(&e.to_json_line());
+                lines.push('\n');
+            }
+            std::fs::write(path, lines).expect("write obs event log");
+            eprintln!("sweep_report: wrote {path} ({} events)", events.len());
+        }
+        if let Some(path) = &obs_metrics {
+            std::fs::write(path, snap.to_json()).expect("write obs metrics snapshot");
+            eprintln!("sweep_report: wrote {path}");
+        }
+    }
 
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \

@@ -50,6 +50,8 @@ impl SegmentPlan {
                 "s = {s} exceeds the fleet size K = {k}"
             )));
         }
+        uavnet_obs::counters::ALG1_PLANS.add(1);
+        let _span = uavnet_obs::phases::ALG1_PLAN.span();
         // Binary search the largest feasible L in [s, k]: the minimal
         // relay bound is non-decreasing in L, and L = s is always
         // feasible (g = s ≤ k).
@@ -113,6 +115,12 @@ impl SegmentPlan {
                 }
             }
         }
+        // INVARIANT (unwrap audit): the loop always visits p_base = 0,
+        // j = 0, whose middle_total = (s − 1)·0 + 0 = 0 ≤ d for every
+        // d ≥ 0, so `best` is set on that iteration at the latest. Not
+        // reachable from any caller input: `s ≥ 1` and `l ≥ s` are
+        // asserted above (documented preconditions), and the pipeline
+        // only calls this through `optimal`, which validates both.
         best.expect("p_base = 0, j = 0 is always admissible")
     }
 

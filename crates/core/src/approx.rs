@@ -71,6 +71,7 @@ pub struct ApproxConfig {
     threads: usize,
     max_subsets: Option<usize>,
     deploy_leftovers: bool,
+    panic_at_rank: Option<u64>,
 }
 
 impl ApproxConfig {
@@ -87,7 +88,19 @@ impl ApproxConfig {
             threads,
             max_subsets: None,
             deploy_leftovers: true,
+            panic_at_rank: None,
         }
+    }
+
+    /// Fault injection for the panic-containment tests: the worker
+    /// holding enumeration rank `rank` panics right before evaluating
+    /// it, simulating an oracle blowing up mid-sweep. Always compiled
+    /// (integration tests cannot see `cfg(test)` items) but hidden —
+    /// not part of the public API surface.
+    #[doc(hidden)]
+    pub fn inject_worker_panic_at(mut self, rank: u64) -> Self {
+        self.panic_at_rank = Some(rank);
+        self
     }
 
     /// Enables/disables the leftover pass: after the winning subset is
@@ -224,6 +237,11 @@ pub struct SweepProfile {
 /// * [`CoreError::InvalidParameters`] if `s` is zero, exceeds the
 ///   fleet size or the number of candidate locations, or the surviving
 ///   enumeration exceeds the configured `max_subsets`.
+/// * [`CoreError::Substrate`] if the location graph exceeds the
+///   connectivity substrate's `u16` hop-matrix node limit.
+/// * [`CoreError::Sweep`] if a worker thread panicked; every other
+///   worker is joined before the error is returned, so no thread
+///   outlives the call.
 ///
 /// See the [crate-level example](crate) for usage.
 pub fn approx_alg(instance: &Instance, config: &ApproxConfig) -> Result<Solution, CoreError> {
@@ -244,12 +262,13 @@ pub fn approx_alg_with_stats(
         )));
     }
     let plan = SegmentPlan::optimal(k, s)?;
+    let _sweep_span = uavnet_obs::phases::SWEEP_TOTAL.span();
 
     // Build the shared connectivity substrate once: every worker then
     // reads precomputed hop rows for matroid depths, MST weights and
     // relay paths instead of re-running BFS per subset.
     let t_substrate = Instant::now();
-    let substrate = ConnectivitySubstrate::build(instance.location_graph());
+    let substrate = ConnectivitySubstrate::build(instance.location_graph())?;
     let substrate_build_ns = t_substrate.elapsed().as_nanos() as u64;
 
     let pool = seed_pool(instance, config, &substrate);
@@ -322,6 +341,9 @@ pub fn approx_alg_with_stats(
                 }
                 seeds.clear();
                 seeds.extend(combo.iter().map(|&i| pool[i]));
+                if config.panic_at_rank == Some(rank) {
+                    panic!("injected worker panic at enumeration rank {rank}");
+                }
                 match ws.solve_subset(&plan, &seeds, &mut profile) {
                     Some(served) => {
                         let better = match &local_best {
@@ -350,13 +372,30 @@ pub fn approx_alg_with_stats(
         local_best
     };
 
-    let bests: Vec<Best> = std::thread::scope(|scope| {
+    // Join every worker unconditionally, collecting panics instead of
+    // propagating them: a panicking oracle must surface as a typed
+    // error, not abort the process, and the remaining workers must be
+    // drained first so no thread outlives the call (also required for
+    // `std::thread::scope` to return normally).
+    let joined: Vec<Result<Best, Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("subset sweep worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
+    let mut bests: Vec<Best> = Vec::with_capacity(joined.len());
+    let mut worker_panic: Option<String> = None;
+    for result in joined {
+        match result {
+            Ok(best) => bests.push(best),
+            Err(payload) => {
+                // First panic wins; later ones are duplicates of the
+                // same injected/propagated failure mode.
+                worker_panic.get_or_insert_with(|| panic_payload_message(&*payload));
+            }
+        }
+    }
+    if let Some(message) = worker_panic {
+        return Err(CoreError::Sweep(message));
+    }
 
     if over_limit.load(Ordering::Relaxed) {
         let limit = config.max_subsets.expect("over_limit implies a limit");
@@ -419,6 +458,7 @@ pub fn approx_alg_with_stats(
     solution
         .validate(instance)
         .expect("debug-validate: sweep produced a solution its own validator rejects");
+    crate::obs::record_sweep(config, &stats, &solution);
     Ok((solution, stats))
 }
 
@@ -505,7 +545,7 @@ pub fn approx_alg_materialized(
     // but every per-subset computation below runs on the brute-force
     // BFS backend — this path is the differential oracle for the
     // substrate-backed one.
-    let substrate = ConnectivitySubstrate::build(instance.location_graph());
+    let substrate = ConnectivitySubstrate::build(instance.location_graph())?;
     let pool = seed_pool(instance, config, &substrate);
     let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
     let pool_dists = pool_distances(config, &pool, &substrate);
@@ -938,6 +978,20 @@ impl<'a> SweepWorkspace<'a> {
         let served = self.oracle.served();
         profile.scoring += t.elapsed().as_nanos() as u64;
         Some(served)
+    }
+}
+
+/// Extracts a human-readable message from a joined thread's panic
+/// payload. `panic!` with a format string yields a `String`, a literal
+/// yields `&'static str`; anything else (a custom `panic_any` value)
+/// gets a placeholder rather than being dropped silently.
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }
 

@@ -125,6 +125,7 @@ pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, Con
                 .copied()
                 .find(|&w| d[w].is_none())
                 .unwrap_or(nodes[0]);
+            uavnet_obs::counters::CONNECT_FAILURES.add(1);
             return Err(ConnectError::Unreachable { a: nodes[0], b });
         }
     };
@@ -134,6 +135,12 @@ pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, Con
         in_set[v] = true;
     }
     for &(i, j, _) in &mst {
+        // INVARIANT (unwrap audit): the MST edge (i, j) exists only if
+        // weights[i][j] was Some, and that weight came from
+        // `bfs_hops(graph, nodes[i])` over THIS graph — so the same
+        // BFS front reaches nodes[j] here too. No caller input can
+        // break the agreement; both reads are derived from one graph
+        // within this call.
         let path = shortest_path(graph, nodes[i], nodes[j])
             .expect("MST edge implies a finite hop distance");
         for v in path {
@@ -144,6 +151,8 @@ pub fn connect_via_mst(graph: &Graph, nodes: &[usize]) -> Result<Vec<usize>, Con
         }
     }
     let pruned = prune_relay_leaves(graph, nodes, all);
+    uavnet_obs::counters::CONNECT_MST_CONNECTIONS.add(1);
+    uavnet_obs::counters::CONNECT_RELAYS_ADDED.add((pruned.len() - nodes.len()) as u64);
     #[cfg(feature = "debug-validate")]
     {
         assert!(
@@ -213,6 +222,7 @@ pub fn connect_via_substrate(
                 .copied()
                 .find(|&w| row[w] == UNREACHABLE_HOPS)
                 .unwrap_or(nodes[0]);
+            uavnet_obs::counters::CONNECT_FAILURES.add(1);
             return Err(ConnectError::Unreachable { a: nodes[0], b });
         }
     };
@@ -225,8 +235,18 @@ pub fn connect_via_substrate(
     // `connect_via_mst`: only s − 1 tree edges need a path, and using
     // the same BFS keeps the chosen relays bit-for-bit identical.
     for &(i, j, _) in &mst {
-        let path = shortest_path(graph, nodes[i], nodes[j])
-            .expect("MST edge implies a finite hop distance");
+        // Unlike `connect_via_mst`, finiteness of the MST weight here
+        // comes from the *substrate's* hop rows while the path runs a
+        // BFS on `graph` — if a caller hands a graph the substrate was
+        // not built from (a documented misuse that malformed input can
+        // reach), the two can disagree. Degrade to a typed error
+        // instead of panicking.
+        let Some(path) = shortest_path(graph, nodes[i], nodes[j]) else {
+            return Err(ConnectError::Unreachable {
+                a: nodes[i],
+                b: nodes[j],
+            });
+        };
         for v in path {
             if !in_set[v] {
                 in_set[v] = true;
@@ -235,6 +255,8 @@ pub fn connect_via_substrate(
         }
     }
     let pruned = prune_relay_leaves(graph, nodes, all);
+    uavnet_obs::counters::CONNECT_MST_CONNECTIONS.add(1);
+    uavnet_obs::counters::CONNECT_RELAYS_ADDED.add((pruned.len() - nodes.len()) as u64);
     #[cfg(feature = "debug-validate")]
     {
         assert_eq!(
@@ -336,6 +358,7 @@ pub fn extend_to_gateway(
         .filter_map(|c| dist[c].map(|d| (d, c)))
         .min();
     let Some((_, target)) = target else {
+        uavnet_obs::counters::CONNECT_FAILURES.add(1);
         return Err(ConnectError::Unreachable {
             a: current[0],
             b: (0..graph.num_nodes())
@@ -344,13 +367,24 @@ pub fn extend_to_gateway(
         });
     };
     // Walk back from the target to the nearest set member.
+    //
+    // INVARIANT (unwrap audit) for both expects below: `target` was
+    // selected because `multi_source_hops(graph, current)` assigned it
+    // a finite distance, i.e. some member of `current` reaches it in
+    // THIS graph. Hop distances are symmetric in an undirected graph,
+    // so `bfs_hops(graph, target)` reaches that member (first expect)
+    // and `shortest_path(graph, start, target)` finds the path (second
+    // expect). All three traversals run on the same graph within this
+    // call, so no caller input can make them disagree.
     let back = bfs_hops(graph, target);
     let (_, start) = current
         .iter()
         .filter_map(|&v| back[v].map(|d| (d, v)))
         .min()
         .expect("target reachable implies a finite back-distance");
-    let path = shortest_path(graph, start, target).expect("reachable");
+    let path = shortest_path(graph, start, target)
+        .expect("finite back-distance implies a path on the same graph");
+    uavnet_obs::counters::CONNECT_GATEWAY_EXTENSIONS.add(1);
     Ok(path.into_iter().filter(|v| !current.contains(v)).collect())
 }
 
@@ -401,18 +435,34 @@ pub fn extend_to_gateway_substrate(
         })
         .min();
     let Some((_, target)) = target else {
+        uavnet_obs::counters::CONNECT_FAILURES.add(1);
         return Err(ConnectError::Unreachable {
             a: current[0],
             b: gateway_cells.first().copied().unwrap_or(current[0]),
         });
     };
+    // INVARIANT (unwrap audit): `target` won the min above because
+    // some member of `current` has a finite substrate distance to it;
+    // the substrate's hop matrix is symmetric, so the walk-back min
+    // over the same matrix is non-empty. Both reads come from the one
+    // substrate, so the expect is unreachable for any caller input.
     let back = sub.hop_row(target);
     let (_, start) = current
         .iter()
         .filter_map(|&v| (back[v] != UNREACHABLE_HOPS).then_some((back[v], v)))
         .min()
         .expect("target reachable implies a finite back-distance");
-    let path = shortest_path(graph, start, target).expect("reachable");
+    // The path, however, is extracted from `graph` while reachability
+    // was established on the substrate — a caller passing a graph the
+    // substrate was not built from can make them disagree, so that
+    // mismatch degrades to a typed error rather than a panic.
+    let Some(path) = shortest_path(graph, start, target) else {
+        return Err(ConnectError::Unreachable {
+            a: start,
+            b: target,
+        });
+    };
+    uavnet_obs::counters::CONNECT_GATEWAY_EXTENSIONS.add(1);
     Ok(path.into_iter().filter(|v| !current.contains(v)).collect())
 }
 
@@ -618,7 +668,7 @@ mod tests {
     #[test]
     fn substrate_connection_equals_bfs_connection() {
         let g = grid_graph(5, 5);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         for nodes in [
             vec![],
             vec![12],
@@ -635,7 +685,7 @@ mod tests {
         }
         // Errors match too.
         let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let sub = ConnectivitySubstrate::build(&split);
+        let sub = ConnectivitySubstrate::build(&split).unwrap();
         assert_eq!(
             connect_via_substrate(&split, &sub, &[0, 3]),
             connect_via_mst(&split, &[0, 3])
@@ -656,7 +706,7 @@ mod tests {
     #[test]
     fn substrate_gateway_extension_equals_bfs_extension() {
         let g = grid_graph(4, 4);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         for (current, gates) in [
             (vec![0usize], vec![15usize]),
             (vec![5, 6], vec![0, 12, 15]),
@@ -672,7 +722,7 @@ mod tests {
             Err(ConnectError::EmptyDeployment)
         );
         let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let sub = ConnectivitySubstrate::build(&split);
+        let sub = ConnectivitySubstrate::build(&split).unwrap();
         assert_eq!(
             extend_to_gateway_substrate(&split, &sub, &[0], &[3]),
             Err(ConnectError::Unreachable { a: 0, b: 3 })

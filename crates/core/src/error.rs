@@ -5,6 +5,7 @@ use crate::solution::ValidationError;
 use crate::verify::VerifyError;
 use std::error::Error;
 use std::fmt;
+use uavnet_graph::SubstrateError;
 
 /// Errors raised while building instances or running the deployment
 /// algorithms.
@@ -26,6 +27,13 @@ pub enum CoreError {
     /// A differential oracle of the verification harness found two
     /// supposedly equivalent computations disagreeing.
     Verification(VerifyError),
+    /// The connectivity substrate could not be built for the instance
+    /// (e.g. the location graph exceeds the `u16` hop-matrix limit).
+    Substrate(SubstrateError),
+    /// A subset-sweep worker thread panicked. The payload is the
+    /// worker's panic message; the sweep joins every remaining worker
+    /// before surfacing this, so no thread is left running.
+    Sweep(String),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +45,8 @@ impl fmt::Display for CoreError {
             CoreError::Validation(e) => write!(f, "validation failed: {e}"),
             CoreError::Connect(e) => write!(f, "connection failed: {e}"),
             CoreError::Verification(e) => write!(f, "verification failed: {e}"),
+            CoreError::Substrate(e) => write!(f, "substrate build failed: {e}"),
+            CoreError::Sweep(msg) => write!(f, "subset-sweep worker panicked: {msg}"),
         }
     }
 }
@@ -47,6 +57,7 @@ impl Error for CoreError {
             CoreError::Validation(e) => Some(e),
             CoreError::Connect(e) => Some(e),
             CoreError::Verification(e) => Some(e),
+            CoreError::Substrate(e) => Some(e),
             _ => None,
         }
     }
@@ -67,6 +78,12 @@ impl From<ConnectError> for CoreError {
 impl From<VerifyError> for CoreError {
     fn from(e: VerifyError) -> Self {
         CoreError::Verification(e)
+    }
+}
+
+impl From<SubstrateError> for CoreError {
+    fn from(e: SubstrateError) -> Self {
+        CoreError::Substrate(e)
     }
 }
 

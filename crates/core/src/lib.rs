@@ -72,6 +72,7 @@ mod connecting;
 mod error;
 mod exact;
 mod model;
+mod obs;
 mod oracle;
 mod redeploy;
 mod seed_matroid;

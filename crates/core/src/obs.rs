@@ -1,0 +1,55 @@
+//! Bridge from the solver's deterministic run statistics to the
+//! `uavnet-obs` facade.
+//!
+//! The sweep keeps its own aggregation ([`ApproxStats`] /
+//! [`SweepProfile`](crate::SweepProfile)) because those numbers are
+//! part of the public stats API and must stay deterministic and
+//! thread-count invariant. This module mirrors them into the obs
+//! counters/phases once per run and emits one structured `"sweep"`
+//! run event, so an active obs session sees the same values the
+//! caller gets — nothing is computed twice and nothing observable
+//! changes when no session is recording.
+
+use crate::approx::{ApproxConfig, ApproxStats};
+use crate::solution::Solution;
+use uavnet_obs::{counters, emit_run, phases};
+
+/// Records one completed subset sweep into the active obs session:
+/// folds the per-phase nanoseconds into the obs phases, bumps the
+/// sweep counters and emits a `"sweep"` run event. No-op (down to an
+/// empty inlined body without the `obs` feature) when no session is
+/// active.
+pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution: &Solution) {
+    if !uavnet_obs::session_active() {
+        return;
+    }
+    counters::SWEEP_RUNS.add(1);
+    counters::SWEEP_SUBSETS_ENUMERATED.add(stats.subsets_enumerated as u64);
+    counters::SWEEP_SUBSETS_CHAIN_PRUNED.add(stats.subsets_chain_pruned as u64);
+    counters::SWEEP_SUBSETS_EVALUATED.add(stats.subsets_evaluated as u64);
+    counters::SWEEP_SUBSETS_UNCONNECTABLE.add(stats.subsets_unconnectable as u64);
+    counters::SWEEP_GAIN_QUERIES.add(stats.gain_queries);
+
+    let p = &stats.profile;
+    phases::ENUMERATION.record_ns(p.enumeration_ns);
+    phases::GREEDY.record_ns(p.greedy_ns);
+    phases::CONNECTION.record_ns(p.connection_ns);
+    phases::SCORING.record_ns(p.scoring_ns);
+    phases::SUBSTRATE_QUERY.record_ns(p.substrate_query_ns);
+
+    emit_run(
+        "sweep",
+        &[
+            ("s", config.s() as u64),
+            ("threads", config.num_threads() as u64),
+            ("seed_pool", stats.seed_pool_size as u64),
+            ("subsets_enumerated", stats.subsets_enumerated as u64),
+            ("subsets_chain_pruned", stats.subsets_chain_pruned as u64),
+            ("subsets_evaluated", stats.subsets_evaluated as u64),
+            ("subsets_unconnectable", stats.subsets_unconnectable as u64),
+            ("gain_queries", stats.gain_queries),
+            ("served_users", solution.served_users() as u64),
+            ("deployed_uavs", solution.deployment().len() as u64),
+        ],
+    );
+}

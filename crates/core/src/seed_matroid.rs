@@ -203,7 +203,7 @@ mod tests {
         }
         g2.add_edge(12, 13);
         let g = g2;
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         for (k, seeds) in [(12, vec![3]), (12, vec![3, 9]), (14, vec![0, 12])] {
             let plan = SegmentPlan::optimal(k, seeds.len()).unwrap();
             let via_bfs = seed_matroid(&g, &seeds, &plan);

@@ -94,6 +94,10 @@ pub enum VerifyError {
         /// Result from the brute-force BFS implementation.
         brute_force: String,
     },
+    /// The connectivity substrate could not be built for the
+    /// instance's location graph, so the substrate-vs-BFS oracle has
+    /// nothing to compare against.
+    Substrate(uavnet_graph::SubstrateError),
     /// The approximation fell below the proven Theorem 1 floor
     /// `served · 3Δ ≥ OPT` (or exceeded the optimum).
     RatioViolated {
@@ -143,6 +147,9 @@ impl fmt::Display for VerifyError {
                 "substrate connection diverged at {stage} for nodes {nodes:?}: \
                  substrate {substrate} vs brute-force {brute_force}"
             ),
+            VerifyError::Substrate(e) => {
+                write!(f, "connection oracle could not build its substrate: {e}")
+            }
             VerifyError::RatioViolated { served, opt, delta } => write!(
                 f,
                 "served {served} violates the 1/(3Δ) guarantee against opt {opt} (Δ = {delta})"
@@ -361,7 +368,9 @@ pub fn check_against_exact(
 /// # Errors
 ///
 /// [`VerifyError::ConnectionMismatch`] naming the first diverging
-/// stage (`"hops"`, `"connection"`, or `"gateway_extension"`).
+/// stage (`"hops"`, `"connection"`, or `"gateway_extension"`);
+/// [`VerifyError::Substrate`] if the location graph exceeds the
+/// substrate's node limit.
 ///
 /// # Panics
 ///
@@ -371,7 +380,7 @@ pub fn check_connection_substrate(
     node_sets: &[Vec<CellIndex>],
 ) -> Result<(), VerifyError> {
     let graph = instance.location_graph();
-    let sub = ConnectivitySubstrate::build(graph);
+    let sub = ConnectivitySubstrate::build(graph).map_err(VerifyError::Substrate)?;
     let mut gateway_cells = instance.gateway_cells();
     gateway_cells.sort_unstable();
     for nodes in node_sets {
@@ -438,10 +447,13 @@ pub fn check_connection_substrate(
 ///
 /// The first failing oracle as a [`CoreError`].
 pub fn verify_pipeline(instance: &Instance, config: &ApproxConfig) -> Result<Solution, CoreError> {
-    check_sweep_oracles(instance, config)?;
+    let _span = uavnet_obs::phases::VERIFY.span();
+    tally(check_sweep_oracles(instance, config))?;
     let (sol, stats) = approx_alg_with_stats(instance, config)?;
-    check_relay_bound(stats.plan.p()).map_err(CoreError::from)?;
-    check_assignment_oracles(instance, sol.deployment().placements()).map_err(CoreError::from)?;
+    tally(check_relay_bound(stats.plan.p()).map_err(CoreError::from))?;
+    tally(
+        check_assignment_oracles(instance, sol.deployment().placements()).map_err(CoreError::from),
+    )?;
     let mut winning_locs: Vec<CellIndex> = sol
         .deployment()
         .placements()
@@ -450,12 +462,22 @@ pub fn verify_pipeline(instance: &Instance, config: &ApproxConfig) -> Result<Sol
         .collect();
     winning_locs.sort_unstable();
     winning_locs.dedup();
-    check_connection_substrate(instance, &[winning_locs]).map_err(CoreError::from)?;
-    sol.validate(instance)?;
+    tally(check_connection_substrate(instance, &[winning_locs]).map_err(CoreError::from))?;
+    tally(sol.validate(instance).map_err(CoreError::from))?;
     if instance.num_locations() <= 16 && instance.num_uavs() <= 4 {
-        check_against_exact(instance, config)?;
+        tally(check_against_exact(instance, config).map(|_| ()))?;
     }
     Ok(sol)
+}
+
+/// Counts one oracle check (and its failure, if any) into the active
+/// obs session, passing the result through unchanged.
+fn tally<T>(result: Result<T, CoreError>) -> Result<T, CoreError> {
+    uavnet_obs::counters::VERIFY_CHECKS.add(1);
+    if result.is_err() {
+        uavnet_obs::counters::VERIFY_FAILURES.add(1);
+    }
+    result
 }
 
 /// A fault injected into a solved scenario.

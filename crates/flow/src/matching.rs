@@ -187,6 +187,7 @@ impl CapacitatedMatching {
     /// never stored. With `record`, every user reassignment is pushed
     /// onto the persistent rollback log for the caller to unwind.
     fn augment_once(&mut self, st: usize, trial: Option<&[u32]>, record: bool) -> bool {
+        uavnet_obs::counters::MATCHING_BFS_RESTARTS.add(1);
         self.epoch += 1;
         let epoch = self.epoch;
         let trial_id = self.station_cap.len();
@@ -272,6 +273,7 @@ impl CapacitatedMatching {
                 self.station_load[st] += 1;
                 self.matched += 1;
                 gained += 1;
+                uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
             }
         }
         while self.station_load[st] < self.station_cap[st] && self.augment_once(st, None, false) {
@@ -326,6 +328,7 @@ impl CapacitatedMatching {
         for &u in users {
             assert!((u as usize) < n, "user {u} out of range for {n} users");
         }
+        uavnet_obs::counters::MATCHING_TRIAL_EVALUATIONS.add(1);
         let trial_id = self.station_cap.len();
         self.rollback.clear();
         let mut gained = 0;
@@ -343,6 +346,7 @@ impl CapacitatedMatching {
                 self.user_station[u as usize] = Some(trial_id);
                 self.matched += 1;
                 gained += 1;
+                uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
             }
         }
         while gained < cap && self.augment_once(trial_id, Some(users), true) {

@@ -48,7 +48,7 @@ pub use bfs::{
     is_connected_subset, multi_source_hops, shortest_path, shortest_path_restricted,
 };
 pub use mst::{prim_mst, MstError};
-pub use substrate::{ConnectivitySubstrate, UNREACHABLE_HOPS};
+pub use substrate::{ConnectivitySubstrate, SubstrateError, UNREACHABLE_HOPS};
 pub use unionfind::UnionFind;
 
 /// Hop count type: BFS layers are small, `u32` is ample.

@@ -30,6 +30,33 @@ use crate::{Graph, Hops};
 /// Hop value marking an unreachable pair in the `u16` matrix.
 pub const UNREACHABLE_HOPS: u16 = u16::MAX;
 
+/// Why a [`ConnectivitySubstrate`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubstrateError {
+    /// The graph has more nodes than the `u16` hop encoding can
+    /// address: every finite distance must fit in `u16` with
+    /// [`UNREACHABLE_HOPS`] reserved as the no-path sentinel.
+    TooManyNodes {
+        /// Nodes in the offending graph.
+        nodes: usize,
+        /// Largest supported node count (`u16::MAX - 1`).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SubstrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubstrateError::TooManyNodes { nodes, max } => {
+                write!(f, "substrate supports at most {max} nodes, got {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubstrateError {}
+
 /// All-pairs hop distances, components and reachability bitsets of a
 /// fixed graph, built once and then queried lock-free from any thread.
 ///
@@ -43,7 +70,7 @@ pub const UNREACHABLE_HOPS: u16 = u16::MAX;
 /// use uavnet_graph::{ConnectivitySubstrate, Graph};
 ///
 /// let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
-/// let sub = ConnectivitySubstrate::build(&g);
+/// let sub = ConnectivitySubstrate::build(&g).expect("graph fits the u16 hop encoding");
 /// assert_eq!(sub.hops(0, 2), Some(2));
 /// assert_eq!(sub.hops(0, 3), None);
 /// assert!(sub.reachable(3, 4));
@@ -71,17 +98,23 @@ impl ConnectivitySubstrate {
     /// Builds the substrate: one BFS per node for the hop matrix, one
     /// labeling pass for components and their bitsets.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the graph has `u16::MAX` nodes or more (hop distances
-    /// must fit in `u16` with [`UNREACHABLE_HOPS`] reserved).
-    pub fn build(g: &Graph) -> Self {
+    /// [`SubstrateError::TooManyNodes`] if the graph has `u16::MAX`
+    /// nodes or more (hop distances must fit in `u16` with
+    /// [`UNREACHABLE_HOPS`] reserved). Checked before any allocation —
+    /// a full hop matrix at that scale would be ≥ 8 GB, so the limit
+    /// must fail fast instead of attempting the build.
+    pub fn build(g: &Graph) -> Result<Self, SubstrateError> {
         let n = g.num_nodes();
-        assert!(
-            n < UNREACHABLE_HOPS as usize,
-            "substrate supports at most {} nodes, got {n}",
-            UNREACHABLE_HOPS as usize - 1
-        );
+        if n >= UNREACHABLE_HOPS as usize {
+            return Err(SubstrateError::TooManyNodes {
+                nodes: n,
+                max: UNREACHABLE_HOPS as usize - 1,
+            });
+        }
+        uavnet_obs::counters::SUBSTRATE_BUILDS.add(1);
+        let _span = uavnet_obs::phases::SUBSTRATE_BUILD.span();
         // CSR adjacency with sorted neighbor lists.
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
@@ -170,7 +203,7 @@ impl ConnectivitySubstrate {
                 );
             }
         }
-        sub
+        Ok(sub)
     }
 
     /// Number of nodes of the indexed graph.
@@ -333,7 +366,7 @@ mod tests {
             Graph::new(3),
             Graph::new(0),
         ] {
-            let sub = ConnectivitySubstrate::build(&g);
+            let sub = ConnectivitySubstrate::build(&g).unwrap();
             for u in 0..g.num_nodes() {
                 let fresh = bfs_hops(&g, u);
                 for (v, &expected) in fresh.iter().enumerate() {
@@ -346,7 +379,7 @@ mod tests {
     #[test]
     fn components_and_reachability_agree() {
         let g = Graph::from_edges(8, [(0, 1), (1, 2), (3, 4), (6, 7)]);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         let comps = connected_components(&g);
         assert_eq!(sub.num_components(), comps.len());
         for (id, comp) in comps.iter().enumerate() {
@@ -369,7 +402,7 @@ mod tests {
     #[test]
     fn table_paths_are_valid_shortest_paths() {
         let g = grid_graph(5, 4);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         let mut buf = Vec::new();
         for u in 0..g.num_nodes() {
             for v in 0..g.num_nodes() {
@@ -393,7 +426,7 @@ mod tests {
     #[test]
     fn unreachable_path_is_false_and_empty() {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         let mut buf = vec![99];
         assert!(!sub.shortest_path_into(0, 3, &mut buf));
         assert!(buf.is_empty());
@@ -407,7 +440,7 @@ mod tests {
         g.add_edge(0, 4);
         g.add_edge(0, 2);
         g.add_edge(0, 1);
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         assert_eq!(sub.neighbors(0), &[1, 2, 4]);
         assert_eq!(sub.neighbors(3), &[] as &[u32]);
     }
@@ -415,7 +448,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn hop_query_rejects_out_of_range() {
-        let sub = ConnectivitySubstrate::build(&Graph::new(2));
+        let sub = ConnectivitySubstrate::build(&Graph::new(2)).unwrap();
         let _ = sub.hops(0, 5);
+    }
+
+    #[test]
+    fn node_limit_boundary() {
+        // At and above u16::MAX nodes the build is a typed error, not a
+        // panic. Only the error side is exercised at the boundary: the
+        // check must reject the graph *before* allocating anything (a
+        // hop matrix for the largest legal graph is already ~8.6 GB,
+        // far beyond what a test should touch), so an instant failure
+        // here also proves the fail-fast ordering.
+        let max = UNREACHABLE_HOPS as usize - 1;
+        for n in [max + 1, max + 2, max + 1000] {
+            assert_eq!(
+                ConnectivitySubstrate::build(&Graph::new(n)).unwrap_err(),
+                SubstrateError::TooManyNodes { nodes: n, max },
+            );
+        }
+        assert!(
+            ConnectivitySubstrate::build(&Graph::new(max + 1))
+                .unwrap_err()
+                .to_string()
+                .contains("at most 65534 nodes"),
+            "error message names the documented limit"
+        );
     }
 }

@@ -191,6 +191,7 @@ where
         if k > 0 && !oracle.bounds_carry_over(k - 1, k) {
             // Cached gains may now under-report; reset every entry to
             // a fresh admissible bound so each is recomputed before use.
+            uavnet_obs::counters::GREEDY_BOUND_RESEEDS.add(1);
             stale.clear();
             stale.extend(heap.drain().map(|(_, Reverse(e), _)| e));
             heap.extend(
@@ -210,9 +211,13 @@ where
                 continue;
             }
             if computed_at == k {
+                // CELF bound hit: the cached gain is still current, so
+                // the element wins without another oracle evaluation.
+                uavnet_obs::counters::GREEDY_BOUND_HITS.add(1);
                 pick = Some((e, cached));
                 break;
             }
+            uavnet_obs::counters::GREEDY_EVALUATIONS.add(1);
             let g = oracle.gain(e);
             // Holds both for gains cached at an earlier pick (the lazy
             // contract) and for never-evaluated entries, whose `cached`
@@ -226,6 +231,7 @@ where
         match pick {
             Some((_, 0)) if !options.allow_zero_gain => break,
             Some((e, _)) => {
+                uavnet_obs::counters::GREEDY_COMMITS.add(1);
                 chosen.push(e);
                 oracle.commit(e);
             }

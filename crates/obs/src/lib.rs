@@ -1,0 +1,735 @@
+//! Zero-dependency tracing/metrics facade for the `uavnet` pipeline.
+//!
+//! Every solver phase — Algorithm 1 segment planning, seed
+//! enumeration, lazy-greedy selection, matching, MST/gateway
+//! connection, the verify oracles — reports into this crate through
+//! three primitives:
+//!
+//! * [`Counter`] — a named monotone `u64` (gain queries, BFS restarts,
+//!   CELF bound hits, …). All counters are declared centrally in
+//!   [`counters`] so a snapshot can enumerate them without life-before-
+//!   main registration tricks.
+//! * [`Phase`] — a named wall-clock accumulator (`total_ns`, `count`),
+//!   fed either by a [`SpanGuard`] (RAII timing of one call) or by
+//!   [`Phase::record_ns`] when the caller already aggregated timings
+//!   (the subset sweep folds per-worker phase nanos first and reports
+//!   once). Declared centrally in [`phases`].
+//! * [`Event`] — a structured record appended to the in-memory session
+//!   log and exportable as JSON-lines ([`Event::to_json_line`]):
+//!   session boundaries, span completions, and per-run records with
+//!   arbitrary `u64` fields ([`emit_run`]).
+//!
+//! # Sessions
+//!
+//! Recording is **off** until [`session_begin`] flips the global
+//! active flag; [`session_end`] flips it back and returns a
+//! [`MetricsSnapshot`] of every counter and phase. Instrumentation
+//! call sites never check the flag themselves — [`Counter::add`],
+//! [`Phase::span`] and [`emit_run`] are no-ops while inactive — so
+//! enabling a session changes *observation only*, never solver
+//! behavior (`tests/proptest_obs.rs` proves placements, assignments
+//! and deterministic stats are bit-identical either way).
+//!
+//! # Compile-time gating
+//!
+//! Without the `enabled` cargo feature every public function keeps its
+//! signature but compiles to an inlined empty body: no atomics, no
+//! clock reads, no branches on the hot path. The solver crates expose
+//! this as their `obs` feature (e.g. `uavnet-core/obs`); the perf gate
+//! in CI runs with the feature off and must see zero overhead.
+//!
+//! # Event schema (`uavnet-obs/1`)
+//!
+//! One JSON object per line, every line carrying `seq` (global
+//! sequence number), `t_ns` (nanoseconds since session start) and
+//! `type`:
+//!
+//! ```json
+//! {"seq":0,"t_ns":0,"type":"session_start","schema":"uavnet-obs/1"}
+//! {"seq":1,"t_ns":12034,"type":"span","name":"alg1_plan","ns":11020}
+//! {"seq":2,"t_ns":842113,"type":"run","name":"sweep","fields":{"s":2,"served":118}}
+//! {"seq":3,"t_ns":850010,"type":"counter","name":"sweep.gain_queries","value":5310}
+//! {"seq":4,"t_ns":85090,"type":"session_end"}
+//! ```
+//!
+//! `counter` lines are emitted once per declared counter by
+//! [`session_end`], so a complete log always ends with the final
+//! counter values followed by `session_end`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::Mutex;
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Schema identifier stamped on session-start events and snapshots.
+pub const SCHEMA: &str = "uavnet-obs/1";
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(feature = "enabled")]
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(feature = "enabled")]
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+#[cfg(feature = "enabled")]
+static SESSION_START: Mutex<Option<Instant>> = Mutex::new(None);
+
+/// Whether the instrumentation was compiled in (the `enabled` cargo
+/// feature). When `false`, every other function in this crate is an
+/// inlined no-op.
+#[inline]
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Whether a recording session is currently active.
+#[inline]
+pub fn session_active() -> bool {
+    is_enabled() && ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Starts a recording session: resets every counter, phase and the
+/// event log, then activates recording. Returns `false` (and does
+/// nothing) when the instrumentation is compiled out or a session is
+/// already active.
+pub fn session_begin() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        if ACTIVE.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        for c in counters::ALL {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for p in phases::ALL {
+            p.total_ns.store(0, Ordering::Relaxed);
+            p.count.store(0, Ordering::Relaxed);
+        }
+        SEQ.store(0, Ordering::Relaxed);
+        let mut events = EVENTS.lock().expect("obs event log poisoned");
+        events.clear();
+        *SESSION_START.lock().expect("obs clock poisoned") = Some(Instant::now());
+        drop(events);
+        push_event(EventKind::SessionStart);
+        true
+    }
+    #[cfg(not(feature = "enabled"))]
+    false
+}
+
+/// Ends the active session: emits one `counter` event per declared
+/// counter plus a `session_end` marker, deactivates recording and
+/// returns the final [`MetricsSnapshot`]. Returns `None` when the
+/// instrumentation is compiled out or no session was active.
+pub fn session_end() -> Option<MetricsSnapshot> {
+    #[cfg(feature = "enabled")]
+    {
+        if !ACTIVE.load(Ordering::SeqCst) {
+            return None;
+        }
+        for c in counters::ALL {
+            push_event(EventKind::Counter {
+                name: c.name,
+                value: c.get(),
+            });
+        }
+        push_event(EventKind::SessionEnd);
+        let snap = snapshot();
+        ACTIVE.store(false, Ordering::SeqCst);
+        Some(snap)
+    }
+    #[cfg(not(feature = "enabled"))]
+    None
+}
+
+/// The current values of every declared counter and phase, whether or
+/// not a session is active. Empty when the instrumentation is
+/// compiled out.
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        MetricsSnapshot {
+            counters: counters::ALL.iter().map(|c| (c.name, c.get())).collect(),
+            phases: phases::ALL
+                .iter()
+                .map(|p| PhaseStat {
+                    name: p.name,
+                    total_ns: p.total_ns.load(Ordering::Relaxed),
+                    count: p.count.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    MetricsSnapshot {
+        counters: Vec::new(),
+        phases: Vec::new(),
+    }
+}
+
+/// Drains and returns the accumulated session events (oldest first).
+/// Empty when the instrumentation is compiled out.
+pub fn drain_events() -> Vec<Event> {
+    #[cfg(feature = "enabled")]
+    {
+        std::mem::take(&mut *EVENTS.lock().expect("obs event log poisoned"))
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// Appends a `run` event with the given name and `u64` fields to the
+/// session log — the structured per-run record (e.g. one per subset
+/// sweep with served counts, bound tightness, relay budget
+/// consumption). No-op while no session is active.
+#[inline]
+pub fn emit_run(name: &'static str, fields: &[(&'static str, u64)]) {
+    #[cfg(feature = "enabled")]
+    if session_active() {
+        push_event(EventKind::Run {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (name, fields);
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn push_event(kind: EventKind) {
+    let t_ns = SESSION_START
+        .lock()
+        .expect("obs clock poisoned")
+        .map(|s| s.elapsed().as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    EVENTS
+        .lock()
+        .expect("obs event log poisoned")
+        .push(Event { seq, t_ns, kind });
+}
+
+/// A named monotone counter. Declare instances in [`counters`]; call
+/// sites do `counters::SWEEP_GAIN_QUERIES.add(1)`.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter with the given snapshot name.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot/event name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when a session is active; no-op (and compiled out
+    /// without the `enabled` feature) otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if session_active() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named wall-clock accumulator. Declare instances in [`phases`];
+/// time a call with [`Phase::span`] or fold pre-aggregated
+/// nanoseconds in with [`Phase::record_ns`].
+#[derive(Debug)]
+pub struct Phase {
+    name: &'static str,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Phase {
+    /// A zeroed phase with the given snapshot name.
+    pub const fn new(name: &'static str) -> Self {
+        Phase {
+            name,
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot/event name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Accumulated nanoseconds.
+    #[inline]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of recordings folded in.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds `ns` into the phase total and appends a `span` event.
+    /// No-op while no session is active.
+    #[inline]
+    pub fn record_ns(&'static self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        if session_active() {
+            self.total_ns.fetch_add(ns, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            push_event(EventKind::Span {
+                name: self.name,
+                ns,
+            });
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// An RAII guard that records the elapsed wall-clock into this
+    /// phase when dropped. Reads the clock only while a session is
+    /// active.
+    #[inline]
+    pub fn span(&'static self) -> SpanGuard {
+        SpanGuard {
+            #[cfg(feature = "enabled")]
+            inner: session_active().then(|| (self, Instant::now())),
+        }
+    }
+}
+
+/// RAII timer returned by [`Phase::span`]; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    inner: Option<(&'static Phase, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((phase, start)) = self.inner.take() {
+            phase.record_ns(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// One structured record of the session log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number within the session (0-based).
+    pub seq: u64,
+    /// Nanoseconds since session start when the event was recorded.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A session began (always `seq` 0).
+    SessionStart,
+    /// A session ended; the log is complete.
+    SessionEnd,
+    /// A [`Phase`] recording completed.
+    Span {
+        /// The phase name.
+        name: &'static str,
+        /// Recorded nanoseconds.
+        ns: u64,
+    },
+    /// A counter's final value, emitted by [`session_end`].
+    Counter {
+        /// The counter name.
+        name: &'static str,
+        /// Value at session end.
+        value: u64,
+    },
+    /// A per-run record emitted by [`emit_run`].
+    Run {
+        /// Record name (e.g. `"sweep"`).
+        name: &'static str,
+        /// Named `u64` fields.
+        fields: Vec<(&'static str, u64)>,
+    },
+}
+
+impl Event {
+    /// Serializes the event as one JSON-lines line (no trailing
+    /// newline), following the [crate-level schema](crate).
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!("{{\"seq\":{},\"t_ns\":{},", self.seq, self.t_ns);
+        match &self.kind {
+            EventKind::SessionStart => {
+                s.push_str(&format!(
+                    "\"type\":\"session_start\",\"schema\":\"{SCHEMA}\""
+                ));
+            }
+            EventKind::SessionEnd => s.push_str("\"type\":\"session_end\""),
+            EventKind::Span { name, ns } => {
+                s.push_str("\"type\":\"span\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"ns\":{ns}"));
+            }
+            EventKind::Counter { name, value } => {
+                s.push_str("\"type\":\"counter\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"value\":{value}"));
+            }
+            EventKind::Run { name, fields } => {
+                s.push_str("\"type\":\"run\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_json_str(&mut s, k);
+                    s.push_str(&format!(":{v}"));
+                }
+                s.push('}');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Final value of one [`Phase`] inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The phase name.
+    pub name: &'static str,
+    /// Accumulated nanoseconds.
+    pub total_ns: u64,
+    /// Number of recordings.
+    pub count: u64,
+}
+
+/// End-of-run values of every declared counter and phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Per-phase totals, in declaration order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter by name, if declared.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The stats of a phase by name, if declared.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Serializes the snapshot as a pretty-stable JSON document:
+    /// `{"schema":…,"counters":{…},"phases":{name:{"total_ns":…,"count":…}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"counters\": {{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(": {value}"));
+        }
+        s.push_str("\n  },\n  \"phases\": {");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, p.name);
+            s.push_str(&format!(
+                ": {{ \"total_ns\": {}, \"count\": {} }}",
+                p.total_ns, p.count
+            ));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+/// Appends `value` as a JSON string literal (quoted, escaped).
+fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Every counter of the pipeline, declared centrally so snapshots can
+/// enumerate them. Names are dot-separated `snake_case` and stable —
+/// they are the public schema of the event log.
+pub mod counters {
+    use super::Counter;
+
+    /// Algorithm 1 segment plans computed.
+    pub static ALG1_PLANS: Counter = Counter::new("alg1.plans");
+    /// Subset sweeps completed ([`emit_run`](super::emit_run) `"sweep"`
+    /// records carry the per-run detail).
+    pub static SWEEP_RUNS: Counter = Counter::new("sweep.runs");
+    /// `s`-subsets enumerated before chain pruning.
+    pub static SWEEP_SUBSETS_ENUMERATED: Counter = Counter::new("sweep.subsets_enumerated");
+    /// Subsets dropped by chain pruning.
+    pub static SWEEP_SUBSETS_CHAIN_PRUNED: Counter = Counter::new("sweep.subsets_chain_pruned");
+    /// Subsets fully evaluated (greedy + connection + scoring).
+    pub static SWEEP_SUBSETS_EVALUATED: Counter = Counter::new("sweep.subsets_evaluated");
+    /// Evaluated subsets whose connected set exceeded the fleet.
+    pub static SWEEP_SUBSETS_UNCONNECTABLE: Counter = Counter::new("sweep.subsets_unconnectable");
+    /// Marginal-gain (trial-insertion) queries issued by the sweep.
+    pub static SWEEP_GAIN_QUERIES: Counter = Counter::new("sweep.gain_queries");
+    /// Lazy-greedy heap pops satisfied by a still-current cached gain
+    /// (no oracle evaluation needed) — CELF bound hits.
+    pub static GREEDY_BOUND_HITS: Counter = Counter::new("greedy.bound_hits");
+    /// Lazy-greedy oracle evaluations (cache misses).
+    pub static GREEDY_EVALUATIONS: Counter = Counter::new("greedy.evaluations");
+    /// Full heap re-seeds after a bound invalidation
+    /// (radio-class change between picks).
+    pub static GREEDY_BOUND_RESEEDS: Counter = Counter::new("greedy.bound_reseeds");
+    /// Elements committed by the lazy greedy.
+    pub static GREEDY_COMMITS: Counter = Counter::new("greedy.commits");
+    /// Augmenting-path BFS runs started by the matching kernel.
+    pub static MATCHING_BFS_RESTARTS: Counter = Counter::new("matching.bfs_restarts");
+    /// Users claimed by the free-user pre-pass (length-1 augmenting
+    /// paths applied without a BFS restart).
+    pub static MATCHING_PREPASS_HITS: Counter = Counter::new("matching.prepass_hits");
+    /// Trial insertions ([`evaluate_station`] calls) answered.
+    ///
+    /// [`evaluate_station`]: https://docs.rs/uavnet-flow
+    pub static MATCHING_TRIAL_EVALUATIONS: Counter = Counter::new("matching.trial_evaluations");
+    /// MST relay connections performed.
+    pub static CONNECT_MST_CONNECTIONS: Counter = Counter::new("connect.mst_connections");
+    /// Relay cells added across all connections.
+    pub static CONNECT_RELAYS_ADDED: Counter = Counter::new("connect.relays_added");
+    /// Gateway extensions that had to add cells.
+    pub static CONNECT_GATEWAY_EXTENSIONS: Counter = Counter::new("connect.gateway_extensions");
+    /// Connection attempts that returned a typed error.
+    pub static CONNECT_FAILURES: Counter = Counter::new("connect.failures");
+    /// Connectivity substrates built.
+    pub static SUBSTRATE_BUILDS: Counter = Counter::new("substrate.builds");
+    /// Differential-oracle checks executed.
+    pub static VERIFY_CHECKS: Counter = Counter::new("verify.checks");
+    /// Differential-oracle checks that found a divergence.
+    pub static VERIFY_FAILURES: Counter = Counter::new("verify.failures");
+
+    /// Every declared counter, in schema order.
+    pub static ALL: &[&Counter] = &[
+        &ALG1_PLANS,
+        &SWEEP_RUNS,
+        &SWEEP_SUBSETS_ENUMERATED,
+        &SWEEP_SUBSETS_CHAIN_PRUNED,
+        &SWEEP_SUBSETS_EVALUATED,
+        &SWEEP_SUBSETS_UNCONNECTABLE,
+        &SWEEP_GAIN_QUERIES,
+        &GREEDY_BOUND_HITS,
+        &GREEDY_EVALUATIONS,
+        &GREEDY_BOUND_RESEEDS,
+        &GREEDY_COMMITS,
+        &MATCHING_BFS_RESTARTS,
+        &MATCHING_PREPASS_HITS,
+        &MATCHING_TRIAL_EVALUATIONS,
+        &CONNECT_MST_CONNECTIONS,
+        &CONNECT_RELAYS_ADDED,
+        &CONNECT_GATEWAY_EXTENSIONS,
+        &CONNECT_FAILURES,
+        &SUBSTRATE_BUILDS,
+        &VERIFY_CHECKS,
+        &VERIFY_FAILURES,
+    ];
+}
+
+/// Every wall-clock phase of the pipeline, declared centrally. Names
+/// are stable `snake_case` — the public schema of span events.
+pub mod phases {
+    use super::Phase;
+
+    /// Algorithm 1 segment planning ([`SegmentPlan::optimal`]).
+    ///
+    /// [`SegmentPlan::optimal`]: https://docs.rs/uavnet-core
+    pub static ALG1_PLAN: Phase = Phase::new("alg1_plan");
+    /// Building the per-instance connectivity substrate.
+    pub static SUBSTRATE_BUILD: Phase = Phase::new("substrate_build");
+    /// Combination generation + chain pruning, summed across workers.
+    pub static ENUMERATION: Phase = Phase::new("enumeration");
+    /// Lazy greedy (matroid build, gain queries, commits), summed
+    /// across workers.
+    pub static GREEDY: Phase = Phase::new("greedy");
+    /// MST relay connection + gateway extension, summed across workers.
+    pub static CONNECTION: Phase = Phase::new("connection");
+    /// Relay deployment + scoring, summed across workers.
+    pub static SCORING: Phase = Phase::new("scoring");
+    /// Hop-structure queries answered from the substrate (also counted
+    /// inside `greedy`/`connection`).
+    pub static SUBSTRATE_QUERY: Phase = Phase::new("substrate_query");
+    /// End-to-end wall clock of one subset sweep.
+    pub static SWEEP_TOTAL: Phase = Phase::new("sweep_total");
+    /// Differential-oracle batteries (`uavnet-core::verify`).
+    pub static VERIFY: Phase = Phase::new("verify");
+
+    /// Every declared phase, in schema order.
+    pub static ALL: &[&Phase] = &[
+        &ALG1_PLAN,
+        &SUBSTRATE_BUILD,
+        &ENUMERATION,
+        &GREEDY,
+        &CONNECTION,
+        &SCORING,
+        &SUBSTRATE_QUERY,
+        &SWEEP_TOTAL,
+        &VERIFY,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        assert!(!is_enabled());
+        assert!(!session_begin());
+        assert!(!session_active());
+        counters::SWEEP_GAIN_QUERIES.add(5);
+        assert_eq!(counters::SWEEP_GAIN_QUERIES.get(), 0);
+        phases::GREEDY.record_ns(1_000);
+        drop(phases::GREEDY.span());
+        assert_eq!(phases::GREEDY.total_ns(), 0);
+        emit_run("sweep", &[("s", 1)]);
+        assert!(drain_events().is_empty());
+        assert!(session_end().is_none());
+        let snap = snapshot();
+        assert!(snap.counters.is_empty() && snap.phases.is_empty());
+    }
+
+    // The enabled-path tests mutate the global session, so they run in
+    // one #[test] to avoid cross-test interference under the parallel
+    // test runner.
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn session_records_counters_phases_and_events() {
+        assert!(is_enabled());
+        assert!(session_begin());
+        assert!(!session_begin(), "nested sessions are rejected");
+        assert!(session_active());
+
+        counters::SWEEP_GAIN_QUERIES.add(3);
+        counters::SWEEP_GAIN_QUERIES.add(4);
+        phases::GREEDY.record_ns(1_000);
+        {
+            let _span = phases::ALG1_PLAN.span();
+        }
+        emit_run("sweep", &[("s", 2), ("served", 17)]);
+
+        let snap = session_end().expect("active session yields a snapshot");
+        assert!(!session_active());
+        assert_eq!(snap.counter("sweep.gain_queries"), Some(7));
+        let greedy = snap.phase("greedy").unwrap();
+        assert_eq!((greedy.total_ns, greedy.count), (1_000, 1));
+        assert_eq!(snap.phase("alg1_plan").unwrap().count, 1);
+        assert_eq!(snap.counter("no.such.counter"), None);
+
+        let events = drain_events();
+        assert!(matches!(events[0].kind, EventKind::SessionStart));
+        assert!(matches!(events.last().unwrap().kind, EventKind::SessionEnd));
+        // seq strictly increasing, t_ns monotone non-decreasing.
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].t_ns >= w[0].t_ns);
+        }
+        // One counter event per declared counter, before session_end.
+        let counter_events = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Counter { .. }))
+            .count();
+        assert_eq!(counter_events, counters::ALL.len());
+        // The run event survives with its fields.
+        let run = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Run { name, fields } if *name == "sweep" => Some(fields.clone()),
+                _ => None,
+            })
+            .expect("run event recorded");
+        assert_eq!(run, vec![("s", 2), ("served", 17)]);
+
+        // JSON-lines round-trip shape (schema smoke test).
+        let line = events[0].to_json_line();
+        assert!(line.starts_with("{\"seq\":0,"));
+        assert!(line.contains("\"type\":\"session_start\""));
+        assert!(line.contains(SCHEMA));
+        let span_line = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Span { .. }))
+            .unwrap()
+            .to_json_line();
+        assert!(span_line.contains("\"type\":\"span\""));
+        assert!(span_line.contains("\"ns\":"));
+        // Counters/phases no longer record once the session closed.
+        counters::SWEEP_GAIN_QUERIES.add(9);
+        assert_eq!(counters::SWEEP_GAIN_QUERIES.get(), 7);
+
+        // Snapshot JSON contains every declared name.
+        let json = snap.to_json();
+        for c in counters::ALL {
+            assert!(json.contains(c.name()), "{} missing", c.name());
+        }
+        for p in phases::ALL {
+            assert!(json.contains(p.name()), "{} missing", p.name());
+        }
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate a uavnet-obs JSON-lines event log and metrics snapshot.
+
+Usage: validate_obs_log.py EVENTS.jsonl [METRICS.json]
+
+Checks the `uavnet-obs/1` schema contract that downstream tooling
+(diffing two run logs, the CI artifact consumers) relies on:
+
+* every line is a self-contained JSON object with integer `seq`,
+  integer `t_ns` and a known `type`;
+* `seq` starts at 0 and increases strictly; `t_ns` never decreases;
+* the log opens with exactly one `session_start` carrying the schema
+  id and closes with exactly one `session_end`;
+* `span` lines carry `name` (string) and `ns` (int); `counter` lines
+  carry `name` and `value`; `run` lines carry `name` and a flat
+  string->int `fields` object;
+* the snapshot (if given) carries the same schema id and its counters
+  equal the final `counter` events of the log.
+
+Exits non-zero with a line-numbered message on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA = "uavnet-obs/1"
+TYPES = {"session_start", "session_end", "span", "counter", "run"}
+
+
+def fail(msg):
+    print(f"validate_obs_log: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_events(path):
+    events = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"{path}:{lineno}: blank line")
+            try:
+                e = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: invalid JSON: {err}")
+            for key, ty in (("seq", int), ("t_ns", int), ("type", str)):
+                if not isinstance(e.get(key), ty):
+                    fail(f"{path}:{lineno}: missing/mistyped {key!r}")
+            if e["type"] not in TYPES:
+                fail(f"{path}:{lineno}: unknown type {e['type']!r}")
+            if e["type"] == "session_start" and e.get("schema") != SCHEMA:
+                fail(f"{path}:{lineno}: schema {e.get('schema')!r} != {SCHEMA!r}")
+            if e["type"] == "span":
+                if not isinstance(e.get("name"), str) or not isinstance(e.get("ns"), int):
+                    fail(f"{path}:{lineno}: span needs string name and int ns")
+            if e["type"] == "counter":
+                if not isinstance(e.get("name"), str) or not isinstance(e.get("value"), int):
+                    fail(f"{path}:{lineno}: counter needs string name and int value")
+            if e["type"] == "run":
+                fields = e.get("fields")
+                if not isinstance(e.get("name"), str) or not isinstance(fields, dict):
+                    fail(f"{path}:{lineno}: run needs string name and fields object")
+                for k, v in fields.items():
+                    if not isinstance(k, str) or not isinstance(v, int):
+                        fail(f"{path}:{lineno}: run field {k!r} must map string->int")
+            events.append((lineno, e))
+
+    if not events:
+        fail(f"{path}: empty log")
+    for (_, prev), (lineno, cur) in zip(events, events[1:]):
+        if cur["seq"] <= prev["seq"]:
+            fail(f"{path}:{lineno}: seq {cur['seq']} not after {prev['seq']}")
+        if cur["t_ns"] < prev["t_ns"]:
+            fail(f"{path}:{lineno}: t_ns went backwards")
+    starts = [e for _, e in events if e["type"] == "session_start"]
+    ends = [e for _, e in events if e["type"] == "session_end"]
+    if len(starts) != 1 or events[0][1]["type"] != "session_start":
+        fail(f"{path}: expected exactly one leading session_start")
+    if len(ends) != 1 or events[-1][1]["type"] != "session_end":
+        fail(f"{path}: expected exactly one trailing session_end")
+    if events[0][1]["seq"] != 0:
+        fail(f"{path}: session_start must have seq 0")
+    return {e["name"]: e["value"] for _, e in events if e["type"] == "counter"}
+
+
+def validate_metrics(path, final_counters):
+    with open(path) as f:
+        snap = json.load(f)
+    if snap.get("schema") != SCHEMA:
+        fail(f"{path}: schema {snap.get('schema')!r} != {SCHEMA!r}")
+    counters = snap.get("counters")
+    phases = snap.get("phases")
+    if not isinstance(counters, dict) or not isinstance(phases, dict):
+        fail(f"{path}: needs counters and phases objects")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} not a non-negative int")
+    for name, p in phases.items():
+        if not isinstance(p.get("total_ns"), int) or not isinstance(p.get("count"), int):
+            fail(f"{path}: phase {name!r} needs int total_ns and count")
+    if counters != final_counters:
+        diff = {
+            k: (final_counters.get(k), counters.get(k))
+            for k in set(counters) | set(final_counters)
+            if counters.get(k) != final_counters.get(k)
+        }
+        fail(f"{path}: snapshot counters diverge from the event log: {diff}")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail("usage: validate_obs_log.py EVENTS.jsonl [METRICS.json]")
+    final_counters = validate_events(sys.argv[1])
+    if len(sys.argv) == 3:
+        validate_metrics(sys.argv[2], final_counters)
+    print(
+        f"validate_obs_log: ok — {len(final_counters)} counters, "
+        f"schema {SCHEMA}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,9 @@
 //! * [`core`] — the maximum connected coverage problem, the optimal user
 //!   assignment (Lemma 1), Algorithm 1 (`L_max`, `p*`), and the
 //!   `O(√(s/K))`-approximation `approAlg` (Algorithm 2);
-//! * [`baselines`] — the four comparison algorithms of the evaluation.
+//! * [`baselines`] — the four comparison algorithms of the evaluation;
+//! * [`obs`] — the tracing/metrics facade every pipeline phase reports
+//!   into (compiled to no-ops unless the `obs` cargo feature is on).
 //!
 //! # Quickstart
 //!
@@ -48,4 +50,5 @@ pub use uavnet_flow as flow;
 pub use uavnet_geom as geom;
 pub use uavnet_graph as graph;
 pub use uavnet_matroid as matroid;
+pub use uavnet_obs as obs;
 pub use uavnet_workload as workload;

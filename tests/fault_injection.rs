@@ -2,10 +2,11 @@
 //! killing any single UAV (and harsher faults) must yield a repaired,
 //! validate-clean solution or a *typed* error — never a panic.
 
+use uavnet::channel::UavRadio;
 use uavnet::core::{
     approx_alg, inject_and_repair, ApproxConfig, CoreError, Fault, Instance, Solution, User,
 };
-use uavnet::geom::Point2;
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
 use uavnet::workload::ScenarioSpec;
 
 fn fig6_scale() -> (Instance, Solution) {
@@ -125,6 +126,57 @@ fn gateway_scenarios_repair_or_fail_typed() {
             Err(CoreError::Connect(_)) | Err(CoreError::InvalidParameters(_)) => {}
             Err(e) => panic!("killing UAV {uav}: untyped failure {e}"),
         }
+    }
+}
+
+#[test]
+fn sweep_worker_panic_is_a_typed_error_not_an_abort() {
+    // A panicking worker thread must not take the process down (the
+    // old join().expect() re-raised it): every remaining worker is
+    // joined and the panic surfaces as CoreError::Sweep carrying the
+    // original payload.
+    let (instance, _) = fig6_scale();
+    for threads in [1usize, 2, 4] {
+        let config = ApproxConfig::with_s(2)
+            .threads(threads)
+            .inject_worker_panic_at(0);
+        match approx_alg(&instance, &config) {
+            Err(CoreError::Sweep(msg)) => assert!(
+                msg.contains("injected worker panic"),
+                "payload lost: {msg:?}"
+            ),
+            Ok(_) => panic!("threads={threads}: injected panic was swallowed"),
+            Err(e) => panic!("threads={threads}: wrong error type {e}"),
+        }
+    }
+    // A rank past the enumeration never fires: the sweep completes.
+    let config = ApproxConfig::with_s(2).inject_worker_panic_at(u64::MAX);
+    approx_alg(&instance, &config).expect("unreached injection rank must be harmless");
+}
+
+#[test]
+fn oversized_location_grid_is_a_typed_substrate_error() {
+    // 256 × 256 = 65 536 candidate cells — one past what the u16 hop
+    // matrix can address. The solver must refuse with a typed error
+    // before attempting the multi-gigabyte substrate allocation.
+    let grid = GridSpec::new(
+        AreaSpec::new(12_800.0, 12_800.0, 500.0).unwrap(),
+        50.0,
+        500.0,
+    )
+    .unwrap()
+    .build();
+    assert!(grid.num_cells() >= u16::MAX as usize);
+    let mut builder = Instance::builder(grid, 75.0);
+    builder.add_user(Point2::new(100.0, 100.0), 2_000.0);
+    builder.add_uav(4, UavRadio::new(30.0, 5.0, 500.0));
+    let instance = builder.build().expect("oversized grid still builds");
+    match approx_alg(&instance, &ApproxConfig::with_s(1)) {
+        Err(CoreError::Substrate(e)) => {
+            assert!(e.to_string().contains("at most"), "{e}");
+        }
+        Ok(_) => panic!("65 536-cell sweep cannot have succeeded"),
+        Err(e) => panic!("wrong error type: {e}"),
     }
 }
 

@@ -1,0 +1,176 @@
+//! Observation must never perturb the solver: on random scenarios,
+//! running the sweep inside an active `uavnet-obs` recording session
+//! must reproduce the unobserved run bit-for-bit — same placements,
+//! same assignment, same deterministic statistics — and the mirrored
+//! obs counters must agree with the deterministic stats they were
+//! folded from.
+//!
+//! The suite is meaningful in both builds: with the `obs` feature the
+//! session actually records (and the counter cross-checks fire);
+//! without it `session_begin` refuses and both runs are trivially
+//! unobserved, which pins the no-op facade's API.
+//!
+//! The observed/unobserved comparisons run single-threaded through one
+//! `#[test]` wrapper per property, because the obs session is a global
+//! — a concurrently recording test would double-count into it.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use uavnet::channel::UavRadio;
+use uavnet::core::{approx_alg_with_stats, ApproxConfig, Instance};
+use uavnet::geom::{AreaSpec, GridSpec, Point2};
+use uavnet::obs;
+
+/// The obs session is process-global; tests in this binary serialize
+/// on this lock so a concurrently recording test cannot double-count.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+prop_compose! {
+    fn instances()(
+        seed_users in proptest::collection::vec((0.0f64..900.0, 0.0f64..900.0), 1..14),
+        caps in proptest::collection::vec(1u32..6, 2..5),
+        uav_range in 320.0f64..700.0,
+        user_range in 250.0f64..500.0,
+    ) -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(900.0, 900.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, uav_range);
+        for (x, y) in seed_users {
+            b.add_user(Point2::new(x, y), 2_000.0);
+        }
+        for cap in caps {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, user_range));
+        }
+        b.build().expect("valid instance")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn observed_sweep_is_bit_identical_to_unobserved(
+        instance in instances(),
+        s in 1usize..=2,
+    ) {
+            let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let s = s.min(instance.num_uavs());
+            let config = ApproxConfig::with_s(s).threads(2);
+
+            prop_assert!(!obs::session_active(), "leaked session from a prior case");
+            let (plain_sol, plain_stats) = approx_alg_with_stats(&instance, &config).unwrap();
+
+            let began = obs::session_begin();
+            prop_assert_eq!(began, obs::is_enabled());
+            let observed = approx_alg_with_stats(&instance, &config);
+            let snap = obs::session_end();
+            let events = obs::drain_events();
+            let (obs_sol, obs_stats) = observed.unwrap();
+
+            // The solution and every deterministic statistic are
+            // unchanged by observation.
+            prop_assert_eq!(
+                obs_sol.deployment().placements(),
+                plain_sol.deployment().placements()
+            );
+            prop_assert_eq!(obs_sol.served_users(), plain_sol.served_users());
+            prop_assert_eq!(&obs_stats.plan, &plain_stats.plan);
+            prop_assert_eq!(obs_stats.seed_pool_size, plain_stats.seed_pool_size);
+            prop_assert_eq!(obs_stats.subsets_enumerated, plain_stats.subsets_enumerated);
+            prop_assert_eq!(obs_stats.subsets_chain_pruned, plain_stats.subsets_chain_pruned);
+            prop_assert_eq!(obs_stats.subsets_evaluated, plain_stats.subsets_evaluated);
+            prop_assert_eq!(
+                obs_stats.subsets_unconnectable,
+                plain_stats.subsets_unconnectable
+            );
+            prop_assert_eq!(&obs_stats.best_seeds, &plain_stats.best_seeds);
+            prop_assert_eq!(obs_stats.gain_queries, plain_stats.gain_queries);
+
+            if obs::is_enabled() {
+                // The mirrored counters agree with the deterministic
+                // stats they were folded from.
+                let snap = snap.expect("active session yields a snapshot");
+                prop_assert_eq!(snap.counter("sweep.runs"), Some(1));
+                prop_assert_eq!(
+                    snap.counter("sweep.gain_queries"),
+                    Some(obs_stats.gain_queries)
+                );
+                prop_assert_eq!(
+                    snap.counter("sweep.subsets_enumerated"),
+                    Some(obs_stats.subsets_enumerated as u64)
+                );
+                prop_assert_eq!(
+                    snap.counter("sweep.subsets_evaluated"),
+                    Some(obs_stats.subsets_evaluated as u64)
+                );
+                prop_assert_eq!(snap.counter("alg1.plans"), Some(1));
+                prop_assert_eq!(snap.counter("substrate.builds"), Some(1));
+                // The greedy evaluations the obs layer saw directly are
+                // exactly the sweep's gain queries.
+                prop_assert_eq!(
+                    snap.counter("greedy.evaluations"),
+                    Some(obs_stats.gain_queries)
+                );
+                // A complete JSON-lines log: session markers, one
+                // counter line per declared counter, and a "sweep" run
+                // record.
+                prop_assert!(events
+                    .first()
+                    .is_some_and(|e| e.to_json_line().contains("session_start")));
+                prop_assert!(events
+                    .last()
+                    .is_some_and(|e| e.to_json_line().contains("session_end")));
+                let runs = events
+                    .iter()
+                    .filter(|e| e.to_json_line().contains("\"type\":\"run\""))
+                    .count();
+                prop_assert_eq!(runs, 1);
+            } else {
+                prop_assert!(snap.is_none());
+                prop_assert!(events.is_empty());
+            }
+    }
+}
+
+#[test]
+fn repeated_sessions_reset_cleanly() {
+    // Two identical observed runs in back-to-back sessions must report
+    // identical counters: session_begin resets all state.
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
+        .unwrap()
+        .build();
+    let mut b = Instance::builder(grid, 600.0);
+    for i in 0..12 {
+        b.add_user(Point2::new(70.0 * i as f64, 450.0), 2_000.0);
+    }
+    b.add_uav(6, UavRadio::new(30.0, 5.0, 450.0));
+    b.add_uav(4, UavRadio::new(28.0, 4.0, 400.0));
+    let instance = b.build().unwrap();
+    let config = ApproxConfig::with_s(1);
+
+    let mut snaps = Vec::new();
+    for _ in 0..2 {
+        let began = obs::session_begin();
+        assert_eq!(began, obs::is_enabled());
+        approx_alg_with_stats(&instance, &config).unwrap();
+        snaps.push(obs::session_end());
+        obs::drain_events();
+    }
+    if obs::is_enabled() {
+        let a = snaps[0].as_ref().unwrap();
+        let b = snaps[1].as_ref().unwrap();
+        assert_eq!(
+            a.counters, b.counters,
+            "counters must not leak across sessions"
+        );
+    } else {
+        assert!(snaps.iter().all(Option::is_none));
+    }
+}

@@ -106,7 +106,7 @@ proptest! {
     /// [`connected_components`].
     #[test]
     fn substrate_hops_equal_fresh_bfs(g in graphs()) {
-        let sub = ConnectivitySubstrate::build(&g);
+        let sub = ConnectivitySubstrate::build(&g).unwrap();
         let mut comp = vec![usize::MAX; g.num_nodes()];
         for (id, members) in connected_components(&g).iter().enumerate() {
             for &v in members {
