@@ -27,12 +27,18 @@
 //!
 //! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
 //! [--threads N] [--reps N] [--out PATH] [--scale quick|large|all]
-//! [--obs-log PATH] [--obs-metrics PATH]`
+//! [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]`
 //!
-//! The two `--obs-*` flags require the `obs` cargo feature
+//! The `--obs-*` flags require the `obs` cargo feature
 //! (`--features obs`): they wrap the whole report in a `uavnet-obs`
-//! recording session and write the JSON-lines event log and the
-//! end-of-run metrics snapshot to the given paths.
+//! recording session and write the JSON-lines event log, the
+//! end-of-run metrics snapshot, and/or a Prometheus text-format
+//! export of that snapshot to the given paths. The session header
+//! carries run provenance (git SHA, features, thread count, and an
+//! FNV-1a fingerprint folded over every instance measured), so
+//! instances are constructed *before* the recording window opens;
+//! everything measured afterwards nests under a single `report` root
+//! span, giving the event log one rooted span tree.
 
 use std::time::Instant;
 
@@ -147,7 +153,13 @@ fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
     )
 }
 
-fn scale_json(scale: &Scale, threads: usize, reps: u32) -> String {
+fn scale_json(
+    scale: &Scale,
+    instance: &Instance,
+    build_ns: u64,
+    threads: usize,
+    reps: u32,
+) -> String {
     // The large scale measures instance construction as much as the
     // sweep; cap its reps so a full regeneration stays interactive.
     let reps = if scale.name == "large" {
@@ -155,9 +167,6 @@ fn scale_json(scale: &Scale, threads: usize, reps: u32) -> String {
     } else {
         reps
     };
-    let t_build = Instant::now();
-    let instance = scale.instance(scale.n_max(), scale.k_max());
-    let build_ns = t_build.elapsed().as_nanos() as u64;
     eprintln!(
         "sweep_report: scale={} n={} K={} m={} build {:.3} ms (threads={threads} reps={reps})",
         scale.name,
@@ -171,7 +180,7 @@ fn scale_json(scale: &Scale, threads: usize, reps: u32) -> String {
         .s_sweep
         .iter()
         .map(|&s| {
-            let report = measure(&instance, s, threads, reps);
+            let report = measure(instance, s, threads, reps);
             eprintln!(
                 "  s={s}: mean {:.3} ms, {} gain queries, {:.0} queries/s",
                 report.wall_ns_mean as f64 / 1e6,
@@ -202,6 +211,7 @@ fn main() {
     let mut which = String::from("quick");
     let mut obs_log: Option<String> = None;
     let mut obs_metrics: Option<String> = None;
+    let mut obs_prom: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -215,6 +225,7 @@ fn main() {
             "--scale" => which = value("--scale"),
             "--obs-log" => obs_log = Some(value("--obs-log")),
             "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
+            "--obs-prom" => obs_prom = Some(value("--obs-prom")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -226,22 +237,58 @@ fn main() {
         other => panic!("unknown --scale {other:?} (expected quick|large|all)"),
     };
 
-    let want_obs = obs_log.is_some() || obs_metrics.is_some();
+    let want_obs = obs_log.is_some() || obs_metrics.is_some() || obs_prom.is_some();
     if want_obs && !uavnet_obs::is_enabled() {
         eprintln!(
-            "sweep_report: --obs-log/--obs-metrics need the instrumentation compiled in; \
-             rebuild with `--features obs`"
+            "sweep_report: --obs-log/--obs-metrics/--obs-prom need the instrumentation \
+             compiled in; rebuild with `--features obs`"
         );
         std::process::exit(2);
     }
+
+    // Instances are built before the recording window opens so the
+    // session header can carry their combined fingerprint; per-run
+    // work (substrate builds included) still happens inside it.
+    let prepared: Vec<(Scale, Instance, u64)> = scales
+        .into_iter()
+        .map(|scale| {
+            let t_build = Instant::now();
+            let instance = scale.instance(scale.n_max(), scale.k_max());
+            let build_ns = t_build.elapsed().as_nanos() as u64;
+            (scale, instance, build_ns)
+        })
+        .collect();
+
     if want_obs {
-        assert!(uavnet_obs::session_begin(), "obs session already active");
+        let mut provenance = uavnet_obs::Provenance::detect();
+        provenance.features = if uavnet_obs::is_enabled() {
+            "obs,enabled".to_string()
+        } else {
+            String::new()
+        };
+        provenance.threads = threads as u64;
+        provenance.instance_fingerprint = prepared
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325, |h: u64, (_, instance, _)| {
+                (h ^ instance.fingerprint()).wrapping_mul(0x0100_0000_01b3)
+            });
+        assert!(
+            uavnet_obs::session_begin_with(provenance),
+            "obs session already active"
+        );
     }
 
-    let scale_blocks: Vec<String> = scales
-        .iter()
-        .map(|scale| scale_json(scale, threads, reps))
-        .collect();
+    let scale_blocks: Vec<String> = {
+        // All recorded spans nest under this root, so the event log
+        // forms a single rooted tree (a no-op without a session).
+        let _report_span = uavnet_obs::phases::REPORT.span();
+        prepared
+            .iter()
+            .map(|(scale, instance, build_ns)| {
+                scale_json(scale, instance, *build_ns, threads, reps)
+            })
+            .collect()
+    };
 
     if want_obs {
         let snap = uavnet_obs::session_end().expect("obs session was begun above");
@@ -257,6 +304,10 @@ fn main() {
         }
         if let Some(path) = &obs_metrics {
             std::fs::write(path, snap.to_json()).expect("write obs metrics snapshot");
+            eprintln!("sweep_report: wrote {path}");
+        }
+        if let Some(path) = &obs_prom {
+            std::fs::write(path, snap.to_prometheus()).expect("write obs prometheus export");
             eprintln!("sweep_report: wrote {path}");
         }
     }

@@ -114,6 +114,35 @@ impl Instance {
         self.grid.num_cells()
     }
 
+    /// A stable FNV-1a fingerprint of the problem instance — the
+    /// dimensions, every user's position and rate demand, and every
+    /// UAV's capacity and radio. Two instances built from the same
+    /// inputs hash identically on any platform (the hash folds IEEE
+    /// bit patterns, not rounded values), so the fingerprint stamped
+    /// into a run's obs provenance (`uavnet_obs::Provenance`)
+    /// identifies *what* was solved when two recordings are diffed.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |v: u64| h = (h ^ v).wrapping_mul(FNV_PRIME);
+        fold(self.users.len() as u64);
+        fold(self.uavs.len() as u64);
+        fold(self.grid.num_cells() as u64);
+        for u in &self.users {
+            fold(u.pos.x.to_bits());
+            fold(u.pos.y.to_bits());
+            fold(u.min_rate_bps.to_bits());
+        }
+        for k in &self.uavs {
+            fold(u64::from(k.capacity));
+            fold(k.radio.tx_power_dbm().to_bits());
+            fold(k.radio.antenna_gain_dbi().to_bits());
+            fold(k.radio.user_range_m().to_bits());
+        }
+        h
+    }
+
     /// The air-to-ground channel model.
     #[inline]
     pub fn atg(&self) -> &AtgChannel {

@@ -188,6 +188,7 @@ impl CapacitatedMatching {
     /// onto the persistent rollback log for the caller to unwind.
     fn augment_once(&mut self, st: usize, trial: Option<&[u32]>, record: bool) -> bool {
         uavnet_obs::counters::MATCHING_BFS_RESTARTS.add(1);
+        let _bfs_timer = uavnet_obs::hists::BFS_RESTART.timer();
         self.epoch += 1;
         let epoch = self.epoch;
         let trial_id = self.station_cap.len();

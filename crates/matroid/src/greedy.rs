@@ -218,7 +218,9 @@ where
                 break;
             }
             uavnet_obs::counters::GREEDY_EVALUATIONS.add(1);
+            let gain_timer = uavnet_obs::hists::GAIN_QUERY.timer();
             let g = oracle.gain(e);
+            drop(gain_timer);
             // Holds both for gains cached at an earlier pick (the lazy
             // contract) and for never-evaluated entries, whose `cached`
             // is the oracle's admissible upper bound.

@@ -1,0 +1,26 @@
+//! Stamps the build git SHA into `UAVNET_GIT_SHA` so run provenance
+//! (the `session_start` header and `MetricsSnapshot`) can identify
+//! which commit produced a recording without any runtime git
+//! dependency. Falls back to `"unknown"` outside a git checkout (e.g.
+//! a source tarball) — provenance is best-effort, never a build error.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=UAVNET_GIT_SHA={sha}");
+    // Re-stamp when the checked-out commit moves.
+    for p in ["../../.git/HEAD", "../../.git/refs/heads"] {
+        if std::path::Path::new(p).exists() {
+            println!("cargo:rerun-if-changed={p}");
+        }
+    }
+}

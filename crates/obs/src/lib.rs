@@ -3,32 +3,64 @@
 //! Every solver phase — Algorithm 1 segment planning, seed
 //! enumeration, lazy-greedy selection, matching, MST/gateway
 //! connection, the verify oracles — reports into this crate through
-//! three primitives:
+//! four primitives:
 //!
 //! * [`Counter`] — a named monotone `u64` (gain queries, BFS restarts,
 //!   CELF bound hits, …). All counters are declared centrally in
 //!   [`counters`] so a snapshot can enumerate them without life-before-
 //!   main registration tricks.
-//! * [`Phase`] — a named wall-clock accumulator (`total_ns`, `count`),
-//!   fed either by a [`SpanGuard`] (RAII timing of one call) or by
-//!   [`Phase::record_ns`] when the caller already aggregated timings
-//!   (the subset sweep folds per-worker phase nanos first and reports
-//!   once). Declared centrally in [`phases`].
+//! * [`Phase`] — a named wall-clock accumulator (`total_ns`,
+//!   `self_ns`, `count`, plus a latency [`Histogram`] of the recorded
+//!   durations), fed either by a [`SpanGuard`] (RAII timing of one
+//!   call, participating in the span tree) or by [`Phase::record_ns`]
+//!   when the caller already aggregated timings (the subset sweep
+//!   folds per-worker phase nanos first and reports once). Declared
+//!   centrally in [`phases`].
+//! * [`LatencyHist`] — a named log-linear [`Histogram`] for
+//!   per-operation latencies too frequent for the event log
+//!   (per-gain-query, per-BFS-restart). Recording is a few relaxed
+//!   atomics and emits **no** events; percentiles surface in the
+//!   [`MetricsSnapshot`] and as `hist` lines at session end. Declared
+//!   centrally in [`hists`].
 //! * [`Event`] — a structured record appended to the in-memory session
 //!   log and exportable as JSON-lines ([`Event::to_json_line`]):
-//!   session boundaries, span completions, and per-run records with
-//!   arbitrary `u64` fields ([`emit_run`]).
+//!   session boundaries, span completions, histogram dumps, and
+//!   per-run records with arbitrary `u64` fields ([`emit_run`]).
+//!
+//! # Span trees
+//!
+//! Every [`SpanGuard`] carries a session-unique `id` and the `id` of
+//! the innermost span still open **on the same thread** (a
+//! thread-local parent stack), so span events form a forest — one
+//! rooted tree per top-level span. On drop, a span knows how much of
+//! its elapsed time was consumed by same-thread child spans and
+//! reports the remainder as **self-time**, giving flamegraph-style
+//! attribution across `alg1_plan → enumeration → greedy → matching →
+//! connection` without any post-processing. [`Phase::record_ns`]
+//! events (pre-aggregated, cross-thread sums) attach to the tree under
+//! the caller's current span for attribution, but do **not** subtract
+//! from the parent's wall-clock self-time — a sum over `T` worker
+//! threads can legitimately exceed the parent's elapsed time, so their
+//! `self_ns` equals their `ns` and the parent's self-time stays a
+//! same-thread wall-clock quantity.
 //!
 //! # Sessions
 //!
-//! Recording is **off** until [`session_begin`] flips the global
-//! active flag; [`session_end`] flips it back and returns a
-//! [`MetricsSnapshot`] of every counter and phase. Instrumentation
-//! call sites never check the flag themselves — [`Counter::add`],
-//! [`Phase::span`] and [`emit_run`] are no-ops while inactive — so
-//! enabling a session changes *observation only*, never solver
-//! behavior (`tests/proptest_obs.rs` proves placements, assignments
-//! and deterministic stats are bit-identical either way).
+//! Recording is **off** until [`session_begin`] (or
+//! [`session_begin_with`], which stamps caller-supplied
+//! [`Provenance`]) flips the global active flag; [`session_end`] flips
+//! it back and returns a [`MetricsSnapshot`] of every counter, phase
+//! and histogram. Instrumentation call sites never check the flag
+//! themselves — [`Counter::add`], [`Phase::span`], [`LatencyHist`]
+//! timers and [`emit_run`] are no-ops while inactive — so enabling a
+//! session changes *observation only*, never solver behavior
+//! (`tests/proptest_obs.rs` proves placements, assignments and
+//! deterministic stats are bit-identical either way).
+//!
+//! All internal locks recover from poisoning via
+//! `PoisonError::into_inner`: a sweep worker that panics mid-record
+//! can never turn an obs lock into a second panic in the thread that
+//! joins it and keeps reporting.
 //!
 //! # Compile-time gating
 //!
@@ -36,48 +68,106 @@
 //! signature but compiles to an inlined empty body: no atomics, no
 //! clock reads, no branches on the hot path. The solver crates expose
 //! this as their `obs` feature (e.g. `uavnet-core/obs`); the perf gate
-//! in CI runs with the feature off and must see zero overhead.
+//! in CI runs with the feature off and must see zero overhead. The
+//! [`Histogram`] *type* stays available in both builds (it is a plain
+//! concurrent data structure); only the global instrumentation is
+//! gated.
 //!
-//! # Event schema (`uavnet-obs/1`)
+//! # Event schema (`uavnet-obs/2`)
 //!
 //! One JSON object per line, every line carrying `seq` (global
 //! sequence number), `t_ns` (nanoseconds since session start) and
 //! `type`:
 //!
 //! ```json
-//! {"seq":0,"t_ns":0,"type":"session_start","schema":"uavnet-obs/1"}
-//! {"seq":1,"t_ns":12034,"type":"span","name":"alg1_plan","ns":11020}
+//! {"seq":0,"t_ns":0,"type":"session_start","schema":"uavnet-obs/2","git_sha":"1a2b3c4d5e6f","features":"enabled","threads":8,"instance_fingerprint":"0x00d1f5a2b9c3e870"}
+//! {"seq":1,"t_ns":12034,"type":"span","name":"alg1_plan","id":2,"parent_id":1,"ns":11020,"self_ns":11020}
 //! {"seq":2,"t_ns":842113,"type":"run","name":"sweep","fields":{"s":2,"served":118}}
 //! {"seq":3,"t_ns":850010,"type":"counter","name":"sweep.gain_queries","value":5310}
-//! {"seq":4,"t_ns":85090,"type":"session_end"}
+//! {"seq":4,"t_ns":850400,"type":"hist","name":"greedy.gain_query_ns","count":5310,"sum_ns":9120034,"max_ns":88012,"buckets":[[1535,12],[1791,940],[88012,5310]]}
+//! {"seq":5,"t_ns":851090,"type":"session_end"}
 //! ```
 //!
-//! `counter` lines are emitted once per declared counter by
-//! [`session_end`], so a complete log always ends with the final
-//! counter values followed by `session_end`.
+//! Span `id`s are unique within a session and `parent_id` (omitted for
+//! roots) always references another span of the same log — children
+//! close before their parents, so the referenced span's own line
+//! appears *later*. `hist` buckets are `[inclusive_upper_bound,
+//! cumulative_count]` pairs with strictly increasing bounds and
+//! monotone counts. `counter` and `hist` lines are emitted once per
+//! declared metric by [`session_end`], so a complete log always ends
+//! with the final values followed by `session_end`.
+//! `scripts/validate_obs_log.py` checks all of it (and still accepts
+//! `uavnet-obs/1` logs from older runs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hist;
+
+pub use hist::{bucket_index, bucket_lower, bucket_upper, Histogram, Quantiles, NUM_BUCKETS};
+
+#[cfg(feature = "enabled")]
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 #[cfg(feature = "enabled")]
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 #[cfg(feature = "enabled")]
 use std::time::Instant;
 
 /// Schema identifier stamped on session-start events and snapshots.
-pub const SCHEMA: &str = "uavnet-obs/1";
+pub const SCHEMA: &str = "uavnet-obs/2";
+
+/// The previous schema (flat spans, no histograms, no provenance);
+/// still accepted by the log validator.
+pub const SCHEMA_V1: &str = "uavnet-obs/1";
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 
 #[cfg(feature = "enabled")]
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Next span id; 0 is reserved as "no span" so ids start at 1.
+#[cfg(feature = "enabled")]
+static SPAN_NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bumped by every `session_begin` so thread-local span stacks from a
+/// previous session are recognized as stale and discarded.
+#[cfg(feature = "enabled")]
+static SESSION_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 #[cfg(feature = "enabled")]
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 
 #[cfg(feature = "enabled")]
 static SESSION_START: Mutex<Option<Instant>> = Mutex::new(None);
+
+#[cfg(feature = "enabled")]
+static PROVENANCE: Mutex<Option<Provenance>> = Mutex::new(None);
+
+/// Locks a mutex, recovering the guard from a poisoned lock: a worker
+/// that panicked while recording must never escalate into a second
+/// panic at the next observation site (the event log is append-only
+/// `u64`/`Vec` state, so the worst a poisoned lock can hide is a
+/// half-appended session from the panicking thread — which the
+/// validator would flag, not corrupt memory).
+#[cfg(feature = "enabled")]
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One frame of the thread-local parent stack: the open span's id and
+/// the nanoseconds its already-closed same-thread children consumed.
+#[cfg(feature = "enabled")]
+struct Frame {
+    id: u64,
+    child_ns: u64,
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    /// `(session epoch, open spans innermost-last)` for this thread.
+    static SPAN_STACK: RefCell<(u64, Vec<Frame>)> = const { RefCell::new((0, Vec::new())) };
+}
 
 /// Whether the instrumentation was compiled in (the `enabled` cargo
 /// feature). When `false`, every other function in this crate is an
@@ -93,11 +183,64 @@ pub fn session_active() -> bool {
     is_enabled() && ACTIVE.load(Ordering::Relaxed)
 }
 
-/// Starts a recording session: resets every counter, phase and the
-/// event log, then activates recording. Returns `false` (and does
-/// nothing) when the instrumentation is compiled out or a session is
-/// already active.
+/// Run provenance stamped on the `session_start` event and the
+/// [`MetricsSnapshot`], so two recorded runs can be compared knowing
+/// *what* produced them (`obs_diff` refuses nothing but prints all of
+/// it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Git commit of the build (`UAVNET_GIT_SHA` build-time env,
+    /// `"unknown"` outside a git checkout).
+    pub git_sha: String,
+    /// Comma-separated cargo features relevant to the run. Defaults to
+    /// this crate's own gate; binaries widen it with theirs.
+    pub features: String,
+    /// Worker/available threads for the run.
+    pub threads: u64,
+    /// FNV-1a fingerprint of the problem instance(s), 0 when not
+    /// supplied (see `Instance::fingerprint` in `uavnet-core`).
+    pub instance_fingerprint: u64,
+}
+
+impl Provenance {
+    /// Provenance derivable without caller input: build git SHA, this
+    /// crate's feature gate, and `std::thread::available_parallelism`.
+    /// The instance fingerprint is 0 until a caller supplies one via
+    /// [`session_begin_with`].
+    pub fn detect() -> Self {
+        Provenance {
+            git_sha: env!("UAVNET_GIT_SHA").to_string(),
+            features: if cfg!(feature = "enabled") {
+                "enabled".to_string()
+            } else {
+                String::new()
+            },
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            instance_fingerprint: 0,
+        }
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Provenance::detect()
+    }
+}
+
+/// Starts a recording session with default [`Provenance`]; see
+/// [`session_begin_with`].
 pub fn session_begin() -> bool {
+    session_begin_with(Provenance::detect())
+}
+
+/// Starts a recording session: resets every counter, phase, histogram
+/// and the event log, stamps `provenance` on the log's
+/// `session_start` header, then activates recording. Returns `false`
+/// (and does nothing) when the instrumentation is compiled out or a
+/// session is already active.
+pub fn session_begin_with(provenance: Provenance) -> bool {
     #[cfg(feature = "enabled")]
     {
         if ACTIVE.swap(true, Ordering::SeqCst) {
@@ -108,22 +251,33 @@ pub fn session_begin() -> bool {
         }
         for p in phases::ALL {
             p.total_ns.store(0, Ordering::Relaxed);
+            p.self_ns.store(0, Ordering::Relaxed);
             p.count.store(0, Ordering::Relaxed);
+            p.hist.reset();
+        }
+        for h in hists::ALL {
+            h.hist.reset();
         }
         SEQ.store(0, Ordering::Relaxed);
-        let mut events = EVENTS.lock().expect("obs event log poisoned");
-        events.clear();
-        *SESSION_START.lock().expect("obs clock poisoned") = Some(Instant::now());
-        drop(events);
-        push_event(EventKind::SessionStart);
+        SPAN_NEXT_ID.store(1, Ordering::Relaxed);
+        SESSION_EPOCH.fetch_add(1, Ordering::SeqCst);
+        lock_recover(&EVENTS).clear();
+        *lock_recover(&SESSION_START) = Some(Instant::now());
+        *lock_recover(&PROVENANCE) = Some(provenance.clone());
+        push_event(EventKind::SessionStart { provenance });
         true
     }
     #[cfg(not(feature = "enabled"))]
-    false
+    {
+        let _ = provenance;
+        false
+    }
 }
 
 /// Ends the active session: emits one `counter` event per declared
-/// counter plus a `session_end` marker, deactivates recording and
+/// counter and one `hist` event per non-empty histogram (phase
+/// duration histograms under the phase name, latency histograms under
+/// their own), then a `session_end` marker, deactivates recording and
 /// returns the final [`MetricsSnapshot`]. Returns `None` when the
 /// instrumentation is compiled out or no session was active.
 pub fn session_end() -> Option<MetricsSnapshot> {
@@ -138,6 +292,16 @@ pub fn session_end() -> Option<MetricsSnapshot> {
                 value: c.get(),
             });
         }
+        for p in phases::ALL {
+            if p.hist.count() > 0 {
+                push_event(hist_event(p.name, &p.hist));
+            }
+        }
+        for h in hists::ALL {
+            if h.hist.count() > 0 {
+                push_event(hist_event(h.name, &h.hist));
+            }
+        }
         push_event(EventKind::SessionEnd);
         let snap = snapshot();
         ACTIVE.store(false, Ordering::SeqCst);
@@ -147,28 +311,56 @@ pub fn session_end() -> Option<MetricsSnapshot> {
     None
 }
 
-/// The current values of every declared counter and phase, whether or
-/// not a session is active. Empty when the instrumentation is
-/// compiled out.
+#[cfg(feature = "enabled")]
+fn hist_event(name: &'static str, h: &Histogram) -> EventKind {
+    EventKind::Hist {
+        name,
+        count: h.count(),
+        sum_ns: h.sum(),
+        max_ns: h.max(),
+        buckets: h.cumulative_buckets(),
+    }
+}
+
+/// The current values of every declared counter, phase and histogram,
+/// whether or not a session is active. Empty (with detected
+/// provenance) when the instrumentation is compiled out.
 pub fn snapshot() -> MetricsSnapshot {
     #[cfg(feature = "enabled")]
     {
         MetricsSnapshot {
+            provenance: lock_recover(&PROVENANCE)
+                .clone()
+                .unwrap_or_else(Provenance::detect),
             counters: counters::ALL.iter().map(|c| (c.name, c.get())).collect(),
             phases: phases::ALL
                 .iter()
-                .map(|p| PhaseStat {
-                    name: p.name,
-                    total_ns: p.total_ns.load(Ordering::Relaxed),
-                    count: p.count.load(Ordering::Relaxed),
+                .map(|p| {
+                    let q = p.hist.quantiles();
+                    PhaseStat {
+                        name: p.name,
+                        total_ns: p.total_ns.load(Ordering::Relaxed),
+                        self_ns: p.self_ns.load(Ordering::Relaxed),
+                        count: p.count.load(Ordering::Relaxed),
+                        p50_ns: q.p50,
+                        p90_ns: q.p90,
+                        p99_ns: q.p99,
+                        max_ns: q.max,
+                    }
                 })
+                .collect(),
+            hists: hists::ALL
+                .iter()
+                .map(|h| HistStat::from_quantiles(h.name, h.hist.quantiles()))
                 .collect(),
         }
     }
     #[cfg(not(feature = "enabled"))]
     MetricsSnapshot {
+        provenance: Provenance::detect(),
         counters: Vec::new(),
         phases: Vec::new(),
+        hists: Vec::new(),
     }
 }
 
@@ -177,7 +369,7 @@ pub fn snapshot() -> MetricsSnapshot {
 pub fn drain_events() -> Vec<Event> {
     #[cfg(feature = "enabled")]
     {
-        std::mem::take(&mut *EVENTS.lock().expect("obs event log poisoned"))
+        std::mem::take(&mut *lock_recover(&EVENTS))
     }
     #[cfg(not(feature = "enabled"))]
     Vec::new()
@@ -204,16 +396,11 @@ pub fn emit_run(name: &'static str, fields: &[(&'static str, u64)]) {
 
 #[cfg(feature = "enabled")]
 fn push_event(kind: EventKind) {
-    let t_ns = SESSION_START
-        .lock()
-        .expect("obs clock poisoned")
+    let t_ns = lock_recover(&SESSION_START)
         .map(|s| s.elapsed().as_nanos() as u64)
         .unwrap_or(0);
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    EVENTS
-        .lock()
-        .expect("obs event log poisoned")
-        .push(Event { seq, t_ns, kind });
+    lock_recover(&EVENTS).push(Event { seq, t_ns, kind });
 }
 
 /// A named monotone counter. Declare instances in [`counters`]; call
@@ -258,14 +445,17 @@ impl Counter {
     }
 }
 
-/// A named wall-clock accumulator. Declare instances in [`phases`];
-/// time a call with [`Phase::span`] or fold pre-aggregated
-/// nanoseconds in with [`Phase::record_ns`].
+/// A named wall-clock accumulator with a latency histogram of its
+/// recordings. Declare instances in [`phases`]; time a call with
+/// [`Phase::span`] or fold pre-aggregated nanoseconds in with
+/// [`Phase::record_ns`].
 #[derive(Debug)]
 pub struct Phase {
     name: &'static str,
     total_ns: AtomicU64,
+    self_ns: AtomicU64,
     count: AtomicU64,
+    hist: Histogram,
 }
 
 impl Phase {
@@ -274,7 +464,9 @@ impl Phase {
         Phase {
             name,
             total_ns: AtomicU64::new(0),
+            self_ns: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            hist: Histogram::new(),
         }
     }
 
@@ -290,54 +482,234 @@ impl Phase {
         self.total_ns.load(Ordering::Relaxed)
     }
 
+    /// Accumulated self-time: total minus time spent in same-thread
+    /// child spans (pre-aggregated [`Phase::record_ns`] recordings
+    /// count fully as self-time).
+    #[inline]
+    pub fn self_ns(&self) -> u64 {
+        self.self_ns.load(Ordering::Relaxed)
+    }
+
     /// Number of recordings folded in.
     #[inline]
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Folds `ns` into the phase total and appends a `span` event.
-    /// No-op while no session is active.
+    /// The duration histogram of this phase's recordings.
+    #[inline]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Folds pre-aggregated `ns` into the phase and appends a `span`
+    /// event attached under the caller's innermost open span (for tree
+    /// attribution; it does not reduce the parent's self-time — see
+    /// the [crate docs](crate)). No-op while no session is active.
     #[inline]
     pub fn record_ns(&'static self, ns: u64) {
         #[cfg(feature = "enabled")]
         if session_active() {
-            self.total_ns.fetch_add(ns, Ordering::Relaxed);
-            self.count.fetch_add(1, Ordering::Relaxed);
+            let epoch = SESSION_EPOCH.load(Ordering::Relaxed);
+            let parent_id = SPAN_STACK.with(|s| {
+                let s = s.borrow();
+                if s.0 == epoch {
+                    s.1.last().map(|f| f.id)
+                } else {
+                    None
+                }
+            });
+            let id = SPAN_NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            self.accumulate(ns, ns);
             push_event(EventKind::Span {
                 name: self.name,
+                id,
+                parent_id,
                 ns,
+                self_ns: ns,
             });
         }
         #[cfg(not(feature = "enabled"))]
         let _ = ns;
     }
 
+    #[cfg(feature = "enabled")]
+    fn accumulate(&self, ns: u64, self_ns: u64) {
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(ns);
+    }
+
     /// An RAII guard that records the elapsed wall-clock into this
-    /// phase when dropped. Reads the clock only while a session is
-    /// active.
+    /// phase when dropped, as a node of the session's span tree (its
+    /// parent is the innermost span still open on this thread). Reads
+    /// the clock only while a session is active.
     #[inline]
     pub fn span(&'static self) -> SpanGuard {
-        SpanGuard {
-            #[cfg(feature = "enabled")]
-            inner: session_active().then(|| (self, Instant::now())),
+        #[cfg(feature = "enabled")]
+        {
+            if !session_active() {
+                return SpanGuard { inner: None };
+            }
+            let epoch = SESSION_EPOCH.load(Ordering::Relaxed);
+            let id = SPAN_NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            let parent_id = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.0 != epoch {
+                    s.1.clear();
+                    s.0 = epoch;
+                }
+                let parent = s.1.last().map(|f| f.id);
+                s.1.push(Frame { id, child_ns: 0 });
+                parent
+            });
+            SpanGuard {
+                inner: Some(SpanInner {
+                    phase: self,
+                    start: Instant::now(),
+                    id,
+                    parent_id,
+                    epoch,
+                }),
+            }
         }
+        #[cfg(not(feature = "enabled"))]
+        SpanGuard {}
     }
 }
 
-/// RAII timer returned by [`Phase::span`]; records on drop.
+#[cfg(feature = "enabled")]
 #[derive(Debug)]
+struct SpanInner {
+    phase: &'static Phase,
+    start: Instant,
+    id: u64,
+    parent_id: Option<u64>,
+    epoch: u64,
+}
+
+/// RAII timer returned by [`Phase::span`]; records on drop, reporting
+/// total and self nanoseconds plus its `id`/`parent_id` in the span
+/// tree.
+#[derive(Debug)]
+#[must_use = "dropping a SpanGuard immediately records a zero-length span"]
 pub struct SpanGuard {
     #[cfg(feature = "enabled")]
-    inner: Option<(&'static Phase, Instant)>,
+    inner: Option<SpanInner>,
 }
 
 impl Drop for SpanGuard {
     #[inline]
     fn drop(&mut self) {
         #[cfg(feature = "enabled")]
-        if let Some((phase, start)) = self.inner.take() {
-            phase.record_ns(start.elapsed().as_nanos() as u64);
+        if let Some(inner) = self.inner.take() {
+            let ns = inner.start.elapsed().as_nanos() as u64;
+            // Pop our frame (collecting child time) and credit our
+            // elapsed time to the parent frame, unless the session
+            // rolled over while we were open.
+            let child_ns = SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                if s.0 != inner.epoch {
+                    return None;
+                }
+                let pos = s.1.iter().rposition(|f| f.id == inner.id)?;
+                let frame = s.1.remove(pos);
+                if pos > 0 {
+                    s.1[pos - 1].child_ns += ns;
+                }
+                Some(frame.child_ns)
+            });
+            let Some(child_ns) = child_ns else { return };
+            if !session_active() || SESSION_EPOCH.load(Ordering::Relaxed) != inner.epoch {
+                return;
+            }
+            let self_ns = ns.saturating_sub(child_ns);
+            inner.phase.accumulate(ns, self_ns);
+            push_event(EventKind::Span {
+                name: inner.phase.name,
+                id: inner.id,
+                parent_id: inner.parent_id,
+                ns,
+                self_ns,
+            });
+        }
+    }
+}
+
+/// A named latency histogram for per-operation timings too frequent
+/// for the event log. Recording is a few relaxed atomics (no lock, no
+/// event); percentiles surface in the [`MetricsSnapshot`] and as one
+/// `hist` line at session end. Declare instances in [`hists`].
+#[derive(Debug)]
+pub struct LatencyHist {
+    name: &'static str,
+    hist: Histogram,
+}
+
+impl LatencyHist {
+    /// An empty latency histogram with the given snapshot name.
+    pub const fn new(name: &'static str) -> Self {
+        LatencyHist {
+            name,
+            hist: Histogram::new(),
+        }
+    }
+
+    /// The snapshot/event name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The underlying histogram (always readable; only instrumented
+    /// recording is feature/session gated).
+    #[inline]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Records one latency when a session is active; no-op (compiled
+    /// out without the `enabled` feature) otherwise.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        if session_active() {
+            self.hist.record(ns);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// An RAII timer recording the elapsed nanoseconds into this
+    /// histogram on drop. Reads the clock only while a session is
+    /// active; never emits events and never touches the span stack, so
+    /// it is safe (and cheap) on per-query hot paths.
+    #[inline]
+    pub fn timer(&'static self) -> HistTimer {
+        HistTimer {
+            #[cfg(feature = "enabled")]
+            inner: session_active().then(|| (self, Instant::now())),
+        }
+    }
+}
+
+/// RAII timer returned by [`LatencyHist::timer`]; records on drop.
+#[derive(Debug)]
+#[must_use = "dropping a HistTimer immediately records a zero latency"]
+pub struct HistTimer {
+    #[cfg(feature = "enabled")]
+    inner: Option<(&'static LatencyHist, Instant)>,
+}
+
+impl Drop for HistTimer {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((h, start)) = self.inner.take() {
+            if session_active() {
+                h.hist.record(start.elapsed().as_nanos() as u64);
+            }
         }
     }
 }
@@ -356,16 +728,26 @@ pub struct Event {
 /// The payload of an [`Event`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
-    /// A session began (always `seq` 0).
-    SessionStart,
+    /// A session began (always `seq` 0); carries the run provenance.
+    SessionStart {
+        /// Who/what produced this log.
+        provenance: Provenance,
+    },
     /// A session ended; the log is complete.
     SessionEnd,
-    /// A [`Phase`] recording completed.
+    /// A [`Phase`] recording completed — one node of the span tree.
     Span {
         /// The phase name.
         name: &'static str,
+        /// Session-unique span id (ids start at 1).
+        id: u64,
+        /// Id of the innermost same-thread span open at creation;
+        /// `None` for roots.
+        parent_id: Option<u64>,
         /// Recorded nanoseconds.
         ns: u64,
+        /// Nanoseconds not attributed to same-thread child spans.
+        self_ns: u64,
     },
     /// A counter's final value, emitted by [`session_end`].
     Counter {
@@ -373,6 +755,21 @@ pub enum EventKind {
         name: &'static str,
         /// Value at session end.
         value: u64,
+    },
+    /// A histogram's final state, emitted by [`session_end`] for every
+    /// non-empty phase/latency histogram.
+    Hist {
+        /// The phase or latency-histogram name.
+        name: &'static str,
+        /// Number of recorded values.
+        count: u64,
+        /// Sum of recorded values.
+        sum_ns: u64,
+        /// Exact maximum recorded value.
+        max_ns: u64,
+        /// `[inclusive_upper_bound, cumulative_count]` per non-empty
+        /// bucket; bounds strictly increasing, counts monotone.
+        buckets: Vec<(u64, u64)>,
     },
     /// A per-run record emitted by [`emit_run`].
     Run {
@@ -389,21 +786,58 @@ impl Event {
     pub fn to_json_line(&self) -> String {
         let mut s = format!("{{\"seq\":{},\"t_ns\":{},", self.seq, self.t_ns);
         match &self.kind {
-            EventKind::SessionStart => {
+            EventKind::SessionStart { provenance } => {
                 s.push_str(&format!(
-                    "\"type\":\"session_start\",\"schema\":\"{SCHEMA}\""
+                    "\"type\":\"session_start\",\"schema\":\"{SCHEMA}\",\"git_sha\":"
+                ));
+                push_json_str(&mut s, &provenance.git_sha);
+                s.push_str(",\"features\":");
+                push_json_str(&mut s, &provenance.features);
+                s.push_str(&format!(
+                    ",\"threads\":{},\"instance_fingerprint\":\"{:#018x}\"",
+                    provenance.threads, provenance.instance_fingerprint
                 ));
             }
             EventKind::SessionEnd => s.push_str("\"type\":\"session_end\""),
-            EventKind::Span { name, ns } => {
+            EventKind::Span {
+                name,
+                id,
+                parent_id,
+                ns,
+                self_ns,
+            } => {
                 s.push_str("\"type\":\"span\",\"name\":");
                 push_json_str(&mut s, name);
-                s.push_str(&format!(",\"ns\":{ns}"));
+                s.push_str(&format!(",\"id\":{id}"));
+                if let Some(p) = parent_id {
+                    s.push_str(&format!(",\"parent_id\":{p}"));
+                }
+                s.push_str(&format!(",\"ns\":{ns},\"self_ns\":{self_ns}"));
             }
             EventKind::Counter { name, value } => {
                 s.push_str("\"type\":\"counter\",\"name\":");
                 push_json_str(&mut s, name);
                 s.push_str(&format!(",\"value\":{value}"));
+            }
+            EventKind::Hist {
+                name,
+                count,
+                sum_ns,
+                max_ns,
+                buckets,
+            } => {
+                s.push_str("\"type\":\"hist\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(
+                    ",\"count\":{count},\"sum_ns\":{sum_ns},\"max_ns\":{max_ns},\"buckets\":["
+                ));
+                for (i, (ub, cum)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("[{ub},{cum}]"));
+                }
+                s.push(']');
             }
             EventKind::Run { name, fields } => {
                 s.push_str("\"type\":\"run\",\"name\":");
@@ -431,17 +865,69 @@ pub struct PhaseStat {
     pub name: &'static str,
     /// Accumulated nanoseconds.
     pub total_ns: u64,
+    /// Accumulated self-time nanoseconds (total minus same-thread
+    /// child spans).
+    pub self_ns: u64,
     /// Number of recordings.
     pub count: u64,
+    /// Median recording duration (bucket resolution).
+    pub p50_ns: u64,
+    /// 90th-percentile recording duration.
+    pub p90_ns: u64,
+    /// 99th-percentile recording duration.
+    pub p99_ns: u64,
+    /// Exact maximum recording duration.
+    pub max_ns: u64,
 }
 
-/// End-of-run values of every declared counter and phase.
+/// Final percentiles of one [`LatencyHist`] inside a
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// The histogram name.
+    pub name: &'static str,
+    /// Number of recorded latencies.
+    pub count: u64,
+    /// Sum of recorded latencies.
+    pub sum_ns: u64,
+    /// Median latency (bucket resolution).
+    pub p50_ns: u64,
+    /// 90th-percentile latency.
+    pub p90_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Exact maximum latency.
+    pub max_ns: u64,
+}
+
+impl HistStat {
+    #[cfg(feature = "enabled")]
+    fn from_quantiles(name: &'static str, q: Quantiles) -> Self {
+        HistStat {
+            name,
+            count: q.count,
+            sum_ns: q.sum,
+            p50_ns: q.p50,
+            p90_ns: q.p90,
+            p99_ns: q.p99,
+            max_ns: q.max,
+        }
+    }
+}
+
+/// End-of-run values of every declared counter, phase and latency
+/// histogram, plus the run provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
+    /// Who/what produced this snapshot.
+    pub provenance: Provenance,
     /// `(name, value)` per counter, in declaration order.
     pub counters: Vec<(&'static str, u64)>,
-    /// Per-phase totals, in declaration order.
+    /// Per-phase totals, self-times and percentiles, in declaration
+    /// order.
     pub phases: Vec<PhaseStat>,
+    /// Per-latency-histogram percentiles, in declaration order.
+    pub hists: Vec<HistStat>,
 }
 
 impl MetricsSnapshot {
@@ -458,10 +944,25 @@ impl MetricsSnapshot {
         self.phases.iter().find(|p| p.name == name)
     }
 
+    /// The stats of a latency histogram by name, if declared.
+    pub fn hist(&self, name: &str) -> Option<&HistStat> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
     /// Serializes the snapshot as a pretty-stable JSON document:
-    /// `{"schema":…,"counters":{…},"phases":{name:{"total_ns":…,"count":…}}}`.
+    /// `{"schema":…,"provenance":{…},"counters":{…},
+    /// "phases":{name:{"total_ns":…,"self_ns":…,"count":…,"p50_ns":…,…}},
+    /// "hists":{name:{"count":…,"sum_ns":…,"p50_ns":…,…}}}`.
     pub fn to_json(&self) -> String {
-        let mut s = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"counters\": {{");
+        let mut s =
+            format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"provenance\": {{\n    \"git_sha\": ");
+        push_json_str(&mut s, &self.provenance.git_sha);
+        s.push_str(",\n    \"features\": ");
+        push_json_str(&mut s, &self.provenance.features);
+        s.push_str(&format!(
+            ",\n    \"threads\": {},\n    \"instance_fingerprint\": \"{:#018x}\"\n  }},\n  \"counters\": {{",
+            self.provenance.threads, self.provenance.instance_fingerprint
+        ));
         for (i, (name, value)) in self.counters.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -478,11 +979,89 @@ impl MetricsSnapshot {
             s.push_str("\n    ");
             push_json_str(&mut s, p.name);
             s.push_str(&format!(
-                ": {{ \"total_ns\": {}, \"count\": {} }}",
-                p.total_ns, p.count
+                ": {{ \"total_ns\": {}, \"self_ns\": {}, \"count\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+                p.total_ns, p.self_ns, p.count, p.p50_ns, p.p90_ns, p.p99_ns, p.max_ns
+            ));
+        }
+        s.push_str("\n  },\n  \"hists\": {");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, h.name);
+            s.push_str(&format!(
+                ": {{ \"count\": {}, \"sum_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+                h.count, h.sum_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
             ));
         }
         s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition
+    /// format (0.0.4): counters as `uavnet_<name>_total`, phases as
+    /// `uavnet_phase_{total_ns,self_ns,count}{phase="…"}` gauges plus
+    /// `uavnet_phase_duration_ns{phase="…",quantile="…"}` summaries,
+    /// latency histograms as `uavnet_latency_ns{hist="…",quantile="…"}`
+    /// summaries with `_sum`/`_count`, and the provenance as a
+    /// `uavnet_build_info` gauge. Dots in metric names become
+    /// underscores.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut s = String::new();
+        s.push_str("# HELP uavnet_build_info Run provenance (value is always 1).\n");
+        s.push_str("# TYPE uavnet_build_info gauge\n");
+        s.push_str(&format!(
+            "uavnet_build_info{{schema=\"{SCHEMA}\",git_sha=\"{}\",features=\"{}\",threads=\"{}\",instance_fingerprint=\"{:#018x}\"}} 1\n",
+            self.provenance.git_sha,
+            self.provenance.features,
+            self.provenance.threads,
+            self.provenance.instance_fingerprint
+        ));
+        for (name, value) in &self.counters {
+            let m = format!("uavnet_{}_total", sanitize(name));
+            s.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+        }
+        s.push_str("# TYPE uavnet_phase_total_ns gauge\n");
+        s.push_str("# TYPE uavnet_phase_self_ns gauge\n");
+        s.push_str("# TYPE uavnet_phase_count gauge\n");
+        s.push_str("# TYPE uavnet_phase_duration_ns summary\n");
+        for p in &self.phases {
+            s.push_str(&format!(
+                "uavnet_phase_total_ns{{phase=\"{0}\"}} {1}\nuavnet_phase_self_ns{{phase=\"{0}\"}} {2}\nuavnet_phase_count{{phase=\"{0}\"}} {3}\n",
+                p.name, p.total_ns, p.self_ns, p.count
+            ));
+            for (q, v) in [("0.5", p.p50_ns), ("0.9", p.p90_ns), ("0.99", p.p99_ns)] {
+                s.push_str(&format!(
+                    "uavnet_phase_duration_ns{{phase=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    p.name
+                ));
+            }
+            s.push_str(&format!(
+                "uavnet_phase_duration_ns_max{{phase=\"{}\"}} {}\n",
+                p.name, p.max_ns
+            ));
+        }
+        s.push_str("# TYPE uavnet_latency_ns summary\n");
+        for h in &self.hists {
+            for (q, v) in [("0.5", h.p50_ns), ("0.9", h.p90_ns), ("0.99", h.p99_ns)] {
+                s.push_str(&format!(
+                    "uavnet_latency_ns{{hist=\"{}\",quantile=\"{q}\"}} {v}\n",
+                    h.name
+                ));
+            }
+            s.push_str(&format!(
+                "uavnet_latency_ns_max{{hist=\"{0}\"}} {1}\nuavnet_latency_ns_sum{{hist=\"{0}\"}} {2}\nuavnet_latency_ns_count{{hist=\"{0}\"}} {3}\n",
+                h.name, h.max_ns, h.sum_ns, h.count
+            ));
+        }
         s
     }
 }
@@ -590,6 +1169,10 @@ pub mod counters {
 pub mod phases {
     use super::Phase;
 
+    /// One whole recorded report/run — the root of the span tree when
+    /// a binary wraps its work in a single top-level span (as
+    /// `sweep_report` does).
+    pub static REPORT: Phase = Phase::new("report");
     /// Algorithm 1 segment planning ([`SegmentPlan::optimal`]).
     ///
     /// [`SegmentPlan::optimal`]: https://docs.rs/uavnet-core
@@ -615,6 +1198,7 @@ pub mod phases {
 
     /// Every declared phase, in schema order.
     pub static ALL: &[&Phase] = &[
+        &REPORT,
         &ALG1_PLAN,
         &SUBSTRATE_BUILD,
         &ENUMERATION,
@@ -627,6 +1211,23 @@ pub mod phases {
     ];
 }
 
+/// Every per-operation latency histogram, declared centrally. Names
+/// are stable — the public schema of `hist` events and the snapshot's
+/// `hists` section.
+pub mod hists {
+    use super::LatencyHist;
+
+    /// Latency of one marginal-gain (trial-insertion) oracle
+    /// evaluation inside the lazy greedy.
+    pub static GAIN_QUERY: LatencyHist = LatencyHist::new("greedy.gain_query_ns");
+    /// Latency of one augmenting-path BFS restart in the matching
+    /// kernel.
+    pub static BFS_RESTART: LatencyHist = LatencyHist::new("matching.bfs_restart_ns");
+
+    /// Every declared latency histogram, in schema order.
+    pub static ALL: &[&LatencyHist] = &[&GAIN_QUERY, &BFS_RESTART];
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,25 +1237,37 @@ mod tests {
     fn disabled_build_is_inert() {
         assert!(!is_enabled());
         assert!(!session_begin());
+        assert!(!session_begin_with(Provenance::detect()));
         assert!(!session_active());
         counters::SWEEP_GAIN_QUERIES.add(5);
         assert_eq!(counters::SWEEP_GAIN_QUERIES.get(), 0);
         phases::GREEDY.record_ns(1_000);
         drop(phases::GREEDY.span());
         assert_eq!(phases::GREEDY.total_ns(), 0);
+        assert_eq!(phases::GREEDY.self_ns(), 0);
+        hists::GAIN_QUERY.record_ns(77);
+        drop(hists::GAIN_QUERY.timer());
+        assert_eq!(hists::GAIN_QUERY.histogram().count(), 0);
         emit_run("sweep", &[("s", 1)]);
         assert!(drain_events().is_empty());
         assert!(session_end().is_none());
         let snap = snapshot();
-        assert!(snap.counters.is_empty() && snap.phases.is_empty());
+        assert!(snap.counters.is_empty() && snap.phases.is_empty() && snap.hists.is_empty());
+        // Provenance is still detectable (threads, git sha) so the
+        // snapshot header never lies about the build.
+        assert!(!snap.provenance.git_sha.is_empty());
+        assert!(snap.provenance.features.is_empty());
     }
 
-    // The enabled-path tests mutate the global session, so they run in
-    // one #[test] to avoid cross-test interference under the parallel
-    // test runner.
+    // The enabled-path tests mutate the global session; serialize them
+    // so the parallel test runner cannot interleave recordings.
+    #[cfg(feature = "enabled")]
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[cfg(feature = "enabled")]
     #[test]
-    fn session_records_counters_phases_and_events() {
+    fn session_records_counters_phases_hists_and_events() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert!(is_enabled());
         assert!(session_begin());
         assert!(!session_begin(), "nested sessions are rejected");
@@ -666,6 +1279,8 @@ mod tests {
         {
             let _span = phases::ALG1_PLAN.span();
         }
+        hists::GAIN_QUERY.record_ns(250);
+        drop(hists::GAIN_QUERY.timer());
         emit_run("sweep", &[("s", 2), ("served", 17)]);
 
         let snap = session_end().expect("active session yields a snapshot");
@@ -673,11 +1288,19 @@ mod tests {
         assert_eq!(snap.counter("sweep.gain_queries"), Some(7));
         let greedy = snap.phase("greedy").unwrap();
         assert_eq!((greedy.total_ns, greedy.count), (1_000, 1));
+        // record_ns counts fully as self-time and feeds the histogram.
+        assert_eq!(greedy.self_ns, 1_000);
+        assert_eq!(greedy.max_ns, 1_000);
+        assert!(greedy.p50_ns >= 1_000 && greedy.p50_ns <= 1_000 + 1_000 / 8);
         assert_eq!(snap.phase("alg1_plan").unwrap().count, 1);
         assert_eq!(snap.counter("no.such.counter"), None);
+        let gq = snap.hist("greedy.gain_query_ns").unwrap();
+        assert_eq!(gq.count, 2);
+        assert_eq!(gq.max_ns, gq.max_ns.max(250));
+        assert!(snap.hist("no.such.hist").is_none());
 
         let events = drain_events();
-        assert!(matches!(events[0].kind, EventKind::SessionStart));
+        assert!(matches!(events[0].kind, EventKind::SessionStart { .. }));
         assert!(matches!(events.last().unwrap().kind, EventKind::SessionEnd));
         // seq strictly increasing, t_ns monotone non-decreasing.
         for w in events.windows(2) {
@@ -690,6 +1313,28 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::Counter { .. }))
             .count();
         assert_eq!(counter_events, counters::ALL.len());
+        // One hist event per non-empty histogram: greedy + alg1_plan
+        // phase hists plus the gain-query latency hist.
+        let hist_events: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Hist {
+                    name,
+                    buckets,
+                    count,
+                    ..
+                } => Some((*name, buckets, *count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hist_events.len(), 3);
+        for (name, buckets, count) in &hist_events {
+            assert!(!buckets.is_empty(), "{name}: empty hist event");
+            assert_eq!(buckets.last().unwrap().1, *count, "{name}: cum != count");
+            for w in buckets.windows(2) {
+                assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "{name}: not monotone");
+            }
+        }
         // The run event survives with its fields.
         let run = events
             .iter()
@@ -705,6 +1350,10 @@ mod tests {
         assert!(line.starts_with("{\"seq\":0,"));
         assert!(line.contains("\"type\":\"session_start\""));
         assert!(line.contains(SCHEMA));
+        assert!(line.contains("\"git_sha\":"));
+        assert!(line.contains("\"features\":"));
+        assert!(line.contains("\"threads\":"));
+        assert!(line.contains("\"instance_fingerprint\":\"0x"));
         let span_line = events
             .iter()
             .find(|e| matches!(e.kind, EventKind::Span { .. }))
@@ -712,18 +1361,133 @@ mod tests {
             .to_json_line();
         assert!(span_line.contains("\"type\":\"span\""));
         assert!(span_line.contains("\"ns\":"));
+        assert!(span_line.contains("\"id\":"));
+        assert!(span_line.contains("\"self_ns\":"));
+        let hist_line = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Hist { .. }))
+            .unwrap()
+            .to_json_line();
+        assert!(hist_line.contains("\"type\":\"hist\""));
+        assert!(hist_line.contains("\"buckets\":[["));
         // Counters/phases no longer record once the session closed.
         counters::SWEEP_GAIN_QUERIES.add(9);
         assert_eq!(counters::SWEEP_GAIN_QUERIES.get(), 7);
 
-        // Snapshot JSON contains every declared name.
+        // Snapshot JSON contains every declared name plus provenance.
         let json = snap.to_json();
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"instance_fingerprint\""));
         for c in counters::ALL {
             assert!(json.contains(c.name()), "{} missing", c.name());
         }
         for p in phases::ALL {
             assert!(json.contains(p.name()), "{} missing", p.name());
         }
+        for h in hists::ALL {
+            assert!(json.contains(h.name()), "{} missing", h.name());
+        }
+        // Prometheus export covers the same schema.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("uavnet_build_info{schema=\"uavnet-obs/2\""));
+        assert!(prom.contains("uavnet_sweep_gain_queries_total 7"));
+        assert!(prom.contains("uavnet_phase_self_ns{phase=\"greedy\"} 1000"));
+        assert!(prom.contains("uavnet_phase_duration_ns{phase=\"greedy\",quantile=\"0.5\"}"));
+        assert!(prom.contains("uavnet_latency_ns{hist=\"greedy.gain_query_ns\",quantile=\"0.99\"}"));
+        assert!(prom.contains("uavnet_latency_ns_count{hist=\"greedy.gain_query_ns\"} 2"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_form_a_tree_with_self_time() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(session_begin());
+        {
+            let _root = phases::REPORT.span();
+            {
+                let _child = phases::ALG1_PLAN.span();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            // Pre-aggregated fold: attaches under the root for
+            // attribution but does not reduce its self-time.
+            phases::GREEDY.record_ns(5_000);
+        }
+        session_end().unwrap();
+        let events = drain_events();
+        let spans: Vec<(&str, u64, Option<u64>, u64, u64)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Span {
+                    name,
+                    id,
+                    parent_id,
+                    ns,
+                    self_ns,
+                } => Some((*name, *id, *parent_id, *ns, *self_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let alg1 = spans.iter().find(|s| s.0 == "alg1_plan").unwrap();
+        let greedy = spans.iter().find(|s| s.0 == "greedy").unwrap();
+        let root = spans.iter().find(|s| s.0 == "report").unwrap();
+        // Unique nonzero ids; children point at the root; the root is
+        // the only parentless span (a single rooted tree).
+        assert!(spans.iter().all(|s| s.1 != 0));
+        assert_eq!(alg1.2, Some(root.1));
+        assert_eq!(greedy.2, Some(root.1));
+        assert_eq!(root.2, None);
+        assert_eq!(spans.iter().filter(|s| s.2.is_none()).count(), 1);
+        // Child spans are leaves here: self == total. The root's
+        // self-time excludes the timed child but not the record_ns
+        // fold.
+        assert_eq!(alg1.4, alg1.3);
+        assert_eq!(greedy.4, greedy.3);
+        assert_eq!(root.4, root.3 - alg1.3);
+        assert!(root.3 >= alg1.3);
+        // Phase accumulators mirror the span events.
+        assert_eq!(phases::REPORT.self_ns(), root.4);
+        assert_eq!(phases::REPORT.total_ns(), root.3);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn poisoned_locks_recover_and_recording_continues() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Poison every internal lock the way a panicking worker would:
+        // by unwinding while the guard is held.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for poison in [
+            || {
+                let _g = EVENTS.lock().unwrap();
+                panic!("worker died holding the event log");
+            },
+            || {
+                let _g = SESSION_START.lock().unwrap();
+                panic!("worker died holding the clock");
+            },
+            || {
+                let _g = PROVENANCE.lock().unwrap();
+                panic!("worker died holding the provenance");
+            },
+        ] {
+            assert!(std::panic::catch_unwind(poison).is_err());
+        }
+        std::panic::set_hook(hook);
+        assert!(EVENTS.lock().is_err(), "EVENTS should now be poisoned");
+
+        // Every session primitive must keep working: begin, record,
+        // end, drain — no second panic, a complete log.
+        assert!(session_begin(), "session_begin must recover the locks");
+        counters::SWEEP_RUNS.add(1);
+        phases::GREEDY.record_ns(123);
+        emit_run("sweep", &[("s", 1)]);
+        let snap = session_end().expect("session_end must recover the locks");
+        assert_eq!(snap.counter("sweep.runs"), Some(1));
+        let events = drain_events();
+        assert!(matches!(events[0].kind, EventKind::SessionStart { .. }));
+        assert!(matches!(events.last().unwrap().kind, EventKind::SessionEnd));
     }
 
     #[test]

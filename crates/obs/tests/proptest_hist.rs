@@ -1,0 +1,90 @@
+//! Property tests of the log-linear latency histogram: counts survive
+//! arbitrary concurrent `record` + `merge` interleavings, and every
+//! reported percentile lands in the same bucket as the true order
+//! statistic (i.e. the error is bounded by one bucket's relative
+//! width, 1/8).
+
+use proptest::prelude::*;
+use uavnet_obs::{bucket_index, bucket_lower, bucket_upper, Histogram};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// R recorder threads hammer one shared histogram while M merger
+    /// threads concurrently fold prefilled source histograms into it:
+    /// no count, sum or max is ever lost.
+    #[test]
+    fn concurrent_record_and_merge_lose_nothing(
+        values in proptest::collection::vec(0u64..5_000_000, 8..64),
+        source_values in proptest::collection::vec(0u64..5_000_000, 1..32),
+        recorders in 1usize..4,
+        mergers in 1usize..4,
+    ) {
+        let target = Histogram::new();
+        let source = Histogram::new();
+        for &v in &source_values {
+            source.record(v);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..recorders {
+                scope.spawn(|| {
+                    for &v in &values {
+                        target.record(v);
+                    }
+                });
+            }
+            for _ in 0..mergers {
+                scope.spawn(|| target.merge_from(&source));
+            }
+        });
+        let expect_count = (recorders * values.len() + mergers * source_values.len()) as u64;
+        let expect_sum = recorders as u64 * values.iter().sum::<u64>()
+            + mergers as u64 * source_values.iter().sum::<u64>();
+        let expect_max = values
+            .iter()
+            .chain(&source_values)
+            .copied()
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(target.count(), expect_count);
+        prop_assert_eq!(target.sum(), expect_sum);
+        prop_assert_eq!(target.max(), expect_max);
+        // The cumulative dump agrees with the tallies and is monotone.
+        let cum = target.cumulative_buckets();
+        prop_assert_eq!(cum.last().map(|&(_, c)| c), Some(expect_count));
+        for w in cum.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Every reported percentile shares a bucket with the true
+    /// rank-`ceil(q·n)` order statistic, bracketing the true quantile
+    /// within one bucket's bounds.
+    #[test]
+    fn percentiles_bracket_true_quantiles(
+        values in proptest::collection::vec(0u64..50_000_000, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+            let true_v = sorted[rank - 1];
+            let got = h.value_at_quantile(q);
+            let b = bucket_index(true_v);
+            prop_assert!(
+                bucket_lower(b) <= got && got <= bucket_upper(b),
+                "q={}: reported {} outside true value {}'s bucket [{}, {}]",
+                q, got, true_v, bucket_lower(b), bucket_upper(b)
+            );
+            prop_assert!(got <= h.max());
+        }
+        // The exact maximum is preserved, not bucketed.
+        prop_assert_eq!(h.value_at_quantile(1.0), *sorted.last().unwrap());
+    }
+}

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Measure the runtime cost of the uavnet-obs instrumentation.
+
+Usage: obs_overhead.py [--reps N] [--rounds N] [--out PATH] [--check]
+
+Compares the quick-scale sweep report across three configurations:
+
+* ``off``          — instrumentation compiled out (no `obs` feature);
+* ``on-idle``      — compiled in, **no session recording**. This is
+  the configuration every non-benchmark user of an obs-enabled build
+  pays for, so its overhead is the contract: every probe must
+  amortize to one relaxed atomic load of the session-active flag;
+* ``on-recording`` — compiled in and recording (counters, spans,
+  latency histograms, event log). Allowed to cost more; reported so
+  regressions are visible, not gated.
+
+Measurement protocol: both binaries are built once up front, then the
+three configurations run in alternating rounds (off, idle, recording,
+off, idle, ...) and each configuration keeps the **minimum**
+`wall_ns_min` over all its rounds. The double-min (min of reps within
+a process, min over processes) is what makes a 2% gate meaningful on
+a noisy machine: scheduler interference and frequency scaling only
+ever *add* time, so the minima converge to the true cost while means
+drift with load. A single-process-per-config protocol shows 10%+
+phantom "overhead" from process-level noise alone.
+
+Writes a JSON report (default ``BENCH_obs_overhead.json``) with the
+minima and the overhead ratios vs ``off``. With ``--check``, exits
+non-zero if the **aggregate** on-idle ratio — summed minima across
+the `s` sweep — exceeds 1.02 (the ≤ 2% budget asserted in the CI
+perf job). The gate is aggregate rather than per-`s` because the
+shortest runs (~100 µs) carry per-binary code-alignment noise of the
+same magnitude as the budget; the sum weights each run by the number
+of probes it actually executes. Per-`s` ratios are still reported.
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+IDLE_BUDGET = 1.02
+
+CONFIGS = ("off", "on-idle", "on-recording")
+
+
+def build(features, dest):
+    cmd = ["cargo", "build", "--release", "-q", "-p", "uavnet-bench",
+           "--bin", "sweep_report", *features]
+    print(f"obs_overhead: {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True)
+    meta = subprocess.run(
+        ["cargo", "metadata", "--format-version", "1", "--no-deps"],
+        check=True, capture_output=True, text=True)
+    target_dir = json.loads(meta.stdout)["target_directory"]
+    shutil.copy2(Path(target_dir) / "release" / "sweep_report", dest)
+
+
+def run_once(binary, name, reps, threads, workdir):
+    out = Path(workdir) / f"sweep_{name}.json"
+    cmd = [str(binary), "--scale", "quick", "--reps", str(reps),
+           "--threads", str(threads), "--out", str(out)]
+    if name == "on-recording":
+        cmd += ["--obs-metrics", str(Path(workdir) / "metrics.json")]
+    subprocess.run(cmd, check=True, stderr=subprocess.DEVNULL)
+    report = json.loads(out.read_text())
+    return {run["s"]: run["wall_ns_min"]
+            for scale in report["scales"] for run in scale["runs"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--reps", type=int, default=20)
+    ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument("--threads", type=int, default=2)
+    ap.add_argument("--out", default="BENCH_obs_overhead.json")
+    ap.add_argument("--check", action="store_true",
+                    help=f"fail if the aggregate on-idle ratio exceeds {IDLE_BUDGET}")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory() as workdir:
+        binaries = {
+            "off": Path(workdir) / "sweep_report_off",
+            "on-idle": Path(workdir) / "sweep_report_obs",
+        }
+        binaries["on-recording"] = binaries["on-idle"]
+        build([], binaries["off"])
+        build(["--features", "obs"], binaries["on-idle"])
+
+        mins = {name: {} for name in CONFIGS}
+        for rnd in range(args.rounds):
+            for name in CONFIGS:
+                got = run_once(binaries[name], name, args.reps,
+                               args.threads, workdir)
+                for s, ns in got.items():
+                    cur = mins[name].get(s)
+                    mins[name][s] = ns if cur is None else min(cur, ns)
+            print(f"obs_overhead: round {rnd + 1}/{args.rounds} done",
+                  file=sys.stderr)
+
+    off = mins["off"]
+    rows = []
+    for s in sorted(off):
+        row = {"s": s, "off_wall_ns_min": off[s]}
+        for name in ("on-idle", "on-recording"):
+            ns = mins[name][s]
+            row[f"{name.replace('-', '_')}_wall_ns_min"] = ns
+            row[f"{name.replace('-', '_')}_ratio"] = round(ns / off[s], 4)
+        rows.append(row)
+
+    totals = {name: sum(mins[name].values()) for name in CONFIGS}
+    idle_ratio = round(totals["on-idle"] / totals["off"], 4)
+    recording_ratio = round(totals["on-recording"] / totals["off"], 4)
+
+    report = {
+        "benchmark": "obs_overhead",
+        "scale": "quick",
+        "reps": args.reps,
+        "rounds": args.rounds,
+        "threads": args.threads,
+        "statistic": ("min over rounds of wall_ns_min "
+                      "(alternating-round double-min protocol)"),
+        "idle_budget_ratio": IDLE_BUDGET,
+        "aggregate": {
+            "off_wall_ns_min_total": totals["off"],
+            "on_idle_ratio": idle_ratio,
+            "on_recording_ratio": recording_ratio,
+        },
+        "regenerate": "python3 scripts/obs_overhead.py",
+        "runs": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in rows:
+        print(f"s={row['s']}: on-idle {row['on_idle_ratio']:.4f}x, "
+              f"on-recording {row['on_recording_ratio']:.4f}x")
+    status = "ok" if idle_ratio <= IDLE_BUDGET else "OVER BUDGET"
+    print(f"aggregate: on-idle {idle_ratio:.4f}x, "
+          f"on-recording {recording_ratio:.4f}x [{status}]")
+    print(f"obs_overhead: wrote {args.out}")
+    if args.check and idle_ratio > IDLE_BUDGET:
+        print(f"obs_overhead: aggregate on-idle overhead exceeds {IDLE_BUDGET}",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate a uavnet-obs JSON-lines event log and metrics snapshot.
 
-Usage: validate_obs_log.py EVENTS.jsonl [METRICS.json]
+Usage: validate_obs_log.py EVENTS.jsonl [METRICS.json] [--single-root]
 
-Checks the `uavnet-obs/1` schema contract that downstream tooling
-(diffing two run logs, the CI artifact consumers) relies on:
+Accepts both schema generations and checks the contract downstream
+tooling (obs_diff, the CI artifact consumers) relies on.
+
+Common to `uavnet-obs/1` and `uavnet-obs/2`:
 
 * every line is a self-contained JSON object with integer `seq`,
   integer `t_ns` and a known `type`;
@@ -17,14 +19,40 @@ Checks the `uavnet-obs/1` schema contract that downstream tooling
 * the snapshot (if given) carries the same schema id and its counters
   equal the final `counter` events of the log.
 
+Additional `uavnet-obs/2` checks:
+
+* the `session_start` header carries provenance: string `git_sha`,
+  string `features`, int `threads`, and an `instance_fingerprint`
+  formatted as an 18-char `0x`-prefixed hex string;
+* `span` lines carry a unique positive int `id`, `self_ns` with
+  `0 <= self_ns <= ns`, and an optional int `parent_id` that
+  references another span's `id` with `parent_id < id` (ids are
+  allocated on span *entry*, so a parent always has the smaller id
+  even though its event line — written on *exit* — appears later;
+  the ordering also makes the parent relation acyclic by
+  construction);
+* with `--single-root`, exactly one span has no `parent_id` (the log
+  is one rooted tree, as `sweep_report` produces);
+* `hist` lines carry int `count`/`sum_ns`/`max_ns` and `buckets` as
+  [upper_bound, cumulative_count] pairs with strictly increasing
+  bounds and monotone non-decreasing cumulative counts ending at
+  `count`;
+* the snapshot's `provenance` equals the log header's, its phases
+  report `self_ns <= total_ns` plus p50/p90/p99/max percentiles when
+  non-empty, and its `hists` section agrees with the log's trailing
+  `hist` events where names coincide.
+
 Exits non-zero with a line-numbered message on the first violation.
 """
 
 import json
+import re
 import sys
 
-SCHEMA = "uavnet-obs/1"
-TYPES = {"session_start", "session_end", "span", "counter", "run"}
+SCHEMAS = ("uavnet-obs/1", "uavnet-obs/2")
+TYPES_V1 = {"session_start", "session_end", "span", "counter", "run"}
+TYPES_V2 = TYPES_V1 | {"hist"}
+FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
 
 def fail(msg):
@@ -32,8 +60,51 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_events(path):
+def check_hist_fields(where, e):
+    for key in ("count", "sum_ns", "max_ns"):
+        if not isinstance(e.get(key), int) or e[key] < 0:
+            fail(f"{where}: hist needs non-negative int {key!r}")
+    buckets = e.get("buckets")
+    if not isinstance(buckets, list):
+        fail(f"{where}: hist needs a buckets array")
+    prev_bound, prev_cum = -1, 0
+    for pair in buckets:
+        if (
+            not isinstance(pair, list)
+            or len(pair) != 2
+            or not all(isinstance(x, int) for x in pair)
+        ):
+            fail(f"{where}: hist bucket {pair!r} is not an [int, int] pair")
+        bound, cum = pair
+        if bound <= prev_bound:
+            fail(f"{where}: hist bucket bounds not strictly increasing at {bound}")
+        if cum < prev_cum:
+            fail(f"{where}: hist cumulative counts decrease at bound {bound}")
+        prev_bound, prev_cum = bound, cum
+    if buckets and prev_cum != e["count"]:
+        fail(f"{where}: hist cumulative total {prev_cum} != count {e['count']}")
+    if not buckets and e["count"] != 0:
+        fail(f"{where}: hist count {e['count']} but no buckets")
+
+
+def check_provenance_fields(where, e):
+    if not isinstance(e.get("git_sha"), str) or not e["git_sha"]:
+        fail(f"{where}: provenance needs a non-empty string git_sha")
+    if not isinstance(e.get("features"), str):
+        fail(f"{where}: provenance needs a string features list")
+    if not isinstance(e.get("threads"), int) or e["threads"] < 1:
+        fail(f"{where}: provenance needs a positive int threads")
+    fp = e.get("instance_fingerprint")
+    if not isinstance(fp, str) or not FINGERPRINT_RE.match(fp):
+        fail(
+            f"{where}: instance_fingerprint {fp!r} is not an 18-char "
+            "0x-prefixed hex string"
+        )
+
+
+def validate_events(path, single_root):
     events = []
+    schema = None
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -46,27 +117,70 @@ def validate_events(path):
             for key, ty in (("seq", int), ("t_ns", int), ("type", str)):
                 if not isinstance(e.get(key), ty):
                     fail(f"{path}:{lineno}: missing/mistyped {key!r}")
-            if e["type"] not in TYPES:
-                fail(f"{path}:{lineno}: unknown type {e['type']!r}")
-            if e["type"] == "session_start" and e.get("schema") != SCHEMA:
-                fail(f"{path}:{lineno}: schema {e.get('schema')!r} != {SCHEMA!r}")
-            if e["type"] == "span":
-                if not isinstance(e.get("name"), str) or not isinstance(e.get("ns"), int):
-                    fail(f"{path}:{lineno}: span needs string name and int ns")
-            if e["type"] == "counter":
-                if not isinstance(e.get("name"), str) or not isinstance(e.get("value"), int):
-                    fail(f"{path}:{lineno}: counter needs string name and int value")
-            if e["type"] == "run":
-                fields = e.get("fields")
-                if not isinstance(e.get("name"), str) or not isinstance(fields, dict):
-                    fail(f"{path}:{lineno}: run needs string name and fields object")
-                for k, v in fields.items():
-                    if not isinstance(k, str) or not isinstance(v, int):
-                        fail(f"{path}:{lineno}: run field {k!r} must map string->int")
+            if e["type"] == "session_start":
+                schema = e.get("schema")
+                if schema not in SCHEMAS:
+                    fail(f"{path}:{lineno}: schema {schema!r} not in {SCHEMAS}")
+                if schema == "uavnet-obs/2":
+                    check_provenance_fields(f"{path}:{lineno}", e)
             events.append((lineno, e))
 
     if not events:
         fail(f"{path}: empty log")
+    if events[0][1]["type"] != "session_start":
+        fail(f"{path}: log must open with session_start")
+    v2 = schema == "uavnet-obs/2"
+    types = TYPES_V2 if v2 else TYPES_V1
+
+    span_ids = {}
+    parent_refs = []
+    roots = []
+    hist_events = {}
+    for lineno, e in events:
+        where = f"{path}:{lineno}"
+        if e["type"] not in types:
+            fail(f"{where}: unknown type {e['type']!r} for schema {schema}")
+        if e["type"] == "span":
+            if not isinstance(e.get("name"), str) or not isinstance(e.get("ns"), int):
+                fail(f"{where}: span needs string name and int ns")
+            if v2:
+                sid = e.get("id")
+                if not isinstance(sid, int) or sid < 1:
+                    fail(f"{where}: span needs a positive int id")
+                if sid in span_ids:
+                    fail(f"{where}: duplicate span id {sid}")
+                span_ids[sid] = lineno
+                self_ns = e.get("self_ns")
+                if not isinstance(self_ns, int) or not 0 <= self_ns <= e["ns"]:
+                    fail(f"{where}: span needs int self_ns in [0, ns]")
+                parent = e.get("parent_id")
+                if parent is None:
+                    roots.append((lineno, e["name"]))
+                else:
+                    if not isinstance(parent, int):
+                        fail(f"{where}: span parent_id must be an int")
+                    if parent >= sid:
+                        fail(
+                            f"{where}: span parent_id {parent} >= id {sid} "
+                            "(parents are entered, and numbered, first)"
+                        )
+                    parent_refs.append((lineno, parent))
+        if e["type"] == "counter":
+            if not isinstance(e.get("name"), str) or not isinstance(e.get("value"), int):
+                fail(f"{where}: counter needs string name and int value")
+        if e["type"] == "hist":
+            if not isinstance(e.get("name"), str):
+                fail(f"{where}: hist needs a string name")
+            check_hist_fields(where, e)
+            hist_events[e["name"]] = e
+        if e["type"] == "run":
+            fields = e.get("fields")
+            if not isinstance(e.get("name"), str) or not isinstance(fields, dict):
+                fail(f"{where}: run needs string name and fields object")
+            for k, v in fields.items():
+                if not isinstance(k, str) or not isinstance(v, int):
+                    fail(f"{where}: run field {k!r} must map string->int")
+
     for (_, prev), (lineno, cur) in zip(events, events[1:]):
         if cur["seq"] <= prev["seq"]:
             fail(f"{path}:{lineno}: seq {cur['seq']} not after {prev['seq']}")
@@ -74,20 +188,37 @@ def validate_events(path):
             fail(f"{path}:{lineno}: t_ns went backwards")
     starts = [e for _, e in events if e["type"] == "session_start"]
     ends = [e for _, e in events if e["type"] == "session_end"]
-    if len(starts) != 1 or events[0][1]["type"] != "session_start":
-        fail(f"{path}: expected exactly one leading session_start")
+    if len(starts) != 1:
+        fail(f"{path}: expected exactly one session_start")
     if len(ends) != 1 or events[-1][1]["type"] != "session_end":
         fail(f"{path}: expected exactly one trailing session_end")
     if events[0][1]["seq"] != 0:
         fail(f"{path}: session_start must have seq 0")
-    return {e["name"]: e["value"] for _, e in events if e["type"] == "counter"}
+
+    # Referential integrity: children close (and log) before their
+    # parents, so a parent_id may point at a line appearing later —
+    # resolve against the full id set.
+    for lineno, parent in parent_refs:
+        if parent not in span_ids:
+            fail(f"{path}:{lineno}: span parent_id {parent} matches no span id")
+    if single_root:
+        if not v2:
+            fail(f"{path}: --single-root requires a uavnet-obs/2 log")
+        if len(roots) != 1:
+            fail(
+                f"{path}: expected exactly one root span, found "
+                f"{[(n, l) for l, n in roots]}"
+            )
+
+    counters = {e["name"]: e["value"] for _, e in events if e["type"] == "counter"}
+    return schema, starts[0], counters, hist_events
 
 
-def validate_metrics(path, final_counters):
+def validate_metrics(path, schema, session_start, final_counters, hist_events):
     with open(path) as f:
         snap = json.load(f)
-    if snap.get("schema") != SCHEMA:
-        fail(f"{path}: schema {snap.get('schema')!r} != {SCHEMA!r}")
+    if snap.get("schema") != schema:
+        fail(f"{path}: schema {snap.get('schema')!r} != log schema {schema!r}")
     counters = snap.get("counters")
     phases = snap.get("phases")
     if not isinstance(counters, dict) or not isinstance(phases, dict):
@@ -105,17 +236,57 @@ def validate_metrics(path, final_counters):
             if counters.get(k) != final_counters.get(k)
         }
         fail(f"{path}: snapshot counters diverge from the event log: {diff}")
+    if schema != "uavnet-obs/2":
+        return
+
+    prov = snap.get("provenance")
+    if not isinstance(prov, dict):
+        fail(f"{path}: v2 snapshot needs a provenance object")
+    check_provenance_fields(path, prov)
+    for key in ("git_sha", "features", "threads", "instance_fingerprint"):
+        if prov.get(key) != session_start.get(key):
+            fail(
+                f"{path}: provenance {key!r} {prov.get(key)!r} != "
+                f"log header {session_start.get(key)!r}"
+            )
+    for name, p in phases.items():
+        if not isinstance(p.get("self_ns"), int) or p["self_ns"] > p["total_ns"]:
+            fail(f"{path}: phase {name!r} needs int self_ns <= total_ns")
+        if p["count"] > 0:
+            for key in ("p50_ns", "p90_ns", "p99_ns", "max_ns"):
+                if not isinstance(p.get(key), int):
+                    fail(f"{path}: phase {name!r} with samples needs int {key}")
+            if not p["p50_ns"] <= p["p90_ns"] <= p["p99_ns"] <= p["max_ns"]:
+                fail(f"{path}: phase {name!r} percentiles not monotone")
+    hists = snap.get("hists")
+    if not isinstance(hists, dict):
+        fail(f"{path}: v2 snapshot needs a hists object")
+    for name, h in hists.items():
+        for key in ("count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"):
+            if not isinstance(h.get(key), int) or h[key] < 0:
+                fail(f"{path}: hist {name!r} needs non-negative int {key}")
+        if not h["p50_ns"] <= h["p90_ns"] <= h["p99_ns"] <= h["max_ns"]:
+            fail(f"{path}: hist {name!r} percentiles not monotone")
+        if name in hist_events and hist_events[name]["count"] != h["count"]:
+            fail(
+                f"{path}: hist {name!r} count {h['count']} != event-log "
+                f"count {hist_events[name]['count']}"
+            )
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
-        fail("usage: validate_obs_log.py EVENTS.jsonl [METRICS.json]")
-    final_counters = validate_events(sys.argv[1])
-    if len(sys.argv) == 3:
-        validate_metrics(sys.argv[2], final_counters)
+    args = [a for a in sys.argv[1:] if a != "--single-root"]
+    single_root = "--single-root" in sys.argv[1:]
+    if len(args) not in (1, 2):
+        fail("usage: validate_obs_log.py EVENTS.jsonl [METRICS.json] [--single-root]")
+    schema, session_start, final_counters, hist_events = validate_events(
+        args[0], single_root
+    )
+    if len(args) == 2:
+        validate_metrics(args[1], schema, session_start, final_counters, hist_events)
     print(
         f"validate_obs_log: ok — {len(final_counters)} counters, "
-        f"schema {SCHEMA}"
+        f"schema {schema}"
     )
 
 

@@ -14,13 +14,15 @@
 //! `#[test]` wrapper per property, because the obs session is a global
 //! — a concurrently recording test would double-count into it.
 
+use std::collections::HashSet;
 use std::sync::Mutex;
 
 use proptest::prelude::*;
 use uavnet::channel::UavRadio;
-use uavnet::core::{approx_alg_with_stats, ApproxConfig, Instance};
+use uavnet::core::{approx_alg_with_stats, ApproxConfig, CoreError, Instance};
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 use uavnet::obs;
+use uavnet::obs::EventKind;
 
 /// The obs session is process-global; tests in this binary serialize
 /// on this lock so a concurrently recording test cannot double-count.
@@ -117,6 +119,45 @@ proptest! {
                     snap.counter("greedy.evaluations"),
                     Some(obs_stats.gain_queries)
                 );
+                // ... and so are the gain-query latency samples: the
+                // histogram never drops a timing under concurrency.
+                let gain_hist = snap
+                    .hist("greedy.gain_query_ns")
+                    .expect("gain-query latency histogram present");
+                prop_assert_eq!(gain_hist.count, obs_stats.gain_queries);
+                prop_assert!(gain_hist.p50_ns <= gain_hist.p90_ns);
+                prop_assert!(gain_hist.p90_ns <= gain_hist.p99_ns);
+                prop_assert!(gain_hist.p99_ns <= gain_hist.max_ns);
+                // Span events form a forest: unique ids, parents
+                // numbered before children (ids are allocated on span
+                // entry), every parent reference resolving, and
+                // self-time never exceeding wall time.
+                let mut span_ids = HashSet::new();
+                for e in &events {
+                    if let EventKind::Span {
+                        id,
+                        parent_id,
+                        ns,
+                        self_ns,
+                        ..
+                    } = &e.kind
+                    {
+                        prop_assert!(span_ids.insert(*id), "duplicate span id {}", id);
+                        prop_assert!(self_ns <= ns, "self_ns {} > ns {}", self_ns, ns);
+                        if let Some(p) = parent_id {
+                            prop_assert!(p < id, "parent id {} not before child {}", p, id);
+                        }
+                    }
+                }
+                prop_assert!(!span_ids.is_empty(), "an observed sweep emits spans");
+                for e in &events {
+                    if let EventKind::Span {
+                        parent_id: Some(p), ..
+                    } = &e.kind
+                    {
+                        prop_assert!(span_ids.contains(p), "dangling parent id {}", p);
+                    }
+                }
                 // A complete JSON-lines log: session markers, one
                 // counter line per declared counter, and a "sweep" run
                 // record.
@@ -138,11 +179,7 @@ proptest! {
     }
 }
 
-#[test]
-fn repeated_sessions_reset_cleanly() {
-    // Two identical observed runs in back-to-back sessions must report
-    // identical counters: session_begin resets all state.
-    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+fn twelve_user_instance() -> Instance {
     let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0).unwrap(), 300.0, 300.0)
         .unwrap()
         .build();
@@ -152,7 +189,65 @@ fn repeated_sessions_reset_cleanly() {
     }
     b.add_uav(6, UavRadio::new(30.0, 5.0, 450.0));
     b.add_uav(4, UavRadio::new(28.0, 4.0, 400.0));
-    let instance = b.build().unwrap();
+    b.build().unwrap()
+}
+
+/// A worker panicking mid-sweep *inside a recording session* must
+/// surface as the typed [`CoreError::Sweep`] (not abort, not poison
+/// the process-global obs state): the interrupted session still
+/// closes into a coherent snapshot and log, and the next session
+/// records a clean run as if nothing happened. This is the
+/// integration-level twin of the obs crate's poisoned-lock unit
+/// tests — lock recovery via `PoisonError::into_inner` is what keeps
+/// the facade usable after an unwind.
+#[test]
+fn worker_panic_yields_typed_error_and_obs_recovers() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let instance = twelve_user_instance();
+    let config = ApproxConfig::with_s(1).threads(2).inject_worker_panic_at(0);
+
+    let began = obs::session_begin();
+    assert_eq!(began, obs::is_enabled());
+    let err = approx_alg_with_stats(&instance, &config).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Sweep(_)),
+        "expected CoreError::Sweep, got {err:?}"
+    );
+    let snap = obs::session_end();
+    let events = obs::drain_events();
+    if obs::is_enabled() {
+        let snap = snap.expect("interrupted session still snapshots");
+        // Work recorded before the panic survives; the aborted sweep
+        // was never folded in.
+        assert_eq!(snap.counter("alg1.plans"), Some(1));
+        assert_eq!(snap.counter("sweep.runs"), Some(0));
+        assert!(events
+            .last()
+            .is_some_and(|e| e.to_json_line().contains("session_end")));
+    } else {
+        assert!(snap.is_none());
+        assert!(events.is_empty());
+    }
+
+    // The facade is not wedged: a fresh session records a full run.
+    let began = obs::session_begin();
+    assert_eq!(began, obs::is_enabled());
+    approx_alg_with_stats(&instance, &ApproxConfig::with_s(1).threads(2)).unwrap();
+    let snap = obs::session_end();
+    obs::drain_events();
+    if obs::is_enabled() {
+        let snap = snap.expect("clean session snapshots");
+        assert_eq!(snap.counter("sweep.runs"), Some(1));
+        assert!(snap.counter("sweep.gain_queries").unwrap() > 0);
+    }
+}
+
+#[test]
+fn repeated_sessions_reset_cleanly() {
+    // Two identical observed runs in back-to-back sessions must report
+    // identical counters: session_begin resets all state.
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let instance = twelve_user_instance();
     let config = ApproxConfig::with_s(1);
 
     let mut snaps = Vec::new();
