@@ -42,14 +42,14 @@ impl GreedyAssign {
                     let r = instance
                         .coverable(0, v)
                         .iter()
-                        .filter(|&&u| !claimed[u as usize])
+                        .filter(|&u| !claimed[u as usize])
                         .count() as u64;
                     (pos, v, r)
                 })
                 .max_by(|a, b| a.2.cmp(&b.2).then(b.1.cmp(&a.1)))
                 .expect("remaining non-empty");
             profit[best] = residual;
-            for &u in instance.coverable(0, best) {
+            for u in instance.coverable(0, best).iter() {
                 claimed[u as usize] = true;
             }
             remaining.swap_remove(pos);

@@ -81,8 +81,8 @@ fn rate_sorted_users(
     let mut rates: Vec<(u64, u32)> = instance
         .coverable(uav, loc)
         .iter()
-        .filter(|&&u| !taken[u as usize])
-        .map(|&u| {
+        .filter(|&u| !taken[u as usize])
+        .map(|u| {
             let rate = atg.data_rate_bps(radio, hover, instance.users()[u as usize].pos);
             ((rate / 1_000.0) as u64, u)
         })

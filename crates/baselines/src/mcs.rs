@@ -29,7 +29,7 @@ impl DeploymentAlgorithm for Mcs {
         let locations = grow_connected(instance, k, |chosen, v| {
             // Fold freshly committed picks into the covered set.
             while applied < chosen.len() {
-                for &u in instance.coverable(applied, chosen[applied]) {
+                for u in instance.coverable(applied, chosen[applied]).iter() {
                     covered[u as usize] = true;
                 }
                 applied += 1;
@@ -40,7 +40,7 @@ impl DeploymentAlgorithm for Mcs {
             instance
                 .coverable(uav, v)
                 .iter()
-                .filter(|&&u| !covered[u as usize])
+                .filter(|&u| !covered[u as usize])
                 .count() as u64
         });
         Ok(score_deployment(

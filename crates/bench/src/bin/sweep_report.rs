@@ -1,33 +1,51 @@
 //! Regenerates `BENCH_sweep.json`: machine-readable evidence for the
 //! subset-sweep hot path — the zero-allocation matching kernel, the
-//! streaming enumeration, and (PR 3) the spatial-index instance build
-//! plus the shared connectivity substrate.
+//! streaming enumeration, (PR 3) the spatial-index instance build plus
+//! the shared connectivity substrate, and (PR 6) the compressed
+//! coverage tables plus the tile-sharded sweep.
 //!
 //! For each selected scale, runs the FIG6-style workload
 //! (`n = n_max`, `K = k_max`, every `s` in `s_sweep`) through
-//! [`approx_alg_with_stats`] and reports:
+//! [`approx_alg_with_stats`] (or [`approx_alg_sharded`] for scales
+//! marked `sharded`, currently `xlarge` at one million users) and
+//! reports:
 //!
 //! * instance-construction time (`build_ns` — the spatial-index
-//!   coverage build; the `large` scale at 100 000 users exists to
-//!   exercise exactly this path),
-//! * wall-clock per sweep (mean and min over the measured reps),
+//!   coverage build; the `large`/`xlarge` scales at 100 000 / 1 000 000
+//!   users exist to exercise exactly this path),
+//! * the coverage-table memory footprint from the instance build
+//!   (compressed store vs the `Vec<Vec<u32>>` layout it replaced, with
+//!   per-encoding list tallies),
+//! * wall-clock per sweep (mean and min over the scale's reps),
 //! * per-phase wall-clock from [`SweepProfile`] (enumeration, greedy,
 //!   connection, scoring — summed across worker threads — plus the
-//!   one-time substrate build and the portion of greedy/connection
-//!   spent on substrate reads),
+//!   one-time substrate build, the portion of greedy/connection spent
+//!   on substrate reads, and tile-view construction on sharded runs),
 //! * marginal-gain queries per second (the sweep's throughput metric;
-//!   the query *count* is deterministic and thread-count invariant, so
+//!   the query *count* is deterministic, thread-count invariant and
+//!   identical between the sharded and monolithic paths, so
 //!   before/after throughput is directly comparable),
-//! * peak subset-combination buffer bytes.
+//! * peak subset-combination buffer bytes,
+//! * on scales marked `check_sharded` (quick, large), the verdict of
+//!   the sharded-vs-monolithic differential oracle
+//!   ([`check_sharded_sweep`]) as `"sharded_equals_monolithic"`.
 //!
-//! The `baseline_wall_ns` figures are the pre-optimization means of the
-//! `fig6_s_sweep` Criterion bench (same instance, `threads = 2`)
-//! recorded at the growth seed, so the JSON carries its own
-//! before/after comparison; they only exist for the `quick` scale.
+//! The `baseline_wall_ns` figures are pre-optimization means of the
+//! `fig6_s_sweep` Criterion bench on the same instance: the growth
+//! seed's seed-commit algorithm for the `quick` scale, and the PR 5
+//! monolithic sweep for the `large` scale — so the JSON carries its
+//! own before/after comparison.
 //!
 //! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
-//! [--threads N] [--reps N] [--out PATH] [--scale quick|large|all]
+//! [--threads N] [--reps N] [--out PATH]
+//! [--scale quick|large|xlarge|all] [--sharded]
 //! [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]`
+//!
+//! `--reps` overrides every selected scale's default rep count;
+//! `--sharded` forces the tile-sharded solver on every selected scale
+//! (scales marked `sharded` use it regardless). Unknown flags, a flag
+//! missing its value, or an unknown scale print the usage line and
+//! exit nonzero instead of panicking.
 //!
 //! The `--obs-*` flags require the `obs` cargo feature
 //! (`--features obs`): they wrap the whole report in a `uavnet-obs`
@@ -43,33 +61,75 @@
 use std::time::Instant;
 
 use uavnet_bench::Scale;
-use uavnet_core::{approx_alg_with_stats, ApproxConfig, ApproxStats, Instance};
+use uavnet_core::{
+    approx_alg_sharded, approx_alg_with_stats, check_sharded_sweep, ApproxConfig, ApproxStats,
+    Instance, ShardConfig,
+};
 
-/// Pre-optimization wall-clock means (ns) per seed count `s`, measured
-/// with the seed-commit algorithm on the quick workload
-/// (`fig6_s_sweep`, `Scale::quick()`, `threads = 2`, mean of 3 × 10
-/// Criterion samples).
-const BASELINE_WALL_NS: &[(usize, u64)] = &[(1, 938_750), (2, 4_566_690)];
+/// Pre-optimization wall-clock means (ns) per `(scale, s)`, measured
+/// at `threads = 2`: the growth seed's seed-commit algorithm for
+/// `quick` (mean of 3 × 10 `fig6_s_sweep` Criterion samples), and the
+/// pre-compression (`Vec<Vec<u32>>` coverage tables) sweep for
+/// `large`, re-measured as the mean of 5 × 3 interleaved
+/// `sweep_report --scale large --reps 3 --threads 2` runs on the same
+/// box and sitting as the current numbers. `speedup_vs_baseline` on
+/// `large` is therefore an apples-to-apples wall ratio against the
+/// uncompressed layout: parity-to-slightly-below-1 is the accepted
+/// cost of the 57 % coverage-table memory cut (see DESIGN.md).
+const BASELINE_WALL_NS: &[(&str, usize, u64)] = &[
+    ("quick", 1, 938_750),
+    ("quick", 2, 4_566_690),
+    ("large", 1, 197_000_000),
+];
+
+const USAGE: &str = "usage: sweep_report [--threads N] [--reps N] [--out PATH] \
+     [--scale quick|large|xlarge|all] [--sharded] \
+     [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("sweep_report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn baseline_wall_ns(scale: &str, s: usize) -> Option<u64> {
+    BASELINE_WALL_NS
+        .iter()
+        .find(|&&(name, bs, _)| name == scale && bs == s)
+        .map(|&(_, _, ns)| ns)
+}
 
 struct RunReport {
     s: usize,
     reps: u32,
+    sharded: bool,
+    /// Verdict of [`check_sharded_sweep`]; `None` when the oracle was
+    /// not run at this scale.
+    sharded_equals_monolithic: Option<bool>,
     wall_ns_mean: u64,
     wall_ns_min: u64,
     stats: ApproxStats,
     served: usize,
 }
 
-fn measure(instance: &Instance, s: usize, threads: usize, reps: u32) -> RunReport {
+fn measure(instance: &Instance, s: usize, threads: usize, reps: u32, sharded: bool) -> RunReport {
     let config = ApproxConfig::with_s(s).threads(threads);
+    let shard = ShardConfig::new();
+    let solve = || {
+        if sharded {
+            approx_alg_sharded(instance, &config, &shard)
+        } else {
+            approx_alg_with_stats(instance, &config)
+        }
+    };
     // Warm-up run (also the source of the deterministic statistics).
-    let (sol, stats) = approx_alg_with_stats(instance, &config).expect("sweep succeeds");
+    let (sol, stats) = solve().expect("sweep succeeds");
     let served = sol.served_users();
     let mut total_ns = 0u64;
     let mut min_ns = u64::MAX;
     for _ in 0..reps {
         let start = Instant::now();
-        let (rep_sol, _) = approx_alg_with_stats(instance, &config).expect("sweep succeeds");
+        let (rep_sol, _) = solve().expect("sweep succeeds");
         let ns = start.elapsed().as_nanos() as u64;
         assert_eq!(rep_sol.served_users(), served, "non-deterministic sweep");
         total_ns += ns;
@@ -78,6 +138,8 @@ fn measure(instance: &Instance, s: usize, threads: usize, reps: u32) -> RunRepor
     RunReport {
         s,
         reps,
+        sharded,
+        sharded_equals_monolithic: None,
         wall_ns_mean: total_ns / u64::from(reps),
         wall_ns_min: min_ns,
         stats,
@@ -89,18 +151,10 @@ fn queries_per_sec(queries: u64, wall_ns: u64) -> f64 {
     queries as f64 * 1e9 / wall_ns as f64
 }
 
-fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
+fn run_json(r: &RunReport, threads: usize, scale_name: &str) -> String {
     let p = &r.stats.profile;
     let after_qps = queries_per_sec(r.stats.gain_queries, r.wall_ns_mean);
-    let baseline = with_baseline
-        .then(|| {
-            BASELINE_WALL_NS
-                .iter()
-                .find(|(s, _)| *s == r.s)
-                .map(|&(_, ns)| ns)
-        })
-        .flatten();
-    let (baseline_fields, speedup_fields) = match baseline {
+    let (baseline_fields, speedup_fields) = match baseline_wall_ns(scale_name, r.s) {
         Some(base_ns) => {
             let before_qps = queries_per_sec(r.stats.gain_queries, base_ns);
             (
@@ -116,9 +170,14 @@ fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
         }
         None => (String::new(), String::new()),
     };
+    let oracle_field = match r.sharded_equals_monolithic {
+        Some(ok) => format!("        \"sharded_equals_monolithic\": {ok},\n"),
+        None => String::new(),
+    };
     format!(
         "      {{\n        \"s\": {s},\n        \"threads\": {threads},\n        \
-         \"reps\": {reps},\n        \"served_users\": {served},\n        \
+         \"reps\": {reps},\n        \"sharded\": {sharded},\n{oracle_field}        \
+         \"served_users\": {served},\n        \
          \"wall_ns_mean\": {mean},\n        \"wall_ns_min\": {min},\n\
          {baseline_fields}{speedup_fields}        \
          \"gain_queries\": {queries},\n        \
@@ -127,13 +186,16 @@ fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
          \"greedy\": {greedy},\n          \"connection\": {connection},\n          \
          \"scoring\": {scoring},\n          \
          \"substrate_build\": {sub_build},\n          \
-         \"substrate_query\": {sub_query}\n        }},\n        \
+         \"substrate_query\": {sub_query},\n          \
+         \"tile_view\": {tile_view}\n        }},\n        \
          \"subset_buffer_peak_bytes\": {peak},\n        \
          \"subsets\": {{\n          \"enumerated\": {enumerated},\n          \
          \"chain_pruned\": {pruned},\n          \"evaluated\": {evaluated},\n          \
-         \"unconnectable\": {unconnectable}\n        }}\n      }}",
+         \"unconnectable\": {unconnectable}\n        }},\n        \
+         \"tiles_solved\": {tiles},\n        \"view_escapes\": {escapes}\n      }}",
         s = r.s,
         reps = r.reps,
+        sharded = r.sharded,
         served = r.served,
         mean = r.wall_ns_mean,
         min = r.wall_ns_min,
@@ -145,11 +207,14 @@ fn run_json(r: &RunReport, threads: usize, with_baseline: bool) -> String {
         scoring = p.scoring_ns,
         sub_build = p.substrate_build_ns,
         sub_query = p.substrate_query_ns,
+        tile_view = p.tile_view_ns,
         peak = p.subset_buffer_peak_bytes,
         enumerated = r.stats.subsets_enumerated,
         pruned = r.stats.subsets_chain_pruned,
         evaluated = r.stats.subsets_evaluated,
         unconnectable = r.stats.subsets_unconnectable,
+        tiles = r.stats.tiles_solved,
+        escapes = r.stats.view_escapes,
     )
 }
 
@@ -159,56 +224,84 @@ fn scale_json(
     build_ns: u64,
     threads: usize,
     reps: u32,
+    sharded: bool,
 ) -> String {
-    // The large scale measures instance construction as much as the
-    // sweep; cap its reps so a full regeneration stays interactive.
-    let reps = if scale.name == "large" {
-        reps.min(2)
-    } else {
-        reps
-    };
+    let mem = instance.coverage_memory();
     eprintln!(
-        "sweep_report: scale={} n={} K={} m={} build {:.3} ms (threads={threads} reps={reps})",
+        "sweep_report: scale={} n={} K={} m={} build {:.3} ms, coverage {:.1} KiB \
+         compressed / {:.1} KiB plain (threads={threads} reps={reps}{})",
         scale.name,
         instance.num_users(),
         instance.num_uavs(),
         instance.num_locations(),
         build_ns as f64 / 1e6,
+        mem.compressed_bytes as f64 / 1024.0,
+        mem.uncompressed_bytes as f64 / 1024.0,
+        if sharded { " sharded" } else { "" },
     );
 
     let runs: Vec<String> = scale
         .s_sweep
         .iter()
         .map(|&s| {
-            let report = measure(instance, s, threads, reps);
+            let mut report = measure(instance, s, threads, reps, sharded);
+            if scale.check_sharded {
+                let config = ApproxConfig::with_s(s).threads(threads);
+                check_sharded_sweep(instance, &config)
+                    .unwrap_or_else(|e| panic!("sharded differential oracle failed at s={s}: {e}"));
+                report.sharded_equals_monolithic = Some(true);
+            }
             eprintln!(
-                "  s={s}: mean {:.3} ms, {} gain queries, {:.0} queries/s",
+                "  s={s}: mean {:.3} ms, {} gain queries, {:.0} queries/s{}",
                 report.wall_ns_mean as f64 / 1e6,
                 report.stats.gain_queries,
-                queries_per_sec(report.stats.gain_queries, report.wall_ns_mean)
+                queries_per_sec(report.stats.gain_queries, report.wall_ns_mean),
+                match report.sharded_equals_monolithic {
+                    Some(true) => ", sharded == monolithic",
+                    _ => "",
+                },
             );
-            run_json(&report, threads, scale.name == "quick")
+            run_json(&report, threads, scale.name)
         })
         .collect();
 
     format!(
         "    {{\n      \"scale\": \"{name}\",\n      \
          \"instance\": {{\n        \"users\": {n},\n        \"uavs\": {k},\n        \
-         \"candidate_locations\": {m},\n        \"build_ns\": {build_ns}\n      }},\n      \
+         \"candidate_locations\": {m},\n        \"build_ns\": {build_ns},\n        \
+         \"coverage_memory\": {{\n          \
+         \"compressed_bytes\": {cbytes},\n          \
+         \"uncompressed_bytes\": {ubytes},\n          \
+         \"lists\": {lists},\n          \
+         \"ids_lists\": {ids},\n          \
+         \"run_lists\": {runs_enc},\n          \
+         \"bitset_lists\": {bits}\n        }}\n      }},\n      \
          \"runs\": [\n{runs}\n      ]\n    }}",
         name = scale.name,
         n = instance.num_users(),
         k = instance.num_uavs(),
         m = instance.num_locations(),
+        cbytes = mem.compressed_bytes,
+        ubytes = mem.uncompressed_bytes,
+        lists = mem.lists,
+        ids = mem.ids_lists,
+        runs_enc = mem.run_lists,
+        bits = mem.bitset_lists,
         runs = runs.join(",\n"),
     )
 }
 
+fn parse_flag<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fail_usage(&format!("{name} expects a number, got {raw:?}")))
+}
+
 fn main() {
     let mut threads = 2usize;
-    let mut reps = 20u32;
+    let mut reps_override: Option<u32> = None;
     let mut out = String::from("BENCH_sweep.json");
     let mut which = String::from("quick");
+    let mut force_sharded = false;
     let mut obs_log: Option<String> = None;
     let mut obs_metrics: Option<String> = None;
     let mut obs_prom: Option<String> = None;
@@ -216,25 +309,34 @@ fn main() {
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .unwrap_or_else(|| fail_usage(&format!("{name} needs a value")))
         };
         match arg.as_str() {
-            "--threads" => threads = value("--threads").parse().expect("integer thread count"),
-            "--reps" => reps = value("--reps").parse().expect("integer rep count"),
+            "--threads" => threads = parse_flag(&value("--threads"), "--threads"),
+            "--reps" => reps_override = Some(parse_flag(&value("--reps"), "--reps")),
             "--out" => out = value("--out"),
             "--scale" => which = value("--scale"),
+            "--sharded" => force_sharded = true,
             "--obs-log" => obs_log = Some(value("--obs-log")),
             "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
             "--obs-prom" => obs_prom = Some(value("--obs-prom")),
-            other => panic!("unknown argument {other:?}"),
+            other => fail_usage(&format!("unknown argument {other:?}")),
         }
     }
-    assert!(reps > 0, "--reps must be positive");
+    if threads == 0 {
+        fail_usage("--threads must be positive");
+    }
+    if reps_override == Some(0) {
+        fail_usage("--reps must be positive");
+    }
     let scales: Vec<Scale> = match which.as_str() {
         "quick" => vec![Scale::quick()],
         "large" => vec![Scale::large()],
-        "all" => vec![Scale::quick(), Scale::large()],
-        other => panic!("unknown --scale {other:?} (expected quick|large|all)"),
+        "xlarge" => vec![Scale::xlarge()],
+        "all" => vec![Scale::quick(), Scale::large(), Scale::xlarge()],
+        other => fail_usage(&format!(
+            "unknown --scale {other:?} (expected quick|large|xlarge|all)"
+        )),
     };
 
     let want_obs = obs_log.is_some() || obs_metrics.is_some() || obs_prom.is_some();
@@ -285,7 +387,14 @@ fn main() {
         prepared
             .iter()
             .map(|(scale, instance, build_ns)| {
-                scale_json(scale, instance, *build_ns, threads, reps)
+                scale_json(
+                    scale,
+                    instance,
+                    *build_ns,
+                    threads,
+                    reps_override.unwrap_or(scale.reps),
+                    scale.sharded || force_sharded,
+                )
             })
             .collect()
     };
@@ -314,8 +423,8 @@ fn main() {
 
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \
-         \"baseline\": \"fig6_s_sweep means at the growth seed (pre-optimization), threads = 2; quick scale only\",\n  \
-         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report -- --scale all\",\n  \
+         \"baseline\": \"threads = 2 means: growth-seed seed-commit algorithm (quick, fig6_s_sweep), pre-compression Vec<Vec<u32>> coverage tables (large, interleaved same-box re-measurement)\",\n  \
+         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report -- --scale all --threads 2\",\n  \
          \"scales\": [\n{blocks}\n  ]\n}}\n",
         blocks = scale_blocks.join(",\n"),
     );

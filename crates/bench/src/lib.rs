@@ -74,6 +74,21 @@ pub struct Scale {
     pub trials: usize,
     /// RNG seed for scenario generation.
     pub seed: u64,
+    /// Default measured repetitions for the `sweep_report` evidence
+    /// run (overridable with its `--reps` flag). Scales dominated by
+    /// instance construction keep this low so a full regeneration
+    /// stays interactive.
+    pub reps: u32,
+    /// Whether `sweep_report` solves this scale through the
+    /// tile-sharded sweep ([`uavnet_core::approx_alg_sharded`])
+    /// instead of the monolithic one. The two are bit-identical by
+    /// the sharding oracle; the sharded path exists for scales whose
+    /// coverage tables no longer fit comfortably in cache.
+    pub sharded: bool,
+    /// Whether `sweep_report` runs the sharded-vs-monolithic
+    /// differential oracle ([`uavnet_core::check_sharded_sweep`]) on
+    /// this scale and records the verdict in the JSON report.
+    pub check_sharded: bool,
 }
 
 impl Scale {
@@ -89,6 +104,9 @@ impl Scale {
             s_default: 2,
             trials: 2,
             seed: 1,
+            reps: 20,
+            sharded: false,
+            check_sharded: true,
         }
     }
 
@@ -107,6 +125,9 @@ impl Scale {
             s_default: 3,
             trials: 3,
             seed: 20_230_101,
+            reps: 5,
+            sharded: false,
+            check_sharded: false,
         }
     }
 
@@ -128,6 +149,33 @@ impl Scale {
             s_default: 1,
             trials: 1,
             seed: 7,
+            reps: 2,
+            sharded: false,
+            check_sharded: true,
+        }
+    }
+
+    /// The scale ceiling: one million users on a 12 km × 12 km zone
+    /// (m = 1 600 candidates). Exists to exercise the compressed
+    /// coverage tables (packed bitsets / run-length lists keep the
+    /// footprint O(users)) and the tile-sharded sweep, which solves
+    /// the 40 × 40 cell grid as 5 × 5 tiles of 8 × 8 cells with
+    /// per-tile instance views. Used by the
+    /// `sweep_report --scale xlarge` evidence run.
+    pub fn xlarge() -> Self {
+        Scale {
+            name: "xlarge",
+            area_side_m: 12_000.0,
+            cell_m: 300.0,
+            n_sweep: vec![1_000_000],
+            k_sweep: vec![8],
+            s_sweep: vec![1],
+            s_default: 1,
+            trials: 1,
+            seed: 11,
+            reps: 1,
+            sharded: true,
+            check_sharded: false,
         }
     }
 
@@ -146,6 +194,9 @@ impl Scale {
             s_default: 3,
             trials: 1,
             seed: 20_230_101,
+            reps: 1,
+            sharded: false,
+            check_sharded: false,
         }
     }
 
@@ -599,5 +650,18 @@ mod tests {
         // full capacity range.
         assert_eq!(large.capacity_range(), (50, 300));
         assert_eq!(large.s_sweep, vec![1]);
+        assert!(large.check_sharded);
+    }
+
+    #[test]
+    fn xlarge_scale_meets_the_million_user_floor() {
+        let xl = Scale::xlarge();
+        assert_eq!(xl.n_max(), 1_000_000);
+        assert!(xl.sharded, "xlarge must exercise the tile-sharded path");
+        assert_eq!(xl.reps, 1);
+        assert_eq!(xl.capacity_range(), (50, 300));
+        // 12 km at 300 m cells: 40 × 40 candidate grid.
+        let cells = (xl.area_side_m / xl.cell_m) as usize;
+        assert_eq!(cells * cells, 1_600);
     }
 }

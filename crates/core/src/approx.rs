@@ -165,6 +165,11 @@ impl ApproxConfig {
     pub fn num_threads(&self) -> usize {
         self.threads
     }
+
+    /// The configured subset-survivor limit, if any.
+    pub(crate) fn subset_limit(&self) -> Option<usize> {
+        self.max_subsets
+    }
 }
 
 /// Run statistics of [`approx_alg_with_stats`].
@@ -190,6 +195,15 @@ pub struct ApproxStats {
     /// sweep. Deterministic for a given instance and configuration,
     /// independent of the thread count.
     pub gain_queries: u64,
+    /// Spatial tiles solved by the sharded sweep (zero for the
+    /// monolithic paths).
+    pub tiles_solved: usize,
+    /// Subsets that escaped their tile view (ground set or relays
+    /// outside the reach bound) and were re-solved against the global
+    /// workspace. Zero for the monolithic paths; always zero when the
+    /// reach bound holds (it can be exceeded only via gateway
+    /// extension or with chain pruning off).
+    pub view_escapes: usize,
     /// Wall-clock and memory profile of the sweep (not deterministic;
     /// excluded from equivalence comparisons).
     pub profile: SweepProfile,
@@ -224,6 +238,10 @@ pub struct SweepProfile {
     /// `connection_ns`; reported separately so the build-once-query-
     /// often trade is visible in `sweep_report`.
     pub substrate_query_ns: u64,
+    /// Nanoseconds building per-tile views (reach sets + local user
+    /// remaps + local coverage lists), summed across workers. Zero for
+    /// the monolithic paths.
+    pub tile_view_ns: u64,
 }
 
 /// Runs Algorithm 2 and returns the best solution found.
@@ -262,6 +280,9 @@ pub fn approx_alg_with_stats(
         )));
     }
     let plan = SegmentPlan::optimal(k, s)?;
+    if gateway_unsatisfiable(instance) {
+        return Ok(infeasible_gateway_result(instance, config, plan));
+    }
     let _sweep_span = uavnet_obs::phases::SWEEP_TOTAL.span();
 
     // Build the shared connectivity substrate once: every worker then
@@ -345,7 +366,7 @@ pub fn approx_alg_with_stats(
                     panic!("injected worker panic at enumeration rank {rank}");
                 }
                 match ws.solve_subset(&plan, &seeds, &mut profile) {
-                    Some(served) => {
+                    SubsetOutcome::Served(served) => {
                         let better = match &local_best {
                             None => true,
                             Some((bs, br, _, _)) => served > *bs || (served == *bs && rank < *br),
@@ -355,8 +376,11 @@ pub fn approx_alg_with_stats(
                                 Some((served, rank, ws.placements().to_vec(), seeds.clone()));
                         }
                     }
-                    None => {
+                    SubsetOutcome::Unconnectable => {
                         unconnectable.fetch_add(1, Ordering::Relaxed);
+                    }
+                    SubsetOutcome::EscapedView => {
+                        unreachable!("the monolithic sweep runs without a tile view")
                     }
                 }
             }
@@ -435,6 +459,8 @@ pub fn approx_alg_with_stats(
         subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
         best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
         gain_queries: gain_queries.load(Ordering::Relaxed),
+        tiles_solved: 0,
+        view_escapes: 0,
         profile: SweepProfile {
             enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
             greedy_ns: greedy_ns.load(Ordering::Relaxed),
@@ -443,6 +469,7 @@ pub fn approx_alg_with_stats(
             subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
             substrate_build_ns,
             substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
+            tile_view_ns: 0,
         },
     };
 
@@ -471,7 +498,7 @@ pub fn approx_alg_with_stats(
 /// so `next_combination` / `unrank_combination` never have to
 /// enumerate it. The filter is value-preserving — it only removes
 /// subsets the connection step would reject.
-fn seed_pool(
+pub(crate) fn seed_pool(
     instance: &Instance,
     config: &ApproxConfig,
     sub: &ConnectivitySubstrate,
@@ -498,7 +525,7 @@ fn seed_pool(
 /// Hop distances between pool members for the chain pruning (`None`
 /// when the pruning is off or trivial), filled from the substrate's
 /// precomputed rows — `O(pool²)` lookups, no BFS.
-fn pool_distances(
+pub(crate) fn pool_distances(
     config: &ApproxConfig,
     pool: &[usize],
     sub: &ConnectivitySubstrate,
@@ -586,7 +613,7 @@ pub fn approx_alg_materialized(
         let mut ws = SweepWorkspace::new(instance);
         let mut profile = PhaseNanos::default();
         match ws.solve_subset(&plan, seeds, &mut profile) {
-            Some(served) => {
+            SubsetOutcome::Served(served) => {
                 let better = match &best {
                     None => true,
                     Some((bs, bi, _, _)) => served > *bs || (served == *bs && i < *bi),
@@ -595,7 +622,10 @@ pub fn approx_alg_materialized(
                     best = Some((served, i, ws.placements().to_vec(), seeds.clone()));
                 }
             }
-            None => unconnectable += 1,
+            SubsetOutcome::Unconnectable => unconnectable += 1,
+            SubsetOutcome::EscapedView => {
+                unreachable!("the monolithic sweep runs without a tile view")
+            }
         }
         gain_queries += ws.gain_queries();
     }
@@ -609,6 +639,8 @@ pub fn approx_alg_materialized(
         subsets_unconnectable: unconnectable,
         best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
         gain_queries,
+        tiles_solved: 0,
+        view_escapes: 0,
         profile: SweepProfile::default(),
     };
     let mut placements = match best {
@@ -635,7 +667,7 @@ pub fn approx_alg_materialized(
 /// deploys the chain maximizing gain per UAV spent, so the pass can
 /// bridge toward a distant user pocket when enough fleet remains —
 /// connectivity (and any gateway link) is preserved by construction.
-fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)>) {
+pub(crate) fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)>) {
     use std::collections::VecDeque;
     use uavnet_flow::CapacitatedMatching;
     use uavnet_graph::{multi_source_hops, shortest_path};
@@ -653,7 +685,8 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
     let mut matching = CapacitatedMatching::new(instance.num_users());
     let mut occupied = vec![false; m];
     for &(uav, loc) in placements.iter() {
-        let st = matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
+        let st =
+            matching.add_station_list(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
         matching.saturate(st);
         occupied[loc] = true;
     }
@@ -677,7 +710,7 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
             if d as usize > budget {
                 continue;
             }
-            let gain = matching.evaluate_station(cap, instance.coverable(server, c));
+            let gain = matching.evaluate_station_list(cap, instance.coverable(server, c));
             if gain == 0 {
                 continue;
             }
@@ -701,8 +734,8 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
             uav: usize,
             loc: usize,
         ) {
-            let st =
-                matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
+            let st = matching
+                .add_station_list(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
             matching.saturate(st);
             occupied[loc] = true;
             placements.push((uav, loc));
@@ -751,7 +784,46 @@ fn deploy_leftovers(instance: &Instance, placements: &mut Vec<(usize, CellIndex)
 /// Best-effort fallback: the largest UAV alone at its best location
 /// (restricted to gateway-capable cells when the scenario has an
 /// uplink and any cell can reach it).
-fn fallback_single_uav(instance: &Instance) -> Vec<(usize, CellIndex)> {
+/// Whether the scenario has a gateway that no candidate cell can
+/// reach. The uplink constraint is then unsatisfiable — every
+/// non-empty deployment fails [`Solution::validate`]
+/// (crate::Solution::validate) — so the sweeps short-circuit to the
+/// empty deployment instead of "deploying" UAVs with no Internet path.
+pub(crate) fn gateway_unsatisfiable(instance: &Instance) -> bool {
+    instance.gateway().is_some() && instance.gateway_cells().is_empty()
+}
+
+/// The empty-deployment result both sweep variants return for an
+/// unsatisfiable gateway, with zeroed statistics; shared so the
+/// sharded path stays bit-identical to the monolithic one.
+pub(crate) fn infeasible_gateway_result(
+    instance: &Instance,
+    config: &ApproxConfig,
+    plan: SegmentPlan,
+) -> (Solution, ApproxStats) {
+    let stats = ApproxStats {
+        plan,
+        seed_pool_size: 0,
+        subsets_enumerated: 0,
+        subsets_chain_pruned: 0,
+        subsets_evaluated: 0,
+        subsets_unconnectable: 0,
+        best_seeds: None,
+        gain_queries: 0,
+        tiles_solved: 0,
+        view_escapes: 0,
+        profile: SweepProfile::default(),
+    };
+    let solution = score_deployment(instance, Vec::new());
+    #[cfg(feature = "debug-validate")]
+    solution
+        .validate(instance)
+        .expect("debug-validate: the empty deployment must always validate");
+    crate::obs::record_sweep(config, &stats, &solution);
+    (solution, stats)
+}
+
+pub(crate) fn fallback_single_uav(instance: &Instance) -> Vec<(usize, CellIndex)> {
     let uav = instance.uavs_by_capacity()[0];
     let gateway_cells = instance.gateway_cells();
     let candidates: Vec<usize> = if instance.gateway().is_some() && !gateway_cells.is_empty() {
@@ -775,7 +847,7 @@ fn fallback_single_uav(instance: &Instance) -> Vec<(usize, CellIndex)> {
 
 /// Advances `combo` to the next size-`|combo|` combination of
 /// `0..n` in lexicographic order; `false` when exhausted.
-fn next_combination(combo: &mut [usize], n: usize) -> bool {
+pub(crate) fn next_combination(combo: &mut [usize], n: usize) -> bool {
     let s = combo.len();
     let mut i = s;
     while i > 0 {
@@ -792,7 +864,11 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
 }
 
 /// Does some ordering of `combo` respect consecutive hop budgets?
-fn chain_feasible(pool_dists: &[Vec<Option<u32>>], combo: &[usize], budgets: &[usize]) -> bool {
+pub(crate) fn chain_feasible(
+    pool_dists: &[Vec<Option<u32>>],
+    combo: &[usize],
+    budgets: &[usize],
+) -> bool {
     debug_assert_eq!(budgets.len() + 1, combo.len());
     let mut perm: Vec<usize> = combo.to_vec();
     permute_check(&mut perm, 0, pool_dists, budgets)
@@ -824,12 +900,28 @@ fn permute_check(
 /// Per-worker accumulator for the sweep's phase timings; folded into
 /// the shared atomics once per worker.
 #[derive(Debug, Default)]
-struct PhaseNanos {
-    enumeration: u64,
-    greedy: u64,
-    connection: u64,
-    scoring: u64,
-    substrate_query: u64,
+pub(crate) struct PhaseNanos {
+    pub(crate) enumeration: u64,
+    pub(crate) greedy: u64,
+    pub(crate) connection: u64,
+    pub(crate) scoring: u64,
+    pub(crate) substrate_query: u64,
+    pub(crate) tile_view: u64,
+}
+
+/// What [`SweepWorkspace::solve_subset`] decided about one seed subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubsetOutcome {
+    /// The subset produced a connected deployment serving this many
+    /// users; the placements are on the workspace.
+    Served(usize),
+    /// The connected set exceeded the fleet (or a component could not
+    /// be connected at all).
+    Unconnectable,
+    /// The subset's ground set or relay paths left the workspace's tile
+    /// view; the sharded sweep must re-solve it against a global
+    /// workspace. Never returned without a view.
+    EscapedView,
 }
 
 /// Per-worker reusable state for the subset sweep: the coverage oracle
@@ -837,11 +929,14 @@ struct PhaseNanos {
 /// [`CoverageOracle::reset`]), the lazy-greedy workspace, and the
 /// ground/relay scratch vectors. One workspace evaluates thousands of
 /// subsets without allocating on the oracle's query path.
-struct SweepWorkspace<'a> {
+pub(crate) struct SweepWorkspace<'a> {
     instance: &'a Instance,
     /// Precomputed hop structure; `None` runs the brute-force BFS
     /// backend (the materialized differential oracle).
     substrate: Option<&'a ConnectivitySubstrate>,
+    /// Restricts the oracle to a tile view's local user remap; subsets
+    /// whose structure leaves the view report [`SubsetOutcome::EscapedView`].
+    view: Option<&'a crate::shard::TileView>,
     /// Sorted gateway-capable cells, for the substrate extension path.
     gateway_cells: Vec<CellIndex>,
     oracle: CoverageOracle<'a>,
@@ -852,10 +947,11 @@ struct SweepWorkspace<'a> {
 }
 
 impl<'a> SweepWorkspace<'a> {
-    fn new(instance: &'a Instance) -> Self {
+    pub(crate) fn new(instance: &'a Instance) -> Self {
         SweepWorkspace {
             instance,
             substrate: None,
+            view: None,
             gateway_cells: instance.gateway_cells(),
             oracle: CoverageOracle::new(instance),
             greedy: LazyGreedyWorkspace::new(),
@@ -865,34 +961,49 @@ impl<'a> SweepWorkspace<'a> {
         }
     }
 
-    fn with_substrate(instance: &'a Instance, sub: &'a ConnectivitySubstrate) -> Self {
+    pub(crate) fn with_substrate(instance: &'a Instance, sub: &'a ConnectivitySubstrate) -> Self {
         let mut ws = SweepWorkspace::new(instance);
         ws.substrate = Some(sub);
         ws
     }
 
+    /// A workspace whose oracle matches over the view's local user ids:
+    /// the matching value is invariant under the remap, so served
+    /// counts equal the global workspace's, while the matching arrays
+    /// stay sized to the tile instead of the whole instance.
+    pub(crate) fn with_view(
+        instance: &'a Instance,
+        sub: &'a ConnectivitySubstrate,
+        view: &'a crate::shard::TileView,
+    ) -> Self {
+        let mut ws = SweepWorkspace::new(instance);
+        ws.substrate = Some(sub);
+        ws.view = Some(view);
+        ws.oracle = CoverageOracle::with_view(instance, view);
+        ws
+    }
+
     /// The full deployment (greedy picks, forced seeds, then relays)
     /// of the last successful [`solve_subset`](Self::solve_subset).
-    fn placements(&self) -> &[(usize, CellIndex)] {
+    pub(crate) fn placements(&self) -> &[(usize, CellIndex)] {
         self.oracle.placements()
     }
 
     /// Cumulative gain queries across every subset this workspace
     /// evaluated.
-    fn gain_queries(&self) -> u64 {
+    pub(crate) fn gain_queries(&self) -> u64 {
         self.oracle.gain_queries()
     }
 
-    /// Greedy + connection + scoring for one seed subset. Returns the
-    /// served-user count, or `None` when the connected set would
-    /// exceed the fleet; on success the deployment is
+    /// Greedy + connection + scoring for one seed subset; on
+    /// [`SubsetOutcome::Served`] the deployment is
     /// [`placements`](Self::placements).
-    fn solve_subset(
+    pub(crate) fn solve_subset(
         &mut self,
         plan: &SegmentPlan,
         seeds: &[usize],
         profile: &mut PhaseNanos,
-    ) -> Option<usize> {
+    ) -> SubsetOutcome {
         let instance = self.instance;
         let graph = instance.location_graph();
         let t = Instant::now();
@@ -907,6 +1018,14 @@ impl<'a> SweepWorkspace<'a> {
         self.ground.clear();
         self.ground
             .extend((0..instance.num_locations()).filter(|&v| m2.depth_of(v).is_some()));
+        // Escape before the first gain query: a ground cell outside the
+        // view would be scored against a truncated user set, so the
+        // subset must move to a global workspace instead.
+        if let Some(view) = self.view {
+            if self.ground.iter().any(|&v| !view.contains_loc(v)) {
+                return SubsetOutcome::EscapedView;
+            }
+        }
         lazy_greedy_with(
             &mut self.greedy,
             &mut self.oracle,
@@ -921,7 +1040,9 @@ impl<'a> SweepWorkspace<'a> {
         // greedy skipped for lack of marginal value.
         for &seed in seeds {
             if !self.oracle.placements().iter().any(|&(_, l)| l == seed) {
-                self.oracle.next_uav()?;
+                if self.oracle.next_uav().is_none() {
+                    return SubsetOutcome::Unconnectable;
+                }
                 self.oracle.commit(seed);
             }
         }
@@ -931,23 +1052,29 @@ impl<'a> SweepWorkspace<'a> {
         profile.greedy += t.elapsed().as_nanos() as u64;
 
         let t = Instant::now();
-        let mut all = match self.substrate {
-            Some(sub) => connect_via_substrate(graph, sub, &self.locs).ok()?,
-            None => connect_via_mst(graph, &self.locs).ok()?,
+        let connected = match self.substrate {
+            Some(sub) => connect_via_substrate(graph, sub, &self.locs),
+            None => connect_via_mst(graph, &self.locs),
+        };
+        let Ok(mut all) = connected else {
+            profile.connection += t.elapsed().as_nanos() as u64;
+            return SubsetOutcome::Unconnectable;
         };
         if instance.gateway().is_some() {
-            let extra = match self.substrate {
+            let extended = match self.substrate {
                 Some(sub) => crate::connecting::extend_to_gateway_substrate(
                     graph,
                     sub,
                     &all,
                     &self.gateway_cells,
-                )
-                .ok()?,
+                ),
                 None => crate::connecting::extend_to_gateway(graph, &all, |c| {
                     instance.is_gateway_cell(c)
-                })
-                .ok()?,
+                }),
+            };
+            let Ok(extra) = extended else {
+                profile.connection += t.elapsed().as_nanos() as u64;
+                return SubsetOutcome::Unconnectable;
             };
             all.extend(extra);
         }
@@ -956,8 +1083,16 @@ impl<'a> SweepWorkspace<'a> {
         if self.substrate.is_some() {
             profile.substrate_query += connection;
         }
+        // Relay paths (and any gateway extension) may route through
+        // cells outside the view; check before the fleet bound so the
+        // global re-solve is what decides unconnectability.
+        if let Some(view) = self.view {
+            if all.iter().any(|&v| !view.contains_loc(v)) {
+                return SubsetOutcome::EscapedView;
+            }
+        }
         if all.len() > instance.num_uavs() {
-            return None;
+            return SubsetOutcome::Unconnectable;
         }
 
         // Deploy the remaining (smaller) UAVs on the relays; give
@@ -977,7 +1112,7 @@ impl<'a> SweepWorkspace<'a> {
         }
         let served = self.oracle.served();
         profile.scoring += t.elapsed().as_nanos() as u64;
-        Some(served)
+        SubsetOutcome::Served(served)
     }
 }
 
@@ -985,7 +1120,7 @@ impl<'a> SweepWorkspace<'a> {
 /// payload. `panic!` with a format string yields a `String`, a literal
 /// yields `&'static str`; anything else (a custom `panic_any` value)
 /// gets a placeholder rather than being dropped silently.
-fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -998,7 +1133,7 @@ fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// `C(n, k)`, saturating at `u64::MAX`. Exact for every value the sweep
 /// can actually enumerate; a saturated total only means the cursor
 /// never reaches the end, and `max_subsets` trips long before.
-fn binomial(n: usize, k: usize) -> u64 {
+pub(crate) fn binomial(n: usize, k: usize) -> u64 {
     if k > n {
         return 0;
     }
@@ -1017,7 +1152,7 @@ fn binomial(n: usize, k: usize) -> u64 {
 /// Writes the `rank`-th (0-based, lexicographic) `s`-combination of
 /// `0..n` into `combo` — combinadic unranking, the random-access
 /// counterpart of [`next_combination`].
-fn unrank_combination(mut rank: u64, n: usize, s: usize, combo: &mut Vec<usize>) {
+pub(crate) fn unrank_combination(mut rank: u64, n: usize, s: usize, combo: &mut Vec<usize>) {
     debug_assert!(rank < binomial(n, s));
     combo.clear();
     let mut next = 0usize;
@@ -1305,6 +1440,26 @@ mod tests {
             assert_eq!(stats.best_seeds, ref_stats.best_seeds);
             assert_eq!(stats.gain_queries, ref_stats.gain_queries);
         }
+    }
+
+    #[test]
+    fn unreachable_gateway_returns_the_empty_deployment() {
+        let mut b = Instance::builder(grid(300.0, 1500.0), 450.0);
+        b.add_user(Point2::new(100.0, 120.0), 2_000.0);
+        b.add_uav(4, UavRadio::new(30.0, 5.0, 400.0));
+        b.gateway(Point2::new(1.0e6, 1.0e6));
+        let inst = b.build().unwrap();
+        assert!(inst.gateway_cells().is_empty());
+        let config = ApproxConfig::with_s(1).threads(2);
+        let (sol, stats) = approx_alg_with_stats(&inst, &config).unwrap();
+        sol.validate(&inst).unwrap();
+        assert!(sol.deployment().placements().is_empty());
+        assert_eq!(sol.served_users(), 0);
+        assert_eq!(stats.gain_queries, 0);
+        let (shard_sol, shard_stats) =
+            crate::approx_alg_sharded(&inst, &config, &crate::ShardConfig::new()).unwrap();
+        assert_eq!(shard_sol.deployment(), sol.deployment());
+        assert_eq!(shard_stats.gain_queries, 0);
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub struct Assignment {
 pub fn assign_users(instance: &Instance, placements: &[(usize, CellIndex)]) -> Assignment {
     let mut matching = CapacitatedMatching::new(instance.num_users());
     for &(uav, loc) in placements {
-        let st = matching.add_station(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
+        let st =
+            matching.add_station_list(instance.uavs()[uav].capacity, instance.coverable(uav, loc));
         matching.saturate(st);
     }
     let user_placement = matching.assignment().to_vec();
@@ -81,7 +82,7 @@ pub fn assign_users_max_flow(instance: &Instance, placements: &[(usize, CellInde
     let mut cover_arcs: Vec<(usize, usize, usize)> = Vec::new(); // (arc, user, placement)
     for (pi, &(uav, loc)) in placements.iter().enumerate() {
         let st_node = 1 + n + pi;
-        for &u in instance.coverable(uav, loc) {
+        for u in instance.coverable(uav, loc).iter() {
             let arc = net.add_arc(1 + u as usize, st_node, 1);
             cover_arcs.push((arc, u as usize, pi));
         }
@@ -161,7 +162,7 @@ pub fn assign_users_max_rate(
     for (pi, &(uav, loc)) in placements.iter().enumerate() {
         let hover = instance.grid().hover_position(loc);
         let radio = &instance.uavs()[uav].radio;
-        for &u in instance.coverable(uav, loc) {
+        for u in instance.coverable(uav, loc).iter() {
             let rate = atg
                 .data_rate_bps(radio, hover, instance.users()[u as usize].pos)
                 .round() as i64;

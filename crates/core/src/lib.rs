@@ -69,6 +69,7 @@ mod alg1;
 mod approx;
 mod assign;
 mod connecting;
+mod coverage;
 mod error;
 mod exact;
 mod model;
@@ -77,6 +78,7 @@ mod oracle;
 mod redeploy;
 mod seed_matroid;
 mod segments;
+mod shard;
 mod solution;
 mod verify;
 
@@ -91,6 +93,7 @@ pub use connecting::{
     connect_via_mst, connect_via_substrate, extend_to_gateway, extend_to_gateway_substrate,
     ConnectError,
 };
+pub use coverage::{CoverageMemory, CoverageTables};
 pub use error::CoreError;
 pub use exact::exact_optimum;
 pub use model::{Instance, InstanceBuilder, Uav, User};
@@ -98,11 +101,12 @@ pub use oracle::CoverageOracle;
 pub use redeploy::{redeploy, rescore, RedeployStats};
 pub use seed_matroid::{seed_matroid, seed_matroid_substrate};
 pub use segments::{g_upper_bound, g_via_q_sums, h_max, q_budgets};
+pub use shard::{approx_alg_sharded, ShardConfig};
 pub use solution::{
     score_deployment, try_score_deployment, Deployment, Solution, SolutionSummary, ValidationError,
 };
 pub use verify::{
     check_against_exact, check_assignment_oracles, check_connection_substrate, check_relay_bound,
-    check_sweep_oracles, inject_and_repair, theorem1_ratio_holds, verify_pipeline,
-    DegradationReport, Fault, VerifyError,
+    check_sharded_sweep, check_sweep_oracles, inject_and_repair, theorem1_ratio_holds,
+    verify_pipeline, DegradationReport, Fault, VerifyError,
 };

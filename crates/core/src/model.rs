@@ -1,9 +1,11 @@
 //! The problem instance: users, the heterogeneous fleet, channels, the
 //! candidate-location graph and precomputed coverage tables.
 
+use crate::coverage::{CoverageMemory, CoverageTables};
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 use uavnet_channel::{AtgChannel, UavRadio, UavToUavChannel};
+use uavnet_flow::UserList;
 use uavnet_geom::{CellIndex, Grid, Point2, SpatialIndex};
 use uavnet_graph::Graph;
 
@@ -52,8 +54,8 @@ pub struct Instance {
     /// Uniform-grid index over `user_positions`, binned by the
     /// coarsest coverage radius of the fleet.
     user_index: SpatialIndex,
-    /// `coverage[class][location]` = sorted user ids coverable there.
-    coverage: Vec<Vec<Vec<u32>>>,
+    /// Compressed `(class, location)` → coverable-user lists.
+    coverage: CoverageTables,
     /// `best_coverage[location]` = max coverage count over all classes.
     best_coverage: Vec<usize>,
     /// UAV indices sorted by capacity, largest first.
@@ -211,22 +213,44 @@ impl Instance {
         self.radio_class[uav]
     }
 
-    /// Users that UAV `uav` could serve from location `loc` (sorted
-    /// ids). Admissibility covers both the coverage radius of the
-    /// UAV's radio and each user's minimum rate.
+    /// Users that UAV `uav` could serve from location `loc`, as a
+    /// borrowed ascending [`UserList`] over the compressed tables.
+    /// Admissibility covers both the coverage radius of the UAV's
+    /// radio and each user's minimum rate.
     ///
     /// # Panics
     ///
     /// Panics if `uav` or `loc` is out of range.
     #[inline]
-    pub fn coverable(&self, uav: usize, loc: CellIndex) -> &[u32] {
-        &self.coverage[self.radio_class[uav]][loc]
+    pub fn coverable(&self, uav: usize, loc: CellIndex) -> UserList<'_> {
+        self.coverage.list(self.radio_class[uav], loc)
     }
 
-    /// Number of users coverable by UAV `uav` from `loc`.
+    /// Number of users coverable by UAV `uav` from `loc` — an O(1)
+    /// lookup of the cached list length.
     #[inline]
     pub fn coverage_count(&self, uav: usize, loc: CellIndex) -> usize {
-        self.coverable(uav, loc).len()
+        self.coverage.count(self.radio_class[uav], loc)
+    }
+
+    /// Coverable users by radio class instead of UAV index — the tile
+    /// view builder walks every (class, location) pair once.
+    #[inline]
+    pub(crate) fn coverable_class(&self, class: usize, loc: CellIndex) -> UserList<'_> {
+        self.coverage.list(class, loc)
+    }
+
+    /// Number of distinct radio classes across the fleet.
+    #[inline]
+    pub(crate) fn num_radio_classes(&self) -> usize {
+        self.coverage.num_classes()
+    }
+
+    /// Memory accounting for the compressed coverage tables
+    /// (compressed vs would-be-uncompressed bytes and the per-encoding
+    /// list tallies). Reported per scale in `BENCH_sweep.json`.
+    pub fn coverage_memory(&self) -> CoverageMemory {
+        self.coverage.memory()
     }
 
     /// The largest coverage count over the fleet at `loc` — a cheap
@@ -267,7 +291,7 @@ impl Instance {
     #[doc(hidden)]
     pub fn coverage_tables_bruteforce(&self) -> Vec<Vec<Vec<u32>>> {
         let m = self.num_locations();
-        let num_classes = self.coverage.len();
+        let num_classes = self.coverage.num_classes();
         let mut tables = vec![vec![Vec::new(); m]; num_classes];
         for (class, per_loc) in tables.iter_mut().enumerate() {
             let uav = self
@@ -283,12 +307,13 @@ impl Instance {
         tables
     }
 
-    /// The coverage tables as built (`[class][location]` → sorted user
-    /// ids). Exists for differential tests; use [`Instance::coverable`]
-    /// in algorithm code.
+    /// The coverage tables decoded into the legacy `[class][location]`
+    /// → sorted-user-ids layout. Exists for differential tests; use
+    /// [`Instance::coverable`] in algorithm code (it borrows the
+    /// compressed store instead of allocating).
     #[doc(hidden)]
-    pub fn coverage_tables(&self) -> &[Vec<Vec<u32>>] {
-        &self.coverage
+    pub fn coverage_tables(&self) -> Vec<Vec<Vec<u32>>> {
+        self.coverage.decode_all()
     }
 
     /// A degraded copy of this instance whose location graph lost the
@@ -506,13 +531,17 @@ impl InstanceBuilder {
         // inclusive d² ≤ r² planar prefilter happens inside the index
         // scan; the full admissibility check (rate requirement) runs
         // on the survivors. Ids arrive bin-grouped, so each list is
-        // sorted afterwards to restore the ascending-uid invariant.
-        let mut coverage = vec![vec![Vec::new(); m]; classes.len()];
-        for (radio, per_loc) in classes.iter().zip(coverage.iter_mut()) {
-            for (loc, slot) in per_loc.iter_mut().enumerate() {
+        // sorted before encoding to restore the ascending-uid
+        // invariant. Each list is encoded into the compressed store as
+        // soon as it is built — the uncompressed `Vec<Vec<u32>>` shape
+        // never materializes; one scratch buffer is reused throughout.
+        let mut coverage = CoverageTables::with_shape(classes.len(), m);
+        let mut list: Vec<u32> = Vec::new();
+        for radio in &classes {
+            for loc in 0..m {
                 let center = self.grid.cell_center(loc);
                 let hover = self.grid.hover_position(loc);
-                let mut list = Vec::new();
+                list.clear();
                 user_index.for_each_within(&user_positions, center, radio.user_range_m(), |uid| {
                     let user = &self.users[uid as usize];
                     if self
@@ -523,25 +552,26 @@ impl InstanceBuilder {
                     }
                 });
                 list.sort_unstable();
-                *slot = list;
+                #[cfg(feature = "debug-validate")]
+                {
+                    let brute =
+                        coverable_bruteforce(&self.atg, radio, &self.grid, loc, &self.users);
+                    assert_eq!(
+                        list, brute,
+                        "debug-validate: spatial coverage table diverges at loc {loc}"
+                    );
+                }
+                // `push_list` re-decodes the encoded list under
+                // `debug-validate`, closing the compression oracle.
+                coverage.push_list(&list);
             }
         }
-        #[cfg(feature = "debug-validate")]
-        for (class, (radio, per_loc)) in classes.iter().zip(coverage.iter()).enumerate() {
-            for (loc, slot) in per_loc.iter().enumerate() {
-                let brute = coverable_bruteforce(&self.atg, radio, &self.grid, loc, &self.users);
-                assert_eq!(
-                    slot, &brute,
-                    "debug-validate: spatial coverage table diverges at class {class} loc {loc}"
-                );
-            }
-        }
+        let coverage = coverage.finish();
 
         let best_coverage: Vec<usize> = (0..m)
             .map(|loc| {
-                coverage
-                    .iter()
-                    .map(|per_loc| per_loc[loc].len())
+                (0..classes.len())
+                    .map(|class| coverage.count(class, loc))
                     .max()
                     .unwrap_or(0)
             })
@@ -656,7 +686,7 @@ mod tests {
             }])
             .unwrap();
         assert_eq!(surged.num_users(), 2);
-        assert_eq!(surged.coverable(0, 0), &[0, 1]);
+        assert_eq!(surged.coverable(0, 0).to_vec(), vec![0, 1]);
         // Invalid extras are typed errors.
         assert!(surged
             .with_extra_users(&[User {
@@ -717,7 +747,7 @@ mod tests {
         b.add_user(Point2::new(850.0, 850.0), 2_000.0);
         b.add_uav(10, UavRadio::new(30.0, 5.0, 200.0));
         let inst = b.build().unwrap();
-        assert_eq!(inst.coverable(0, 0), &[0]);
+        assert_eq!(inst.coverable(0, 0).to_vec(), vec![0]);
         assert_eq!(inst.coverage_count(0, 8), 1);
         // The middle cell (center 450,450) reaches neither with a
         // 200 m radius.
@@ -746,7 +776,7 @@ mod tests {
         let inst = b.build().unwrap();
         assert_eq!(inst.radio_class[0], inst.radio_class[1]);
         assert_ne!(inst.radio_class[0], inst.radio_class[2]);
-        assert_eq!(inst.coverage.len(), 2);
+        assert_eq!(inst.coverage.num_classes(), 2);
     }
 
     #[test]
@@ -783,13 +813,18 @@ mod tests {
         b.add_uav(10, radio()); // 500 m class
         let inst = b.build().unwrap();
         let brute = inst.coverage_tables_bruteforce();
-        assert_eq!(inst.coverage_tables(), &brute[..]);
+        let tables = inst.coverage_tables();
+        assert_eq!(tables, brute);
         // Every list is sorted and deduplicated.
-        for per_loc in inst.coverage_tables() {
+        for per_loc in &tables {
             for list in per_loc {
                 assert!(list.windows(2).all(|w| w[0] < w[1]));
             }
         }
+        // The compression must never cost more than the naive layout.
+        let mem = inst.coverage_memory();
+        assert!(mem.compressed_bytes <= mem.uncompressed_bytes + 24 * mem.lists);
+        assert_eq!(mem.lists, mem.ids_lists + mem.run_lists + mem.bitset_lists);
     }
 
     #[test]

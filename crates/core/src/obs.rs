@@ -29,6 +29,12 @@ pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution:
     counters::SWEEP_SUBSETS_EVALUATED.add(stats.subsets_evaluated as u64);
     counters::SWEEP_SUBSETS_UNCONNECTABLE.add(stats.subsets_unconnectable as u64);
     counters::SWEEP_GAIN_QUERIES.add(stats.gain_queries);
+    // Shard metrics only exist for the sharded path; keeping them
+    // silent for monolithic sweeps keeps those snapshots unchanged.
+    if stats.tiles_solved > 0 {
+        counters::SHARD_TILES.add(stats.tiles_solved as u64);
+        counters::SHARD_VIEW_ESCAPES.add(stats.view_escapes as u64);
+    }
 
     let p = &stats.profile;
     phases::ENUMERATION.record_ns(p.enumeration_ns);
@@ -36,6 +42,9 @@ pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution:
     phases::CONNECTION.record_ns(p.connection_ns);
     phases::SCORING.record_ns(p.scoring_ns);
     phases::SUBSTRATE_QUERY.record_ns(p.substrate_query_ns);
+    if p.tile_view_ns > 0 {
+        phases::TILE_VIEW.record_ns(p.tile_view_ns);
+    }
 
     emit_run(
         "sweep",
@@ -48,6 +57,8 @@ pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution:
             ("subsets_evaluated", stats.subsets_evaluated as u64),
             ("subsets_unconnectable", stats.subsets_unconnectable as u64),
             ("gain_queries", stats.gain_queries),
+            ("tiles_solved", stats.tiles_solved as u64),
+            ("view_escapes", stats.view_escapes as u64),
             ("served_users", solution.served_users() as u64),
             ("deployed_uavs", solution.deployment().len() as u64),
         ],

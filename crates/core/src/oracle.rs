@@ -1,9 +1,27 @@
 //! The coverage marginal-gain oracle driving the greedy of Algorithm 2.
 
+use crate::shard::TileView;
 use crate::Instance;
-use uavnet_flow::CapacitatedMatching;
+use uavnet_flow::{CapacitatedMatching, UserList};
 use uavnet_geom::CellIndex;
 use uavnet_matroid::MarginalOracle;
+
+/// The coverable-user list the matching should see: the instance's
+/// global table, or — when a tile view is active — the view's local-id
+/// remap of the same list. A free function (not a method) so the
+/// returned borrow ties to the instance/view lifetimes rather than
+/// `&self`, leaving `self.matching` free to be borrowed mutably.
+fn coverable_list<'a>(
+    instance: &'a Instance,
+    view: Option<&'a TileView>,
+    uav: usize,
+    loc: CellIndex,
+) -> UserList<'a> {
+    match view {
+        Some(view) => UserList::Ids(view.list(instance.radio_class(uav), loc)),
+        None => instance.coverable(uav, loc),
+    }
+}
 
 /// A [`MarginalOracle`] over candidate locations: the `k`-th committed
 /// location receives the `k`-th UAV of the capacity-sorted fleet, and
@@ -46,6 +64,9 @@ use uavnet_matroid::MarginalOracle;
 #[derive(Debug, Clone)]
 pub struct CoverageOracle<'a> {
     instance: &'a Instance,
+    /// When set, coverable lists come from the view's local user remap
+    /// and the matching is sized to the view's users.
+    view: Option<&'a TileView>,
     matching: CapacitatedMatching,
     placements: Vec<(usize, CellIndex)>,
     gain_queries: u64,
@@ -56,7 +77,23 @@ impl<'a> CoverageOracle<'a> {
     pub fn new(instance: &'a Instance) -> Self {
         CoverageOracle {
             instance,
+            view: None,
             matching: CapacitatedMatching::new(instance.num_users()),
+            placements: Vec::new(),
+            gain_queries: 0,
+        }
+    }
+
+    /// An oracle whose matching runs over a tile view's local user ids.
+    /// The remap is a bijection on the users the view can reach, so
+    /// gains and served counts equal the global oracle's for any
+    /// deployment inside the view, while the matching arrays shrink
+    /// from `O(instance users)` to `O(view users)`.
+    pub(crate) fn with_view(instance: &'a Instance, view: &'a TileView) -> Self {
+        CoverageOracle {
+            instance,
+            view: Some(view),
+            matching: CapacitatedMatching::new(view.num_local_users()),
             placements: Vec::new(),
             gain_queries: 0,
         }
@@ -120,9 +157,8 @@ impl<'a> CoverageOracle<'a> {
             ));
         };
         let cap = self.instance.uavs()[uav].capacity;
-        let st = self
-            .matching
-            .add_station(cap, self.instance.coverable(uav, loc));
+        let users = coverable_list(self.instance, self.view, uav, loc);
+        let st = self.matching.add_station_list(cap, users);
         self.matching.saturate(st);
         self.placements.push((uav, loc));
         Ok(uav)
@@ -136,10 +172,8 @@ impl MarginalOracle for CoverageOracle<'_> {
             .expect("gain queried with the whole fleet already placed");
         self.gain_queries += 1;
         let cap = self.instance.uavs()[uav].capacity;
-        u64::from(
-            self.matching
-                .evaluate_station(cap, self.instance.coverable(uav, loc)),
-        )
+        let users = coverable_list(self.instance, self.view, uav, loc);
+        u64::from(self.matching.evaluate_station_list(cap, users))
     }
 
     fn commit(&mut self, loc: usize) {
@@ -147,9 +181,8 @@ impl MarginalOracle for CoverageOracle<'_> {
             .next_uav()
             .expect("commit called with the whole fleet already placed");
         let cap = self.instance.uavs()[uav].capacity;
-        let st = self
-            .matching
-            .add_station(cap, self.instance.coverable(uav, loc));
+        let users = coverable_list(self.instance, self.view, uav, loc);
+        let st = self.matching.add_station_list(cap, users);
         self.matching.saturate(st);
         self.placements.push((uav, loc));
     }
@@ -162,7 +195,7 @@ impl MarginalOracle for CoverageOracle<'_> {
         match self.next_uav() {
             Some(uav) => {
                 let cap = u64::from(self.instance.uavs()[uav].capacity);
-                cap.min(self.instance.coverable(uav, loc).len() as u64)
+                cap.min(self.instance.coverage_count(uav, loc) as u64)
             }
             None => 0,
         }

@@ -1,0 +1,629 @@
+//! Sharded, tile-parallel variant of the Algorithm 2 subset sweep.
+//!
+//! The monolithic sweep hands every worker arbitrary enumeration
+//! chunks, so each worker's matching buffers are sized to the whole
+//! instance — at a million users that is the working set. The sharded
+//! sweep instead decomposes the hovering grid into square spatial
+//! tiles (reusing the grid geometry behind
+//! [`TilePartition`](uavnet_geom::TilePartition)), assigns every seed
+//! subset to the tile holding its lexicographically first pool member,
+//! and solves whole tiles in parallel against *tile views*: the
+//! locations reachable from the tile's pool members within a hop
+//! bound, plus a dense remap of just the users those locations can
+//! cover. Matching then runs over `O(tile users)` ids instead of
+//! `O(instance users)`.
+//!
+//! Stitching stays globally exact because nothing global is
+//! approximated:
+//!
+//! * the [`ConnectivitySubstrate`] is built once over the full
+//!   location graph, and every per-tile matroid, MST connection and
+//!   gateway extension reads it with **global** location ids — tile
+//!   boundaries never truncate relay routing;
+//! * the local user remap is a bijection on the users a view can
+//!   reach, and a maximum matching's value is invariant under
+//!   relabeling, so served counts (and the lazy greedy's pick
+//!   sequence, which only compares gains) are bit-identical to the
+//!   monolithic sweep's;
+//! * any subset whose ground set or relay paths still leave its view
+//!   (possible via gateway extension, or with chain pruning off)
+//!   reports [`SubsetOutcome::EscapedView`] *before* its first gain
+//!   query against the truncated view and is re-solved against a
+//!   lazily created global workspace.
+//!
+//! The per-tile reduce uses (served desc, combo lex asc), which equals
+//! the monolithic (served desc, enumeration rank asc) order, so
+//! [`approx_alg_sharded`] returns the same solution and the same
+//! deterministic statistics as [`approx_alg_with_stats`] for any tile
+//! size and thread count — `crate::verify::check_sharded_sweep` pins
+//! exactly that.
+//!
+//! [`approx_alg_with_stats`]: crate::approx_alg_with_stats
+//! [`SubsetOutcome::EscapedView`]: crate::approx::SubsetOutcome::EscapedView
+
+use crate::approx::{
+    binomial, chain_feasible, deploy_leftovers, fallback_single_uav, next_combination,
+    panic_payload_message, pool_distances, seed_pool, ApproxConfig, ApproxStats, PhaseNanos,
+    SubsetOutcome, SweepProfile, SweepWorkspace,
+};
+use crate::solution::{score_deployment, Solution};
+use crate::{CoreError, Instance, SegmentPlan};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use uavnet_geom::{CellIndex, TilePartition};
+use uavnet_graph::{ConnectivitySubstrate, UNREACHABLE_HOPS};
+
+/// Configuration of [`approx_alg_sharded`].
+///
+/// # Examples
+///
+/// ```
+/// use uavnet_core::ShardConfig;
+/// let shard = ShardConfig::new().tile_cells(4);
+/// assert_eq!(shard.tile_cells_per_side(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    tile_cells: usize,
+}
+
+impl ShardConfig {
+    /// The default sharding: 8×8-cell tiles.
+    pub fn new() -> Self {
+        ShardConfig { tile_cells: 8 }
+    }
+
+    /// Sets the tile side in grid cells; `0` collapses to a single
+    /// tile covering the whole grid.
+    pub fn tile_cells(mut self, cells: usize) -> Self {
+        self.tile_cells = cells;
+        self
+    }
+
+    /// The configured tile side in grid cells.
+    pub fn tile_cells_per_side(&self) -> usize {
+        self.tile_cells
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new()
+    }
+}
+
+/// A tile's restricted solving context: the locations reachable from
+/// the tile's pool members within the sweep's hop bound, and a dense
+/// remap of the users those locations can cover. Location ids stay
+/// global everywhere; only the *user* axis is remapped, so the
+/// matching kernel works on arrays sized to the tile.
+#[derive(Debug)]
+pub(crate) struct TileView {
+    /// Global location ids in the view, ascending.
+    locs: Vec<CellIndex>,
+    /// Global location → dense slot in `locs`; `u32::MAX` marks a
+    /// location outside the view.
+    loc_slot: Vec<u32>,
+    /// Users appearing in any of the view's coverage lists.
+    num_local_users: usize,
+    /// CSR offsets over `(class, loc slot)` entries, class-major.
+    start: Vec<usize>,
+    /// Local user ids of every list, ascending within each list (the
+    /// global → local remap is monotone).
+    lists: Vec<u32>,
+}
+
+impl TileView {
+    /// Whether the global location `loc` is inside the view.
+    pub(crate) fn contains_loc(&self, loc: CellIndex) -> bool {
+        self.loc_slot[loc] != u32::MAX
+    }
+
+    /// The local-id coverable list for (`class`, global `loc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if `loc` is outside the view — callers must
+    /// check [`contains_loc`](Self::contains_loc) via the escape
+    /// protocol first.
+    pub(crate) fn list(&self, class: usize, loc: CellIndex) -> &[u32] {
+        let slot = self.loc_slot[loc];
+        debug_assert_ne!(slot, u32::MAX, "location {loc} outside the tile view");
+        let idx = class * self.locs.len() + slot as usize;
+        &self.lists[self.start[idx]..self.start[idx + 1]]
+    }
+
+    /// Number of distinct users the view's lists mention — the size of
+    /// the local matching.
+    pub(crate) fn num_local_users(&self) -> usize {
+        self.num_local_users
+    }
+}
+
+/// Per-worker reusable buffers for view construction; the epoch stamp
+/// makes "have I seen this user in this tile?" an O(1) check without
+/// clearing a million-entry array between tiles.
+struct ViewScratch {
+    stamp: Vec<u32>,
+    slot: Vec<u32>,
+    epoch: u32,
+    users: Vec<u32>,
+}
+
+impl ViewScratch {
+    fn new(num_users: usize) -> Self {
+        ViewScratch {
+            stamp: vec![0; num_users],
+            slot: vec![0; num_users],
+            epoch: 0,
+            users: Vec::new(),
+        }
+    }
+}
+
+/// Builds the view for one tile: the reach set is every location
+/// within `reach` hops of any of the tile's pool member locations
+/// (per the shared substrate), and the user remap densely renumbers —
+/// in ascending global order, so remapped lists stay sorted — the
+/// users coverable from those locations.
+fn build_view(
+    instance: &Instance,
+    sub: &ConnectivitySubstrate,
+    members: &[CellIndex],
+    reach: usize,
+    scratch: &mut ViewScratch,
+) -> TileView {
+    let m = instance.num_locations();
+    let classes = instance.num_radio_classes();
+    let mut loc_slot = vec![u32::MAX; m];
+    for &member in members {
+        for (v, &d) in sub.hop_row(member).iter().enumerate() {
+            if d != UNREACHABLE_HOPS && d as usize <= reach {
+                loc_slot[v] = 0;
+            }
+        }
+    }
+    let locs: Vec<CellIndex> = (0..m).filter(|&v| loc_slot[v] == 0).collect();
+    for (slot, &v) in locs.iter().enumerate() {
+        loc_slot[v] = slot as u32;
+    }
+
+    scratch.epoch = scratch.epoch.checked_add(1).unwrap_or_else(|| {
+        scratch.stamp.fill(0);
+        1
+    });
+    let epoch = scratch.epoch;
+    scratch.users.clear();
+    let mut total_len = 0usize;
+    for class in 0..classes {
+        for &v in &locs {
+            let list = instance.coverable_class(class, v);
+            total_len += list.count();
+            list.for_each_while(|u| {
+                if scratch.stamp[u as usize] != epoch {
+                    scratch.stamp[u as usize] = epoch;
+                    scratch.users.push(u);
+                }
+                true
+            });
+        }
+    }
+    scratch.users.sort_unstable();
+    for (i, &u) in scratch.users.iter().enumerate() {
+        scratch.slot[u as usize] = i as u32;
+    }
+
+    let mut start = Vec::with_capacity(classes * locs.len() + 1);
+    let mut lists = Vec::with_capacity(total_len);
+    for class in 0..classes {
+        for &v in &locs {
+            start.push(lists.len());
+            instance.coverable_class(class, v).for_each_while(|u| {
+                lists.push(scratch.slot[u as usize]);
+                true
+            });
+        }
+    }
+    start.push(lists.len());
+
+    TileView {
+        locs,
+        loc_slot,
+        num_local_users: scratch.users.len(),
+        start,
+        lists,
+    }
+}
+
+/// [`approx_alg_with_stats`](crate::approx_alg_with_stats) over
+/// spatial tiles: bit-identical solution and deterministic statistics,
+/// with per-tile matchings sized to the tile's users instead of the
+/// whole instance.
+///
+/// The fault-injection hook
+/// [`ApproxConfig::inject_worker_panic_at`] keys on enumeration ranks
+/// of the monolithic chunking and is ignored here.
+///
+/// # Errors
+///
+/// Same contract as [`approx_alg_with_stats`](crate::approx_alg_with_stats):
+/// [`CoreError::InvalidParameters`] on a bad `s` or a tripped
+/// `max_subsets` limit, [`CoreError::Substrate`] when the location
+/// graph exceeds the hop matrix's node limit, [`CoreError::Sweep`]
+/// when a worker panics.
+///
+/// # Examples
+///
+/// ```
+/// # use uavnet_core::{approx_alg_sharded, approx_alg_with_stats, ApproxConfig, Instance, ShardConfig};
+/// # use uavnet_channel::UavRadio;
+/// # use uavnet_geom::{AreaSpec, GridSpec, Point2};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let grid = GridSpec::new(AreaSpec::new(900.0, 900.0, 500.0)?, 300.0, 300.0)?.build();
+/// # let mut b = Instance::builder(grid, 600.0);
+/// # b.add_user(Point2::new(150.0, 150.0), 2_000.0);
+/// # b.add_user(Point2::new(750.0, 750.0), 2_000.0);
+/// # b.add_uav(5, UavRadio::new(30.0, 5.0, 400.0));
+/// # b.add_uav(5, UavRadio::new(30.0, 5.0, 400.0));
+/// # let instance = b.build()?;
+/// let config = ApproxConfig::with_s(1).threads(2);
+/// let (sharded, _) = approx_alg_sharded(&instance, &config, &ShardConfig::new().tile_cells(1))?;
+/// let (monolithic, _) = approx_alg_with_stats(&instance, &config)?;
+/// assert_eq!(sharded.served_users(), monolithic.served_users());
+/// # Ok(())
+/// # }
+/// ```
+pub fn approx_alg_sharded(
+    instance: &Instance,
+    config: &ApproxConfig,
+    shard: &ShardConfig,
+) -> Result<(Solution, ApproxStats), CoreError> {
+    let s = config.s();
+    let m = instance.num_locations();
+    if s > m {
+        return Err(CoreError::InvalidParameters(format!(
+            "s = {s} exceeds the {m} candidate locations"
+        )));
+    }
+    let plan = SegmentPlan::optimal(instance.num_uavs(), s)?;
+    if crate::approx::gateway_unsatisfiable(instance) {
+        return Ok(crate::approx::infeasible_gateway_result(
+            instance, config, plan,
+        ));
+    }
+    let _sweep_span = uavnet_obs::phases::SWEEP_TOTAL.span();
+
+    let t_substrate = Instant::now();
+    let substrate = ConnectivitySubstrate::build(instance.location_graph())?;
+    let substrate_build_ns = t_substrate.elapsed().as_nanos() as u64;
+
+    let pool = seed_pool(instance, config, &substrate);
+    let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
+    let pool_dists = pool_distances(config, &pool, &substrate);
+
+    // Subsets go to the tile of their lexicographically first pool
+    // member; a tile's work item is the sorted list of pool *indices*
+    // it owns, so per-member enumeration below walks exactly the
+    // monolithic combination order restricted to first elements in the
+    // tile.
+    let grid = instance.grid();
+    let partition = TilePartition::build(grid.cols(), grid.rows(), shard.tile_cells);
+    let mut tile_members: Vec<Vec<usize>> = vec![Vec::new(); partition.num_tiles()];
+    for (i, &v) in pool.iter().enumerate() {
+        tile_members[partition.tile_of(v)].push(i);
+    }
+    let tiles: Vec<Vec<usize>> = tile_members.into_iter().filter(|t| !t.is_empty()).collect();
+
+    // Everything a subset can touch sits within `chain_span + h_max`
+    // hops of its first seed (consecutive seeds within their chain
+    // budgets, ground cells within h_max of a seed), and a shortest
+    // relay path between two such cells strays at most one more
+    // diameter out — 3× covers it. Without chain pruning, later seeds
+    // roam freely, so the view degenerates to the whole grid (the
+    // escape protocol would catch violations anyway; this just avoids
+    // guaranteed escapes).
+    let chain_span: usize = chain_budgets.iter().sum();
+    let reach = if s >= 2 && !config.is_chain_pruning() {
+        usize::MAX
+    } else {
+        3 * (chain_span + plan.h_max())
+    };
+
+    let total = binomial(pool.len(), s);
+    let cursor = AtomicUsize::new(0);
+    let survivors = AtomicUsize::new(0);
+    let chain_pruned = AtomicUsize::new(0);
+    let unconnectable = AtomicUsize::new(0);
+    let over_limit = AtomicBool::new(false);
+    let gain_queries = AtomicU64::new(0);
+    let tiles_solved = AtomicUsize::new(0);
+    let view_escapes = AtomicUsize::new(0);
+    let enumeration_ns = AtomicU64::new(0);
+    let greedy_ns = AtomicU64::new(0);
+    let connection_ns = AtomicU64::new(0);
+    let scoring_ns = AtomicU64::new(0);
+    let substrate_query_ns = AtomicU64::new(0);
+    let tile_view_ns = AtomicU64::new(0);
+    let threads = config.num_threads().min(tiles.len().max(1));
+
+    // (served, combo pool indices, placements, seeds) of a worker's
+    // best. Combos compare lexicographically — identical to comparing
+    // monolithic enumeration ranks.
+    type Best = Option<(usize, Vec<usize>, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
+
+    let worker = || -> Best {
+        let mut scratch = ViewScratch::new(instance.num_users());
+        let mut global_ws: Option<SweepWorkspace<'_>> = None;
+        let mut profile = PhaseNanos::default();
+        let mut combo: Vec<usize> = Vec::with_capacity(s);
+        let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
+        let mut local_best: Best = None;
+        let mut queries = 0u64;
+        let mut escapes = 0usize;
+        let mut solved = 0usize;
+        'tiles: while !over_limit.load(Ordering::Relaxed) {
+            let t = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(members) = tiles.get(t) else { break };
+            let t_tile = Instant::now();
+            let t_view = Instant::now();
+            let member_cells: Vec<CellIndex> = members.iter().map(|&i| pool[i]).collect();
+            let view = build_view(instance, &substrate, &member_cells, reach, &mut scratch);
+            profile.tile_view += t_view.elapsed().as_nanos() as u64;
+            let mut ws = SweepWorkspace::with_view(instance, &substrate, &view);
+            for &i0 in members {
+                if pool.len() - i0 < s {
+                    continue;
+                }
+                combo.clear();
+                combo.extend(i0..i0 + s);
+                loop {
+                    let t_enum = Instant::now();
+                    let keep = match &pool_dists {
+                        Some(d) => chain_feasible(d, &combo, &chain_budgets),
+                        None => true,
+                    };
+                    profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                    if keep {
+                        if let Some(limit) = config.subset_limit() {
+                            if survivors.fetch_add(1, Ordering::Relaxed) >= limit {
+                                over_limit.store(true, Ordering::Relaxed);
+                                break 'tiles;
+                            }
+                        } else {
+                            survivors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        seeds.clear();
+                        seeds.extend(combo.iter().map(|&i| pool[i]));
+                        let before = ws.gain_queries();
+                        let mut outcome = ws.solve_subset(&plan, &seeds, &mut profile);
+                        let mut winner: &SweepWorkspace<'_> = &ws;
+                        if outcome == SubsetOutcome::EscapedView {
+                            // The tile view cannot score this subset;
+                            // any queries it burnt before noticing are
+                            // discarded so totals match the monolithic
+                            // sweep, where only the deciding (global)
+                            // evaluation exists.
+                            escapes += 1;
+                            let gws = global_ws.get_or_insert_with(|| {
+                                SweepWorkspace::with_substrate(instance, &substrate)
+                            });
+                            let gbefore = gws.gain_queries();
+                            outcome = gws.solve_subset(&plan, &seeds, &mut profile);
+                            queries += gws.gain_queries() - gbefore;
+                            winner = &*gws;
+                        } else {
+                            queries += ws.gain_queries() - before;
+                        }
+                        match outcome {
+                            SubsetOutcome::Served(served) => {
+                                let better = match &local_best {
+                                    None => true,
+                                    Some((bs, bc, _, _)) => {
+                                        served > *bs || (served == *bs && combo < *bc)
+                                    }
+                                };
+                                if better {
+                                    local_best = Some((
+                                        served,
+                                        combo.clone(),
+                                        winner.placements().to_vec(),
+                                        seeds.clone(),
+                                    ));
+                                }
+                            }
+                            SubsetOutcome::Unconnectable => {
+                                unconnectable.fetch_add(1, Ordering::Relaxed);
+                            }
+                            SubsetOutcome::EscapedView => {
+                                unreachable!("a global workspace has no view to escape")
+                            }
+                        }
+                    } else {
+                        chain_pruned.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !next_combination(&mut combo, pool.len()) || combo[0] != i0 {
+                        break;
+                    }
+                }
+            }
+            solved += 1;
+            uavnet_obs::hists::TILE_SOLVE.record_ns(t_tile.elapsed().as_nanos() as u64);
+        }
+        gain_queries.fetch_add(queries, Ordering::Relaxed);
+        tiles_solved.fetch_add(solved, Ordering::Relaxed);
+        view_escapes.fetch_add(escapes, Ordering::Relaxed);
+        enumeration_ns.fetch_add(profile.enumeration, Ordering::Relaxed);
+        greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
+        connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
+        scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
+        substrate_query_ns.fetch_add(profile.substrate_query, Ordering::Relaxed);
+        tile_view_ns.fetch_add(profile.tile_view, Ordering::Relaxed);
+        local_best
+    };
+
+    let joined: Vec<Result<Best, Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut bests: Vec<Best> = Vec::with_capacity(joined.len());
+    let mut worker_panic: Option<String> = None;
+    for result in joined {
+        match result {
+            Ok(best) => bests.push(best),
+            Err(payload) => {
+                worker_panic.get_or_insert_with(|| panic_payload_message(&*payload));
+            }
+        }
+    }
+    if let Some(message) = worker_panic {
+        return Err(CoreError::Sweep(message));
+    }
+
+    if over_limit.load(Ordering::Relaxed) {
+        let limit = config.subset_limit().expect("over_limit implies a limit");
+        return Err(CoreError::InvalidParameters(format!(
+            "more than {limit} seed subsets survive pruning; \
+             coarsen the grid or raise max_subsets"
+        )));
+    }
+
+    let mut best: Best = None;
+    for cand in bests.into_iter().flatten() {
+        let better = match &best {
+            None => true,
+            Some((bs, bc, _, _)) => cand.0 > *bs || (cand.0 == *bs && cand.1 < *bc),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+
+    let stats = ApproxStats {
+        plan,
+        seed_pool_size: pool.len(),
+        subsets_enumerated: total as usize,
+        subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
+        subsets_evaluated: survivors.load(Ordering::Relaxed),
+        subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
+        best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
+        gain_queries: gain_queries.load(Ordering::Relaxed),
+        tiles_solved: tiles_solved.load(Ordering::Relaxed),
+        view_escapes: view_escapes.load(Ordering::Relaxed),
+        profile: SweepProfile {
+            enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
+            greedy_ns: greedy_ns.load(Ordering::Relaxed),
+            connection_ns: connection_ns.load(Ordering::Relaxed),
+            scoring_ns: scoring_ns.load(Ordering::Relaxed),
+            subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
+            substrate_build_ns,
+            substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
+            tile_view_ns: tile_view_ns.load(Ordering::Relaxed),
+        },
+    };
+
+    let mut placements = match best {
+        Some((_, _, placements, _)) => placements,
+        None => fallback_single_uav(instance),
+    };
+    if config.is_leftover_deployment() {
+        deploy_leftovers(instance, &mut placements);
+    }
+    let solution = score_deployment(instance, placements);
+    #[cfg(feature = "debug-validate")]
+    solution
+        .validate(instance)
+        .expect("debug-validate: sharded sweep produced a solution its own validator rejects");
+    crate::obs::record_sweep(config, &stats, &solution);
+    Ok((solution, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_alg_with_stats;
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn clustered_instance() -> Instance {
+        let grid = GridSpec::new(
+            AreaSpec::new(2_400.0, 2_400.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        for i in 0..8 {
+            b.add_user(Point2::new(150.0 + 20.0 * i as f64, 180.0), 2_000.0);
+        }
+        for i in 0..7 {
+            b.add_user(Point2::new(2_150.0 + 10.0 * i as f64, 2_250.0), 2_000.0);
+        }
+        for i in 0..5 {
+            b.add_user(Point2::new(1_250.0, 400.0 + 30.0 * i as f64), 2_000.0);
+        }
+        for cap in [5u32, 4, 3, 3, 2, 2] {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, 400.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_across_tile_sizes() {
+        let inst = clustered_instance();
+        for s in [1usize, 2] {
+            let config = ApproxConfig::with_s(s).threads(3);
+            let (mono, mono_stats) = approx_alg_with_stats(&inst, &config).unwrap();
+            for tile_cells in [1usize, 2, 3, 8, 0] {
+                let shard = ShardConfig::new().tile_cells(tile_cells);
+                let (sol, stats) = approx_alg_sharded(&inst, &config, &shard).unwrap();
+                assert_eq!(sol.served_users(), mono.served_users(), "tile {tile_cells}");
+                assert_eq!(sol.deployment(), mono.deployment(), "tile {tile_cells}");
+                assert_eq!(stats.best_seeds, mono_stats.best_seeds);
+                assert_eq!(stats.gain_queries, mono_stats.gain_queries);
+                assert_eq!(stats.subsets_enumerated, mono_stats.subsets_enumerated);
+                assert_eq!(stats.subsets_chain_pruned, mono_stats.subsets_chain_pruned);
+                assert_eq!(stats.subsets_evaluated, mono_stats.subsets_evaluated);
+                assert_eq!(
+                    stats.subsets_unconnectable,
+                    mono_stats.subsets_unconnectable
+                );
+                assert!(stats.tiles_solved >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_without_chain_pruning() {
+        let inst = clustered_instance();
+        let config = ApproxConfig::with_s(2).threads(2).prune_chain(false);
+        let (mono, mono_stats) = approx_alg_with_stats(&inst, &config).unwrap();
+        let (sol, stats) =
+            approx_alg_sharded(&inst, &config, &ShardConfig::new().tile_cells(2)).unwrap();
+        assert_eq!(sol.served_users(), mono.served_users());
+        assert_eq!(sol.deployment(), mono.deployment());
+        assert_eq!(stats.gain_queries, mono_stats.gain_queries);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let inst = clustered_instance();
+        let shard = ShardConfig::new().tile_cells(2);
+        let base = approx_alg_sharded(&inst, &ApproxConfig::with_s(1).threads(1), &shard).unwrap();
+        for threads in [2usize, 5] {
+            let other =
+                approx_alg_sharded(&inst, &ApproxConfig::with_s(1).threads(threads), &shard)
+                    .unwrap();
+            assert_eq!(other.0.deployment(), base.0.deployment());
+            assert_eq!(other.1.gain_queries, base.1.gain_queries);
+        }
+    }
+
+    #[test]
+    fn max_subsets_limit_still_trips() {
+        let inst = clustered_instance();
+        let config = ApproxConfig::with_s(1).max_subsets(2);
+        let err = approx_alg_sharded(&inst, &config, &ShardConfig::new()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameters(_)));
+    }
+}

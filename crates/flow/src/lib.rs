@@ -38,7 +38,9 @@
 mod dinic;
 mod matching;
 mod mincost;
+mod users;
 
 pub use dinic::{ArcId, FlowNetwork};
 pub use matching::{CapacitatedMatching, StationId};
 pub use mincost::{CostArcId, MinCostFlow};
+pub use users::{UserList, UserListIter, UserRun};

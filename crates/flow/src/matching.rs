@@ -10,18 +10,47 @@
 //! `n_{k,l} − n_{k−1}` in Algorithm 2.
 //!
 //! The structure is allocation-free on the query path: station
-//! adjacency lives in one flattened CSR arena, the BFS queue and the
-//! rollback log are persistent scratch buffers that are reused (never
-//! freed) across searches, and [`evaluate_station`]
+//! adjacency lives in two flattened arenas (plain ids, or the words of
+//! a 64-aligned bitset list copied verbatim at commit time), the BFS
+//! queue and the rollback log are persistent scratch buffers that are
+//! reused (never freed) across searches, and [`evaluate_station`]
 //! (CapacitatedMatching::evaluate_station) borrows the candidate user
-//! list instead of copying it into a temporary station. After warm-up,
+//! list instead of copying it into a temporary station. A free-user
+//! bitset mirrors the assignment so pre-passes intersect bitset lists
+//! word-by-word instead of probing users one at a time. After warm-up,
 //! repeated gain queries and commits perform no heap allocation, which
 //! is what makes the subset-sweep oracle loop cheap enough to run
 //! millions of times.
 
+use crate::users::UserList;
+
 /// Identifier of a station returned by
 /// [`CapacitatedMatching::add_station`].
 pub type StationId = usize;
+
+/// An all-ones free-user bitset for `num_users` users, with the bits
+/// past the last user masked off so word-wise intersections never
+/// fabricate a phantom free user.
+fn all_free_words(num_users: usize) -> Vec<u64> {
+    let mut words = vec![!0u64; num_users.div_ceil(64)];
+    let tail = num_users % 64;
+    if tail != 0 {
+        if let Some(last) = words.last_mut() {
+            *last = (1u64 << tail) - 1;
+        }
+    }
+    words
+}
+
+/// Where one committed station's adjacency lives: a span of the id
+/// arena, or — for 64-aligned bitset lists — a span of the word arena
+/// (committing is then a word memcpy and the saturation pre-pass
+/// intersects directly with the free-user bitset).
+#[derive(Debug, Clone, Copy)]
+enum StationAdj {
+    Ids { start: usize, len: usize },
+    Words { start: usize, len: usize, base: u32 },
+}
 
 /// A maximum capacitated matching maintained incrementally.
 ///
@@ -42,12 +71,18 @@ pub type StationId = usize;
 #[derive(Debug, Clone)]
 pub struct CapacitatedMatching {
     user_station: Vec<Option<StationId>>,
+    // Mirror of `user_station`: bit u set ⇔ user u unmatched. Lets the
+    // pre-passes intersect 64-aligned bitset coverage lists one word
+    // at a time, skipping matched users wholesale.
+    free: Vec<u64>,
     station_cap: Vec<u32>,
     station_load: Vec<u32>,
-    // Station adjacency in CSR form: station `x` covers
-    // `adj[adj_start[x]..adj_start[x + 1]]`.
+    // Station adjacency: per-station span into one of two shared
+    // arenas, kept in whichever representation the caller's list
+    // already had (ids stay ids, aligned bitsets stay words).
+    station_adj: Vec<StationAdj>,
     adj: Vec<u32>,
-    adj_start: Vec<usize>,
+    adj_words: Vec<u64>,
     matched: usize,
     // BFS scratch, one slot per station plus one for the trial station
     // (stamped visited marks avoid clearing between searches).
@@ -66,10 +101,12 @@ impl CapacitatedMatching {
     pub fn new(num_users: usize) -> Self {
         CapacitatedMatching {
             user_station: vec![None; num_users],
+            free: all_free_words(num_users),
             station_cap: Vec::new(),
             station_load: Vec::new(),
+            station_adj: Vec::new(),
             adj: Vec::new(),
-            adj_start: vec![0],
+            adj_words: Vec::new(),
             matched: 0,
             // One scratch slot exists beyond the last real station so a
             // trial station (id == num_stations) can use it.
@@ -131,10 +168,18 @@ impl CapacitatedMatching {
     /// The user count is unchanged.
     pub fn reset(&mut self) {
         self.user_station.fill(None);
+        let tail = self.user_station.len() % 64;
+        self.free.fill(!0);
+        if tail != 0 {
+            if let Some(last) = self.free.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
         self.station_cap.clear();
         self.station_load.clear();
+        self.station_adj.clear();
         self.adj.clear();
-        self.adj_start.truncate(1);
+        self.adj_words.clear();
         self.matched = 0;
         self.visit_mark.truncate(1);
         self.parent_station.truncate(1);
@@ -154,39 +199,65 @@ impl CapacitatedMatching {
     ///
     /// Panics if any user id is out of range.
     pub fn add_station(&mut self, cap: u32, users: &[u32]) -> StationId {
+        self.add_station_list(cap, UserList::Ids(users))
+    }
+
+    /// [`add_station`](Self::add_station) over any [`UserList`]
+    /// encoding: id slices and 64-aligned bitset windows are copied
+    /// into their arena verbatim (one `extend_from_slice` each — no
+    /// per-user decode); runs and unaligned bitsets are decoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user id is out of range.
+    pub fn add_station_list(&mut self, cap: u32, users: UserList<'_>) -> StationId {
         let n = self.num_users();
-        for &u in users {
-            assert!((u as usize) < n, "user {u} out of range for {n} users");
+        if let Some(max) = users.max_id() {
+            assert!((max as usize) < n, "user {max} out of range for {n} users");
         }
         self.station_cap.push(cap);
         self.station_load.push(0);
-        self.adj.extend_from_slice(users);
-        self.adj_start.push(self.adj.len());
+        match users {
+            UserList::Ids(ids) => {
+                self.station_adj.push(StationAdj::Ids {
+                    start: self.adj.len(),
+                    len: ids.len(),
+                });
+                self.adj.extend_from_slice(ids);
+            }
+            UserList::Bits { base, words } if base % 64 == 0 => {
+                self.station_adj.push(StationAdj::Words {
+                    start: self.adj_words.len(),
+                    len: words.len(),
+                    base,
+                });
+                self.adj_words.extend_from_slice(words);
+            }
+            other => {
+                let start = self.adj.len();
+                other.for_each_while(|u| {
+                    self.adj.push(u);
+                    true
+                });
+                self.station_adj.push(StationAdj::Ids {
+                    start,
+                    len: self.adj.len() - start,
+                });
+            }
+        }
         self.visit_mark.push(0);
         self.parent_station.push(usize::MAX);
         self.parent_user.push(u32::MAX);
         self.station_cap.len() - 1
     }
 
-    /// Adjacency list of station `x`, where `x == num_stations` selects
-    /// the borrowed trial list.
-    #[inline]
-    fn adjacency_bounds(&self, x: usize, trial: Option<&[u32]>) -> (usize, usize, bool) {
-        if x == self.station_cap.len() {
-            let t = trial.expect("trial station visited outside a trial search");
-            (0, t.len(), true)
-        } else {
-            (self.adj_start[x], self.adj_start[x + 1], false)
-        }
-    }
-
     /// One augmenting-path BFS from `st`, applying the augmentation if
     /// one is found. With `trial = Some(users)`, `st` is the phantom
     /// station `num_stations` whose adjacency is the borrowed `users`
-    /// slice; its capacity is enforced by the caller and its load is
+    /// list; its capacity is enforced by the caller and its load is
     /// never stored. With `record`, every user reassignment is pushed
     /// onto the persistent rollback log for the caller to unwind.
-    fn augment_once(&mut self, st: usize, trial: Option<&[u32]>, record: bool) -> bool {
+    fn augment_once(&mut self, st: usize, trial: Option<UserList<'_>>, record: bool) -> bool {
         uavnet_obs::counters::MATCHING_BFS_RESTARTS.add(1);
         let _bfs_timer = uavnet_obs::hists::BFS_RESTART.timer();
         self.epoch += 1;
@@ -199,51 +270,115 @@ impl CapacitatedMatching {
         while head < self.queue.len() {
             let x = self.queue[head];
             head += 1;
-            let (start, end, is_trial) = self.adjacency_bounds(x, trial);
-            for idx in start..end {
-                let u = if is_trial {
-                    trial.expect("trial adjacency without a trial slice")[idx]
-                } else {
-                    self.adj[idx]
-                };
-                match self.user_station[u as usize] {
-                    None => {
-                        // Found an augmenting path ending at unmatched u:
-                        // reassign along the parent chain back to st.
-                        let mut user = u;
-                        let mut station = x;
-                        loop {
-                            let old = self.user_station[user as usize];
-                            if record {
-                                self.rollback.push((user, old));
+            if x == trial_id {
+                // The trial list borrows caller data, so iterating it
+                // while mutating `self` needs no indexed re-borrows.
+                let t = trial.expect("trial station visited outside a trial search");
+                let mut augmented = false;
+                t.for_each_while(|u| {
+                    augmented = self.relax_user(u, x, st, trial_id, epoch, record);
+                    !augmented
+                });
+                if augmented {
+                    return true;
+                }
+            } else {
+                match self.station_adj[x] {
+                    StationAdj::Ids { start, len } => {
+                        for idx in start..start + len {
+                            let u = self.adj[idx];
+                            if self.relax_user(u, x, st, trial_id, epoch, record) {
+                                return true;
                             }
-                            self.user_station[user as usize] = Some(station);
-                            if station == st {
-                                break;
-                            }
-                            let pu = self.parent_user[station];
-                            let ps = self.parent_station[station];
-                            user = pu;
-                            station = ps;
                         }
-                        if st != trial_id {
-                            self.station_load[st] += 1;
-                        }
-                        self.matched += 1;
-                        return true;
                     }
-                    Some(y) => {
-                        if self.visit_mark[y] != epoch {
-                            self.visit_mark[y] = epoch;
-                            self.parent_station[y] = x;
-                            self.parent_user[y] = u;
-                            self.queue.push(y);
+                    StationAdj::Words { start, len, base } => {
+                        // A station one restart visits will be rescanned
+                        // by many more: decode once into the ids arena
+                        // and flip, so every later walk is a slice scan.
+                        // (Representation-only — never rolled back.)
+                        let ids_start = self.adj.len();
+                        for wi in 0..len {
+                            let mut bits = self.adj_words[start + wi];
+                            while bits != 0 {
+                                let u = base + wi as u32 * 64 + bits.trailing_zeros();
+                                bits &= bits - 1;
+                                self.adj.push(u);
+                            }
+                        }
+                        let ids_len = self.adj.len() - ids_start;
+                        self.station_adj[x] = StationAdj::Ids {
+                            start: ids_start,
+                            len: ids_len,
+                        };
+                        for idx in ids_start..ids_start + ids_len {
+                            let u = self.adj[idx];
+                            if self.relax_user(u, x, st, trial_id, epoch, record) {
+                                return true;
+                            }
                         }
                     }
                 }
             }
         }
         false
+    }
+
+    /// BFS step on one `station x → user u` edge. Applies and returns
+    /// `true` when `u` is free (augmenting path found, reassignment
+    /// walked back along the parent chain to `st`); otherwise enqueues
+    /// `u`'s current station if unvisited this epoch.
+    ///
+    /// `inline(always)`: this is the per-element body of every BFS
+    /// adjacency walk — an outlined call here costs double-digit
+    /// percents on the large sweeps.
+    #[inline(always)]
+    fn relax_user(
+        &mut self,
+        u: u32,
+        x: usize,
+        st: usize,
+        trial_id: usize,
+        epoch: u64,
+        record: bool,
+    ) -> bool {
+        match self.user_station[u as usize] {
+            None => {
+                // Only the entry user of the chain was free; everyone
+                // else merely changes station.
+                self.free[(u / 64) as usize] &= !(1u64 << (u % 64));
+                let mut user = u;
+                let mut station = x;
+                loop {
+                    let old = self.user_station[user as usize];
+                    if record {
+                        self.rollback.push((user, old));
+                    }
+                    self.user_station[user as usize] = Some(station);
+                    if station == st {
+                        break;
+                    }
+                    let pu = self.parent_user[station];
+                    let ps = self.parent_station[station];
+                    user = pu;
+                    station = ps;
+                }
+                if st != trial_id {
+                    self.station_load[st] += 1;
+                }
+                self.matched += 1;
+                true
+            }
+            Some(y) => {
+                if self.visit_mark[y] != epoch {
+                    self.visit_mark[y] = epoch;
+                    self.parent_station[y] = x;
+                    self.parent_user[y] = u;
+                    self.queue.push(y);
+                }
+                false
+            }
+        }
     }
 
     /// Augments from `st` until its capacity is full or no augmenting
@@ -264,17 +399,45 @@ impl CapacitatedMatching {
         // returns the earliest free adjacent user before any
         // displacement path is explored — so the final assignment is
         // bit-for-bit the same, minus one BFS restart per claimed user.
-        for idx in self.adj_start[st]..self.adj_start[st + 1] {
-            if self.station_load[st] >= self.station_cap[st] {
-                break;
+        match self.station_adj[st] {
+            StationAdj::Ids { start, len } => {
+                for idx in start..start + len {
+                    if self.station_load[st] >= self.station_cap[st] {
+                        break;
+                    }
+                    let u = self.adj[idx] as usize;
+                    if self.user_station[u].is_none() {
+                        self.user_station[u] = Some(st);
+                        self.free[u / 64] &= !(1u64 << (u % 64));
+                        self.station_load[st] += 1;
+                        self.matched += 1;
+                        gained += 1;
+                        uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
+                    }
+                }
             }
-            let u = self.adj[idx] as usize;
-            if self.user_station[u].is_none() {
-                self.user_station[u] = Some(st);
-                self.station_load[st] += 1;
-                self.matched += 1;
-                gained += 1;
-                uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
+            // Word stations intersect with the free bitset: every
+            // surviving bit is a free covered user, claimed without a
+            // per-user assignment lookup. The claim order (ascending)
+            // matches the decoded adjacency order exactly.
+            StationAdj::Words { start, len, base } => {
+                let w0 = (base / 64) as usize;
+                'words: for wi in 0..len {
+                    let mut bits = self.adj_words[start + wi] & self.free[w0 + wi];
+                    while bits != 0 {
+                        if self.station_load[st] >= self.station_cap[st] {
+                            break 'words;
+                        }
+                        let u = base + wi as u32 * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        self.user_station[u as usize] = Some(st);
+                        self.free[w0 + wi] &= !(1u64 << (u % 64));
+                        self.station_load[st] += 1;
+                        self.matched += 1;
+                        gained += 1;
+                        uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
+                    }
+                }
             }
         }
         while self.station_load[st] < self.station_cap[st] && self.augment_once(st, None, false) {
@@ -310,6 +473,14 @@ impl CapacitatedMatching {
                 "debug-validate: station {st} over capacity"
             );
         }
+        for (u, st) in self.user_station.iter().enumerate() {
+            let bit = self.free[u / 64] >> (u % 64) & 1 == 1;
+            assert_eq!(
+                bit,
+                st.is_none(),
+                "debug-validate: free bit drifted for user {u}"
+            );
+        }
     }
 
     /// Trial insertion: how many extra users would a station with
@@ -325,9 +496,22 @@ impl CapacitatedMatching {
     ///
     /// Panics if any user id is out of range.
     pub fn evaluate_station(&mut self, cap: u32, users: &[u32]) -> u32 {
+        self.evaluate_station_list(cap, UserList::Ids(users))
+    }
+
+    /// [`evaluate_station`](Self::evaluate_station) over any
+    /// [`UserList`] encoding. The compressed list is never decoded into
+    /// a buffer: 64-aligned bitset lists are intersected word-wise with
+    /// the free-user bitset in the pre-pass, everything else (and the
+    /// phantom-station BFS) walks the list in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any user id is out of range.
+    pub fn evaluate_station_list(&mut self, cap: u32, users: UserList<'_>) -> u32 {
         let n = self.num_users();
-        for &u in users {
-            assert!((u as usize) < n, "user {u} out of range for {n} users");
+        if let Some(max) = users.max_id() {
+            assert!((max as usize) < n, "user {max} out of range for {n} users");
         }
         uavnet_obs::counters::MATCHING_TRIAL_EVALUATIONS.add(1);
         let trial_id = self.station_cap.len();
@@ -338,17 +522,44 @@ impl CapacitatedMatching {
         // final matching value unchanged while skipping one full BFS
         // restart per claimed user (the dominant cost when the trial
         // station lands on fresh territory).
-        for &u in users {
-            if gained >= cap {
-                break;
+        match users {
+            // 64-aligned bitset windows (what the coverage tables emit)
+            // intersect word-by-word with the free bitset: matched
+            // users vanish 64 at a time and every surviving bit is a
+            // claimable free user — no per-user assignment lookups.
+            UserList::Bits { base, words } if base % 64 == 0 => {
+                let w0 = (base / 64) as usize;
+                'words: for (i, &w) in words.iter().enumerate() {
+                    let mut bits = w & self.free[w0 + i];
+                    while bits != 0 {
+                        if gained >= cap {
+                            break 'words;
+                        }
+                        let u = base + i as u32 * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        self.rollback.push((u, None));
+                        self.user_station[u as usize] = Some(trial_id);
+                        self.free[w0 + i] &= !(1u64 << (u % 64));
+                        self.matched += 1;
+                        gained += 1;
+                        uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
+                    }
+                }
             }
-            if self.user_station[u as usize].is_none() {
-                self.rollback.push((u, None));
-                self.user_station[u as usize] = Some(trial_id);
-                self.matched += 1;
-                gained += 1;
-                uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
-            }
+            _ => users.for_each_while(|u| {
+                if gained >= cap {
+                    return false;
+                }
+                if self.user_station[u as usize].is_none() {
+                    self.rollback.push((u, None));
+                    self.user_station[u as usize] = Some(trial_id);
+                    self.free[(u / 64) as usize] &= !(1u64 << (u % 64));
+                    self.matched += 1;
+                    gained += 1;
+                    uavnet_obs::counters::MATCHING_PREPASS_HITS.add(1);
+                }
+                true
+            }),
         }
         while gained < cap && self.augment_once(trial_id, Some(users), true) {
             gained += 1;
@@ -356,6 +567,9 @@ impl CapacitatedMatching {
         // Roll back user assignments in reverse order of application.
         while let Some((user, old)) = self.rollback.pop() {
             self.user_station[user as usize] = old;
+            if old.is_none() {
+                self.free[(user / 64) as usize] |= 1u64 << (user % 64);
+            }
         }
         self.matched -= gained as usize;
         // The rollback must have restored the pre-trial matching
@@ -599,6 +813,83 @@ mod tests {
         assert_eq!(gain, 2);
         assert_eq!(m.assignment(), &before[..]);
         assert_eq!(m.matched_count(), 1);
+    }
+
+    /// Splits a sorted id slice into maximal consecutive runs.
+    fn runs_of(ids: &[u32]) -> Vec<crate::UserRun> {
+        let mut runs: Vec<crate::UserRun> = Vec::new();
+        for &u in ids {
+            match runs.last_mut() {
+                Some(r) if r.start + r.len == u => r.len += 1,
+                _ => runs.push(crate::UserRun { start: u, len: 1 }),
+            }
+        }
+        runs
+    }
+
+    /// Packs a sorted id slice into a bitset window based at the first id.
+    fn bits_of(ids: &[u32]) -> (u32, Vec<u64>) {
+        let base = ids.first().copied().unwrap_or(0);
+        let span = ids.last().map_or(0, |&l| (l - base) as usize + 1);
+        let mut words = vec![0u64; span.div_ceil(64)];
+        for &u in ids {
+            let off = (u - base) as usize;
+            words[off / 64] |= 1 << (off % 64);
+        }
+        (base, words)
+    }
+
+    #[test]
+    fn list_encodings_evaluate_and_commit_identically() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for _ in 0..40 {
+            let num_users = rng.gen_range(1..40);
+            let mut seed = CapacitatedMatching::new(num_users);
+            for _ in 0..rng.gen_range(0..4) {
+                let cap = rng.gen_range(0..5);
+                let users: Vec<u32> = (0..num_users as u32)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                let st = seed.add_station(cap, &users);
+                seed.saturate(st);
+            }
+            let cap = rng.gen_range(0..6);
+            let ids: Vec<u32> = (0..num_users as u32)
+                .filter(|_| rng.gen_bool(0.5))
+                .collect();
+            let runs = runs_of(&ids);
+            let (base, words) = bits_of(&ids);
+            let lists = [
+                UserList::Ids(&ids),
+                UserList::Runs(&runs),
+                UserList::Bits {
+                    base,
+                    words: &words,
+                },
+            ];
+            // Same gain from every encoding, and the committed matching
+            // is bit-for-bit the slice-path result.
+            let mut reference = seed.clone();
+            let want = reference.evaluate_station(cap, &ids);
+            let rst = reference.add_station(cap, &ids);
+            reference.saturate(rst);
+            for list in lists {
+                let mut m = seed.clone();
+                assert_eq!(m.evaluate_station_list(cap, list), want);
+                assert_eq!(m.assignment(), seed.assignment(), "trial must roll back");
+                let st = m.add_station_list(cap, list);
+                m.saturate(st);
+                assert_eq!(m.assignment(), reference.assignment());
+                assert_eq!(m.matched_count(), reference.matched_count());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_station_list_rejects_bad_run() {
+        let mut m = CapacitatedMatching::new(4);
+        m.add_station_list(1, UserList::Runs(&[crate::UserRun { start: 3, len: 2 }]));
     }
 
     #[test]

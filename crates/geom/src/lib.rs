@@ -38,7 +38,7 @@ mod spatial;
 pub use area::AreaSpec;
 pub use grid::{CellIndex, Grid, GridSpec, NeighborIter};
 pub use point::{Point2, Point3};
-pub use spatial::SpatialIndex;
+pub use spatial::{SpatialIndex, TilePartition};
 
 use std::error::Error;
 use std::fmt;

@@ -1133,6 +1133,11 @@ pub mod counters {
     pub static CONNECT_FAILURES: Counter = Counter::new("connect.failures");
     /// Connectivity substrates built.
     pub static SUBSTRATE_BUILDS: Counter = Counter::new("substrate.builds");
+    /// Spatial tiles solved by the sharded sweep.
+    pub static SHARD_TILES: Counter = Counter::new("shard.tiles");
+    /// Subsets that escaped their tile view and were re-solved
+    /// against a global workspace.
+    pub static SHARD_VIEW_ESCAPES: Counter = Counter::new("shard.view_escapes");
     /// Differential-oracle checks executed.
     pub static VERIFY_CHECKS: Counter = Counter::new("verify.checks");
     /// Differential-oracle checks that found a divergence.
@@ -1159,6 +1164,8 @@ pub mod counters {
         &CONNECT_GATEWAY_EXTENSIONS,
         &CONNECT_FAILURES,
         &SUBSTRATE_BUILDS,
+        &SHARD_TILES,
+        &SHARD_VIEW_ESCAPES,
         &VERIFY_CHECKS,
         &VERIFY_FAILURES,
     ];
@@ -1191,6 +1198,9 @@ pub mod phases {
     /// Hop-structure queries answered from the substrate (also counted
     /// inside `greedy`/`connection`).
     pub static SUBSTRATE_QUERY: Phase = Phase::new("substrate_query");
+    /// Per-tile view construction in the sharded sweep (reach sets,
+    /// local user remaps, local coverage lists), summed across workers.
+    pub static TILE_VIEW: Phase = Phase::new("tile_view");
     /// End-to-end wall clock of one subset sweep.
     pub static SWEEP_TOTAL: Phase = Phase::new("sweep_total");
     /// Differential-oracle batteries (`uavnet-core::verify`).
@@ -1206,6 +1216,7 @@ pub mod phases {
         &CONNECTION,
         &SCORING,
         &SUBSTRATE_QUERY,
+        &TILE_VIEW,
         &SWEEP_TOTAL,
         &VERIFY,
     ];
@@ -1223,9 +1234,12 @@ pub mod hists {
     /// Latency of one augmenting-path BFS restart in the matching
     /// kernel.
     pub static BFS_RESTART: LatencyHist = LatencyHist::new("matching.bfs_restart_ns");
+    /// Wall clock of one whole tile in the sharded sweep (view build +
+    /// every subset assigned to the tile).
+    pub static TILE_SOLVE: LatencyHist = LatencyHist::new("shard.tile_solve_ns");
 
     /// Every declared latency histogram, in schema order.
-    pub static ALL: &[&LatencyHist] = &[&GAIN_QUERY, &BFS_RESTART];
+    pub static ALL: &[&LatencyHist] = &[&GAIN_QUERY, &BFS_RESTART, &TILE_SOLVE];
 }
 
 #[cfg(test)]

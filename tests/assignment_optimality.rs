@@ -58,7 +58,7 @@ fn brute_force_served(instance: &Instance, placements: &[(usize, usize)]) -> usi
             placements
                 .iter()
                 .enumerate()
-                .filter(|(_, &(uav, loc))| instance.coverable(uav, loc).contains(&(u as u32)))
+                .filter(|(_, &(uav, loc))| instance.coverable(uav, loc).contains(u as u32))
                 .map(|(pi, _)| pi)
                 .collect()
         })

@@ -1,13 +1,17 @@
-//! Property tests over the PR 3 scale layer: the spatial-index
-//! coverage builder against the all-pairs reference, and the
-//! connectivity substrate (precomputed hop rows + canonical paths)
-//! against fresh per-call BFS.
+//! Property tests over the scale layer: the spatial-index coverage
+//! builder against the all-pairs reference, the compressed coverage
+//! tables against their decode, the connectivity substrate
+//! (precomputed hop rows + canonical paths) against fresh per-call
+//! BFS, and the tile-sharded sweep against the monolithic one.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use uavnet::channel::UavRadio;
-use uavnet::core::{check_connection_substrate, Instance};
+use uavnet::core::{
+    approx_alg_sharded, approx_alg_with_stats, check_connection_substrate, ApproxConfig, Instance,
+    ShardConfig,
+};
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 use uavnet::graph::{
     bfs_hops, connected_components, ConnectivitySubstrate, Graph, UNREACHABLE_HOPS,
@@ -65,7 +69,10 @@ proptest! {
 
     /// Tentpole part 1: the grid-binned spatial index must build the
     /// exact coverage tables of the all-pairs scan — same sorted user
-    /// ids for every (class, location) pair.
+    /// ids for every (class, location) pair. Since `coverage_tables`
+    /// now decodes the compressed store, this simultaneously pins that
+    /// every ids/runs/bitset entry decodes bit-identically to the
+    /// brute-force list.
     #[test]
     fn spatial_coverage_tables_match_bruteforce(instance in instances()) {
         let brute = instance.coverage_tables_bruteforce();
@@ -75,6 +82,40 @@ proptest! {
                 prop_assert!(users.windows(2).all(|w| w[0] < w[1]), "unsorted/dup: {users:?}");
             }
         }
+        // The compressed store must never report more bytes than the
+        // plain Vec<Vec<u32>> layout it replaced, and its per-encoding
+        // tallies must account for every list.
+        let mem = instance.coverage_memory();
+        prop_assert_eq!(mem.lists, mem.ids_lists + mem.run_lists + mem.bitset_lists);
+        prop_assert!(
+            mem.compressed_bytes <= mem.uncompressed_bytes,
+            "compressed {} > uncompressed {}",
+            mem.compressed_bytes,
+            mem.uncompressed_bytes
+        );
+    }
+
+    /// Tentpole: the tile-sharded sweep is invariant to tile size and
+    /// thread count — deployment, served users and deterministic
+    /// statistics all equal the monolithic sweep's.
+    #[test]
+    fn sharded_sweep_invariant_to_tiling(
+        instance in instances(),
+        s in 1usize..3,
+        tile_cells in 0usize..6,
+        threads in 1usize..5,
+    ) {
+        let s = s.min(instance.num_uavs());
+        let config = ApproxConfig::with_s(s).threads(threads);
+        let (mono, mono_stats) = approx_alg_with_stats(&instance, &config).unwrap();
+        let shard = ShardConfig::new().tile_cells(tile_cells);
+        let (sol, stats) = approx_alg_sharded(&instance, &config, &shard).unwrap();
+        prop_assert_eq!(sol.deployment(), mono.deployment());
+        prop_assert_eq!(sol.served_users(), mono.served_users());
+        prop_assert_eq!(stats.gain_queries, mono_stats.gain_queries);
+        prop_assert_eq!(stats.subsets_evaluated, mono_stats.subsets_evaluated);
+        prop_assert_eq!(stats.subsets_unconnectable, mono_stats.subsets_unconnectable);
+        prop_assert_eq!(stats.best_seeds, mono_stats.best_seeds);
     }
 
     /// The index-backed radius query agrees with a linear scan for
