@@ -1,0 +1,470 @@
+//! Benchmarks the incremental re-solve engine
+//! ([`uavnet_core::SolverLoop`]) and merges a `resolve` section into
+//! `BENCH_sweep.json`.
+//!
+//! Two workloads, one per scale:
+//!
+//! * `quick` — a sustained mobility stream: the FIG6 quick instance is
+//!   cold-solved once, then driven through `--ticks` Gaussian-walk
+//!   mobility ticks ([`MobilitySimulator::step_deltas`]), each applied
+//!   as one `Delta::UserMoved` batch. Reported as `updates_per_sec`
+//!   (user-position updates absorbed per second of solver time) and
+//!   `ticks_per_sec`, against the committed `updates_per_sec_floor`
+//!   that CI enforces.
+//! * `large` — repair-vs-resolve latency at 100 000 users: for every
+//!   deployed UAV, a standing loop absorbs the single-UAV-loss delta
+//!   and the median repair latency is compared with the median cold
+//!   `approx_alg` re-solve on the same instance (`repair_speedup`,
+//!   CI-gated at ≥ 10×).
+//!
+//! Both scales also run verify oracle 7
+//! ([`uavnet_core::check_incremental`]) over a representative delta
+//! interleaving and record the verdict as `incremental_equals_cold` —
+//! the report refuses to write numbers for a divergent solver.
+//!
+//! Usage: `cargo run --release -p uavnet-bench --bin resolve_report --
+//! [--threads N] [--ticks N] [--out PATH] [--scale quick|large|all]
+//! [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]`
+//!
+//! The report *merges*: an existing `--out` file keeps every other
+//! top-level section (the sweep evidence) and only the `resolve`
+//! member is replaced. The `--obs-*` flags mirror `sweep_report` and
+//! need the `obs` cargo feature.
+
+use std::time::Instant;
+
+use uavnet_bench::json::Json;
+use uavnet_bench::Scale;
+use uavnet_core::{
+    approx_alg, check_incremental, ApproxConfig, CoreError, Delta, Instance, LoopConfig,
+    SolverLoop, User,
+};
+use uavnet_geom::Point2;
+use uavnet_workload::{MobilityModel, MobilitySimulator};
+
+/// Committed CI floor for the quick-scale mobility stream. Measured
+/// ≈ two orders of magnitude higher on an idle dev box; the floor only
+/// guards against catastrophic regressions (an accidental cold solve
+/// per tick), not machine-to-machine noise.
+const UPDATES_PER_SEC_FLOOR: f64 = 2_000.0;
+
+/// Per-step Gaussian displacement (m) of the mobility stream and the
+/// reporting threshold below which a move is dropped as jitter.
+const MOBILITY_SIGMA_M: f64 = 25.0;
+const MOBILITY_THRESHOLD_M: f64 = 5.0;
+
+const USAGE: &str = "usage: resolve_report [--threads N] [--ticks N] [--out PATH] \
+     [--scale quick|large|all] \
+     [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("resolve_report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fail_usage(&format!("{name} expects a number, got {raw:?}")))
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn loop_config(scale: &Scale, threads: usize) -> LoopConfig {
+    LoopConfig::new(ApproxConfig::with_s(1).threads(threads)).tuned_for(scale)
+}
+
+/// Scale-aware tuning knob kept next to the numbers it shapes.
+trait Tuned {
+    fn tuned_for(self, scale: &Scale) -> Self;
+}
+
+impl Tuned for LoopConfig {
+    fn tuned_for(mut self, scale: &Scale) -> Self {
+        // Quick's 5×5 grid fits one tile per station neighborhood at
+        // side 2; the large 20×20 grid gets the default 16-cell tiles.
+        if scale.name == "quick" {
+            self.tile_cells = 2;
+        }
+        self
+    }
+}
+
+/// A delta mix representative of a disaster-zone shift: one mobility
+/// batch, a demand surge, a link cut, and a UAV loss.
+fn oracle_deltas(instance: &Instance, sim_seed: u64) -> Vec<Delta> {
+    let area = instance.grid().spec().area();
+    let mut sim = MobilitySimulator::new(
+        area,
+        instance.users().iter().map(|u| u.pos).collect(),
+        MobilityModel::GaussianWalk {
+            sigma_m: MOBILITY_SIGMA_M,
+        },
+        sim_seed,
+    );
+    let surge: Vec<User> = (0..5)
+        .map(|i| User {
+            pos: Point2::new(
+                area.length_m() * 0.5 + 40.0 * i as f64,
+                area.width_m() * 0.5,
+            ),
+            min_rate_bps: 2_000.0,
+        })
+        .collect();
+    let cut = instance
+        .location_graph()
+        .edges()
+        .next()
+        .map(|(a, b)| Delta::SeverLinks(vec![(a, b)]));
+    let mut deltas = vec![
+        Delta::UserMoved(sim.step_deltas(MOBILITY_THRESHOLD_M)),
+        Delta::UserSurge(surge),
+        Delta::KillUavs(vec![0]),
+        Delta::UserMoved(sim.step_deltas(MOBILITY_THRESHOLD_M)),
+    ];
+    deltas.extend(cut);
+    deltas
+}
+
+fn check_oracle(scale: &Scale, instance: &Instance, threads: usize) -> bool {
+    let config = ApproxConfig::with_s(1).threads(threads);
+    match check_incremental(
+        instance,
+        &config,
+        &oracle_deltas(instance, scale.seed ^ 0x5eed),
+    ) {
+        Ok(()) => true,
+        Err(e) => panic!(
+            "verify oracle 7 rejected the incremental solver at scale {}: {e}",
+            scale.name
+        ),
+    }
+}
+
+struct MobilityReport {
+    ticks: usize,
+    moved_updates: u64,
+    wall_ns: u64,
+    served_first: usize,
+    served_last: usize,
+}
+
+/// Drives a standing loop through `ticks` mobility batches, timing
+/// only the solver (`apply`), not the simulator.
+fn run_mobility(
+    instance: &Instance,
+    config: &LoopConfig,
+    ticks: usize,
+    seed: u64,
+) -> Result<(MobilityReport, SolverLoop), CoreError> {
+    let mut solver = SolverLoop::new(instance.clone(), config.clone())?;
+    let served_first = solver.served_users();
+    let mut sim = MobilitySimulator::new(
+        instance.grid().spec().area(),
+        instance.users().iter().map(|u| u.pos).collect(),
+        MobilityModel::GaussianWalk {
+            sigma_m: MOBILITY_SIGMA_M,
+        },
+        seed,
+    );
+    let mut moved_updates = 0u64;
+    let mut wall_ns = 0u64;
+    for _ in 0..ticks {
+        let batch = sim.step_deltas(MOBILITY_THRESHOLD_M);
+        moved_updates += batch.len() as u64;
+        let t = Instant::now();
+        solver.apply(Delta::UserMoved(batch))?;
+        wall_ns += t.elapsed().as_nanos() as u64;
+    }
+    let served_last = solver.served_users();
+    Ok((
+        MobilityReport {
+            ticks,
+            moved_updates,
+            wall_ns,
+            served_first,
+            served_last,
+        },
+        solver,
+    ))
+}
+
+fn stats_json(solver: &SolverLoop) -> Json {
+    let s = solver.stats();
+    Json::Obj(vec![
+        ("deltas_applied".into(), Json::Num(s.deltas_applied as f64)),
+        ("repairs".into(), Json::Num(s.repairs as f64)),
+        ("cold_solves".into(), Json::Num(s.cold_solves as f64)),
+        ("dirty_tiles".into(), Json::Num(s.dirty_tiles as f64)),
+        (
+            "stations_refreshed".into(),
+            Json::Num(s.stations_refreshed as f64),
+        ),
+        ("relays_spent".into(), Json::Num(s.relays_spent as f64)),
+        (
+            "dropped_placements".into(),
+            Json::Num(s.dropped_placements as f64),
+        ),
+        (
+            "matching_rebuilds".into(),
+            Json::Num(s.matching_rebuilds as f64),
+        ),
+    ])
+}
+
+fn quick_section(scale: &Scale, threads: usize, ticks: usize) -> Json {
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let config = loop_config(scale, threads);
+    let (report, solver) =
+        run_mobility(&instance, &config, ticks, scale.seed).expect("quick mobility stream");
+    let secs = report.wall_ns as f64 / 1e9;
+    let updates_per_sec = report.moved_updates as f64 / secs;
+    let ticks_per_sec = report.ticks as f64 / secs;
+    let oracle = check_oracle(scale, &instance, threads);
+    eprintln!(
+        "resolve_report: quick n={} K={} ticks={} updates={} -> {:.0} updates/s \
+         ({:.0} ticks/s), served {} -> {}, oracle ok",
+        instance.num_users(),
+        instance.num_uavs(),
+        report.ticks,
+        report.moved_updates,
+        updates_per_sec,
+        ticks_per_sec,
+        report.served_first,
+        report.served_last,
+    );
+    assert!(
+        updates_per_sec >= UPDATES_PER_SEC_FLOOR,
+        "quick mobility throughput {updates_per_sec:.0} updates/s fell below the \
+         committed floor {UPDATES_PER_SEC_FLOOR}"
+    );
+    Json::Obj(vec![
+        ("users".into(), Json::Num(instance.num_users() as f64)),
+        ("uavs".into(), Json::Num(instance.num_uavs() as f64)),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("mobility_ticks".into(), Json::Num(report.ticks as f64)),
+        ("mobility_sigma_m".into(), Json::Num(MOBILITY_SIGMA_M)),
+        (
+            "moved_user_updates".into(),
+            Json::Num(report.moved_updates as f64),
+        ),
+        ("wall_ns".into(), Json::Num(report.wall_ns as f64)),
+        (
+            "updates_per_sec".into(),
+            Json::Num((updates_per_sec * 10.0).round() / 10.0),
+        ),
+        (
+            "ticks_per_sec".into(),
+            Json::Num((ticks_per_sec * 10.0).round() / 10.0),
+        ),
+        (
+            "updates_per_sec_floor".into(),
+            Json::Num(UPDATES_PER_SEC_FLOOR),
+        ),
+        (
+            "served_users_first".into(),
+            Json::Num(report.served_first as f64),
+        ),
+        (
+            "served_users_last".into(),
+            Json::Num(report.served_last as f64),
+        ),
+        ("incremental_equals_cold".into(), Json::Bool(oracle)),
+        ("stats".into(), stats_json(&solver)),
+    ])
+}
+
+fn large_section(scale: &Scale, threads: usize) -> Json {
+    let t_build = Instant::now();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let build_ms = t_build.elapsed().as_millis();
+    let config = loop_config(scale, threads);
+    let solution = approx_alg(&instance, &config.approx).expect("large cold solve");
+    eprintln!(
+        "resolve_report: large n={} K={} built in {build_ms} ms, cold solve serves {}",
+        instance.num_users(),
+        instance.num_uavs(),
+        solution.served_users(),
+    );
+
+    // Median cold re-solve latency — the price paid per delta without
+    // the incremental engine.
+    let mut cold_ns: Vec<u64> = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let sol = approx_alg(&instance, &config.approx).expect("cold re-solve");
+            assert_eq!(sol.served_users(), solution.served_users());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    let cold_median = median_ns(&mut cold_ns);
+
+    // Median single-UAV-loss repair latency: each deployed UAV dies
+    // once against a fresh standing loop seeded from the same cold
+    // solution.
+    let deployed: Vec<usize> = solution
+        .deployment()
+        .placements()
+        .iter()
+        .map(|&(uav, _)| uav)
+        .collect();
+    assert!(!deployed.is_empty(), "degenerate large scenario");
+    let mut repair_ns = Vec::with_capacity(deployed.len());
+    for &uav in &deployed {
+        let mut solver = SolverLoop::from_solution(instance.clone(), &solution, config.clone())
+            .expect("standing loop");
+        let t = Instant::now();
+        solver
+            .apply(Delta::KillUavs(vec![uav]))
+            .unwrap_or_else(|e| panic!("killing UAV {uav} must be absorbable: {e}"));
+        repair_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let repair_median = median_ns(&mut repair_ns);
+    let speedup = cold_median as f64 / repair_median as f64;
+    let oracle = check_oracle(scale, &instance, threads);
+    eprintln!(
+        "resolve_report: large kill-repair median {:.3} ms vs cold re-solve median \
+         {:.3} ms -> {speedup:.1}x, oracle ok",
+        repair_median as f64 / 1e6,
+        cold_median as f64 / 1e6,
+    );
+    Json::Obj(vec![
+        ("users".into(), Json::Num(instance.num_users() as f64)),
+        ("uavs".into(), Json::Num(instance.num_uavs() as f64)),
+        ("threads".into(), Json::Num(threads as f64)),
+        (
+            "single_uav_loss_deltas".into(),
+            Json::Num(deployed.len() as f64),
+        ),
+        (
+            "kill_repair_ns_median".into(),
+            Json::Num(repair_median as f64),
+        ),
+        ("cold_solve_ns_median".into(), Json::Num(cold_median as f64)),
+        (
+            "repair_speedup".into(),
+            Json::Num((speedup * 10.0).round() / 10.0),
+        ),
+        ("incremental_equals_cold".into(), Json::Bool(oracle)),
+    ])
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut ticks = 200usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut which = String::from("quick");
+    let mut obs_log: Option<String> = None;
+    let mut obs_metrics: Option<String> = None;
+    let mut obs_prom: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail_usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--threads" => threads = parse_flag(&value("--threads"), "--threads"),
+            "--ticks" => ticks = parse_flag(&value("--ticks"), "--ticks"),
+            "--out" => out = value("--out"),
+            "--scale" => which = value("--scale"),
+            "--obs-log" => obs_log = Some(value("--obs-log")),
+            "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
+            "--obs-prom" => obs_prom = Some(value("--obs-prom")),
+            other => fail_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if threads == 0 {
+        fail_usage("--threads must be positive");
+    }
+    if ticks == 0 {
+        fail_usage("--ticks must be positive");
+    }
+    let (run_quick, run_large) = match which.as_str() {
+        "quick" => (true, false),
+        "large" => (false, true),
+        "all" => (true, true),
+        other => fail_usage(&format!(
+            "unknown --scale {other:?} (expected quick|large|all)"
+        )),
+    };
+
+    let want_obs = obs_log.is_some() || obs_metrics.is_some() || obs_prom.is_some();
+    if want_obs && !uavnet_obs::is_enabled() {
+        eprintln!(
+            "resolve_report: --obs-log/--obs-metrics/--obs-prom need the instrumentation \
+             compiled in; rebuild with `--features obs`"
+        );
+        std::process::exit(2);
+    }
+    if want_obs {
+        let mut provenance = uavnet_obs::Provenance::detect();
+        provenance.features = "obs,enabled".to_string();
+        provenance.threads = threads as u64;
+        assert!(
+            uavnet_obs::session_begin_with(provenance),
+            "obs session already active"
+        );
+    }
+
+    let mut resolve = Vec::new();
+    resolve.push((
+        "regenerate".to_string(),
+        Json::Str(
+            "cargo run --release -p uavnet-bench --bin resolve_report -- --scale all --threads 2"
+                .into(),
+        ),
+    ));
+    {
+        let _report_span = uavnet_obs::phases::REPORT.span();
+        if run_quick {
+            resolve.push((
+                "quick".to_string(),
+                quick_section(&Scale::quick(), threads, ticks),
+            ));
+        }
+        if run_large {
+            resolve.push(("large".to_string(), large_section(&Scale::large(), threads)));
+        }
+    }
+
+    if want_obs {
+        let snap = uavnet_obs::session_end().expect("obs session was begun above");
+        let events = uavnet_obs::drain_events();
+        if let Some(path) = &obs_log {
+            let mut lines = String::with_capacity(events.len() * 64);
+            for e in &events {
+                lines.push_str(&e.to_json_line());
+                lines.push('\n');
+            }
+            std::fs::write(path, lines).expect("write obs event log");
+            eprintln!("resolve_report: wrote {path} ({} events)", events.len());
+        }
+        if let Some(path) = &obs_metrics {
+            std::fs::write(path, snap.to_json()).expect("write obs metrics snapshot");
+            eprintln!("resolve_report: wrote {path}");
+        }
+        if let Some(path) = &obs_prom {
+            std::fs::write(path, snap.to_prometheus()).expect("write obs prometheus export");
+            eprintln!("resolve_report: wrote {path}");
+        }
+    }
+
+    // Merge: keep every other top-level section of an existing report.
+    let mut doc = match std::fs::read_to_string(&out) {
+        Ok(text) => Json::parse(&text).unwrap_or_else(|e| {
+            panic!("existing {out} is not valid JSON ({e}); refusing to clobber")
+        }),
+        Err(_) => Json::Obj(vec![(
+            "benchmark".into(),
+            Json::Str("sweep_hotpath".into()),
+        )]),
+    };
+    doc.set("resolve", Json::Obj(resolve));
+    std::fs::write(&out, doc.dump()).expect("write report");
+    eprintln!("resolve_report: wrote {out}");
+}

@@ -60,6 +60,7 @@
 
 use std::time::Instant;
 
+use uavnet_bench::json::Json;
 use uavnet_bench::Scale;
 use uavnet_core::{
     approx_alg_sharded, approx_alg_with_stats, check_sharded_sweep, ApproxConfig, ApproxStats,
@@ -428,6 +429,21 @@ fn main() {
          \"scales\": [\n{blocks}\n  ]\n}}\n",
         blocks = scale_blocks.join(",\n"),
     );
+    // The incremental-engine section (`resolve_report`) lives in the
+    // same file; carry it across a sweep regeneration instead of
+    // clobbering it.
+    let json = match std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|old| Json::parse(&old).ok())
+        .and_then(|old| old.get("resolve").cloned())
+    {
+        Some(resolve) => {
+            let mut doc = Json::parse(&json).expect("sweep_report emits valid JSON");
+            doc.set("resolve", resolve);
+            doc.dump()
+        }
+        None => json,
+    };
     std::fs::write(&out, json).expect("write report");
     eprintln!("sweep_report: wrote {out}");
 }

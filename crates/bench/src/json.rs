@@ -82,6 +82,115 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Inserts or replaces a member on an object, preserving the
+    /// position of an existing key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: Json) {
+        let Json::Obj(members) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => members.push((key.to_string(), value)),
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (2-space indent, members in
+    /// stored order, trailing newline) — the inverse of [`parse`]
+    /// (Json::parse) for every value this reader produces, so report
+    /// files survive a parse → mutate → dump round trip with minimal
+    /// diffs.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&fmt_num(*n)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        return "null".to_string();
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 struct Parser<'a> {
@@ -294,6 +403,56 @@ mod tests {
         assert_eq!(list[1].as_arr().unwrap()[1].as_f64(), Some(-300.0));
         assert_eq!(list[5], Json::Null);
         assert_eq!(v.get("hists").unwrap().as_obj(), Some(&[][..]));
+    }
+
+    #[test]
+    fn dump_round_trips_and_set_preserves_order() {
+        let doc = r#"{
+  "schema": "uavnet-bench/1",
+  "sweep": {
+    "served": 120,
+    "ratio": 0.875,
+    "tags": ["a", "b\n"],
+    "empty_obj": {},
+    "empty_arr": [],
+    "flag": true,
+    "nothing": null
+  }
+}"#;
+        let v = Json::parse(doc).unwrap();
+        let dumped = v.dump();
+        assert_eq!(Json::parse(&dumped).unwrap(), v);
+        // dump(parse(dump(x))) is a fixed point (stable formatting).
+        assert_eq!(Json::parse(&dumped).unwrap().dump(), dumped);
+
+        let mut v = v;
+        v.set("resolve", Json::Obj(vec![("ups".into(), Json::Num(42.0))]));
+        v.set("schema", Json::Str("uavnet-bench/2".into()));
+        let m = v.as_obj().unwrap();
+        // Replaced key keeps its slot; new key appends.
+        assert_eq!(m[0].0, "schema");
+        assert_eq!(m[0].1.as_str(), Some("uavnet-bench/2"));
+        assert_eq!(m[2].0, "resolve");
+        assert_eq!(
+            v.get("resolve").unwrap().get("ups").unwrap().as_f64(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn dump_formats_numbers_and_escapes() {
+        let v = Json::Obj(vec![
+            ("int".into(), Json::Num(3.0)),
+            ("frac".into(), Json::Num(0.5)),
+            ("neg".into(), Json::Num(-17.0)),
+            ("ctl".into(), Json::Str("a\u{1}b".into())),
+        ]);
+        let text = v.dump();
+        assert!(text.contains("\"int\": 3,"), "{text}");
+        assert!(text.contains("\"frac\": 0.5,"), "{text}");
+        assert!(text.contains("\"neg\": -17,"), "{text}");
+        assert!(text.contains("\\u0001"), "{text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
     }
 
     #[test]

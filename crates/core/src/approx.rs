@@ -39,6 +39,12 @@
 //! improvement that preserves connectivity (and the gateway link).
 //! `ApproxConfig::leftover_deployment(false)` restores the literal
 //! behavior.
+//!
+//! `approx_alg` is the *cold* solver: it considers every candidate
+//! location and every UAV from a blank slate. The incremental engine
+//! ([`crate::SolverLoop`]) holds a standing deployment and falls back
+//! to this function only when a delta drops too large a fraction of
+//! the fleet to be worth repairing in place.
 
 use crate::connecting::{connect_via_mst, connect_via_substrate};
 use crate::oracle::CoverageOracle;

@@ -25,7 +25,8 @@ pub enum CoreError {
     /// survivor set of a fault spans severed components).
     Connect(ConnectError),
     /// A differential oracle of the verification harness found two
-    /// supposedly equivalent computations disagreeing.
+    /// supposedly equivalent computations disagreeing (including the
+    /// incremental-vs-cold oracle guarding [`crate::SolverLoop`]).
     Verification(VerifyError),
     /// The connectivity substrate could not be built for the instance
     /// (e.g. the location graph exceeds the `u16` hop-matrix limit).

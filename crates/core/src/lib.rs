@@ -72,6 +72,7 @@ mod connecting;
 mod coverage;
 mod error;
 mod exact;
+mod incremental;
 mod model;
 mod obs;
 mod oracle;
@@ -96,6 +97,7 @@ pub use connecting::{
 pub use coverage::{CoverageMemory, CoverageTables};
 pub use error::CoreError;
 pub use exact::exact_optimum;
+pub use incremental::{Delta, DeltaOutcome, LoopConfig, ResolveStats, SolverLoop};
 pub use model::{Instance, InstanceBuilder, Uav, User};
 pub use oracle::CoverageOracle;
 pub use redeploy::{redeploy, rescore, RedeployStats};
@@ -106,7 +108,7 @@ pub use solution::{
     score_deployment, try_score_deployment, Deployment, Solution, SolutionSummary, ValidationError,
 };
 pub use verify::{
-    check_against_exact, check_assignment_oracles, check_connection_substrate, check_relay_bound,
-    check_sharded_sweep, check_sweep_oracles, inject_and_repair, theorem1_ratio_holds,
-    verify_pipeline, DegradationReport, Fault, VerifyError,
+    check_against_exact, check_assignment_oracles, check_connection_substrate, check_incremental,
+    check_relay_bound, check_sharded_sweep, check_sweep_oracles, inject_and_repair,
+    theorem1_ratio_holds, verify_pipeline, DegradationReport, Fault, VerifyError,
 };

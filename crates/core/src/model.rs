@@ -373,6 +373,41 @@ impl Instance {
         rebuilt.location_graph = self.location_graph.clone();
         Ok(rebuilt)
     }
+
+    /// A copy of this instance with the listed users relocated (a
+    /// mobility tick). Coverage tables are rebuilt; every user keeps
+    /// its id, rate demand and ordering — only positions change.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameters`] if a move names a user id that
+    /// does not exist; [`CoreError::InvalidInstance`] if a new position
+    /// lies outside the zone.
+    pub fn with_moved_users(&self, moves: &[(u32, Point2)]) -> Result<Instance, CoreError> {
+        let n = self.num_users();
+        let mut users = self.users.clone();
+        for &(id, pos) in moves {
+            let Some(user) = users.get_mut(id as usize) else {
+                return Err(CoreError::InvalidParameters(format!(
+                    "moved user {id} outside 0..{n}"
+                )));
+            };
+            user.pos = pos;
+        }
+        let builder = InstanceBuilder {
+            grid: self.grid.clone(),
+            users,
+            uavs: self.uavs.clone(),
+            atg: self.atg,
+            uav_channel: self.uav_channel,
+            gateway: self.gateway,
+        };
+        let mut rebuilt = builder.build()?;
+        // Preserve this instance's connectivity, which may already be
+        // degraded by severed links.
+        rebuilt.location_graph = self.location_graph.clone();
+        Ok(rebuilt)
+    }
 }
 
 /// Reference all-pairs coverage scan for one (radio, location) pair:

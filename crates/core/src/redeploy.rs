@@ -10,6 +10,12 @@
 //!   "do nothing" option a dispatcher compares against);
 //! * [`redeploy`] — run Algorithm 2 on the new instance and report the
 //!   fleet movement the new plan requires.
+//!
+//! Both are *batch* operations: they rebuild the assignment (and, for
+//! [`redeploy`], the whole plan) from scratch on every call. When user
+//! movement arrives as a stream of small deltas rather than a fresh
+//! snapshot, [`crate::SolverLoop`] amortizes this work by repairing
+//! only the stations whose coverage tiles were dirtied.
 
 use crate::approx::{approx_alg, ApproxConfig};
 use crate::solution::{score_deployment, Solution};

@@ -30,14 +30,14 @@ use crate::connecting::{
     connect_via_mst, connect_via_substrate, extend_to_gateway, extend_to_gateway_substrate,
 };
 use crate::exact::exact_optimum;
+use crate::incremental::{plan_repair, Delta, LoopConfig, SolverLoop};
 use crate::model::User;
 use crate::solution::{try_score_deployment, Solution};
 use crate::{CoreError, Instance, SegmentPlan};
-use std::cmp::Reverse;
 use std::error::Error;
 use std::fmt;
 use uavnet_geom::CellIndex;
-use uavnet_graph::{bfs_hops, connected_components, ConnectivitySubstrate, UNREACHABLE_HOPS};
+use uavnet_graph::{bfs_hops, ConnectivitySubstrate, UNREACHABLE_HOPS};
 
 /// A divergence found by one of the differential oracles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +110,16 @@ pub enum VerifyError {
         /// Value from the monolithic sweep.
         monolithic: String,
     },
+    /// The incremental solver loop diverged from a cold rescore of
+    /// the same placements on the mutated instance (oracle 7).
+    IncrementalMismatch {
+        /// Which quantity diverged (`"served_users"`).
+        field: &'static str,
+        /// Value maintained incrementally by the solver loop.
+        incremental: String,
+        /// Value from the cold rescore.
+        cold: String,
+    },
     /// The approximation fell below the proven Theorem 1 floor
     /// `served · 3Δ ≥ OPT` (or exceeded the optimum).
     RatioViolated {
@@ -171,6 +181,14 @@ impl fmt::Display for VerifyError {
                 f,
                 "sharded sweep ({tile_cells}-cell tiles) diverged on {field}: \
                  sharded {sharded} vs monolithic {monolithic}"
+            ),
+            VerifyError::IncrementalMismatch {
+                field,
+                incremental,
+                cold,
+            } => write!(
+                f,
+                "incremental solver diverged on {field}: incremental {incremental} vs cold {cold}"
             ),
             VerifyError::RatioViolated { served, opt, delta } => write!(
                 f,
@@ -667,6 +685,20 @@ pub fn inject_and_repair(
     solution: &Solution,
     faults: &[Fault],
 ) -> Result<DegradationReport, CoreError> {
+    inject_and_repair_from(instance, solution, faults, &[])
+}
+
+/// [`inject_and_repair`] with a set of *previously* killed UAVs
+/// threaded through: `prior_dead` UAVs are neither survivors nor
+/// spares, even though they no longer appear among the placements.
+/// This is what makes repair-after-repair sound — without it, a second
+/// pass counted first-pass casualties as fresh spare relays.
+fn inject_and_repair_from(
+    instance: &Instance,
+    solution: &Solution,
+    faults: &[Fault],
+    prior_dead: &[usize],
+) -> Result<DegradationReport, CoreError> {
     let mut killed: Vec<usize> = Vec::new();
     let mut severed: Vec<(CellIndex, CellIndex)> = Vec::new();
     let mut extra: Vec<User> = Vec::new();
@@ -677,6 +709,7 @@ pub fn inject_and_repair(
             Fault::UserSurge(users) => extra.extend(users.iter().copied()),
         }
     }
+    killed.extend(prior_dead.iter().copied());
     killed.sort_unstable();
     killed.dedup();
     if let Some(&bad) = killed.iter().find(|&&u| u >= instance.num_uavs()) {
@@ -684,6 +717,10 @@ pub fn inject_and_repair(
             "killed UAV {bad} outside the fleet of {}",
             instance.num_uavs()
         )));
+    }
+    let mut dead = vec![false; instance.num_uavs()];
+    for &u in &killed {
+        dead[u] = true;
     }
 
     let mut degraded = instance.clone();
@@ -693,81 +730,24 @@ pub fn inject_and_repair(
     if !extra.is_empty() {
         degraded = degraded.with_extra_users(&extra)?;
     }
-    let graph = degraded.location_graph();
 
     let served_before = solution.served_users();
-    let mut survivors: Vec<(usize, CellIndex)> = solution
+    let survivors: Vec<(usize, CellIndex)> = solution
         .deployment()
         .placements()
         .iter()
         .copied()
-        .filter(|(uav, _)| !killed.contains(uav))
+        .filter(|&(uav, _)| !dead[uav])
         .collect();
     let served_after_fault = assign_users(&degraded, &survivors).served;
-    let mut dropped = 0usize;
 
-    // Step 2: severed links may have split the *location graph*
-    // itself, stranding survivors in different graph components no
-    // relay chain can bridge. Keep the most valuable stranded group.
-    // (Survivors that are merely non-adjacent within one component are
-    // fine — step 3 bridges them with relays.)
-    if survivors.len() > 1 {
-        let keep = best_component(&degraded, &survivors);
-        dropped += survivors.len() - keep.len();
-        survivors = keep;
-    }
-
-    // Spare fleet: surviving UAVs not deployed anywhere, largest
-    // capacity first — servers of the repair's relay chain.
-    let deployed: Vec<usize> = survivors.iter().map(|&(u, _)| u).collect();
-    let spares: Vec<usize> = degraded
-        .uavs_by_capacity()
-        .iter()
-        .copied()
-        .filter(|u| !killed.contains(u) && !deployed.contains(u))
-        .collect();
-
-    // Step 3: reconnect within the spare budget, abandoning the
-    // least-coverable survivor on shortfall. Terminates because the
-    // survivor set strictly shrinks; one survivor needs no relays.
-    let mut relay_cells: Vec<usize>;
-    loop {
-        if survivors.is_empty() {
-            relay_cells = Vec::new();
-            break;
-        }
-        let locs: Vec<usize> = survivors.iter().map(|&(_, l)| l).collect();
-        let all = connect_via_mst(graph, &locs)?;
-        let mut extra_cells: Vec<usize> = all[locs.len()..].to_vec();
-        if degraded.gateway().is_some() {
-            // The gateway being unreachable from this component cannot
-            // be fixed by shrinking the component further — propagate.
-            let gw = extend_to_gateway(graph, &all, |c| degraded.is_gateway_cell(c))?;
-            extra_cells.extend(gw);
-        }
-        if extra_cells.len() <= spares.len() {
-            relay_cells = extra_cells;
-            break;
-        }
-        let (victim, _) = survivors
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &(uav, loc))| (degraded.coverage_count(uav, loc), i))
-            .expect("survivors is non-empty");
-        survivors.remove(victim);
-        dropped += 1;
-    }
-
-    // Largest spares on the most coverable relay cells (ties by cell).
-    relay_cells.sort_by_key(|&v| (Reverse(degraded.best_coverage_count(v)), v));
-    let relays_spent = relay_cells.len();
-    let mut placements = survivors;
-    for (cell, &uav) in relay_cells.into_iter().zip(spares.iter()) {
-        placements.push((uav, cell));
-    }
+    // Steps 2–3 (component triage, MST re-bridging, gateway
+    // re-extension, spare budgeting) live in the incremental engine
+    // now — the solver loop and this harness share one planner.
+    let plan = plan_repair(&degraded, None, survivors, &dead)?;
 
     // Step 4: typed-error scoring plus independent validation.
-    let repaired = try_score_deployment(&degraded, placements)?;
+    let repaired = try_score_deployment(&degraded, plan.placements)?;
     repaired.validate(&degraded)?;
     Ok(DegradationReport {
         served_before,
@@ -776,49 +756,74 @@ pub fn inject_and_repair(
         killed_uavs: killed,
         severed_links: severed.len(),
         surged_users: extra.len(),
-        relays_spent,
-        dropped_placements: dropped,
+        relays_spent: plan.relays_spent,
+        dropped_placements: plan.dropped,
         solution: repaired,
         instance: degraded,
     })
 }
 
-/// The survivors of the location-graph component serving the most
-/// users (ties: more placements, then the smaller first placement
-/// index) — deterministic triage after severed links split the graph.
-/// Returns all survivors unchanged when they share one component.
-fn best_component(
-    degraded: &Instance,
-    survivors: &[(usize, CellIndex)],
-) -> Vec<(usize, CellIndex)> {
-    let mut comp_of = vec![usize::MAX; degraded.num_locations()];
-    for (ci, comp) in connected_components(degraded.location_graph())
-        .iter()
-        .enumerate()
-    {
-        for &v in comp {
-            comp_of[v] = ci;
+impl DegradationReport {
+    /// Injects further faults into this report's repaired scenario,
+    /// remembering every UAV already lost: [`killed_uavs`]
+    /// (DegradationReport::killed_uavs) are excluded from the spare
+    /// pool, so chained repairs can never re-deploy a casualty (the
+    /// repair-after-repair staleness bug). The returned report's
+    /// `killed_uavs` is the running union.
+    ///
+    /// Calling with no faults is idempotent: the repair re-plans the
+    /// same placements and serves the same users.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`inject_and_repair`].
+    pub fn reinject(&self, faults: &[Fault]) -> Result<DegradationReport, CoreError> {
+        inject_and_repair_from(&self.instance, &self.solution, faults, &self.killed_uavs)
+    }
+}
+
+/// Verify oracle 7: drives a [`SolverLoop`] from a cold solve through
+/// `deltas`, and after **every** delta checks the incremental state
+/// against a cold rescore of the same placements on the mutated
+/// instance — served counts must be equal (the maximum matching value
+/// is unique) and the materialized incremental solution must pass
+/// independent validation.
+///
+/// # Errors
+///
+/// * [`VerifyError::IncrementalMismatch`] (as
+///   [`CoreError::Verification`]) on a served-count divergence;
+/// * [`CoreError::Validation`] if the incremental solution fails
+///   validation;
+/// * any typed error of the loop itself (e.g. [`CoreError::Connect`]
+///   for an unrepairable delta) — propagated, never a panic.
+pub fn check_incremental(
+    instance: &Instance,
+    config: &ApproxConfig,
+    deltas: &[Delta],
+) -> Result<(), CoreError> {
+    tally(check_incremental_inner(instance, config, deltas))
+}
+
+fn check_incremental_inner(
+    instance: &Instance,
+    config: &ApproxConfig,
+    deltas: &[Delta],
+) -> Result<(), CoreError> {
+    let mut solver = SolverLoop::new(instance.clone(), LoopConfig::new(config.clone()))?;
+    for delta in deltas {
+        solver.apply(delta.clone())?;
+        let cold = solver.cold_rescore()?;
+        if solver.served_users() != cold.served_users() {
+            return Err(CoreError::from(VerifyError::IncrementalMismatch {
+                field: "served_users",
+                incremental: solver.served_users().to_string(),
+                cold: cold.served_users().to_string(),
+            }));
         }
+        solver.solution().validate(solver.instance())?;
     }
-    let mut groups: Vec<(usize, Vec<(usize, CellIndex)>)> = Vec::new();
-    for &(uav, loc) in survivors {
-        match groups.iter_mut().find(|(c, _)| *c == comp_of[loc]) {
-            Some((_, g)) => g.push((uav, loc)),
-            None => groups.push((comp_of[loc], vec![(uav, loc)])),
-        }
-    }
-    if groups.len() <= 1 {
-        return survivors.to_vec();
-    }
-    // Groups are in first-occurrence order; `Reverse(i)` makes every
-    // key distinct, so ties on (served, size) go to the group holding
-    // the earliest placement.
-    groups
-        .into_iter()
-        .enumerate()
-        .max_by_key(|(i, (_, g))| (assign_users(degraded, g).served, g.len(), Reverse(*i)))
-        .map(|(_, (_, g))| g)
-        .unwrap_or_default()
+    Ok(())
 }
 
 #[cfg(test)]

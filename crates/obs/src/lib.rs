@@ -1142,6 +1142,16 @@ pub mod counters {
     pub static VERIFY_CHECKS: Counter = Counter::new("verify.checks");
     /// Differential-oracle checks that found a divergence.
     pub static VERIFY_FAILURES: Counter = Counter::new("verify.failures");
+    /// Deltas accepted by the incremental re-solve loop.
+    pub static RESOLVE_DELTAS: Counter = Counter::new("resolve.deltas");
+    /// Connectivity repairs planned (solver loop + fault harness).
+    pub static RESOLVE_REPAIRS: Counter = Counter::new("resolve.repairs");
+    /// Full cold re-solves the loop fell back to.
+    pub static RESOLVE_COLD_SOLVES: Counter = Counter::new("resolve.cold_solves");
+    /// Tiles invalidated by user-affecting deltas.
+    pub static RESOLVE_DIRTY_TILES: Counter = Counter::new("resolve.dirty_tiles");
+    /// Stations whose coverage was re-derived after a delta.
+    pub static RESOLVE_STATIONS_REFRESHED: Counter = Counter::new("resolve.stations_refreshed");
 
     /// Every declared counter, in schema order.
     pub static ALL: &[&Counter] = &[
@@ -1168,6 +1178,11 @@ pub mod counters {
         &SHARD_VIEW_ESCAPES,
         &VERIFY_CHECKS,
         &VERIFY_FAILURES,
+        &RESOLVE_DELTAS,
+        &RESOLVE_REPAIRS,
+        &RESOLVE_COLD_SOLVES,
+        &RESOLVE_DIRTY_TILES,
+        &RESOLVE_STATIONS_REFRESHED,
     ];
 }
 
@@ -1205,6 +1220,9 @@ pub mod phases {
     pub static SWEEP_TOTAL: Phase = Phase::new("sweep_total");
     /// Differential-oracle batteries (`uavnet-core::verify`).
     pub static VERIFY: Phase = Phase::new("verify");
+    /// One connectivity repair (component triage, MST re-bridging,
+    /// gateway re-extension) in the incremental loop or fault harness.
+    pub static REPAIR: Phase = Phase::new("repair");
 
     /// Every declared phase, in schema order.
     pub static ALL: &[&Phase] = &[
@@ -1219,6 +1237,7 @@ pub mod phases {
         &TILE_VIEW,
         &SWEEP_TOTAL,
         &VERIFY,
+        &REPAIR,
     ];
 }
 
@@ -1237,9 +1256,20 @@ pub mod hists {
     /// Wall clock of one whole tile in the sharded sweep (view build +
     /// every subset assigned to the tile).
     pub static TILE_SOLVE: LatencyHist = LatencyHist::new("shard.tile_solve_ns");
+    /// End-to-end latency of one delta application in the incremental
+    /// re-solve loop.
+    pub static DELTA_APPLY: LatencyHist = LatencyHist::new("resolve.delta_apply_ns");
+    /// Latency of one connectivity repair plan.
+    pub static REPAIR_NS: LatencyHist = LatencyHist::new("resolve.repair_ns");
 
     /// Every declared latency histogram, in schema order.
-    pub static ALL: &[&LatencyHist] = &[&GAIN_QUERY, &BFS_RESTART, &TILE_SOLVE];
+    pub static ALL: &[&LatencyHist] = &[
+        &GAIN_QUERY,
+        &BFS_RESTART,
+        &TILE_SOLVE,
+        &DELTA_APPLY,
+        &REPAIR_NS,
+    ];
 }
 
 #[cfg(test)]

@@ -181,6 +181,65 @@ fn oversized_location_grid_is_a_typed_substrate_error() {
 }
 
 #[test]
+fn repair_is_idempotent_under_empty_reinjection() {
+    // Regression: a second repair pass over an already-repaired
+    // scenario used to double-count spare relays (UAVs spent as
+    // relays re-entered the spare pool as "undeployed"). Reinjecting
+    // zero faults must be a fixed point: identical placements, same
+    // service, no fresh relays spent.
+    let (instance, solution) = fig6_scale();
+    let first = inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![0])]).unwrap();
+    let second = first.reinject(&[]).unwrap();
+    let mut a = first.solution.deployment().placements().to_vec();
+    let mut b = second.solution.deployment().placements().to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "empty reinjection moved the fleet");
+    assert_eq!(second.served_after_repair, first.served_after_repair);
+    assert_eq!(second.relays_spent, 0, "idle repair spent spare relays");
+    assert_eq!(second.dropped_placements, 0);
+    assert_eq!(second.killed_uavs, first.killed_uavs);
+}
+
+#[test]
+fn chained_repairs_never_resurrect_dead_uavs() {
+    // Regression: repairing kill(a) then kill(b) through the plain
+    // inject_and_repair lost the memory that `a` was dead, so the
+    // second repair could re-deploy `a` as a relay (a zombie relay the
+    // real fleet no longer has). `reinject` carries the casualty list.
+    let (instance, solution) = fig6_scale();
+    for a in 0..instance.num_uavs() {
+        let first = match inject_and_repair(&instance, &solution, &[Fault::KillUavs(vec![a])]) {
+            Ok(r) => r,
+            Err(CoreError::Connect(_)) => continue,
+            Err(e) => panic!("killing UAV {a}: {e}"),
+        };
+        for b in 0..instance.num_uavs() {
+            if b == a {
+                continue;
+            }
+            let second = match first.reinject(&[Fault::KillUavs(vec![b])]) {
+                Ok(r) => r,
+                Err(CoreError::Connect(_)) => continue,
+                Err(e) => panic!("killing UAV {b} after {a}: {e}"),
+            };
+            assert!(
+                second.killed_uavs.contains(&a) && second.killed_uavs.contains(&b),
+                "casualty list lost a kill: {:?}",
+                second.killed_uavs
+            );
+            for &(uav, _) in second.solution.deployment().placements() {
+                assert!(
+                    uav != a && uav != b,
+                    "dead UAV {uav} resurrected after chained kills ({a}, {b})"
+                );
+            }
+            second.solution.validate(&second.instance).unwrap();
+        }
+    }
+}
+
+#[test]
 fn malformed_faults_are_rejected_not_panicked() {
     let (instance, solution) = fig6_scale();
     assert!(matches!(

@@ -1,14 +1,16 @@
 //! Property tests for the differential-verification harness: the
 //! assignment oracle pair agrees on arbitrary deployments, the
 //! validator accepts every solver output (including degenerate
-//! instances), and fault injection + repair is panic-free and
-//! validate-clean across random faults.
+//! instances), fault injection + repair is panic-free and
+//! validate-clean across random faults, and the incremental solver
+//! loop tracks a cold solve across random delta interleavings
+//! (verify oracle 7).
 
 use proptest::prelude::*;
 use uavnet::channel::UavRadio;
 use uavnet::core::{
-    approx_alg, assign_users, assign_users_max_flow, check_assignment_oracles, inject_and_repair,
-    ApproxConfig, CoreError, Fault, Instance,
+    approx_alg, assign_users, assign_users_max_flow, check_assignment_oracles, check_incremental,
+    inject_and_repair, ApproxConfig, CoreError, Delta, Fault, Instance, User,
 };
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 
@@ -125,6 +127,86 @@ proptest! {
             // typed failures remain acceptable outcomes by contract.
             Err(CoreError::Connect(_)) | Err(CoreError::InvalidParameters(_)) => {}
             Err(e) => prop_assert!(false, "untyped failure: {e}"),
+        }
+    }
+
+    #[test]
+    fn delta_interleavings_stay_cold_equivalent(
+        instance in solvable_instances(),
+        specs in proptest::collection::vec(delta_specs(), 3..=8),
+    ) {
+        // Oracle 7 over random interleavings of every delta kind: the
+        // incremental loop must track a cold solve after *each* delta,
+        // at every sweep thread count, or fail with a typed Connect
+        // error — never a panic, never a silent divergence.
+        let deltas: Vec<Delta> = specs.iter().map(|s| s.realize(&instance)).collect();
+        for threads in [1usize, 2, 4] {
+            let config = ApproxConfig::with_s(1).threads(threads);
+            match check_incremental(&instance, &config, &deltas) {
+                Ok(()) | Err(CoreError::Connect(_)) => {}
+                Err(e) => prop_assert!(false, "threads={threads}: {e}"),
+            }
+        }
+    }
+}
+
+/// Instance-independent recipe for one [`Delta`], realized against a
+/// concrete instance by reducing raw picks modulo its dimensions.
+#[derive(Debug, Clone)]
+enum DeltaSpec {
+    Moves(Vec<(usize, f64, f64)>),
+    Kills(usize),
+    Cuts(Vec<(usize, usize)>),
+    Surge(Vec<(f64, f64)>),
+}
+
+impl DeltaSpec {
+    fn realize(&self, instance: &Instance) -> Delta {
+        match self {
+            DeltaSpec::Moves(raw) => Delta::UserMoved(
+                raw.iter()
+                    // Surges only *append* users, so ids below the
+                    // seed population stay valid at any point in the
+                    // interleaving.
+                    .filter(|_| instance.num_users() > 0)
+                    .map(|&(id, x, y)| ((id % instance.num_users()) as u32, Point2::new(x, y)))
+                    .collect(),
+            ),
+            DeltaSpec::Kills(mask) => Delta::KillUavs(
+                (0..instance.num_uavs())
+                    .filter(|u| mask >> u & 1 == 1)
+                    .collect(),
+            ),
+            DeltaSpec::Cuts(raw) => {
+                let m = instance.num_locations();
+                Delta::SeverLinks(raw.iter().map(|&(a, b)| (a % m, b % m)).collect())
+            }
+            DeltaSpec::Surge(raw) => Delta::UserSurge(
+                raw.iter()
+                    .map(|&(x, y)| User {
+                        pos: Point2::new(x, y),
+                        min_rate_bps: 2_000.0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+prop_compose! {
+    fn delta_specs()(
+        kind in 0usize..4,
+        moves in proptest::collection::vec(
+            (0usize..64, 0.0f64..1_500.0, 0.0f64..1_500.0), 1..6),
+        kill_mask in 0usize..32,
+        cuts in proptest::collection::vec((0usize..64, 0usize..64), 1..4),
+        surge in proptest::collection::vec((0.0f64..1_500.0, 0.0f64..1_500.0), 1..5),
+    ) -> DeltaSpec {
+        match kind {
+            0 => DeltaSpec::Moves(moves),
+            1 => DeltaSpec::Kills(kill_mask),
+            2 => DeltaSpec::Cuts(cuts),
+            _ => DeltaSpec::Surge(surge),
         }
     }
 }
