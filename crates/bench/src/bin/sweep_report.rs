@@ -1,8 +1,9 @@
 //! Regenerates `BENCH_sweep.json`: machine-readable evidence for the
 //! subset-sweep hot path — the zero-allocation matching kernel, the
 //! streaming enumeration, (PR 3) the spatial-index instance build plus
-//! the shared connectivity substrate, and (PR 6) the compressed
-//! coverage tables plus the tile-sharded sweep.
+//! the shared connectivity substrate, (PR 6) the compressed coverage
+//! tables plus the tile-sharded sweep, and (PR 8) the pruned
+//! seed-search strategies behind the [`SeedStrategyKind`] dispatch.
 //!
 //! For each selected scale, runs the FIG6-style workload
 //! (`n = n_max`, `K = k_max`, every `s` in `s_sweep`) through
@@ -28,7 +29,30 @@
 //! * peak subset-combination buffer bytes,
 //! * on scales marked `check_sharded` (quick, large), the verdict of
 //!   the sharded-vs-monolithic differential oracle
-//!   ([`check_sharded_sweep`]) as `"sharded_equals_monolithic"`.
+//!   ([`check_sharded_sweep`]) as `"sharded_equals_monolithic"`,
+//! * with `--seed-strategy`, a per-scale `"strategy"` section driven
+//!   by the scale's `strategy_sweep` matrix: each strategy's wall
+//!   clock and honest subset accounting (enumerated / chain-pruned /
+//!   bound-pruned / evaluated), and — where the matrix also carries
+//!   the exhaustive baseline at the same `s` — `speedup_vs_exhaustive`,
+//!   the enumeration-phase speedup (wall minus the one-time substrate
+//!   build), a placement-level `bit_identical_to_exhaustive` verdict,
+//!   and `served_ratio_vs_exhaustive`.
+//!
+//! # Measurement protocol (interleaved, warmup-separated)
+//!
+//! All wall times in the report come from one shared protocol per
+//! scale, generalized from `scripts/obs_overhead.py`'s
+//! alternating-round discipline: first a warm-up pass runs every
+//! configuration once untimed (heating caches and capturing the
+//! deterministic statistics plus the solution used by the differential
+//! checks), then `reps` timing rounds each measure exactly one rep of
+//! every configuration in A/B/A/B order. Clock drift, thermal ramps
+//! and scheduler noise therefore hit all configurations of a scale
+//! alike instead of biasing whichever ran last; `wall_ns_min` is the
+//! min over rounds (the low-noise statistic the strategy comparisons
+//! use) and `wall_ns_mean` the mean (the statistic the historical
+//! `baseline_wall_ns` figures were recorded with).
 //!
 //! The `baseline_wall_ns` figures are pre-optimization means of the
 //! `fig6_s_sweep` Criterion bench on the same instance: the growth
@@ -39,13 +63,19 @@
 //! Usage: `cargo run --release -p uavnet-bench --bin sweep_report --
 //! [--threads N] [--reps N] [--out PATH]
 //! [--scale quick|large|xlarge|all] [--sharded]
+//! [--seed-strategy all|exhaustive|bound-pruned|beam[:N]]
 //! [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]`
 //!
 //! `--reps` overrides every selected scale's default rep count;
 //! `--sharded` forces the tile-sharded solver on every selected scale
-//! (scales marked `sharded` use it regardless). Unknown flags, a flag
-//! missing its value, or an unknown scale print the usage line and
-//! exit nonzero instead of panicking.
+//! (scales marked `sharded` use it regardless; strategy runs always
+//! use the monolithic dispatch — guided strategies delegate there
+//! anyway). `--seed-strategy all` measures each scale's full
+//! `strategy_sweep` matrix; naming one strategy filters the matrix to
+//! that strategy plus its exhaustive baselines (`beam:N` overrides the
+//! matrix beam width). Unknown flags, a flag missing its value, or an
+//! unknown scale print the usage line and exit nonzero instead of
+//! panicking.
 //!
 //! The `--obs-*` flags require the `obs` cargo feature
 //! (`--features obs`): they wrap the whole report in a `uavnet-obs`
@@ -64,7 +94,7 @@ use uavnet_bench::json::Json;
 use uavnet_bench::Scale;
 use uavnet_core::{
     approx_alg_sharded, approx_alg_with_stats, check_sharded_sweep, ApproxConfig, ApproxStats,
-    Instance, ShardConfig,
+    Instance, SeedStrategyKind, ShardConfig, Solution,
 };
 
 /// Pre-optimization wall-clock means (ns) per `(scale, s)`, measured
@@ -85,6 +115,7 @@ const BASELINE_WALL_NS: &[(&str, usize, u64)] = &[
 
 const USAGE: &str = "usage: sweep_report [--threads N] [--reps N] [--out PATH] \
      [--scale quick|large|xlarge|all] [--sharded] \
+     [--seed-strategy all|exhaustive|bound-pruned|beam[:N]] \
      [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]";
 
 fn fail_usage(msg: &str) -> ! {
@@ -100,6 +131,108 @@ fn baseline_wall_ns(scale: &str, s: usize) -> Option<u64> {
         .map(|&(_, _, ns)| ns)
 }
 
+/// What `--seed-strategy` selected from each scale's strategy matrix.
+#[derive(Clone, Copy)]
+enum StrategySel {
+    /// Run the scale's full `strategy_sweep` matrix.
+    All,
+    /// Run one strategy (plus its exhaustive baselines); a `beam:N`
+    /// argument carries the user's width into the matrix's beam slots.
+    One(SeedStrategyKind),
+}
+
+/// One measured configuration: the plain `s_sweep` runs carry
+/// `strategy: None`; strategy-matrix runs carry the kind and are
+/// always monolithic.
+struct Spec {
+    s: usize,
+    strategy: Option<SeedStrategyKind>,
+    sharded: bool,
+}
+
+impl Spec {
+    fn config(&self, threads: usize) -> ApproxConfig {
+        let config = ApproxConfig::with_s(self.s).threads(threads);
+        match self.strategy {
+            Some(kind) => config.seed_strategy(kind),
+            None => config,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self.strategy {
+            Some(kind) => format!("s={} strategy={kind}", self.s),
+            None => format!("s={}", self.s),
+        }
+    }
+}
+
+/// Per-spec outcome of the interleaved measurement: the warm-up run's
+/// deterministic statistics and solution plus the timing aggregates.
+struct Timed {
+    wall_ns_mean: u64,
+    wall_ns_min: u64,
+    total_ns: u64,
+    stats: ApproxStats,
+    served: usize,
+    solution: Solution,
+}
+
+fn solve(instance: &Instance, spec: &Spec, threads: usize) -> (Solution, ApproxStats) {
+    let config = spec.config(threads);
+    let result = if spec.sharded {
+        approx_alg_sharded(instance, &config, &ShardConfig::new())
+    } else {
+        approx_alg_with_stats(instance, &config)
+    };
+    result.unwrap_or_else(|e| panic!("sweep {} failed: {e}", spec.label()))
+}
+
+/// The shared measurement protocol: one untimed warm-up pass over all
+/// specs (the source of the deterministic statistics), then `reps`
+/// rounds that each time a single rep of every spec in order, so
+/// machine drift is spread evenly across configurations.
+fn measure_interleaved(
+    instance: &Instance,
+    specs: &[Spec],
+    threads: usize,
+    reps: u32,
+) -> Vec<Timed> {
+    let mut timed: Vec<Timed> = specs
+        .iter()
+        .map(|spec| {
+            let (solution, stats) = solve(instance, spec, threads);
+            Timed {
+                wall_ns_mean: 0,
+                wall_ns_min: u64::MAX,
+                total_ns: 0,
+                stats,
+                served: solution.served_users(),
+                solution,
+            }
+        })
+        .collect();
+    for _ in 0..reps {
+        for (spec, t) in specs.iter().zip(timed.iter_mut()) {
+            let start = Instant::now();
+            let (rep_sol, _) = solve(instance, spec, threads);
+            let ns = start.elapsed().as_nanos() as u64;
+            assert_eq!(
+                rep_sol.served_users(),
+                t.served,
+                "non-deterministic sweep at {}",
+                spec.label()
+            );
+            t.total_ns += ns;
+            t.wall_ns_min = t.wall_ns_min.min(ns);
+        }
+    }
+    for t in &mut timed {
+        t.wall_ns_mean = t.total_ns / u64::from(reps.max(1));
+    }
+    timed
+}
+
 struct RunReport {
     s: usize,
     reps: u32,
@@ -111,41 +244,6 @@ struct RunReport {
     wall_ns_min: u64,
     stats: ApproxStats,
     served: usize,
-}
-
-fn measure(instance: &Instance, s: usize, threads: usize, reps: u32, sharded: bool) -> RunReport {
-    let config = ApproxConfig::with_s(s).threads(threads);
-    let shard = ShardConfig::new();
-    let solve = || {
-        if sharded {
-            approx_alg_sharded(instance, &config, &shard)
-        } else {
-            approx_alg_with_stats(instance, &config)
-        }
-    };
-    // Warm-up run (also the source of the deterministic statistics).
-    let (sol, stats) = solve().expect("sweep succeeds");
-    let served = sol.served_users();
-    let mut total_ns = 0u64;
-    let mut min_ns = u64::MAX;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let (rep_sol, _) = solve().expect("sweep succeeds");
-        let ns = start.elapsed().as_nanos() as u64;
-        assert_eq!(rep_sol.served_users(), served, "non-deterministic sweep");
-        total_ns += ns;
-        min_ns = min_ns.min(ns);
-    }
-    RunReport {
-        s,
-        reps,
-        sharded,
-        sharded_equals_monolithic: None,
-        wall_ns_mean: total_ns / u64::from(reps),
-        wall_ns_min: min_ns,
-        stats,
-        served,
-    }
 }
 
 fn queries_per_sec(queries: u64, wall_ns: u64) -> f64 {
@@ -191,7 +289,8 @@ fn run_json(r: &RunReport, threads: usize, scale_name: &str) -> String {
          \"tile_view\": {tile_view}\n        }},\n        \
          \"subset_buffer_peak_bytes\": {peak},\n        \
          \"subsets\": {{\n          \"enumerated\": {enumerated},\n          \
-         \"chain_pruned\": {pruned},\n          \"evaluated\": {evaluated},\n          \
+         \"chain_pruned\": {pruned},\n          \"bound_pruned\": {bound},\n          \
+         \"evaluated\": {evaluated},\n          \
          \"unconnectable\": {unconnectable}\n        }},\n        \
          \"tiles_solved\": {tiles},\n        \"view_escapes\": {escapes}\n      }}",
         s = r.s,
@@ -212,11 +311,95 @@ fn run_json(r: &RunReport, threads: usize, scale_name: &str) -> String {
         peak = p.subset_buffer_peak_bytes,
         enumerated = r.stats.subsets_enumerated,
         pruned = r.stats.subsets_chain_pruned,
+        bound = r.stats.subsets_bound_pruned,
         evaluated = r.stats.subsets_evaluated,
         unconnectable = r.stats.subsets_unconnectable,
         tiles = r.stats.tiles_solved,
         escapes = r.stats.view_escapes,
     )
+}
+
+/// Wall clock with the one-time substrate build subtracted: the
+/// enumeration-phase figure the strategy speedup gate compares, so a
+/// strategy is credited only for enumeration work it actually avoided.
+fn enumeration_phase_ns(t: &Timed) -> u64 {
+    t.wall_ns_min
+        .saturating_sub(t.stats.profile.substrate_build_ns)
+        .max(1)
+}
+
+fn strategy_json(
+    s: usize,
+    kind: SeedStrategyKind,
+    t: &Timed,
+    baseline: Option<&Timed>,
+    reps: u32,
+) -> String {
+    let comparison = match (kind, baseline) {
+        (SeedStrategyKind::Exhaustive, _) | (_, None) => String::new(),
+        (_, Some(exh)) => {
+            let bit_identical = t.served == exh.served
+                && t.solution.deployment().placements() == exh.solution.deployment().placements();
+            format!(
+                "        \"speedup_vs_exhaustive\": {:.2},\n        \
+                 \"enumeration_phase_speedup\": {:.2},\n        \
+                 \"bit_identical_to_exhaustive\": {bit_identical},\n        \
+                 \"served_ratio_vs_exhaustive\": {:.4},\n",
+                exh.wall_ns_min as f64 / t.wall_ns_min.max(1) as f64,
+                enumeration_phase_ns(exh) as f64 / enumeration_phase_ns(t) as f64,
+                t.served as f64 / exh.served.max(1) as f64,
+            )
+        }
+    };
+    format!(
+        "      {{\n        \"s\": {s},\n        \"strategy\": \"{kind}\",\n        \
+         \"reps\": {reps},\n        \
+         \"served_users\": {served},\n        \
+         \"wall_ns_mean\": {mean},\n        \"wall_ns_min\": {min},\n        \
+         \"substrate_build_ns\": {sub_build},\n{comparison}        \
+         \"gain_queries\": {queries},\n        \
+         \"subsets\": {{\n          \"enumerated\": {enumerated},\n          \
+         \"chain_pruned\": {pruned},\n          \"bound_pruned\": {bound},\n          \
+         \"evaluated\": {evaluated},\n          \
+         \"unconnectable\": {unconnectable}\n        }}\n      }}",
+        served = t.served,
+        mean = t.wall_ns_mean,
+        min = t.wall_ns_min,
+        sub_build = t.stats.profile.substrate_build_ns,
+        queries = t.stats.gain_queries,
+        enumerated = t.stats.subsets_enumerated,
+        pruned = t.stats.subsets_chain_pruned,
+        bound = t.stats.subsets_bound_pruned,
+        evaluated = t.stats.subsets_evaluated,
+        unconnectable = t.stats.subsets_unconnectable,
+    )
+}
+
+/// The `(s, strategy)` pairs to measure for a scale: the full
+/// `strategy_sweep` matrix under `--seed-strategy all`, or one
+/// strategy plus its exhaustive baselines when a name was given.
+fn strategy_matrix(scale: &Scale, sel: Option<StrategySel>) -> Vec<(usize, SeedStrategyKind)> {
+    let Some(sel) = sel else {
+        return Vec::new();
+    };
+    scale
+        .strategy_sweep
+        .iter()
+        .flat_map(|(s, kinds)| kinds.iter().map(move |&k| (*s, k)))
+        .filter_map(|(s, kind)| match sel {
+            StrategySel::All => Some((s, kind)),
+            StrategySel::One(want) => {
+                if kind == SeedStrategyKind::Exhaustive {
+                    Some((s, kind))
+                } else if std::mem::discriminant(&kind) == std::mem::discriminant(&want) {
+                    // The user's beam width wins over the matrix default.
+                    Some((s, want))
+                } else {
+                    None
+                }
+            }
+        })
+        .collect()
 }
 
 fn scale_json(
@@ -226,6 +409,7 @@ fn scale_json(
     threads: usize,
     reps: u32,
     sharded: bool,
+    sel: Option<StrategySel>,
 ) -> String {
     let mem = instance.coverage_memory();
     eprintln!(
@@ -241,11 +425,39 @@ fn scale_json(
         if sharded { " sharded" } else { "" },
     );
 
-    let runs: Vec<String> = scale
+    let matrix = strategy_matrix(scale, sel);
+    let mut specs: Vec<Spec> = scale
         .s_sweep
         .iter()
-        .map(|&s| {
-            let mut report = measure(instance, s, threads, reps, sharded);
+        .map(|&s| Spec {
+            s,
+            strategy: None,
+            sharded,
+        })
+        .collect();
+    let plain = specs.len();
+    specs.extend(matrix.iter().map(|&(s, kind)| Spec {
+        s,
+        strategy: Some(kind),
+        sharded: false,
+    }));
+
+    let timed = measure_interleaved(instance, &specs, threads, reps);
+
+    let runs: Vec<String> = timed[..plain]
+        .iter()
+        .zip(&scale.s_sweep)
+        .map(|(t, &s)| {
+            let mut report = RunReport {
+                s,
+                reps,
+                sharded,
+                sharded_equals_monolithic: None,
+                wall_ns_mean: t.wall_ns_mean,
+                wall_ns_min: t.wall_ns_min,
+                stats: t.stats.clone(),
+                served: t.served,
+            };
             if scale.check_sharded {
                 let config = ApproxConfig::with_s(s).threads(threads);
                 check_sharded_sweep(instance, &config)
@@ -266,6 +478,36 @@ fn scale_json(
         })
         .collect();
 
+    let strategy_runs: Vec<String> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, kind))| {
+            let t = &timed[plain + i];
+            let baseline = matrix
+                .iter()
+                .position(|&(bs, bk)| bs == s && bk == SeedStrategyKind::Exhaustive)
+                .map(|j| &timed[plain + j]);
+            eprintln!(
+                "  strategy s={s} {kind}: min {:.3} ms, served {}, \
+                 evaluated {} / bound-pruned {} of {} enumerated",
+                t.wall_ns_min as f64 / 1e6,
+                t.served,
+                t.stats.subsets_evaluated,
+                t.stats.subsets_bound_pruned,
+                t.stats.subsets_enumerated,
+            );
+            strategy_json(s, kind, t, baseline, reps)
+        })
+        .collect();
+    let strategy_block = if strategy_runs.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ",\n      \"strategy\": [\n{}\n      ]",
+            strategy_runs.join(",\n")
+        )
+    };
+
     format!(
         "    {{\n      \"scale\": \"{name}\",\n      \
          \"instance\": {{\n        \"users\": {n},\n        \"uavs\": {k},\n        \
@@ -277,7 +519,7 @@ fn scale_json(
          \"ids_lists\": {ids},\n          \
          \"run_lists\": {runs_enc},\n          \
          \"bitset_lists\": {bits}\n        }}\n      }},\n      \
-         \"runs\": [\n{runs}\n      ]\n    }}",
+         \"runs\": [\n{runs}\n      ]{strategy_block}\n    }}",
         name = scale.name,
         n = instance.num_users(),
         k = instance.num_uavs(),
@@ -303,6 +545,7 @@ fn main() {
     let mut out = String::from("BENCH_sweep.json");
     let mut which = String::from("quick");
     let mut force_sharded = false;
+    let mut sel: Option<StrategySel> = None;
     let mut obs_log: Option<String> = None;
     let mut obs_metrics: Option<String> = None;
     let mut obs_prom: Option<String> = None;
@@ -318,6 +561,17 @@ fn main() {
             "--out" => out = value("--out"),
             "--scale" => which = value("--scale"),
             "--sharded" => force_sharded = true,
+            "--seed-strategy" => {
+                let raw = value("--seed-strategy");
+                sel = Some(if raw == "all" {
+                    StrategySel::All
+                } else {
+                    StrategySel::One(
+                        raw.parse()
+                            .unwrap_or_else(|e| fail_usage(&format!("--seed-strategy: {e}"))),
+                    )
+                });
+            }
             "--obs-log" => obs_log = Some(value("--obs-log")),
             "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
             "--obs-prom" => obs_prom = Some(value("--obs-prom")),
@@ -395,6 +649,7 @@ fn main() {
                     threads,
                     reps_override.unwrap_or(scale.reps),
                     scale.sharded || force_sharded,
+                    sel,
                 )
             })
             .collect()
@@ -425,7 +680,7 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_hotpath\",\n  \
          \"baseline\": \"threads = 2 means: growth-seed seed-commit algorithm (quick, fig6_s_sweep), pre-compression Vec<Vec<u32>> coverage tables (large, interleaved same-box re-measurement)\",\n  \
-         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report -- --scale all --threads 2\",\n  \
+         \"regenerate\": \"cargo run --release -p uavnet-bench --bin sweep_report -- --scale all --threads 2 --seed-strategy all\",\n  \
          \"scales\": [\n{blocks}\n  ]\n}}\n",
         blocks = scale_blocks.join(",\n"),
     );

@@ -26,7 +26,9 @@ use std::time::Instant;
 use uavnet_baselines::{
     DeploymentAlgorithm, GreedyAssign, MaxThroughput, Mcs, MotionCtrl, RandomConnected,
 };
-use uavnet_core::{approx_alg, ApproxConfig, CoreError, Instance, Solution};
+use uavnet_core::{
+    approx_alg, ApproxConfig, CoreError, Instance, SeedStrategyKind, Solution, DEFAULT_BEAM_WIDTH,
+};
 use uavnet_workload::{ScenarioSpec, UserDistribution};
 
 /// `approAlg` wrapped as a [`DeploymentAlgorithm`], clamping `s` to
@@ -89,6 +91,13 @@ pub struct Scale {
     /// differential oracle ([`uavnet_core::check_sharded_sweep`]) on
     /// this scale and records the verdict in the JSON report.
     pub check_sharded: bool,
+    /// Seed-strategy comparison matrix for the BENCH_sweep.json
+    /// `strategy` section: `(s, strategies)` rows, each running every
+    /// listed strategy on the same instance so speedups and served
+    /// ratios are apples-to-apples. Kept separate from `s_sweep` (the
+    /// exhaustive wall-time evidence) because guided strategies unlock
+    /// `s` values the exhaustive sweep cannot finish.
+    pub strategy_sweep: Vec<(usize, Vec<SeedStrategyKind>)>,
 }
 
 impl Scale {
@@ -107,6 +116,16 @@ impl Scale {
             reps: 20,
             sharded: false,
             check_sharded: true,
+            strategy_sweep: vec![(
+                2,
+                vec![
+                    SeedStrategyKind::Exhaustive,
+                    SeedStrategyKind::BoundPruned,
+                    SeedStrategyKind::Beam {
+                        width: DEFAULT_BEAM_WIDTH,
+                    },
+                ],
+            )],
         }
     }
 
@@ -128,6 +147,7 @@ impl Scale {
             reps: 5,
             sharded: false,
             check_sharded: false,
+            strategy_sweep: Vec::new(),
         }
     }
 
@@ -152,6 +172,18 @@ impl Scale {
             reps: 2,
             sharded: false,
             check_sharded: true,
+            strategy_sweep: vec![
+                (
+                    2,
+                    vec![SeedStrategyKind::Exhaustive, SeedStrategyKind::BoundPruned],
+                ),
+                (
+                    3,
+                    vec![SeedStrategyKind::Beam {
+                        width: DEFAULT_BEAM_WIDTH,
+                    }],
+                ),
+            ],
         }
     }
 
@@ -176,6 +208,7 @@ impl Scale {
             reps: 1,
             sharded: true,
             check_sharded: false,
+            strategy_sweep: Vec::new(),
         }
     }
 
@@ -197,6 +230,7 @@ impl Scale {
             reps: 1,
             sharded: false,
             check_sharded: false,
+            strategy_sweep: Vec::new(),
         }
     }
 

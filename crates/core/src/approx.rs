@@ -50,9 +50,10 @@ use crate::connecting::{connect_via_mst, connect_via_substrate};
 use crate::oracle::CoverageOracle;
 use crate::seed_matroid::{seed_matroid, seed_matroid_substrate};
 use crate::solution::{score_deployment, Solution};
+use crate::strategy::{SearchContext, SeedStrategyKind};
 use crate::{CoreError, Instance, SegmentPlan};
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::BinaryHeap;
 use std::time::Instant;
 use uavnet_geom::CellIndex;
 use uavnet_graph::{ConnectivitySubstrate, UNREACHABLE_HOPS};
@@ -78,6 +79,7 @@ pub struct ApproxConfig {
     max_subsets: Option<usize>,
     deploy_leftovers: bool,
     panic_at_rank: Option<u64>,
+    strategy: SeedStrategyKind,
 }
 
 impl ApproxConfig {
@@ -95,7 +97,18 @@ impl ApproxConfig {
             max_subsets: None,
             deploy_leftovers: true,
             panic_at_rank: None,
+            strategy: SeedStrategyKind::Exhaustive,
         }
+    }
+
+    /// Selects the seed-search strategy of the subset sweep (default
+    /// [`SeedStrategyKind::Exhaustive`]). `BoundPruned` is
+    /// value-preserving — bit-identical winner, fewer evaluations —
+    /// while `Beam` trades a verified quality factor for a
+    /// non-combinatorial evaluation count.
+    pub fn seed_strategy(mut self, strategy: SeedStrategyKind) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Fault injection for the panic-containment tests: the worker
@@ -172,9 +185,19 @@ impl ApproxConfig {
         self.threads
     }
 
+    /// The configured seed-search strategy.
+    pub fn strategy(&self) -> SeedStrategyKind {
+        self.strategy
+    }
+
     /// The configured subset-survivor limit, if any.
     pub(crate) fn subset_limit(&self) -> Option<usize> {
         self.max_subsets
+    }
+
+    /// The injected-panic enumeration rank, if any (test hook).
+    pub(crate) fn panic_rank(&self) -> Option<u64> {
+        self.panic_at_rank
     }
 }
 
@@ -186,10 +209,17 @@ pub struct ApproxStats {
     pub plan: SegmentPlan,
     /// Locations admitted to the seed pool.
     pub seed_pool_size: usize,
-    /// `s`-subsets enumerated before chain pruning.
+    /// `s`-subsets enumerated before chain pruning. The enumerative
+    /// strategies report `C(pool, s)`; the beam reports generated
+    /// states, so the `enumerated = evaluated + pruned` identity holds
+    /// only for the enumerative strategies (truncation drops the rest).
     pub subsets_enumerated: usize,
     /// Subsets dropped by the chain pruning.
     pub subsets_chain_pruned: usize,
+    /// Subsets skipped because their admissible served-count upper
+    /// bound could not beat the incumbent (bound-pruned strategy only;
+    /// zero elsewhere).
+    pub subsets_bound_pruned: usize,
     /// Subsets fully evaluated (greedy + connection + scoring).
     pub subsets_evaluated: usize,
     /// Evaluated subsets whose connected set exceeded `K` UAVs or
@@ -210,6 +240,9 @@ pub struct ApproxStats {
     /// reach bound holds (it can be exceeded only via gateway
     /// extension or with chain pruning off).
     pub view_escapes: usize,
+    /// Stable name of the seed-search strategy that ran
+    /// ([`SeedStrategyKind::name`]).
+    pub strategy: &'static str,
     /// Wall-clock and memory profile of the sweep (not deterministic;
     /// excluded from equivalence comparisons).
     pub profile: SweepProfile,
@@ -298,189 +331,52 @@ pub fn approx_alg_with_stats(
     let substrate = ConnectivitySubstrate::build(instance.location_graph())?;
     let substrate_build_ns = t_substrate.elapsed().as_nanos() as u64;
 
-    let pool = seed_pool(instance, config, &substrate);
-    let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
-    let pool_dists = pool_distances(config, &pool, &substrate);
-
-    // Streaming sweep: combinations are generated on the fly behind a
-    // chunked atomic cursor, so memory stays `O(s · threads)` instead
-    // of materializing all `C(m, s)` subsets up front. Each worker
-    // unranks its chunk's first combination and steps lexicographically
-    // through the rest, evaluating against its own reusable workspace.
-    // The chunk size adapts downward for small enumerations (e.g. the
-    // s = 1 sweep over a quick-scale pool) so they still spread across
-    // the workers; the join-time reduction keeps the result
-    // deterministic for any chunking.
-    let total = binomial(pool.len(), s);
-    let chunk = (total / (config.threads as u64 * 4)).clamp(1, 64);
-    let cursor = AtomicU64::new(0);
-    let survivors = AtomicUsize::new(0);
-    let chain_pruned = AtomicUsize::new(0);
-    let unconnectable = AtomicUsize::new(0);
-    let over_limit = AtomicBool::new(false);
-    let gain_queries = AtomicU64::new(0);
-    let enumeration_ns = AtomicU64::new(0);
-    let greedy_ns = AtomicU64::new(0);
-    let connection_ns = AtomicU64::new(0);
-    let scoring_ns = AtomicU64::new(0);
-    let substrate_query_ns = AtomicU64::new(0);
-    let threads = config.threads.min(total.div_ceil(chunk).max(1) as usize);
-
-    // (served, enumeration rank, placements, seeds) of a worker's best.
-    type Best = Option<(usize, u64, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
-
-    let worker = || -> Best {
-        let mut ws = SweepWorkspace::with_substrate(instance, &substrate);
-        let mut profile = PhaseNanos::default();
-        let mut combo: Vec<usize> = Vec::with_capacity(s);
-        let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
-        let mut local_best: Best = None;
-        'chunks: while !over_limit.load(Ordering::Relaxed) {
-            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-            if start >= total {
-                break;
-            }
-            let end = (start + chunk).min(total);
-            for rank in start..end {
-                let t_enum = Instant::now();
-                if rank == start {
-                    unrank_combination(rank, pool.len(), s, &mut combo);
-                } else {
-                    let advanced = next_combination(&mut combo, pool.len());
-                    debug_assert!(advanced, "rank < total implies a successor");
-                }
-                let keep = match &pool_dists {
-                    Some(d) => chain_feasible(d, &combo, &chain_budgets),
-                    None => true,
-                };
-                profile.enumeration += t_enum.elapsed().as_nanos() as u64;
-                if !keep {
-                    chain_pruned.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                if let Some(limit) = config.max_subsets {
-                    if survivors.fetch_add(1, Ordering::Relaxed) >= limit {
-                        over_limit.store(true, Ordering::Relaxed);
-                        break 'chunks;
-                    }
-                } else {
-                    survivors.fetch_add(1, Ordering::Relaxed);
-                }
-                seeds.clear();
-                seeds.extend(combo.iter().map(|&i| pool[i]));
-                if config.panic_at_rank == Some(rank) {
-                    panic!("injected worker panic at enumeration rank {rank}");
-                }
-                match ws.solve_subset(&plan, &seeds, &mut profile) {
-                    SubsetOutcome::Served(served) => {
-                        let better = match &local_best {
-                            None => true,
-                            Some((bs, br, _, _)) => served > *bs || (served == *bs && rank < *br),
-                        };
-                        if better {
-                            local_best =
-                                Some((served, rank, ws.placements().to_vec(), seeds.clone()));
-                        }
-                    }
-                    SubsetOutcome::Unconnectable => {
-                        unconnectable.fetch_add(1, Ordering::Relaxed);
-                    }
-                    SubsetOutcome::EscapedView => {
-                        unreachable!("the monolithic sweep runs without a tile view")
-                    }
-                }
-            }
-        }
-        // Fold this worker's instrumentation into the shared totals
-        // once, instead of contending per subset.
-        gain_queries.fetch_add(ws.gain_queries(), Ordering::Relaxed);
-        enumeration_ns.fetch_add(profile.enumeration, Ordering::Relaxed);
-        greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
-        connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
-        scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
-        substrate_query_ns.fetch_add(profile.substrate_query, Ordering::Relaxed);
-        local_best
-    };
-
-    // Join every worker unconditionally, collecting panics instead of
-    // propagating them: a panicking oracle must surface as a typed
-    // error, not abort the process, and the remaining workers must be
-    // drained first so no thread outlives the call (also required for
-    // `std::thread::scope` to return normally).
-    let joined: Vec<Result<Best, Box<dyn std::any::Any + Send>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
-        handles.into_iter().map(|h| h.join()).collect()
-    });
-    let mut bests: Vec<Best> = Vec::with_capacity(joined.len());
-    let mut worker_panic: Option<String> = None;
-    for result in joined {
-        match result {
-            Ok(best) => bests.push(best),
-            Err(payload) => {
-                // First panic wins; later ones are duplicates of the
-                // same injected/propagated failure mode.
-                worker_panic.get_or_insert_with(|| panic_payload_message(&*payload));
-            }
+    // Strategy dispatch: the seed pool, chain tables and substrate are
+    // prepared once in a SearchContext, the configured SeedStrategy
+    // searches it, and the stats below report whatever honest work the
+    // strategy did. The exhaustive engine lives in strategy.rs as one
+    // implementation among several.
+    let ctx = SearchContext::new(instance, config, &plan, &substrate);
+    let strategy = config.strategy.build();
+    if let Some(limit) = config.subset_limit() {
+        // Pre-spawn guard against accidentally huge enumerations,
+        // checked against the *strategy-adjusted* plan (a beam of
+        // width 3 plans 3 evaluations no matter how large C(pool, s)
+        // is), and before any worker thread exists.
+        let planned = strategy.planned_evaluations(&ctx, limit);
+        if planned > limit {
+            return Err(CoreError::InvalidParameters(format!(
+                "strategy {} plans more than {limit} subset evaluations \
+                 ({planned}+ survive pruning); coarsen the grid, raise \
+                 max_subsets or pick a bounded strategy",
+                strategy.name()
+            )));
         }
     }
-    if let Some(message) = worker_panic {
-        return Err(CoreError::Sweep(message));
-    }
+    let result = strategy.search(&ctx)?;
+    let pool_len = ctx.pool().len();
+    drop(ctx);
 
-    if over_limit.load(Ordering::Relaxed) {
-        let limit = config.max_subsets.expect("over_limit implies a limit");
-        return Err(CoreError::InvalidParameters(format!(
-            "more than {limit} seed subsets survive pruning; \
-             coarsen the grid or raise max_subsets"
-        )));
-    }
-
-    // Join-time reduction of the per-thread bests. Comparing by
-    // (served desc, enumeration rank asc) keeps the winner bit-for-bit
-    // identical to a sequential sweep regardless of the thread count or
-    // chunk scheduling.
-    let mut best: Best = None;
-    for cand in bests.into_iter().flatten() {
-        let better = match &best {
-            None => true,
-            Some((bs, br, _, _)) => cand.0 > *bs || (cand.0 == *bs && cand.1 < *br),
-        };
-        if better {
-            best = Some(cand);
-        }
-    }
-
-    // All counter loads below happen after `std::thread::scope`
-    // returned, which joins every worker; the joins establish a
-    // happens-before edge from each worker's `fetch_add`s to this
-    // thread, so `Relaxed` loads observe the final values. The atomics
-    // never synchronize any other data — they are pure counters — so no
-    // stronger ordering is needed anywhere in the sweep.
+    let mut profile = result.profile;
+    profile.substrate_build_ns = substrate_build_ns;
     let stats = ApproxStats {
         plan,
-        seed_pool_size: pool.len(),
-        subsets_enumerated: total as usize,
-        subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
-        subsets_evaluated: survivors.load(Ordering::Relaxed),
-        subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
-        best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
-        gain_queries: gain_queries.load(Ordering::Relaxed),
+        seed_pool_size: pool_len,
+        subsets_enumerated: result.subsets_enumerated,
+        subsets_chain_pruned: result.subsets_chain_pruned,
+        subsets_bound_pruned: result.subsets_bound_pruned,
+        subsets_evaluated: result.subsets_evaluated,
+        subsets_unconnectable: result.subsets_unconnectable,
+        best_seeds: result.best.as_ref().map(|b| b.seeds.clone()),
+        gain_queries: result.gain_queries,
         tiles_solved: 0,
         view_escapes: 0,
-        profile: SweepProfile {
-            enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
-            greedy_ns: greedy_ns.load(Ordering::Relaxed),
-            connection_ns: connection_ns.load(Ordering::Relaxed),
-            scoring_ns: scoring_ns.load(Ordering::Relaxed),
-            subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
-            substrate_build_ns,
-            substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
-            tile_view_ns: 0,
-        },
+        strategy: config.strategy.name(),
+        profile,
     };
 
-    let mut placements = match best {
-        Some((_, _, placements, _)) => placements,
+    let mut placements = match result.best {
+        Some(best) => best.placements,
         None => fallback_single_uav(instance),
     };
     if config.deploy_leftovers {
@@ -495,7 +391,8 @@ pub fn approx_alg_with_stats(
     Ok((solution, stats))
 }
 
-/// The seed pool: locations admitted as enumeration candidates.
+/// The seed pool: locations admitted as enumeration candidates, in
+/// the canonical greedy max-marginal-coverage order.
 ///
 /// Under empty-seed pruning, zero-coverage locations are dropped, and
 /// so is every location whose substrate component holds fewer than `s`
@@ -504,6 +401,24 @@ pub fn approx_alg_with_stats(
 /// so `next_combination` / `unrank_combination` never have to
 /// enumerate it. The filter is value-preserving — it only removes
 /// subsets the connection step would reject.
+///
+/// The surviving pool is then put in greedy max-marginal-coverage
+/// order via [`marginal_coverage_order`]: position 0 is the cell
+/// covering the most users, position 1 the cell covering the most
+/// *additional* users, and so on (ties by cell index). This CELF-style
+/// canonical order defines the enumeration ranks every strategy
+/// shares, and it makes the low ranks *complementary* — one cell per
+/// user hotspot — instead of packing them with overlapping cells from
+/// the densest cluster. Two things follow. First, the sweep's
+/// tie-break (lowest rank among equally-served maxima) prefers the
+/// deployment built from maximally complementary dense cells, a
+/// meaningful canonical representative. Second, a maximum-serving
+/// subset appears at a *low* rank, which is what lets the bound-pruned
+/// strategy retire nearly every equal-bound successor instead of
+/// evaluating each survivor ranked before a late winner. The order
+/// changes only which of several equally-served subsets wins; the
+/// served count, the subset universe, and all subset counters are
+/// order-invariant.
 pub(crate) fn seed_pool(
     instance: &Instance,
     config: &ApproxConfig,
@@ -525,7 +440,66 @@ pub(crate) fn seed_pool(
         // Degenerate coverage: refill so that the enumeration exists.
         pool = (0..m).collect();
     }
+    marginal_coverage_order(instance, &mut pool);
     pool
+}
+
+/// Reorders `pool` into greedy max-marginal-coverage order with the
+/// classic lazy (CELF) evaluation: each cell's cached gain is an upper
+/// bound on its current marginal coverage (marginals only shrink as
+/// users get claimed), so a popped entry whose cache is stale is
+/// re-counted and re-queued rather than rescanning every candidate per
+/// step. Coverage is the union over all radio classes, deduplicated
+/// with an epoch stamp. Deterministic: the heap orders by
+/// `(gain, Reverse(cell))`, so equal gains resolve to the smallest
+/// cell index, and exhausted cells (gain 0) fall out in cell order.
+fn marginal_coverage_order(instance: &Instance, pool: &mut [usize]) {
+    if pool.len() <= 1 {
+        return;
+    }
+    let classes = instance.num_radio_classes();
+    let n = instance.num_users();
+    let mut claimed = vec![false; n];
+    let mut seen: Vec<u32> = vec![0; n];
+    let mut epoch = 0u32;
+    let mut marginal = |v: usize, claimed: &[bool], seen: &mut [u32]| -> u64 {
+        epoch += 1;
+        let mut count = 0u64;
+        for class in 0..classes {
+            instance.coverable_class(class, v).for_each_while(|u| {
+                let u = u as usize;
+                if seen[u] != epoch && !claimed[u] {
+                    seen[u] = epoch;
+                    count += 1;
+                }
+                true
+            });
+        }
+        count
+    };
+    // (cached gain, Reverse(cell), commit round the cache was taken in).
+    let mut heap: BinaryHeap<(u64, Reverse<usize>, usize)> = pool
+        .iter()
+        .map(|&v| (marginal(v, &claimed, &mut seen), Reverse(v), 0))
+        .collect();
+    let mut round = 0usize;
+    let mut order = Vec::with_capacity(pool.len());
+    while let Some((gain, Reverse(v), cached_round)) = heap.pop() {
+        if cached_round == round || gain == 0 {
+            // Fresh (or unimprovably empty): commit and claim.
+            for class in 0..classes {
+                instance.coverable_class(class, v).for_each_while(|u| {
+                    claimed[u as usize] = true;
+                    true
+                });
+            }
+            order.push(v);
+            round += 1;
+        } else {
+            heap.push((marginal(v, &claimed, &mut seen), Reverse(v), round));
+        }
+    }
+    pool.copy_from_slice(&order);
 }
 
 /// Hop distances between pool members for the chain pruning (`None`
@@ -641,12 +615,14 @@ pub fn approx_alg_materialized(
         seed_pool_size: pool.len(),
         subsets_enumerated: enumerated,
         subsets_chain_pruned: chain_pruned,
+        subsets_bound_pruned: 0,
         subsets_evaluated: subsets.len(),
         subsets_unconnectable: unconnectable,
         best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
         gain_queries,
         tiles_solved: 0,
         view_escapes: 0,
+        strategy: "exhaustive",
         profile: SweepProfile::default(),
     };
     let mut placements = match best {
@@ -812,12 +788,14 @@ pub(crate) fn infeasible_gateway_result(
         seed_pool_size: 0,
         subsets_enumerated: 0,
         subsets_chain_pruned: 0,
+        subsets_bound_pruned: 0,
         subsets_evaluated: 0,
         subsets_unconnectable: 0,
         best_seeds: None,
         gain_queries: 0,
         tiles_solved: 0,
         view_escapes: 0,
+        strategy: config.strategy.name(),
         profile: SweepProfile::default(),
     };
     let solution = score_deployment(instance, Vec::new());

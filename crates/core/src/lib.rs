@@ -81,6 +81,7 @@ mod seed_matroid;
 mod segments;
 mod shard;
 mod solution;
+mod strategy;
 mod verify;
 
 pub use alg1::SegmentPlan;
@@ -107,8 +108,12 @@ pub use shard::{approx_alg_sharded, ShardConfig};
 pub use solution::{
     score_deployment, try_score_deployment, Deployment, Solution, SolutionSummary, ValidationError,
 };
+pub use strategy::{
+    BestCandidate, SearchContext, SearchResult, SeedStrategy, SeedStrategyKind, DEFAULT_BEAM_WIDTH,
+};
 pub use verify::{
     check_against_exact, check_assignment_oracles, check_connection_substrate, check_incremental,
-    check_relay_bound, check_sharded_sweep, check_sweep_oracles, inject_and_repair,
-    theorem1_ratio_holds, verify_pipeline, DegradationReport, Fault, VerifyError,
+    check_relay_bound, check_sharded_sweep, check_strategy_quality, check_sweep_oracles,
+    inject_and_repair, theorem1_ratio_holds, verify_pipeline, DegradationReport, Fault,
+    VerifyError, STRATEGY_QUALITY_DEN, STRATEGY_QUALITY_NUM,
 };

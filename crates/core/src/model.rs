@@ -240,6 +240,14 @@ impl Instance {
         self.coverage.list(class, loc)
     }
 
+    /// Cached length of the per-(class, cell) coverable list — an O(1)
+    /// lookup, used by the bound-pruned strategy's admissible
+    /// reach-coverage over-count.
+    #[inline]
+    pub(crate) fn coverable_class_count(&self, class: usize, loc: CellIndex) -> usize {
+        self.coverage.count(class, loc)
+    }
+
     /// Number of distinct radio classes across the fleet.
     #[inline]
     pub(crate) fn num_radio_classes(&self) -> usize {

@@ -35,6 +35,19 @@ pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution:
         counters::SHARD_TILES.add(stats.tiles_solved as u64);
         counters::SHARD_VIEW_ESCAPES.add(stats.view_escapes as u64);
     }
+    // Likewise, strategy metrics only appear when a guided strategy
+    // actually ran.
+    match config.strategy() {
+        crate::strategy::SeedStrategyKind::Exhaustive => {}
+        crate::strategy::SeedStrategyKind::BoundPruned => {
+            counters::STRATEGY_GUIDED_RUNS.add(1);
+            counters::STRATEGY_BOUND_PRUNED.add(stats.subsets_bound_pruned as u64);
+        }
+        crate::strategy::SeedStrategyKind::Beam { .. } => {
+            counters::STRATEGY_GUIDED_RUNS.add(1);
+            counters::STRATEGY_BEAM_EVALUATIONS.add(stats.subsets_evaluated as u64);
+        }
+    }
 
     let p = &stats.profile;
     phases::ENUMERATION.record_ns(p.enumeration_ns);
@@ -54,6 +67,7 @@ pub(crate) fn record_sweep(config: &ApproxConfig, stats: &ApproxStats, solution:
             ("seed_pool", stats.seed_pool_size as u64),
             ("subsets_enumerated", stats.subsets_enumerated as u64),
             ("subsets_chain_pruned", stats.subsets_chain_pruned as u64),
+            ("subsets_bound_pruned", stats.subsets_bound_pruned as u64),
             ("subsets_evaluated", stats.subsets_evaluated as u64),
             ("subsets_unconnectable", stats.subsets_unconnectable as u64),
             ("gain_queries", stats.gain_queries),

@@ -42,13 +42,14 @@
 //! [`SubsetOutcome::EscapedView`]: crate::approx::SubsetOutcome::EscapedView
 
 use crate::approx::{
-    binomial, chain_feasible, deploy_leftovers, fallback_single_uav, next_combination,
-    panic_payload_message, pool_distances, seed_pool, ApproxConfig, ApproxStats, PhaseNanos,
-    SubsetOutcome, SweepProfile, SweepWorkspace,
+    approx_alg_with_stats, binomial, chain_feasible, deploy_leftovers, fallback_single_uav,
+    next_combination, panic_payload_message, pool_distances, seed_pool, ApproxConfig, ApproxStats,
+    PhaseNanos, SubsetOutcome, SweepProfile, SweepWorkspace,
 };
 use crate::solution::{score_deployment, Solution};
+use crate::strategy::{chain_survivors_capped, SeedStrategyKind};
 use crate::{CoreError, Instance, SegmentPlan};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 use uavnet_geom::{CellIndex, TilePartition};
 use uavnet_graph::{ConnectivitySubstrate, UNREACHABLE_HOPS};
@@ -278,6 +279,13 @@ pub fn approx_alg_sharded(
     config: &ApproxConfig,
     shard: &ShardConfig,
 ) -> Result<(Solution, ApproxStats), CoreError> {
+    // Guided strategies evaluate orders of magnitude fewer subsets than
+    // the per-tile view construction amortizes, so the sharded path is
+    // a pure loss for them; delegate to the monolithic dispatch, which
+    // is bit-identical by definition (it is the same strategy).
+    if config.strategy() != SeedStrategyKind::Exhaustive {
+        return approx_alg_with_stats(instance, config);
+    }
     let s = config.s();
     let m = instance.num_locations();
     if s > m {
@@ -329,12 +337,26 @@ pub fn approx_alg_sharded(
         3 * (chain_span + plan.h_max())
     };
 
+    // Pre-spawn `max_subsets` guard, counted against the same
+    // chain-pruned survivor total the monolithic dispatch reports — the
+    // typed error fires before any worker thread exists.
+    if let Some(limit) = config.subset_limit() {
+        let planned =
+            chain_survivors_capped(pool.len(), s, pool_dists.as_deref(), &chain_budgets, limit);
+        if planned > limit {
+            return Err(CoreError::InvalidParameters(format!(
+                "strategy exhaustive plans more than {limit} subset evaluations \
+                 ({planned}+ survive pruning); coarsen the grid, raise \
+                 max_subsets or pick a bounded strategy"
+            )));
+        }
+    }
+
     let total = binomial(pool.len(), s);
     let cursor = AtomicUsize::new(0);
     let survivors = AtomicUsize::new(0);
     let chain_pruned = AtomicUsize::new(0);
     let unconnectable = AtomicUsize::new(0);
-    let over_limit = AtomicBool::new(false);
     let gain_queries = AtomicU64::new(0);
     let tiles_solved = AtomicUsize::new(0);
     let view_escapes = AtomicUsize::new(0);
@@ -361,7 +383,7 @@ pub fn approx_alg_sharded(
         let mut queries = 0u64;
         let mut escapes = 0usize;
         let mut solved = 0usize;
-        'tiles: while !over_limit.load(Ordering::Relaxed) {
+        loop {
             let t = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(members) = tiles.get(t) else { break };
             let t_tile = Instant::now();
@@ -384,14 +406,7 @@ pub fn approx_alg_sharded(
                     };
                     profile.enumeration += t_enum.elapsed().as_nanos() as u64;
                     if keep {
-                        if let Some(limit) = config.subset_limit() {
-                            if survivors.fetch_add(1, Ordering::Relaxed) >= limit {
-                                over_limit.store(true, Ordering::Relaxed);
-                                break 'tiles;
-                            }
-                        } else {
-                            survivors.fetch_add(1, Ordering::Relaxed);
-                        }
+                        survivors.fetch_add(1, Ordering::Relaxed);
                         seeds.clear();
                         seeds.extend(combo.iter().map(|&i| pool[i]));
                         let before = ws.gain_queries();
@@ -479,14 +494,6 @@ pub fn approx_alg_sharded(
         return Err(CoreError::Sweep(message));
     }
 
-    if over_limit.load(Ordering::Relaxed) {
-        let limit = config.subset_limit().expect("over_limit implies a limit");
-        return Err(CoreError::InvalidParameters(format!(
-            "more than {limit} seed subsets survive pruning; \
-             coarsen the grid or raise max_subsets"
-        )));
-    }
-
     let mut best: Best = None;
     for cand in bests.into_iter().flatten() {
         let better = match &best {
@@ -503,12 +510,14 @@ pub fn approx_alg_sharded(
         seed_pool_size: pool.len(),
         subsets_enumerated: total as usize,
         subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
+        subsets_bound_pruned: 0,
         subsets_evaluated: survivors.load(Ordering::Relaxed),
         subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
         best_seeds: best.as_ref().map(|(_, _, _, seeds)| seeds.clone()),
         gain_queries: gain_queries.load(Ordering::Relaxed),
         tiles_solved: tiles_solved.load(Ordering::Relaxed),
         view_escapes: view_escapes.load(Ordering::Relaxed),
+        strategy: "exhaustive",
         profile: SweepProfile {
             enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
             greedy_ns: greedy_ns.load(Ordering::Relaxed),

@@ -1,0 +1,1315 @@
+//! Seed-search strategies behind the [`SeedStrategy`] trait — the
+//! pluggable engine of Algorithm 2's subset sweep.
+//!
+//! [`approx_alg`](crate::approx_alg) historically had one way to pick
+//! the winning seed subset: enumerate every `C(pool, s)` combination
+//! and evaluate the survivors of chain pruning. That wall caps both
+//! `s` and the candidate-location count. This module refactors the
+//! exhaustive sweep into one [`SeedStrategy`] implementation and adds
+//! two guided ones:
+//!
+//! * [`SeedStrategyKind::BoundPruned`] — **value-preserving** CELF-style
+//!   enumeration: an admissible per-subset upper bound (see
+//!   [`BoundPrunedEnumeration`]) lets workers skip any subset whose
+//!   optimistic served count cannot beat the incumbent. The winner (and
+//!   its placements) is bit-identical to exhaustive enumeration.
+//! * [`SeedStrategyKind::Beam`] — **density-guided beam search**: seeds
+//!   grow from the highest-coverage cells of the spatial index's
+//!   coverage tables, a beam of width `B` survives each depth, and only
+//!   the final beam is fully evaluated. Quality is gated by
+//!   [`check_strategy_quality`](crate::check_strategy_quality) rather
+//!   than an identity proof.
+//!
+//! Every strategy is deterministic and thread-count invariant: ties
+//! break on enumeration rank (equivalently the lexicographic order of
+//! the seed subset), and the bound-pruned parallel scheme reads the
+//! incumbent only at fixed chunk boundaries so pruning decisions do not
+//! depend on scheduling.
+
+use crate::approx::{
+    binomial, chain_feasible, next_combination, panic_payload_message, seed_pool,
+    unrank_combination, ApproxConfig, PhaseNanos, SubsetOutcome, SweepProfile, SweepWorkspace,
+};
+use crate::{CoreError, Instance, SegmentPlan};
+use std::cmp::Reverse;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+use uavnet_geom::CellIndex;
+use uavnet_graph::{ConnectivitySubstrate, UNREACHABLE_HOPS};
+
+/// Default beam width of [`SeedStrategyKind::Beam`]. Wide enough that
+/// quick-scale proptest instances (`C(pool, s)` below the width) suffer
+/// no truncation at all — there the beam degenerates to exhaustive
+/// enumeration with chain pruning — while keeping the large-scale
+/// evaluation count constant instead of combinatorial.
+pub const DEFAULT_BEAM_WIDTH: usize = 64;
+
+/// How many top-ranked pool positions the bound-pruned primer combines
+/// when seeding the incumbent before workers spawn.
+const PRIMER_POOL: usize = 24;
+
+/// How many primer combinations are tried before giving up on a
+/// chain-feasible incumbent (workers then start unprimed).
+const PRIMER_TRIES: usize = 512;
+
+/// Fixed rank-chunk size of the bound-pruned parallel scheme. Must not
+/// depend on the thread count: chunk boundaries are where incumbent
+/// snapshots are taken, so the chunking *is* the determinism contract.
+const BOUND_CHUNK: u64 = 64;
+
+/// Which seed-search strategy the subset sweep runs.
+///
+/// Parsed from the CLI spelling used by `sweep_report --seed-strategy`:
+///
+/// ```
+/// use uavnet_core::SeedStrategyKind;
+/// assert_eq!("exhaustive".parse(), Ok(SeedStrategyKind::Exhaustive));
+/// assert_eq!("bound-pruned".parse(), Ok(SeedStrategyKind::BoundPruned));
+/// assert_eq!("beam:8".parse(), Ok(SeedStrategyKind::Beam { width: 8 }));
+/// assert_eq!(SeedStrategyKind::default(), SeedStrategyKind::Exhaustive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedStrategyKind {
+    /// Evaluate every chain-pruning survivor of the full `C(pool, s)`
+    /// enumeration (the literal Algorithm 2 engine).
+    #[default]
+    Exhaustive,
+    /// Exhaustive enumeration with admissible bound pruning — the same
+    /// winner bit-for-bit, skipping subsets that provably cannot win.
+    BoundPruned,
+    /// Density-guided beam search evaluating at most `width` subsets.
+    Beam {
+        /// Beam width `B`: states kept per depth and final evaluations.
+        width: usize,
+    },
+}
+
+impl SeedStrategyKind {
+    /// Stable machine-readable name (`"exhaustive"`, `"bound-pruned"`,
+    /// `"beam"`), used in stats, obs events and BENCH_sweep.json.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedStrategyKind::Exhaustive => "exhaustive",
+            SeedStrategyKind::BoundPruned => "bound-pruned",
+            SeedStrategyKind::Beam { .. } => "beam",
+        }
+    }
+
+    /// Instantiates the strategy behind this kind.
+    pub fn build(self) -> Box<dyn SeedStrategy> {
+        match self {
+            SeedStrategyKind::Exhaustive => Box::new(ExhaustiveEnumeration),
+            SeedStrategyKind::BoundPruned => Box::new(BoundPrunedEnumeration),
+            SeedStrategyKind::Beam { width } => Box::new(DensityBeam { width }),
+        }
+    }
+}
+
+impl fmt::Display for SeedStrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedStrategyKind::Beam { width } => write!(f, "beam:{width}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+impl FromStr for SeedStrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(SeedStrategyKind::Exhaustive),
+            "bound-pruned" | "bound_pruned" => Ok(SeedStrategyKind::BoundPruned),
+            "beam" => Ok(SeedStrategyKind::Beam {
+                width: DEFAULT_BEAM_WIDTH,
+            }),
+            other => match other.strip_prefix("beam:") {
+                Some(w) => match w.parse::<usize>() {
+                    Ok(width) if width >= 1 => Ok(SeedStrategyKind::Beam { width }),
+                    _ => Err(format!("invalid beam width {w:?} (want beam:<N≥1>)")),
+                },
+                None => Err(format!(
+                    "unknown seed strategy {other:?} \
+                     (want exhaustive | bound-pruned | beam[:N])"
+                )),
+            },
+        }
+    }
+}
+
+/// Everything a strategy needs to search one instance: the problem,
+/// the plan, the shared connectivity substrate, and the precomputed
+/// seed pool with its chain-pruning tables. Built internally by
+/// [`approx_alg_with_stats`](crate::approx_alg_with_stats); strategies
+/// never construct one themselves.
+pub struct SearchContext<'a> {
+    pub(crate) instance: &'a Instance,
+    pub(crate) config: &'a ApproxConfig,
+    pub(crate) plan: &'a SegmentPlan,
+    pub(crate) substrate: &'a ConnectivitySubstrate,
+    pub(crate) pool: Vec<usize>,
+    pub(crate) chain_budgets: Vec<usize>,
+    pub(crate) pool_dists: Option<Vec<Vec<Option<u32>>>>,
+}
+
+impl<'a> SearchContext<'a> {
+    pub(crate) fn new(
+        instance: &'a Instance,
+        config: &'a ApproxConfig,
+        plan: &'a SegmentPlan,
+        substrate: &'a ConnectivitySubstrate,
+    ) -> Self {
+        let pool = seed_pool(instance, config, substrate);
+        let s = config.s();
+        let chain_budgets: Vec<usize> = plan.p()[1..s].iter().map(|&p| p + 1).collect();
+        let pool_dists = crate::approx::pool_distances(config, &pool, substrate);
+        SearchContext {
+            instance,
+            config,
+            plan,
+            substrate,
+            pool,
+            chain_budgets,
+            pool_dists,
+        }
+    }
+
+    /// The seed pool: candidate locations admitted to the enumeration,
+    /// ascending.
+    pub fn pool(&self) -> &[usize] {
+        &self.pool
+    }
+
+    /// Total `C(pool, s)` subsets of the full enumeration (saturating).
+    pub fn total_subsets(&self) -> u64 {
+        binomial(self.pool.len(), self.config.s())
+    }
+}
+
+/// The winning candidate of a strategy's search.
+#[derive(Debug, Clone)]
+pub struct BestCandidate {
+    /// Users served by the candidate's deployment (before the
+    /// leftover pass).
+    pub served: usize,
+    /// The seed subset, in ascending location order.
+    pub seeds: Vec<CellIndex>,
+    /// The full deployment: greedy picks, forced seeds, then relays.
+    pub placements: Vec<(usize, CellIndex)>,
+}
+
+/// What a strategy's search produced, in the units
+/// [`ApproxStats`](crate::ApproxStats) reports.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best candidate, if any subset produced a deployment.
+    pub best: Option<BestCandidate>,
+    /// Subsets considered before any pruning (for the enumerative
+    /// strategies this is `C(pool, s)`; the beam counts generated
+    /// states instead).
+    pub subsets_enumerated: usize,
+    /// Subsets dropped by chain pruning.
+    pub subsets_chain_pruned: usize,
+    /// Subsets skipped because their admissible upper bound could not
+    /// beat the incumbent (bound-pruned strategy only).
+    pub subsets_bound_pruned: usize,
+    /// Subsets fully evaluated (greedy + connection + scoring).
+    pub subsets_evaluated: usize,
+    /// Evaluated subsets whose connected set exceeded the fleet.
+    pub subsets_unconnectable: usize,
+    /// Marginal-gain queries issued across the search.
+    pub gain_queries: u64,
+    /// Phase timings; `substrate_build_ns` is filled by the caller.
+    pub profile: SweepProfile,
+}
+
+/// A seed-search strategy: given a prepared [`SearchContext`], find
+/// the best seed subset and report honest work statistics.
+///
+/// # Contract
+///
+/// * **Determinism** — for a fixed instance and configuration, `search`
+///   must return the same [`BestCandidate`] and the same deterministic
+///   counters (`subsets_*`, `gain_queries`) regardless of
+///   [`ApproxConfig::num_threads`]. Ties between equal-served subsets
+///   break toward the lexicographically smallest seed subset
+///   (equivalently, the lowest enumeration rank).
+/// * **Honest stats** — `subsets_evaluated` counts real
+///   greedy+connection+scoring evaluations; pruned work is reported in
+///   the pruning counters, never hidden.
+pub trait SeedStrategy {
+    /// Stable machine-readable strategy name.
+    fn name(&self) -> &'static str;
+
+    /// Searches the context for the best seed subset.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Sweep`] if a worker thread panicked (all workers
+    /// are drained first).
+    fn search(&self, ctx: &SearchContext<'_>) -> Result<SearchResult, CoreError>;
+
+    /// An upper bound on how many subsets this strategy would evaluate,
+    /// short-circuiting once the count exceeds `limit` (the returned
+    /// value is then at least `limit + 1`). Used by the `max_subsets`
+    /// guard *before* any worker spawns.
+    fn planned_evaluations(&self, ctx: &SearchContext<'_>, limit: usize) -> usize {
+        chain_survivors_capped(
+            ctx.pool.len(),
+            ctx.config.s(),
+            ctx.pool_dists.as_deref(),
+            &ctx.chain_budgets,
+            limit,
+        )
+    }
+}
+
+/// Counts chain-pruning survivors of the `C(pool_len, s)` enumeration,
+/// stopping as soon as the count exceeds `limit`. Shared by the
+/// monolithic and sharded pre-spawn `max_subsets` guards.
+pub(crate) fn chain_survivors_capped(
+    pool_len: usize,
+    s: usize,
+    pool_dists: Option<&[Vec<Option<u32>>]>,
+    budgets: &[usize],
+    limit: usize,
+) -> usize {
+    let mut combo: Vec<usize> = (0..s).collect();
+    let mut count = 0usize;
+    loop {
+        let keep = match pool_dists {
+            Some(d) => chain_feasible(d, &combo, budgets),
+            None => true,
+        };
+        if keep {
+            count += 1;
+            if count > limit {
+                return count;
+            }
+        }
+        if !next_combination(&mut combo, pool_len) {
+            return count;
+        }
+    }
+}
+
+/// The lexicographic rank of an ascending `s`-combination of `0..n` —
+/// the inverse of [`unrank_combination`].
+pub(crate) fn rank_of_combination(combo: &[usize], n: usize, s: usize) -> u64 {
+    debug_assert!(combo.windows(2).all(|w| w[0] < w[1]));
+    let mut rank = 0u64;
+    let mut prev = 0usize;
+    for (j, &c) in combo.iter().enumerate() {
+        for v in prev..c {
+            rank = rank.saturating_add(binomial(n - v - 1, s - j - 1));
+        }
+        prev = c + 1;
+    }
+    rank
+}
+
+/// (served, rank, placements, seeds) of a candidate during a sweep.
+type RankedBest = Option<(usize, u64, Vec<(usize, CellIndex)>, Vec<CellIndex>)>;
+
+fn ranked_to_candidate(best: RankedBest) -> Option<BestCandidate> {
+    best.map(|(served, _, placements, seeds)| BestCandidate {
+        served,
+        seeds,
+        placements,
+    })
+}
+
+/// The literal Algorithm 2 engine: evaluate every chain-pruning
+/// survivor of the full `C(pool, s)` enumeration behind a chunked
+/// atomic cursor, one reusable workspace per worker.
+pub struct ExhaustiveEnumeration;
+
+impl SeedStrategy for ExhaustiveEnumeration {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> Result<SearchResult, CoreError> {
+        let s = ctx.config.s();
+        let pool = &ctx.pool;
+        let total = binomial(pool.len(), s);
+        let threads_cfg = ctx.config.num_threads();
+        let chunk = (total / (threads_cfg as u64 * 4)).clamp(1, 64);
+        let cursor = AtomicU64::new(0);
+        let evaluated = AtomicUsize::new(0);
+        let chain_pruned = AtomicUsize::new(0);
+        let unconnectable = AtomicUsize::new(0);
+        let gain_queries = AtomicU64::new(0);
+        let enumeration_ns = AtomicU64::new(0);
+        let greedy_ns = AtomicU64::new(0);
+        let connection_ns = AtomicU64::new(0);
+        let scoring_ns = AtomicU64::new(0);
+        let substrate_query_ns = AtomicU64::new(0);
+        let threads = threads_cfg.min(total.div_ceil(chunk).max(1) as usize);
+
+        let worker = || -> RankedBest {
+            let mut ws = SweepWorkspace::with_substrate(ctx.instance, ctx.substrate);
+            let mut profile = PhaseNanos::default();
+            let mut combo: Vec<usize> = Vec::with_capacity(s);
+            let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
+            let mut local_best: RankedBest = None;
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= total {
+                    break;
+                }
+                let end = (start + chunk).min(total);
+                for rank in start..end {
+                    let t_enum = Instant::now();
+                    if rank == start {
+                        unrank_combination(rank, pool.len(), s, &mut combo);
+                    } else {
+                        let advanced = next_combination(&mut combo, pool.len());
+                        debug_assert!(advanced, "rank < total implies a successor");
+                    }
+                    // The injection hook fires on *reaching* the rank,
+                    // before any pruning: tests pick ranks without
+                    // knowing which ones chain pruning will discard.
+                    if ctx.config.panic_rank() == Some(rank) {
+                        panic!("injected worker panic at enumeration rank {rank}");
+                    }
+                    let keep = match &ctx.pool_dists {
+                        Some(d) => chain_feasible(d, &combo, &ctx.chain_budgets),
+                        None => true,
+                    };
+                    profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                    if !keep {
+                        chain_pruned.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    evaluated.fetch_add(1, Ordering::Relaxed);
+                    seeds.clear();
+                    seeds.extend(combo.iter().map(|&i| pool[i]));
+                    match ws.solve_subset(ctx.plan, &seeds, &mut profile) {
+                        SubsetOutcome::Served(served) => {
+                            let better = match &local_best {
+                                None => true,
+                                Some((bs, br, _, _)) => {
+                                    served > *bs || (served == *bs && rank < *br)
+                                }
+                            };
+                            if better {
+                                local_best =
+                                    Some((served, rank, ws.placements().to_vec(), seeds.clone()));
+                            }
+                        }
+                        SubsetOutcome::Unconnectable => {
+                            unconnectable.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SubsetOutcome::EscapedView => {
+                            unreachable!("the monolithic sweep runs without a tile view")
+                        }
+                    }
+                }
+            }
+            gain_queries.fetch_add(ws.gain_queries(), Ordering::Relaxed);
+            enumeration_ns.fetch_add(profile.enumeration, Ordering::Relaxed);
+            greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
+            connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
+            scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
+            substrate_query_ns.fetch_add(profile.substrate_query, Ordering::Relaxed);
+            local_best
+        };
+
+        // Join every worker unconditionally, collecting panics instead
+        // of propagating them: a panicking oracle must surface as a
+        // typed error, not abort the process.
+        let joined: Vec<Result<RankedBest, Box<dyn std::any::Any + Send>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        let mut bests: Vec<RankedBest> = Vec::with_capacity(joined.len());
+        let mut worker_panic: Option<String> = None;
+        for result in joined {
+            match result {
+                Ok(best) => bests.push(best),
+                Err(payload) => {
+                    worker_panic.get_or_insert_with(|| panic_payload_message(&*payload));
+                }
+            }
+        }
+        if let Some(message) = worker_panic {
+            return Err(CoreError::Sweep(message));
+        }
+
+        // Join-time reduction by (served desc, rank asc): bit-identical
+        // to a sequential sweep for any chunking.
+        let mut best: RankedBest = None;
+        for cand in bests.into_iter().flatten() {
+            let better = match &best {
+                None => true,
+                Some((bs, br, _, _)) => cand.0 > *bs || (cand.0 == *bs && cand.1 < *br),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+
+        Ok(SearchResult {
+            best: ranked_to_candidate(best),
+            subsets_enumerated: total as usize,
+            subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
+            subsets_bound_pruned: 0,
+            subsets_evaluated: evaluated.load(Ordering::Relaxed),
+            subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
+            gain_queries: gain_queries.load(Ordering::Relaxed),
+            profile: SweepProfile {
+                enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
+                greedy_ns: greedy_ns.load(Ordering::Relaxed),
+                connection_ns: connection_ns.load(Ordering::Relaxed),
+                scoring_ns: scoring_ns.load(Ordering::Relaxed),
+                subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
+                substrate_build_ns: 0,
+                substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
+                tile_view_ns: 0,
+            },
+        })
+    }
+}
+
+/// Value-preserving bound-pruned enumeration (CELF-style).
+///
+/// # The admissible bound
+///
+/// For a seed subset `S`, every greedy pick lands in the hop-budget
+/// matroid's ground set — cells within `h_max` hops of some seed — so
+/// users served by those UAVs lie in `∪_{v∈S} U_h(v)`, where `U_h(v)`
+/// is the union over all radio classes of users coverable from any
+/// cell within `h_max` hops of `v`. UAVs deployed *outside* those
+/// balls are relay/gateway commitments, which always continue down the
+/// capacity order after at least the `s` seeds, so their total served
+/// users cannot exceed `tail_caps = Σ` capacities of the fleet ranked
+/// `≥ s` by capacity. Hence
+///
+/// `served(S) ≤ min(Σ capacities, n, Σ_{v∈S} ūh(v) + tail_caps)`
+///
+/// is an admissible (never under-estimating) bound on the pre-leftover
+/// served count — exactly the quantity subsets compete on — for any
+/// `ūh(v) ≥ |U_h(v)|`; the implementation uses the cheap cached-count
+/// over-estimate from [`reach_coverage_bounds`].
+///
+/// # Deterministic parallel pruning
+///
+/// Ranks advance in fixed chunks of [`BOUND_CHUNK`] regardless of the
+/// thread count; all workers process each chunk in lockstep (worker
+/// `w` owns the ranks congruent to `w` within the chunk) behind a
+/// [`Barrier`]. The incumbent is snapshotted once per chunk, *after*
+/// the barrier, and every skip decision compares against that snapshot
+/// only — never against mid-chunk discoveries; a second barrier at the
+/// end of each chunk holds every merge back until all workers have
+/// finished their reads, so no chunk-local best can leak into a
+/// sibling's skip decisions. The set of pruned ranks (and therefore
+/// every counter) is thus identical for 1, 2 or `N` workers. Skipping is safe only when the bound is *strictly* below
+/// the incumbent, or equal with the incumbent at a lower rank: an
+/// equal-bound subset at a lower rank could still win the tie-break.
+///
+/// # Saturation early exit
+///
+/// `min(Σ capacities, n)` bounds *every* subset, so once the incumbent
+/// reaches it at a rank below the next chunk, the entire remaining
+/// tail is pruned wholesale — without even walking the combinations or
+/// running their chain checks. The canonical greedy pool order (see
+/// [`crate::ApproxConfig::seed_strategy`]) makes this the common case
+/// on capacity-saturated instances: a fleet-saturating subset sits in
+/// the first few ranks, and the sweep stops after a handful of chunks.
+/// Tail ranks skipped this way are counted as bound-pruned even when
+/// the chain filter would also have rejected them — the accounting
+/// identity `enumerated = evaluated + chain_pruned + bound_pruned`
+/// still holds, but `chain_pruned` alone is no longer comparable with
+/// the exhaustive sweep's.
+pub struct BoundPrunedEnumeration;
+
+/// The shared incumbent of the bound-pruned sweep.
+struct Incumbent {
+    served: usize,
+    rank: u64,
+    placements: Vec<(usize, CellIndex)>,
+    seeds: Vec<CellIndex>,
+}
+
+/// Admissible over-count of `|U_h(v)|` per pool position: the sum,
+/// over every cell within `h_max` hops of the pool member and every
+/// radio class, of the cached coverable-list length. Summing without
+/// deduplication can only *over*-estimate the true union size, so the
+/// bound stays admissible, while the cached per-(class, cell) counts
+/// turn the computation into O(cells) table lookups per position
+/// instead of a full user-list traversal — the exact union walk cost
+/// tens of milliseconds at the 100k-user scale, dominating the pruned
+/// sweep it was meant to accelerate.
+fn reach_coverage_bounds(ctx: &SearchContext<'_>) -> Vec<u64> {
+    let instance = ctx.instance;
+    let h_max = ctx.plan.h_max();
+    let classes = instance.num_radio_classes();
+    let cell_counts: Vec<u64> = (0..instance.num_locations())
+        .map(|w| {
+            (0..classes)
+                .map(|class| instance.coverable_class_count(class, w) as u64)
+                .sum()
+        })
+        .collect();
+    ctx.pool
+        .iter()
+        .map(|&v| {
+            let mut count = 0u64;
+            for (w, &hops) in ctx.substrate.hop_row(v).iter().enumerate() {
+                if hops == UNREACHABLE_HOPS || hops as usize > h_max {
+                    continue;
+                }
+                count += cell_counts[w];
+            }
+            count
+        })
+        .collect()
+}
+
+impl SeedStrategy for BoundPrunedEnumeration {
+    fn name(&self) -> &'static str {
+        "bound-pruned"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn search(&self, ctx: &SearchContext<'_>) -> Result<SearchResult, CoreError> {
+        let instance = ctx.instance;
+        let s = ctx.config.s();
+        let pool_len = ctx.pool.len();
+        let total = binomial(pool_len, s);
+
+        let t_setup = Instant::now();
+        let uh = reach_coverage_bounds(ctx);
+        let cap_total: u64 = instance.uavs().iter().map(|u| u64::from(u.capacity)).sum();
+        let tail_caps: u64 = instance.uavs_by_capacity()[s..]
+            .iter()
+            .map(|&u| u64::from(instance.uavs()[u].capacity))
+            .sum();
+        let cap_bound = cap_total.min(instance.num_users() as u64);
+        let setup_ns = t_setup.elapsed().as_nanos() as u64;
+
+        // Prime the incumbent before any worker spawns, from two
+        // complementary candidates evaluated once on this thread:
+        //
+        // 1. the lowest-rank chain-feasible combination — under the
+        //    canonical greedy pool order this is usually the winner
+        //    itself, and its rank-0-ish position means *every* later
+        //    rank with an equal bound tie-prunes immediately;
+        // 2. the first chain-feasible combination of the highest-|U_h|
+        //    pool positions — a served-count safety net for instances
+        //    where the greedy order's head is not fleet-saturating.
+        //
+        // A strong early incumbent is what lets chunk 0's successors
+        // prune at all.
+        let mut primer_profile = PhaseNanos::default();
+        let mut primer_gain_queries = 0u64;
+        let mut primer_evaluated = 0usize;
+        let mut primer_unconnectable = 0usize;
+        let mut primer_ranks: Vec<u64> = Vec::with_capacity(2);
+        let mut incumbent: Option<Incumbent> = None;
+        {
+            let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(2);
+            if pool_len >= s {
+                let mut combo: Vec<usize> = (0..s).collect();
+                let mut tries = 0usize;
+                loop {
+                    tries += 1;
+                    let feasible = match &ctx.pool_dists {
+                        Some(d) => chain_feasible(d, &combo, &ctx.chain_budgets),
+                        None => true,
+                    };
+                    if feasible {
+                        candidates.push(combo.clone());
+                        break;
+                    }
+                    if tries >= PRIMER_TRIES || !next_combination(&mut combo, pool_len) {
+                        break;
+                    }
+                }
+            }
+            let mut order: Vec<usize> = (0..pool_len).collect();
+            order.sort_by_key(|&p| (Reverse(uh[p]), p));
+            let top = order.len().min(PRIMER_POOL);
+            if top >= s {
+                let mut slot_combo: Vec<usize> = (0..s).collect();
+                let mut tries = 0usize;
+                loop {
+                    tries += 1;
+                    let mut positions: Vec<usize> = slot_combo.iter().map(|&i| order[i]).collect();
+                    positions.sort_unstable();
+                    let feasible = match &ctx.pool_dists {
+                        Some(d) => chain_feasible(d, &positions, &ctx.chain_budgets),
+                        None => true,
+                    };
+                    if feasible {
+                        if !candidates.contains(&positions) {
+                            candidates.push(positions);
+                        }
+                        break;
+                    }
+                    if tries >= PRIMER_TRIES || !next_combination(&mut slot_combo, top) {
+                        break;
+                    }
+                }
+            }
+            if !candidates.is_empty() {
+                let mut ws = SweepWorkspace::with_substrate(instance, ctx.substrate);
+                for positions in candidates {
+                    let seeds: Vec<CellIndex> = positions.iter().map(|&p| ctx.pool[p]).collect();
+                    let rank = rank_of_combination(&positions, pool_len, s);
+                    match ws.solve_subset(ctx.plan, &seeds, &mut primer_profile) {
+                        SubsetOutcome::Served(served) => {
+                            let better = match &incumbent {
+                                None => true,
+                                Some(i) => {
+                                    served > i.served || (served == i.served && rank < i.rank)
+                                }
+                            };
+                            if better {
+                                incumbent = Some(Incumbent {
+                                    served,
+                                    rank,
+                                    placements: ws.placements().to_vec(),
+                                    seeds,
+                                });
+                            }
+                        }
+                        SubsetOutcome::Unconnectable => primer_unconnectable += 1,
+                        SubsetOutcome::EscapedView => {
+                            unreachable!("the monolithic sweep runs without a tile view")
+                        }
+                    }
+                    primer_evaluated += 1;
+                    primer_ranks.push(rank);
+                }
+                primer_gain_queries = ws.gain_queries();
+            }
+        }
+
+        let incumbent = Mutex::new(incumbent);
+        let poisoned = AtomicBool::new(false);
+        let panic_msg: Mutex<Option<String>> = Mutex::new(None);
+        let chain_pruned = AtomicUsize::new(0);
+        let bound_pruned = AtomicUsize::new(0);
+        let evaluated = AtomicUsize::new(primer_evaluated);
+        let unconnectable = AtomicUsize::new(primer_unconnectable);
+        let gain_queries = AtomicU64::new(primer_gain_queries);
+        let enumeration_ns = AtomicU64::new(setup_ns + primer_profile.enumeration);
+        let greedy_ns = AtomicU64::new(primer_profile.greedy);
+        let connection_ns = AtomicU64::new(primer_profile.connection);
+        let scoring_ns = AtomicU64::new(primer_profile.scoring);
+        let substrate_query_ns = AtomicU64::new(primer_profile.substrate_query);
+        let threads = ctx
+            .config
+            .num_threads()
+            .min(usize::try_from(total).unwrap_or(usize::MAX))
+            .max(1);
+        let barrier = Barrier::new(threads);
+
+        let worker = |w: usize| {
+            let mut ws = SweepWorkspace::with_substrate(instance, ctx.substrate);
+            let mut profile = PhaseNanos::default();
+            let mut combo: Vec<usize> = Vec::with_capacity(s);
+            let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
+            let mut local_chain = 0usize;
+            let mut local_bound = 0usize;
+            let mut local_eval = 0usize;
+            let mut local_unconn = 0usize;
+            let mut chunk_start = 0u64;
+            while chunk_start < total {
+                // The barrier is the determinism (and memory-ordering)
+                // fence: after it, every merge from the previous chunk
+                // is visible and no sibling is processing ranks, so the
+                // snapshot below is identical across workers.
+                barrier.wait();
+                let snapshot: Option<(usize, u64)> = incumbent
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                    .map(|i| (i.served, i.rank));
+                // Saturation early exit: served can never exceed
+                // `cap_bound = min(Σ capacities, n)`, so once the
+                // incumbent reaches that global ceiling at a rank every
+                // remaining combination outranks, no successor can win
+                // — not even on the tie-break. The whole tail is then
+                // bound-prunable wholesale, without walking a single
+                // further combination or chain check. Merges only
+                // happen behind the second fence, so every worker reads
+                // the same snapshot here and they all exit on the same
+                // chunk — the barrier counts stay paired.
+                if let Some((inc_served, inc_rank)) = snapshot {
+                    if inc_served as u64 >= cap_bound && inc_rank < chunk_start {
+                        if w == 0 {
+                            local_bound += (total - chunk_start) as usize;
+                        }
+                        break;
+                    }
+                }
+                let end = (chunk_start + BOUND_CHUNK).min(total);
+                let mut chunk_best: RankedBest = None;
+                let mut dead = false;
+                let mut rank = chunk_start + w as u64;
+                if rank < end {
+                    let t_enum = Instant::now();
+                    unrank_combination(rank, pool_len, s, &mut combo);
+                    profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                }
+                while rank < end {
+                    let t_enum = Instant::now();
+                    let feasible = match &ctx.pool_dists {
+                        Some(d) => chain_feasible(d, &combo, &ctx.chain_budgets),
+                        None => true,
+                    };
+                    profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                    if !feasible {
+                        local_chain += 1;
+                    } else if primer_ranks.contains(&rank) {
+                        // Already evaluated (and counted) by the primer.
+                    } else {
+                        let mut optimistic = tail_caps;
+                        for &p in &combo {
+                            optimistic += uh[p];
+                        }
+                        let bound = optimistic.min(cap_bound);
+                        let skip = match snapshot {
+                            None => false,
+                            Some((inc_served, inc_rank)) => {
+                                bound < inc_served as u64
+                                    || (bound == inc_served as u64 && inc_rank < rank)
+                            }
+                        };
+                        if skip {
+                            local_bound += 1;
+                        } else {
+                            seeds.clear();
+                            seeds.extend(combo.iter().map(|&i| ctx.pool[i]));
+                            // Contain panics *inside* the barrier
+                            // discipline: an uncaught panic would strand
+                            // the sibling workers at the next wait.
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                if ctx.config.panic_rank() == Some(rank) {
+                                    panic!("injected worker panic at enumeration rank {rank}");
+                                }
+                                ws.solve_subset(ctx.plan, &seeds, &mut profile)
+                            }));
+                            match outcome {
+                                Ok(SubsetOutcome::Served(served)) => {
+                                    local_eval += 1;
+                                    let better = match &chunk_best {
+                                        None => true,
+                                        Some((bs, br, _, _)) => {
+                                            served > *bs || (served == *bs && rank < *br)
+                                        }
+                                    };
+                                    if better {
+                                        chunk_best = Some((
+                                            served,
+                                            rank,
+                                            ws.placements().to_vec(),
+                                            seeds.clone(),
+                                        ));
+                                    }
+                                }
+                                Ok(SubsetOutcome::Unconnectable) => {
+                                    local_eval += 1;
+                                    local_unconn += 1;
+                                }
+                                Ok(SubsetOutcome::EscapedView) => {
+                                    unreachable!("the monolithic sweep runs without a tile view")
+                                }
+                                Err(payload) => {
+                                    panic_msg
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .get_or_insert_with(|| panic_payload_message(&*payload));
+                                    poisoned.store(true, Ordering::Release);
+                                    dead = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let next = rank + threads as u64;
+                    if next < end {
+                        let t_enum = Instant::now();
+                        for _ in 0..threads {
+                            next_combination(&mut combo, pool_len);
+                        }
+                        profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+                    }
+                    rank = next;
+                }
+                // Second fence: no worker may merge this chunk's best
+                // until every worker has finished reading the snapshot
+                // and processing its ranks — otherwise a fast sibling's
+                // merge would leak into a slow sibling's skip decisions
+                // and the pruned counter would depend on thread timing.
+                barrier.wait();
+                if !dead {
+                    if let Some((served, rank, placements, seeds)) = chunk_best {
+                        let mut inc = incumbent.lock().unwrap_or_else(|e| e.into_inner());
+                        let better = match &*inc {
+                            None => true,
+                            Some(i) => served > i.served || (served == i.served && rank < i.rank),
+                        };
+                        if better {
+                            *inc = Some(Incumbent {
+                                served,
+                                rank,
+                                placements,
+                                seeds,
+                            });
+                        }
+                    }
+                }
+                chunk_start += BOUND_CHUNK;
+                // Poisoned check: strictly between the second fence and
+                // the next chunk's top fence no worker can be inside
+                // the rank loop, so the flag is stable here — either
+                // every worker sees the panic and they all break
+                // together, or none does. (Checking right after the
+                // *top* fence instead races with a same-chunk panic
+                // from a faster sibling: the store becomes visible
+                // before this worker starts the chunk, it breaks, and
+                // the sibling waits at the second fence forever.)
+                if poisoned.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            chain_pruned.fetch_add(local_chain, Ordering::Relaxed);
+            bound_pruned.fetch_add(local_bound, Ordering::Relaxed);
+            evaluated.fetch_add(local_eval, Ordering::Relaxed);
+            unconnectable.fetch_add(local_unconn, Ordering::Relaxed);
+            gain_queries.fetch_add(ws.gain_queries(), Ordering::Relaxed);
+            enumeration_ns.fetch_add(profile.enumeration, Ordering::Relaxed);
+            greedy_ns.fetch_add(profile.greedy, Ordering::Relaxed);
+            connection_ns.fetch_add(profile.connection, Ordering::Relaxed);
+            scoring_ns.fetch_add(profile.scoring, Ordering::Relaxed);
+            substrate_query_ns.fetch_add(profile.substrate_query, Ordering::Relaxed);
+        };
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
+            for h in handles {
+                // Workers contain their own panics via catch_unwind;
+                // a join error would mean a panic outside the guarded
+                // region, which the message slot still reports.
+                if let Err(payload) = h.join() {
+                    panic_msg
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get_or_insert_with(|| panic_payload_message(&*payload));
+                    poisoned.store(true, Ordering::Release);
+                }
+            }
+        });
+        if let Some(message) = panic_msg.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(CoreError::Sweep(message));
+        }
+
+        let best = incumbent
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|i| BestCandidate {
+                served: i.served,
+                seeds: i.seeds,
+                placements: i.placements,
+            });
+        Ok(SearchResult {
+            best,
+            subsets_enumerated: total as usize,
+            subsets_chain_pruned: chain_pruned.load(Ordering::Relaxed),
+            subsets_bound_pruned: bound_pruned.load(Ordering::Relaxed),
+            subsets_evaluated: evaluated.load(Ordering::Relaxed),
+            subsets_unconnectable: unconnectable.load(Ordering::Relaxed),
+            gain_queries: gain_queries.load(Ordering::Relaxed),
+            profile: SweepProfile {
+                enumeration_ns: enumeration_ns.load(Ordering::Relaxed),
+                greedy_ns: greedy_ns.load(Ordering::Relaxed),
+                connection_ns: connection_ns.load(Ordering::Relaxed),
+                scoring_ns: scoring_ns.load(Ordering::Relaxed),
+                subset_buffer_peak_bytes: threads * s * 2 * std::mem::size_of::<usize>(),
+                substrate_build_ns: 0,
+                substrate_query_ns: substrate_query_ns.load(Ordering::Relaxed),
+                tile_view_ns: 0,
+            },
+        })
+    }
+}
+
+/// Density-guided beam search seeded from the highest-coverage cells.
+///
+/// Depth 1 admits the `width` pool members with the largest
+/// [`Instance::best_coverage_count`] (the spatial index's per-cell
+/// user-density signal); each further depth extends every beam state
+/// with every pool member, dedupes, drops partial subsets that already
+/// violate the chain budgets (the feasible prefix of any feasible full
+/// ordering always survives, so no feasible final subset becomes
+/// unreachable — only truncation loses candidates), scores states by
+/// summed density and keeps the best `width`. Only the final beam is
+/// fully evaluated, sequentially in lexicographic order so ties break
+/// exactly like the enumerative strategies. When `C(pool, s)` fits
+/// inside the width the beam degenerates to exhaustive enumeration
+/// with chain pruning.
+///
+/// The injected-panic test hook (`inject_worker_panic_at`) addresses
+/// enumeration ranks, which the beam does not have; like the sharded
+/// sweep, it ignores the hook.
+pub struct DensityBeam {
+    /// Beam width `B`.
+    pub width: usize,
+}
+
+impl SeedStrategy for DensityBeam {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> Result<SearchResult, CoreError> {
+        let instance = ctx.instance;
+        let s = ctx.config.s();
+        let width = self.width.max(1);
+        let pool_len = ctx.pool.len();
+        let t_enum = Instant::now();
+        let density: Vec<u64> = ctx
+            .pool
+            .iter()
+            .map(|&v| instance.best_coverage_count(v) as u64)
+            .collect();
+        let mut enumerated = 0usize;
+        let mut chain_pruned = 0usize;
+        let mut peak_states = 0usize;
+
+        let mut order: Vec<usize> = (0..pool_len).collect();
+        order.sort_by_key(|&p| (Reverse(density[p]), p));
+        let mut beam: Vec<Vec<usize>> = order.iter().take(width).map(|&p| vec![p]).collect();
+        enumerated += beam.len();
+
+        for depth in 2..=s {
+            let mut candidates: Vec<Vec<usize>> = Vec::new();
+            for state in &beam {
+                for q in 0..pool_len {
+                    if state.contains(&q) {
+                        continue;
+                    }
+                    let mut next = Vec::with_capacity(depth);
+                    next.extend_from_slice(state);
+                    next.push(q);
+                    next.sort_unstable();
+                    candidates.push(next);
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            peak_states = peak_states.max(candidates.len() * depth);
+            enumerated += candidates.len();
+            if let Some(d) = &ctx.pool_dists {
+                let before = candidates.len();
+                candidates.retain(|c| chain_feasible(d, c, &ctx.chain_budgets[..depth - 1]));
+                chain_pruned += before - candidates.len();
+            }
+            let score = |state: &[usize]| -> u64 { state.iter().map(|&p| density[p]).sum::<u64>() };
+            candidates.sort_by(|a, b| score(b).cmp(&score(a)).then_with(|| a.cmp(b)));
+            candidates.truncate(width);
+            candidates.sort_unstable();
+            beam = candidates;
+            if beam.is_empty() {
+                break;
+            }
+        }
+        let mut profile = PhaseNanos::default();
+        profile.enumeration += t_enum.elapsed().as_nanos() as u64;
+
+        // Full evaluation of the final beam, in lexicographic subset
+        // order: accepting only strict improvements makes the earliest
+        // (lowest-rank) subset win ties, like the enumerative engines.
+        let mut ws = SweepWorkspace::with_substrate(instance, ctx.substrate);
+        let mut evaluated = 0usize;
+        let mut unconnectable = 0usize;
+        let mut best: Option<(usize, Vec<usize>)> = None;
+        let mut best_placements: Vec<(usize, CellIndex)> = Vec::new();
+        let mut seeds: Vec<CellIndex> = Vec::with_capacity(s);
+        for state in &beam {
+            seeds.clear();
+            seeds.extend(state.iter().map(|&p| ctx.pool[p]));
+            match ws.solve_subset(ctx.plan, &seeds, &mut profile) {
+                SubsetOutcome::Served(served) => {
+                    evaluated += 1;
+                    let better = match &best {
+                        None => true,
+                        Some((bs, _)) => served > *bs,
+                    };
+                    if better {
+                        best = Some((served, state.clone()));
+                        best_placements = ws.placements().to_vec();
+                    }
+                }
+                SubsetOutcome::Unconnectable => {
+                    evaluated += 1;
+                    unconnectable += 1;
+                }
+                SubsetOutcome::EscapedView => {
+                    unreachable!("the monolithic sweep runs without a tile view")
+                }
+            }
+        }
+        let gain_queries = ws.gain_queries();
+
+        Ok(SearchResult {
+            best: best.map(|(served, state)| BestCandidate {
+                served,
+                seeds: state.iter().map(|&p| ctx.pool[p]).collect(),
+                placements: best_placements,
+            }),
+            subsets_enumerated: enumerated,
+            subsets_chain_pruned: chain_pruned,
+            subsets_bound_pruned: 0,
+            subsets_evaluated: evaluated,
+            subsets_unconnectable: unconnectable,
+            gain_queries,
+            profile: SweepProfile {
+                enumeration_ns: profile.enumeration,
+                greedy_ns: profile.greedy,
+                connection_ns: profile.connection,
+                scoring_ns: profile.scoring,
+                subset_buffer_peak_bytes: peak_states
+                    .max(width * s)
+                    .max(pool_len)
+                    .saturating_mul(std::mem::size_of::<usize>()),
+                substrate_build_ns: 0,
+                substrate_query_ns: profile.substrate_query,
+                tile_view_ns: 0,
+            },
+        })
+    }
+
+    fn planned_evaluations(&self, ctx: &SearchContext<'_>, _limit: usize) -> usize {
+        usize::try_from(ctx.total_subsets())
+            .unwrap_or(usize::MAX)
+            .min(self.width.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_alg_with_stats, ApproxConfig};
+    use uavnet_channel::UavRadio;
+    use uavnet_geom::{AreaSpec, GridSpec, Point2};
+
+    fn grid(cell: f64, side: f64) -> uavnet_geom::Grid {
+        GridSpec::new(AreaSpec::new(side, side, 500.0).unwrap(), cell, 300.0)
+            .unwrap()
+            .build()
+    }
+
+    fn two_cluster_instance() -> Instance {
+        let mut b = Instance::builder(grid(300.0, 1500.0), 450.0);
+        for i in 0..6 {
+            b.add_user(Point2::new(100.0 + 10.0 * i as f64, 120.0), 2_000.0);
+        }
+        for i in 0..6 {
+            b.add_user(Point2::new(1_350.0 + 10.0 * i as f64, 1_380.0), 2_000.0);
+        }
+        b.add_user(Point2::new(750.0, 750.0), 2_000.0);
+        for cap in [4u32, 3, 3, 2, 2, 2] {
+            b.add_uav(cap, UavRadio::new(30.0, 5.0, 400.0));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kind_parses_displays_and_names() {
+        for (text, kind) in [
+            ("exhaustive", SeedStrategyKind::Exhaustive),
+            ("bound-pruned", SeedStrategyKind::BoundPruned),
+            ("bound_pruned", SeedStrategyKind::BoundPruned),
+            (
+                "beam",
+                SeedStrategyKind::Beam {
+                    width: DEFAULT_BEAM_WIDTH,
+                },
+            ),
+            ("beam:7", SeedStrategyKind::Beam { width: 7 }),
+        ] {
+            assert_eq!(text.parse::<SeedStrategyKind>(), Ok(kind));
+        }
+        assert!("beam:0".parse::<SeedStrategyKind>().is_err());
+        assert!("beam:x".parse::<SeedStrategyKind>().is_err());
+        assert!("simulated-annealing".parse::<SeedStrategyKind>().is_err());
+        assert_eq!(SeedStrategyKind::Beam { width: 9 }.to_string(), "beam:9");
+        assert_eq!(SeedStrategyKind::BoundPruned.to_string(), "bound-pruned");
+        assert_eq!(SeedStrategyKind::Beam { width: 9 }.name(), "beam");
+    }
+
+    #[test]
+    fn rank_of_combination_inverts_unranking() {
+        for (n, s) in [(1usize, 1usize), (5, 1), (6, 2), (7, 3), (8, 5)] {
+            let mut combo = Vec::new();
+            for rank in 0..binomial(n, s) {
+                unrank_combination(rank, n, s, &mut combo);
+                assert_eq!(rank_of_combination(&combo, n, s), rank, "C({n},{s})");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_survivor_cap_matches_direct_count() {
+        // No distances: every combination survives.
+        assert_eq!(chain_survivors_capped(6, 2, None, &[], usize::MAX), 15);
+        assert_eq!(chain_survivors_capped(6, 2, None, &[], 4), 5); // capped
+        let d = vec![
+            vec![Some(0), Some(1), Some(2)],
+            vec![Some(1), Some(0), Some(1)],
+            vec![Some(2), Some(1), Some(0)],
+        ];
+        // Budget 1: {0,1} and {1,2} survive, {0,2} is pruned.
+        assert_eq!(chain_survivors_capped(3, 2, Some(&d), &[1], usize::MAX), 2);
+    }
+
+    #[test]
+    fn bound_pruned_is_bit_identical_to_exhaustive() {
+        let inst = two_cluster_instance();
+        for s in [1usize, 2] {
+            let exhaustive = ApproxConfig::with_s(s).threads(2);
+            let pruned = exhaustive
+                .clone()
+                .seed_strategy(SeedStrategyKind::BoundPruned);
+            let (sol_e, stats_e) = approx_alg_with_stats(&inst, &exhaustive).unwrap();
+            let (sol_p, stats_p) = approx_alg_with_stats(&inst, &pruned).unwrap();
+            assert_eq!(
+                sol_p.deployment().placements(),
+                sol_e.deployment().placements(),
+                "s = {s}"
+            );
+            assert_eq!(sol_p.served_users(), sol_e.served_users());
+            assert_eq!(stats_p.best_seeds, stats_e.best_seeds);
+            assert_eq!(stats_p.subsets_enumerated, stats_e.subsets_enumerated);
+            // Stats identity: every rank is accounted exactly once.
+            assert_eq!(
+                stats_p.subsets_enumerated,
+                stats_p.subsets_evaluated
+                    + stats_p.subsets_chain_pruned
+                    + stats_p.subsets_bound_pruned,
+                "s = {s}"
+            );
+            assert_eq!(stats_p.strategy, "bound-pruned");
+        }
+    }
+
+    #[test]
+    fn bound_pruned_counters_are_thread_count_invariant() {
+        let inst = two_cluster_instance();
+        let runs: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                approx_alg_with_stats(
+                    &inst,
+                    &ApproxConfig::with_s(2)
+                        .threads(t)
+                        .seed_strategy(SeedStrategyKind::BoundPruned),
+                )
+                .unwrap()
+            })
+            .collect();
+        for (sol, stats) in &runs[1..] {
+            assert_eq!(
+                sol.deployment().placements(),
+                runs[0].0.deployment().placements()
+            );
+            assert_eq!(stats.subsets_bound_pruned, runs[0].1.subsets_bound_pruned);
+            assert_eq!(stats.subsets_evaluated, runs[0].1.subsets_evaluated);
+            assert_eq!(stats.gain_queries, runs[0].1.gain_queries);
+        }
+    }
+
+    #[test]
+    fn bound_pruned_worker_panic_is_a_typed_error_not_a_deadlock() {
+        // A rank only panics if the sweep actually evaluates it (chain-
+        // or bound-pruned ranks never reach the hook), so scan a few:
+        // each thread count must surface at least one injected panic as
+        // a typed error, and no injection may deadlock the barrier
+        // scheme (the test would hang) or abort the process.
+        let inst = two_cluster_instance();
+        for threads in [1usize, 2, 4] {
+            let mut hit = false;
+            for rank in 0..12u64 {
+                let config = ApproxConfig::with_s(2)
+                    .threads(threads)
+                    .seed_strategy(SeedStrategyKind::BoundPruned)
+                    .inject_worker_panic_at(rank);
+                match approx_alg_with_stats(&inst, &config) {
+                    Err(CoreError::Sweep(msg)) => {
+                        assert!(msg.contains("injected"), "{msg}");
+                        hit = true;
+                    }
+                    Ok(_) => {} // rank was pruned before evaluation
+                    Err(other) => panic!("expected CoreError::Sweep, got {other:?}"),
+                }
+            }
+            assert!(hit, "no injected rank was evaluated at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn untruncated_beam_matches_exhaustive() {
+        // C(pool, 2) on this instance is far below a width of 1024, so
+        // the beam degenerates to exhaustive-with-chain-pruning.
+        let inst = two_cluster_instance();
+        let exhaustive = ApproxConfig::with_s(2).threads(2);
+        let beam = exhaustive
+            .clone()
+            .seed_strategy(SeedStrategyKind::Beam { width: 1024 });
+        let (sol_e, stats_e) = approx_alg_with_stats(&inst, &exhaustive).unwrap();
+        let (sol_b, stats_b) = approx_alg_with_stats(&inst, &beam).unwrap();
+        assert_eq!(
+            sol_b.deployment().placements(),
+            sol_e.deployment().placements()
+        );
+        assert_eq!(sol_b.served_users(), sol_e.served_users());
+        assert_eq!(stats_b.best_seeds, stats_e.best_seeds);
+        assert_eq!(stats_b.subsets_evaluated, stats_e.subsets_evaluated);
+        assert_eq!(stats_b.strategy, "beam");
+    }
+
+    #[test]
+    fn narrow_beam_still_produces_a_valid_competitive_solution() {
+        let inst = two_cluster_instance();
+        let (sol, stats) = approx_alg_with_stats(
+            &inst,
+            &ApproxConfig::with_s(2)
+                .threads(2)
+                .seed_strategy(SeedStrategyKind::Beam { width: 2 }),
+        )
+        .unwrap();
+        sol.validate(&inst).unwrap();
+        assert!(stats.subsets_evaluated <= 2);
+        assert!(sol.served_users() > 0);
+    }
+
+    #[test]
+    fn strategy_adjusted_guard_lets_a_narrow_beam_through() {
+        // The raw enumeration exceeds the limit, but the beam plans at
+        // most `width` evaluations — the guard must use the latter.
+        let inst = two_cluster_instance();
+        let config = ApproxConfig::with_s(2)
+            .max_subsets(4)
+            .seed_strategy(SeedStrategyKind::Beam { width: 3 });
+        let (sol, _) = approx_alg_with_stats(&inst, &config).unwrap();
+        sol.validate(&inst).unwrap();
+        let exhaustive = ApproxConfig::with_s(2).max_subsets(4);
+        assert!(matches!(
+            approx_alg_with_stats(&inst, &exhaustive),
+            Err(CoreError::InvalidParameters(_))
+        ));
+    }
+}

@@ -33,6 +33,7 @@ use crate::exact::exact_optimum;
 use crate::incremental::{plan_repair, Delta, LoopConfig, SolverLoop};
 use crate::model::User;
 use crate::solution::{try_score_deployment, Solution};
+use crate::strategy::{SeedStrategyKind, DEFAULT_BEAM_WIDTH};
 use crate::{CoreError, Instance, SegmentPlan};
 use std::error::Error;
 use std::fmt;
@@ -130,6 +131,30 @@ pub enum VerifyError {
         /// The plan's `Δ`.
         delta: usize,
     },
+    /// A value-preserving guided seed strategy diverged from exhaustive
+    /// enumeration on a field the two must agree on bit-for-bit
+    /// (oracle 8).
+    StrategyMismatch {
+        /// Which deterministic field diverged.
+        field: &'static str,
+        /// The guided strategy's stable name.
+        strategy: &'static str,
+        /// Value from the guided strategy.
+        guided: String,
+        /// Value from exhaustive enumeration.
+        exhaustive: String,
+    },
+    /// A non-value-preserving seed strategy's served count fell below
+    /// the committed quality floor relative to full enumeration
+    /// (oracle 8).
+    StrategyQualityViolated {
+        /// The guided strategy's stable name.
+        strategy: &'static str,
+        /// Users served by the guided strategy.
+        served: usize,
+        /// Users served by exhaustive enumeration.
+        exhaustive: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -193,6 +218,26 @@ impl fmt::Display for VerifyError {
             VerifyError::RatioViolated { served, opt, delta } => write!(
                 f,
                 "served {served} violates the 1/(3Δ) guarantee against opt {opt} (Δ = {delta})"
+            ),
+            VerifyError::StrategyMismatch {
+                field,
+                strategy,
+                guided,
+                exhaustive,
+            } => write!(
+                f,
+                "{strategy} strategy diverged on {field}: \
+                 guided {guided} vs exhaustive {exhaustive}"
+            ),
+            VerifyError::StrategyQualityViolated {
+                strategy,
+                served,
+                exhaustive,
+            } => write!(
+                f,
+                "{strategy} strategy served {served} users, below the committed \
+                 {STRATEGY_QUALITY_NUM}·(served+1) ≥ {STRATEGY_QUALITY_DEN}·exhaustive \
+                 floor against exhaustive's {exhaustive}"
             ),
         }
     }
@@ -400,6 +445,107 @@ pub fn check_sharded_sweep(instance: &Instance, config: &ApproxConfig) -> Result
                 format!("{:?}", stats.best_seeds),
                 format!("{:?}", mono_stats.best_seeds),
             );
+        }
+    }
+    Ok(())
+}
+
+/// Numerator of the committed quality floor for non-value-preserving
+/// seed strategies: `NUM · (served + 1) ≥ DEN · served_exhaustive`.
+/// The `+1` absorbs rounding on tiny instances where a single user is
+/// a large fraction of the optimum; the ratio itself (3/4) was chosen
+/// against measured quick-scale beam results, which sit at parity with
+/// exhaustive enumeration (see EXPERIMENTS.md).
+pub const STRATEGY_QUALITY_NUM: usize = 4;
+/// Denominator of the committed quality floor; see
+/// [`STRATEGY_QUALITY_NUM`].
+pub const STRATEGY_QUALITY_DEN: usize = 3;
+
+/// Differential oracle 8 — guided seed strategies against exhaustive
+/// enumeration, on the same instance and configuration:
+///
+/// * **bound-pruned** must be bit-identical (placements, served count,
+///   winning seeds) — the bound is admissible, so pruning is
+///   value-preserving by construction and this oracle catches any
+///   regression in that argument;
+/// * **beam** (at [`DEFAULT_BEAM_WIDTH`]) must serve at least the
+///   committed quality fraction of the exhaustive count
+///   (`4·(served+1) ≥ 3·exhaustive`);
+/// * on instances small enough for [`exact_optimum`], every guided
+///   strategy must additionally clear the integer Theorem 1 floor
+///   `served · 3Δ ≥ OPT`.
+///
+/// The incoming `config`'s own strategy setting is ignored — each side
+/// of every comparison pins its strategy explicitly.
+///
+/// # Errors
+///
+/// [`VerifyError::StrategyMismatch`] /
+/// [`VerifyError::StrategyQualityViolated`] /
+/// [`VerifyError::RatioViolated`] wrapped in [`CoreError`]; solver
+/// errors propagate unchanged.
+pub fn check_strategy_quality(instance: &Instance, config: &ApproxConfig) -> Result<(), CoreError> {
+    let base = config.clone().seed_strategy(SeedStrategyKind::Exhaustive);
+    let (exh, exh_stats) = approx_alg_with_stats(instance, &base)?;
+
+    let pruned_config = base.clone().seed_strategy(SeedStrategyKind::BoundPruned);
+    let (pruned, pruned_stats) = approx_alg_with_stats(instance, &pruned_config)?;
+    let mismatch = |field: &'static str, guided: String, exhaustive: String| {
+        Err(CoreError::Verification(VerifyError::StrategyMismatch {
+            field,
+            strategy: "bound-pruned",
+            guided,
+            exhaustive,
+        }))
+    };
+    if pruned.deployment().placements() != exh.deployment().placements() {
+        return mismatch(
+            "placements",
+            format!("{:?}", pruned.deployment().placements()),
+            format!("{:?}", exh.deployment().placements()),
+        );
+    }
+    if pruned.served_users() != exh.served_users() {
+        return mismatch(
+            "served",
+            pruned.served_users().to_string(),
+            exh.served_users().to_string(),
+        );
+    }
+    if pruned_stats.best_seeds != exh_stats.best_seeds {
+        return mismatch(
+            "best_seeds",
+            format!("{:?}", pruned_stats.best_seeds),
+            format!("{:?}", exh_stats.best_seeds),
+        );
+    }
+
+    let beam_config = base.clone().seed_strategy(SeedStrategyKind::Beam {
+        width: DEFAULT_BEAM_WIDTH,
+    });
+    let (beam, _) = approx_alg_with_stats(instance, &beam_config)?;
+    if STRATEGY_QUALITY_NUM * (beam.served_users() + 1) < STRATEGY_QUALITY_DEN * exh.served_users()
+    {
+        return Err(CoreError::Verification(
+            VerifyError::StrategyQualityViolated {
+                strategy: "beam",
+                served: beam.served_users(),
+                exhaustive: exh.served_users(),
+            },
+        ));
+    }
+
+    if instance.num_locations() <= 16 && instance.num_uavs() <= 4 {
+        let opt = exact_optimum(instance)?;
+        let delta = exh_stats.plan.delta();
+        for sol in [&pruned, &beam] {
+            if !theorem1_ratio_holds(sol.served_users(), opt.served_users(), delta) {
+                return Err(CoreError::Verification(VerifyError::RatioViolated {
+                    served: sol.served_users(),
+                    opt: opt.served_users(),
+                    delta,
+                }));
+            }
         }
     }
     Ok(())

@@ -1152,6 +1152,13 @@ pub mod counters {
     pub static RESOLVE_DIRTY_TILES: Counter = Counter::new("resolve.dirty_tiles");
     /// Stations whose coverage was re-derived after a delta.
     pub static RESOLVE_STATIONS_REFRESHED: Counter = Counter::new("resolve.stations_refreshed");
+    /// Sweeps that ran a guided (non-exhaustive) seed strategy.
+    pub static STRATEGY_GUIDED_RUNS: Counter = Counter::new("strategy.guided_runs");
+    /// Subsets skipped by the admissible served-count upper bound
+    /// (bound-pruned strategy).
+    pub static STRATEGY_BOUND_PRUNED: Counter = Counter::new("strategy.bound_pruned");
+    /// Subsets fully evaluated by the beam strategy's final beam.
+    pub static STRATEGY_BEAM_EVALUATIONS: Counter = Counter::new("strategy.beam_evaluations");
 
     /// Every declared counter, in schema order.
     pub static ALL: &[&Counter] = &[
@@ -1183,6 +1190,9 @@ pub mod counters {
         &RESOLVE_COLD_SOLVES,
         &RESOLVE_DIRTY_TILES,
         &RESOLVE_STATIONS_REFRESHED,
+        &STRATEGY_GUIDED_RUNS,
+        &STRATEGY_BOUND_PRUNED,
+        &STRATEGY_BEAM_EVALUATIONS,
     ];
 }
 
