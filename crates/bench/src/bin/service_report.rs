@@ -1,0 +1,258 @@
+//! Loopback smoke benchmark for the long-running solver service
+//! (`uavnet-service`): drives the quick-scale instance through a real
+//! TCP delta stream, checks the published deployment is bit-identical
+//! to an in-process [`SolverLoop`] twin, runs verify oracle 7
+//! ([`check_incremental`]) over the same delta mix, scrapes
+//! `/metrics` when the obs instrumentation is compiled in, and merges
+//! a `service` section into `BENCH_sweep.json`.
+//!
+//! Usage: `cargo run --release -p uavnet-bench --bin service_report --
+//! [--threads N] [--ticks N] [--out PATH]`
+//!
+//! The report *merges*: an existing `--out` file keeps every other
+//! top-level section (sweep and resolve evidence) and only the
+//! `service` member is replaced.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use uavnet_bench::json::Json;
+use uavnet_bench::Scale;
+use uavnet_core::{check_incremental, ApproxConfig, Delta, Instance, LoopConfig, SolverLoop};
+use uavnet_service::{
+    proto::TOPIC_DEPLOYMENTS, ClientConfig, Reply, ServiceClient, ServiceConfig, SolverService,
+};
+use uavnet_workload::{MobilityModel, MobilitySimulator};
+
+/// Per-step Gaussian displacement (m) and the jitter threshold,
+/// matching `resolve_report`'s mobility stream.
+const MOBILITY_SIGMA_M: f64 = 25.0;
+const MOBILITY_THRESHOLD_M: f64 = 5.0;
+
+const USAGE: &str = "usage: service_report [--threads N] [--ticks N] [--out PATH]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("service_report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_flag<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| fail_usage(&format!("{name} expects a number, got {raw:?}")))
+}
+
+/// The streamed workload: `ticks` mobility batches with a UAV kill
+/// spliced into the middle — the disaster the service exists to
+/// absorb online.
+fn delta_stream(instance: &Instance, ticks: usize, seed: u64) -> Vec<Delta> {
+    let mut sim = MobilitySimulator::new(
+        instance.grid().spec().area(),
+        instance.users().iter().map(|u| u.pos).collect(),
+        MobilityModel::GaussianWalk {
+            sigma_m: MOBILITY_SIGMA_M,
+        },
+        seed,
+    );
+    let mut deltas = Vec::with_capacity(ticks + 1);
+    for tick in 0..ticks {
+        if tick == ticks / 2 {
+            deltas.push(Delta::KillUavs(vec![0]));
+        }
+        deltas.push(Delta::UserMoved(sim.step_deltas(MOBILITY_THRESHOLD_M)));
+    }
+    deltas
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Minimal HTTP GET against the service telemetry endpoint.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect telemetry endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read http response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http header terminator");
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        body.to_string(),
+    )
+}
+
+fn main() {
+    let mut threads = 2usize;
+    let mut ticks = 24usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail_usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--threads" => threads = parse_flag(&value("--threads"), "--threads"),
+            "--ticks" => ticks = parse_flag(&value("--ticks"), "--ticks"),
+            "--out" => out = value("--out"),
+            other => fail_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if threads == 0 {
+        fail_usage("--threads must be positive");
+    }
+    if ticks == 0 {
+        fail_usage("--ticks must be positive");
+    }
+
+    let scale = Scale::quick();
+    let instance = scale.instance(scale.n_max(), scale.k_max());
+    let mut loop_config = LoopConfig::new(ApproxConfig::with_s(1).threads(threads));
+    loop_config.tile_cells = 2;
+    let deltas = delta_stream(&instance, ticks, scale.seed ^ 0x5e51);
+
+    // The in-process twin the wire protocol must coincide with.
+    let mut twin =
+        SolverLoop::new(instance.clone(), loop_config.clone()).expect("in-process solver");
+    let served_first = twin.served_users();
+
+    let record_obs = uavnet_obs::is_enabled();
+    let handle = SolverService::spawn(
+        instance.clone(),
+        loop_config,
+        ServiceConfig {
+            record_obs,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("spawn solver service");
+
+    let mut subscriber =
+        ServiceClient::connect(handle.addr(), ClientConfig::default()).expect("connect subscriber");
+    subscriber
+        .subscribe(&[TOPIC_DEPLOYMENTS])
+        .expect("subscribe deployments");
+    let mut publisher =
+        ServiceClient::connect(handle.addr(), ClientConfig::default()).expect("connect publisher");
+
+    let mut rtt_ns: Vec<u64> = Vec::with_capacity(deltas.len());
+    let mut deployments = 0u64;
+    for (i, delta) in deltas.iter().enumerate() {
+        let t = Instant::now();
+        let remote = publisher.publish(delta).expect("publish delta");
+        rtt_ns.push(t.elapsed().as_nanos() as u64);
+        let local = twin.apply(delta.clone()).expect("twin apply");
+        assert_eq!(
+            (remote.served, remote.dirty_tiles, remote.dropped_placements),
+            (local.served, local.dirty_tiles, local.dropped_placements),
+            "delta {i}: wire outcome diverged from the in-process solver"
+        );
+        match subscriber.next_event().expect("deployment event") {
+            Reply::Deployment(dep) => {
+                deployments += 1;
+                assert_eq!(
+                    dep.placements,
+                    twin.placements().to_vec(),
+                    "delta {i}: published deployment diverged"
+                );
+            }
+            other => panic!("expected deployment event, got {other:?}"),
+        }
+    }
+
+    // Bit-identity of the final deployment over the wire.
+    let snap = publisher.snapshot().expect("final snapshot");
+    assert_eq!(snap.placements, twin.placements().to_vec());
+    assert_eq!(snap.served, twin.served_users());
+    let served_last = snap.served;
+
+    // Verify oracle 7 over the same delta mix: the incremental result
+    // equals a cold rescore at every step.
+    check_incremental(
+        &instance,
+        &ApproxConfig::with_s(1).threads(threads),
+        &deltas,
+    )
+    .expect("verify oracle 7 rejected the incremental solver");
+
+    // Scrape live telemetry while the service still runs.
+    let (health_status, _) = http_get(handle.http_addr(), "/healthz");
+    assert!(health_status.contains("200"), "got: {health_status}");
+    let (metrics_status, metrics_body) = http_get(handle.http_addr(), "/metrics");
+    assert!(metrics_status.contains("200"), "got: {metrics_status}");
+    assert!(metrics_body.contains("uavnet_service_healthy 1"));
+    assert!(metrics_body.contains(&format!(
+        "uavnet_service_deltas_applied_total {}",
+        deltas.len()
+    )));
+    if record_obs {
+        assert!(
+            metrics_body.contains("uavnet_resolve_deltas_total"),
+            "obs build must scrape live resolve.* counters:\n{metrics_body}"
+        );
+    }
+
+    let summary = handle.shutdown_and_join().expect("service summary");
+    assert_eq!(summary.epochs, deltas.len() as u64);
+    assert!(summary.worker_panic.is_none());
+    assert_eq!(summary.placements, twin.placements().to_vec());
+
+    let rtt_median = median_ns(&mut rtt_ns);
+    eprintln!(
+        "service_report: quick n={} K={} deltas={} -> {} deployments published, \
+         served {} -> {}, median publish rtt {:.3} ms, bit-identical, oracle ok",
+        instance.num_users(),
+        instance.num_uavs(),
+        deltas.len(),
+        deployments,
+        served_first,
+        served_last,
+        rtt_median as f64 / 1e6,
+    );
+
+    let section = Json::Obj(vec![
+        ("users".into(), Json::Num(instance.num_users() as f64)),
+        ("uavs".into(), Json::Num(instance.num_uavs() as f64)),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("deltas".into(), Json::Num(deltas.len() as f64)),
+        (
+            "deployments_published".into(),
+            Json::Num(deployments as f64),
+        ),
+        ("served_first".into(), Json::Num(served_first as f64)),
+        ("served_last".into(), Json::Num(served_last as f64)),
+        ("publish_rtt_median_ns".into(), Json::Num(rtt_median as f64)),
+        ("bit_identical_to_in_process".into(), Json::Bool(true)),
+        ("incremental_equals_cold".into(), Json::Bool(true)),
+        ("metrics_scraped_live".into(), Json::Bool(record_obs)),
+        ("repairs".into(), Json::Num(summary.stats.repairs as f64)),
+        (
+            "relays_spent".into(),
+            Json::Num(summary.stats.relays_spent as f64),
+        ),
+    ]);
+
+    // Merge: keep every other top-level section of an existing report.
+    let mut doc = match std::fs::read_to_string(&out) {
+        Ok(text) => Json::parse(&text).unwrap_or_else(|e| {
+            panic!("existing {out} is not valid JSON ({e}); refusing to clobber")
+        }),
+        Err(_) => Json::Obj(vec![(
+            "benchmark".into(),
+            Json::Str("sweep_hotpath".into()),
+        )]),
+    };
+    doc.set("service", section);
+    std::fs::write(&out, doc.dump()).expect("write report");
+    eprintln!("service_report: wrote {out}");
+}

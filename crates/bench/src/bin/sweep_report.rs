@@ -132,7 +132,7 @@ fn baseline_wall_ns(scale: &str, s: usize) -> Option<u64> {
 }
 
 /// What `--seed-strategy` selected from each scale's strategy matrix.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 enum StrategySel {
     /// Run the scale's full `strategy_sweep` matrix.
     All,
@@ -534,65 +534,118 @@ fn scale_json(
     )
 }
 
-fn parse_flag<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+/// Which scales `--scale` selected, resolved eagerly so malformed
+/// names surface from [`parse_args`] rather than mid-run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ScaleSel {
+    Quick,
+    Large,
+    Xlarge,
+    All,
+}
+
+impl ScaleSel {
+    fn scales(self) -> Vec<Scale> {
+        match self {
+            ScaleSel::Quick => vec![Scale::quick()],
+            ScaleSel::Large => vec![Scale::large()],
+            ScaleSel::Xlarge => vec![Scale::xlarge()],
+            ScaleSel::All => vec![Scale::quick(), Scale::large(), Scale::xlarge()],
+        }
+    }
+}
+
+/// Everything `main` needs, parsed and validated. Kept separate from
+/// `main` so the whole flag surface is unit-testable without spawning
+/// processes; any `Err` exits 2 through [`fail_usage`] — the binary
+/// must never panic on operator input.
+#[derive(Debug)]
+struct CliOptions {
+    threads: usize,
+    reps_override: Option<u32>,
+    out: String,
+    scale: ScaleSel,
+    force_sharded: bool,
+    sel: Option<StrategySel>,
+    obs_log: Option<String>,
+    obs_metrics: Option<String>,
+    obs_prom: Option<String>,
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
     raw.parse()
-        .unwrap_or_else(|_| fail_usage(&format!("{name} expects a number, got {raw:?}")))
+        .map_err(|_| format!("{name} expects a number, got {raw:?}"))
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        threads: 2,
+        reps_override: None,
+        out: String::from("BENCH_sweep.json"),
+        scale: ScaleSel::Quick,
+        force_sharded: false,
+        sel: None,
+        obs_log: None,
+        obs_metrics: None,
+        obs_prom: None,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => opts.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--reps" => opts.reps_override = Some(parse_num(&value("--reps")?, "--reps")?),
+            "--out" => opts.out = value("--out")?,
+            "--scale" => {
+                opts.scale = match value("--scale")?.as_str() {
+                    "quick" => ScaleSel::Quick,
+                    "large" => ScaleSel::Large,
+                    "xlarge" => ScaleSel::Xlarge,
+                    "all" => ScaleSel::All,
+                    other => {
+                        return Err(format!(
+                            "unknown --scale {other:?} (expected quick|large|xlarge|all)"
+                        ))
+                    }
+                }
+            }
+            "--sharded" => opts.force_sharded = true,
+            "--seed-strategy" => {
+                let raw = value("--seed-strategy")?;
+                opts.sel = Some(if raw == "all" {
+                    StrategySel::All
+                } else {
+                    StrategySel::One(raw.parse().map_err(|e| format!("--seed-strategy: {e}"))?)
+                });
+            }
+            "--obs-log" => opts.obs_log = Some(value("--obs-log")?),
+            "--obs-metrics" => opts.obs_metrics = Some(value("--obs-metrics")?),
+            "--obs-prom" => opts.obs_prom = Some(value("--obs-prom")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be positive".to_string());
+    }
+    if opts.reps_override == Some(0) {
+        return Err("--reps must be positive".to_string());
+    }
+    Ok(opts)
 }
 
 fn main() {
-    let mut threads = 2usize;
-    let mut reps_override: Option<u32> = None;
-    let mut out = String::from("BENCH_sweep.json");
-    let mut which = String::from("quick");
-    let mut force_sharded = false;
-    let mut sel: Option<StrategySel> = None;
-    let mut obs_log: Option<String> = None;
-    let mut obs_metrics: Option<String> = None;
-    let mut obs_prom: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| fail_usage(&format!("{name} needs a value")))
-        };
-        match arg.as_str() {
-            "--threads" => threads = parse_flag(&value("--threads"), "--threads"),
-            "--reps" => reps_override = Some(parse_flag(&value("--reps"), "--reps")),
-            "--out" => out = value("--out"),
-            "--scale" => which = value("--scale"),
-            "--sharded" => force_sharded = true,
-            "--seed-strategy" => {
-                let raw = value("--seed-strategy");
-                sel = Some(if raw == "all" {
-                    StrategySel::All
-                } else {
-                    StrategySel::One(
-                        raw.parse()
-                            .unwrap_or_else(|e| fail_usage(&format!("--seed-strategy: {e}"))),
-                    )
-                });
-            }
-            "--obs-log" => obs_log = Some(value("--obs-log")),
-            "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
-            "--obs-prom" => obs_prom = Some(value("--obs-prom")),
-            other => fail_usage(&format!("unknown argument {other:?}")),
-        }
-    }
-    if threads == 0 {
-        fail_usage("--threads must be positive");
-    }
-    if reps_override == Some(0) {
-        fail_usage("--reps must be positive");
-    }
-    let scales: Vec<Scale> = match which.as_str() {
-        "quick" => vec![Scale::quick()],
-        "large" => vec![Scale::large()],
-        "xlarge" => vec![Scale::xlarge()],
-        "all" => vec![Scale::quick(), Scale::large(), Scale::xlarge()],
-        other => fail_usage(&format!(
-            "unknown --scale {other:?} (expected quick|large|xlarge|all)"
-        )),
-    };
+    let CliOptions {
+        threads,
+        reps_override,
+        out,
+        scale,
+        force_sharded,
+        sel,
+        obs_log,
+        obs_metrics,
+        obs_prom,
+    } = parse_args(std::env::args().skip(1)).unwrap_or_else(|msg| fail_usage(&msg));
+    let scales = scale.scales();
 
     let want_obs = obs_log.is_some() || obs_metrics.is_some() || obs_prom.is_some();
     if want_obs && !uavnet_obs::is_enabled() {
@@ -684,21 +737,173 @@ fn main() {
          \"scales\": [\n{blocks}\n  ]\n}}\n",
         blocks = scale_blocks.join(",\n"),
     );
-    // The incremental-engine section (`resolve_report`) lives in the
-    // same file; carry it across a sweep regeneration instead of
-    // clobbering it.
-    let json = match std::fs::read_to_string(&out)
+    // The incremental-engine (`resolve_report`) and service-smoke
+    // (`service_report`) sections live in the same file; carry them
+    // across a sweep regeneration instead of clobbering them.
+    let old = std::fs::read_to_string(&out)
         .ok()
-        .and_then(|old| Json::parse(&old).ok())
-        .and_then(|old| old.get("resolve").cloned())
-    {
-        Some(resolve) => {
+        .and_then(|old| Json::parse(&old).ok());
+    let json = match old {
+        Some(old) => {
             let mut doc = Json::parse(&json).expect("sweep_report emits valid JSON");
-            doc.set("resolve", resolve);
+            for section in ["resolve", "service"] {
+                if let Some(kept) = old.get(section) {
+                    doc.set(section, kept.clone());
+                }
+            }
             doc.dump()
         }
         None => json,
     };
     std::fs::write(&out, json).expect("write report");
     eprintln!("sweep_report: wrote {out}");
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::*;
+    use uavnet_core::SeedStrategyKind;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick_two_threads() {
+        let opts = parse(&[]).expect("no args is valid");
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.reps_override, None);
+        assert_eq!(opts.out, "BENCH_sweep.json");
+        assert_eq!(opts.scale, ScaleSel::Quick);
+        assert!(!opts.force_sharded);
+        assert!(opts.sel.is_none());
+    }
+
+    #[test]
+    fn full_flag_surface_parses() {
+        let opts = parse(&[
+            "--threads",
+            "4",
+            "--reps",
+            "7",
+            "--out",
+            "x.json",
+            "--scale",
+            "all",
+            "--sharded",
+            "--seed-strategy",
+            "beam:8",
+            "--obs-log",
+            "l.jsonl",
+            "--obs-metrics",
+            "m.json",
+            "--obs-prom",
+            "p.prom",
+        ])
+        .expect("valid");
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.reps_override, Some(7));
+        assert_eq!(opts.out, "x.json");
+        assert_eq!(opts.scale, ScaleSel::All);
+        assert!(opts.force_sharded);
+        match opts.sel {
+            Some(StrategySel::One(SeedStrategyKind::Beam { width: 8 })) => {}
+            _ => panic!("beam:8 must select a width-8 beam"),
+        }
+        assert_eq!(opts.obs_log.as_deref(), Some("l.jsonl"));
+        assert_eq!(opts.obs_metrics.as_deref(), Some("m.json"));
+        assert_eq!(opts.obs_prom.as_deref(), Some("p.prom"));
+    }
+
+    #[test]
+    fn seed_strategy_all_and_named() {
+        assert!(matches!(
+            parse(&["--seed-strategy", "all"]).unwrap().sel,
+            Some(StrategySel::All)
+        ));
+        assert!(matches!(
+            parse(&["--seed-strategy", "exhaustive"]).unwrap().sel,
+            Some(StrategySel::One(SeedStrategyKind::Exhaustive))
+        ));
+        assert!(matches!(
+            parse(&["--seed-strategy", "bound-pruned"]).unwrap().sel,
+            Some(StrategySel::One(SeedStrategyKind::BoundPruned))
+        ));
+    }
+
+    #[test]
+    fn unknown_seed_strategy_is_an_error_not_a_panic() {
+        let err = parse(&["--seed-strategy", "genetic"]).unwrap_err();
+        assert!(err.contains("--seed-strategy"), "got: {err}");
+        assert!(err.contains("genetic"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_beam_widths_are_errors() {
+        for bad in ["beam:0", "beam:abc", "beam:-1", "beam:"] {
+            let err = parse(&["--seed-strategy", bad]).unwrap_err();
+            assert!(err.contains("beam"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_scale_is_an_error() {
+        let err = parse(&["--scale", "huge"]).unwrap_err();
+        assert!(err.contains("huge"), "got: {err}");
+        assert!(err.contains("quick|large|xlarge|all"), "got: {err}");
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors() {
+        for args in [
+            &["--threads", "two"][..],
+            &["--threads", "-1"],
+            &["--reps", "1.5"],
+            &["--reps", "many"],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("expects a number"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_and_zero_reps_are_rejected() {
+        assert!(parse(&["--threads", "0"])
+            .unwrap_err()
+            .contains("--threads must be positive"));
+        assert!(parse(&["--reps", "0"])
+            .unwrap_err()
+            .contains("--reps must be positive"));
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        for flag in [
+            "--threads",
+            "--reps",
+            "--out",
+            "--scale",
+            "--seed-strategy",
+            "--obs-log",
+            "--obs-metrics",
+            "--obs-prom",
+        ] {
+            let err = parse(&[flag]).unwrap_err();
+            assert_eq!(err, format!("{flag} needs a value"));
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown argument"), "got: {err}");
+        // A typo'd positional is rejected the same way.
+        assert!(parse(&["quick"]).unwrap_err().contains("unknown argument"));
+    }
+
+    #[test]
+    fn scale_selectors_resolve() {
+        assert_eq!(ScaleSel::Quick.scales().len(), 1);
+        assert_eq!(ScaleSel::All.scales().len(), 3);
+    }
 }

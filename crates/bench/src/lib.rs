@@ -20,7 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+/// Hand-rolled JSON reader/writer, now shared with the solver
+/// service protocol; re-exported so the bench bins keep their
+/// `uavnet_bench::json::Json` path.
+pub use uavnet_json as json;
 
 use std::time::Instant;
 use uavnet_baselines::{

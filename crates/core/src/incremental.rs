@@ -378,11 +378,24 @@ impl SolverLoop {
             .iter()
             .map(|u| u.radio.user_range_m())
             .fold(0.0f64, f64::max);
+        if !max_range_m.is_finite() || !tile_m.is_finite() || tile_m <= 0.0 {
+            return Err(CoreError::InvalidParameters(format!(
+                "dilation inputs must be finite and positive: \
+                 max user range {max_range_m} m over {tile_m} m tiles"
+            )));
+        }
         // A station's coverage can only change when an affected user
         // position lies within its radio range; one extra tile absorbs
         // the within-cell and within-tile offsets. Over-dilation is a
-        // performance loss, never a correctness one.
-        let dilation = (max_range_m / tile_m.max(f64::MIN_POSITIVE)).ceil() as usize + 1;
+        // performance loss, never a correctness one — but it must stay
+        // clamped to the partition dims: a degenerate tiny tile_m
+        // otherwise saturates the f64→usize cast and the `+ 1` / the
+        // `tr + d + 1` tile arithmetic in `mark_dirty` overflows.
+        let tile_cols = instance.grid().cols().div_ceil(partition.tile_cells());
+        let tile_rows = instance.grid().rows().div_ceil(partition.tile_cells());
+        let dilation = ((max_range_m / tile_m).ceil() as usize)
+            .saturating_add(1)
+            .min(tile_cols.max(tile_rows));
         let num_tiles = partition.num_tiles();
         let mut solver = SolverLoop {
             dead: vec![false; instance.num_uavs()],
@@ -747,6 +760,51 @@ impl SolverLoop {
     }
 }
 
+/// Placement-level difference between two standing deployments —
+/// what the service's `deployments` topic publishes after each
+/// absorbed delta instead of re-sending the full placement list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeploymentDiff {
+    /// Placements present after but not before, in `after` order.
+    pub added: Vec<(usize, CellIndex)>,
+    /// Placements present before but not after, in `before` order.
+    pub removed: Vec<(usize, CellIndex)>,
+}
+
+impl DeploymentDiff {
+    /// `true` when the deployments are identical as sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Diffs two placement lists as sets of `(uav, cell)` pairs.
+///
+/// A UAV that moved shows up once in `removed` (old cell) and once in
+/// `added` (new cell). Runs in `O((n + m) log (n + m))`.
+pub fn diff_deployments(
+    before: &[(usize, CellIndex)],
+    after: &[(usize, CellIndex)],
+) -> DeploymentDiff {
+    let mut before_sorted = before.to_vec();
+    let mut after_sorted = after.to_vec();
+    before_sorted.sort_unstable();
+    after_sorted.sort_unstable();
+    DeploymentDiff {
+        added: after
+            .iter()
+            .filter(|p| before_sorted.binary_search(p).is_err())
+            .copied()
+            .collect(),
+        removed: before
+            .iter()
+            .filter(|p| after_sorted.binary_search(p).is_err())
+            .copied()
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,5 +1007,66 @@ mod tests {
             .apply(Delta::UserMoved(vec![(999, Point2::new(0.0, 0.0))]))
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidParameters(_)));
+    }
+
+    /// Regression: a huge-but-finite fleet range (or equivalently a
+    /// degenerate tiny `tile_m`) made the dilation ratio saturate the
+    /// f64→usize cast, and the unclamped `+ 1` overflowed in debug
+    /// builds (wrapping the tile arithmetic in release). The dilation
+    /// must clamp to the partition dims and stay correct.
+    #[test]
+    fn extreme_dilation_ratio_clamps_to_partition() {
+        let grid = GridSpec::new(
+            AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+            300.0,
+            300.0,
+        )
+        .unwrap()
+        .build();
+        let mut b = Instance::builder(grid, 450.0);
+        for i in 0..8 {
+            b.add_user(Point2::new(150.0 + 20.0 * i as f64, 150.0), 2_000.0);
+        }
+        // Effective tile_m / range ratio beyond 2^64: the old code
+        // panicked inside `SolverLoop::new` before applying anything.
+        b.add_uav(4, UavRadio::new(30.0, 5.0, 1e300));
+        b.add_uav(4, UavRadio::new(30.0, 5.0, 400.0));
+        let instance = b.build().unwrap();
+        let mut solver = SolverLoop::new(instance, config()).unwrap();
+        solver
+            .apply(Delta::UserMoved(vec![(0, Point2::new(1_200.0, 1_200.0))]))
+            .unwrap();
+        assert_cold_equivalent(&solver);
+    }
+
+    /// A `tile_cells` large enough to push `tile_m` past f64 range
+    /// must fail with a typed error, not a saturated dilation.
+    #[test]
+    fn non_finite_tile_m_is_typed() {
+        let grid = GridSpec::new(AreaSpec::new(1e300, 1e300, 500.0).unwrap(), 1e300, 300.0)
+            .unwrap()
+            .build();
+        let mut b = Instance::builder(grid, 450.0);
+        b.add_user(Point2::new(1.0, 1.0), 2_000.0);
+        b.add_uav(4, UavRadio::new(30.0, 5.0, 400.0));
+        let instance = b.build().unwrap();
+        let mut cfg = config();
+        cfg.tile_cells = usize::MAX; // tile_m = usize::MAX · 1e300 m = inf
+        let err = SolverLoop::new(instance, cfg).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameters(_)));
+    }
+
+    #[test]
+    fn deployment_diff_tracks_moves_kills_and_adds() {
+        let before = [(0, 3), (1, 7), (2, 9)];
+        let after = [(0, 3), (1, 8), (3, 2)];
+        let diff = diff_deployments(&before, &after);
+        assert_eq!(diff.added, vec![(1, 8), (3, 2)]);
+        assert_eq!(diff.removed, vec![(1, 7), (2, 9)]);
+        assert!(!diff.is_empty());
+        assert!(diff_deployments(&before, &before).is_empty());
+        // Order-insensitive: a permuted deployment is not a change.
+        let permuted = [(2, 9), (0, 3), (1, 7)];
+        assert!(diff_deployments(&before, &permuted).is_empty());
     }
 }

@@ -98,7 +98,9 @@ pub use connecting::{
 pub use coverage::{CoverageMemory, CoverageTables};
 pub use error::CoreError;
 pub use exact::exact_optimum;
-pub use incremental::{Delta, DeltaOutcome, LoopConfig, ResolveStats, SolverLoop};
+pub use incremental::{
+    diff_deployments, Delta, DeltaOutcome, DeploymentDiff, LoopConfig, ResolveStats, SolverLoop,
+};
 pub use model::{Instance, InstanceBuilder, Uav, User};
 pub use oracle::CoverageOracle;
 pub use redeploy::{redeploy, rescore, RedeployStats};

@@ -1,13 +1,23 @@
-//! A minimal recursive-descent JSON reader for the bench tooling.
+//! A minimal recursive-descent JSON reader/writer shared across the
+//! workspace.
 //!
 //! The workspace builds offline with vendored stand-in crates, so
-//! there is no `serde_json`; `obs_diff` (and any future report
-//! consumer) parses the hand-rolled `uavnet-obs` snapshot/report JSON
-//! with this ~150-line reader instead. It supports the full JSON value
-//! grammar minus exotic escapes (`\uXXXX` outside the BMP is passed
-//! through unpaired), keeps object keys in document order, and stores
-//! every number as `f64` — exact for the `u64` magnitudes the obs
-//! schema emits (counters stay far below 2^53).
+//! there is no `serde_json`; the bench report consumers (`obs_diff`,
+//! `sweep_report`/`resolve_report` section merging) and the
+//! `uavnet-service` wire protocol both parse and emit JSON with this
+//! ~150-line reader instead. It supports the full JSON value grammar
+//! minus exotic escapes (`\uXXXX` outside the BMP is passed through
+//! unpaired), keeps object keys in document order, and stores every
+//! number as `f64` — exact for the `u64` magnitudes the obs schema
+//! emits (counters stay far below 2^53).
+//!
+//! Round-trip stability (`parse → set → dump → parse` is the
+//! identity, and `dump` output is a fixed point of `parse ∘ dump`) is
+//! load-bearing for both consumers and pinned by the proptests in
+//! `tests/proptest_json.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// One parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +119,48 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes to compact single-line JSON (no whitespace, no
+    /// trailing newline) — the framing format of the
+    /// `uavnet-service` newline-delimited protocol, where a value
+    /// must never contain a raw `\n`. Parses back to an equal value
+    /// for everything this reader produces.
+    pub fn dump_line(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&fmt_num(*n)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {

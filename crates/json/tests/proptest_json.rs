@@ -1,0 +1,244 @@
+//! Round-trip property tests for `uavnet-json`.
+//!
+//! The bench report merge path (`parse → set → dump`) and the
+//! `uavnet-service` newline-delimited wire protocol both rely on this
+//! reader/writer pair being mutually inverse; these tests pin that
+//! over escaped strings, unicode, nested arrays/objects, and f64 edge
+//! cases using the vendored deterministic proptest stub.
+
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+use uavnet_json::Json;
+
+/// Finite f64s where the writer's integer/shortest-float split and
+/// the parser's exponent handling are most likely to disagree.
+const EDGE_NUMBERS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.1,
+    -0.5,
+    1e-3,
+    1.5e300,
+    -2.25e-300,
+    5e-324,            // smallest positive subnormal
+    f64::MIN_POSITIVE, // smallest positive normal
+    f64::MAX,
+    f64::MIN,
+    9_007_199_254_740_991.0, // 2^53 - 1: last exact integer on the i64 path
+    9_007_199_254_740_992.0, // 2^53: first value on the float-format path
+    -9_007_199_254_740_991.0,
+    1e15,
+    1e16,
+    123_456_789.0,
+];
+
+/// String fragments covering every writer escape arm plus raw
+/// multi-byte unicode (the writer passes non-control scalars through
+/// unescaped).
+const STRING_PALETTE: &[&str] = &[
+    "\"",
+    "\\",
+    "\n",
+    "\r",
+    "\t",
+    "\u{8}",
+    "\u{c}",
+    "\u{1}",
+    "\u{1f}",
+    "/",
+    " ",
+    "a",
+    "Z9",
+    "é",
+    "λ",
+    "世界",
+    "🛰",
+    "\u{2028}",
+    "\u{fffd}",
+    "\u{10ffff}",
+    "end",
+];
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let len = rng.below(8) as usize;
+    (0..len)
+        .map(|_| STRING_PALETTE[rng.below(STRING_PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+fn gen_number(rng: &mut TestRng) -> f64 {
+    if rng.below(2) == 0 {
+        EDGE_NUMBERS[rng.below(EDGE_NUMBERS.len() as u64) as usize]
+    } else {
+        // Uniform over bit patterns, rejecting NaN/inf (the writer
+        // maps those to null by design, tested separately below).
+        loop {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_finite() {
+                return f;
+            }
+        }
+    }
+}
+
+fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+    // Leaves only once the depth budget is spent.
+    let arms = if depth == 0 { 4 } else { 6 };
+    match rng.below(arms) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.below(4);
+            Json::Arr((0..n).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.below(4);
+            Json::Obj(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    FnStrategy::new(|rng: &mut TestRng| gen_json(rng, 3))
+}
+
+fn arb_obj() -> impl Strategy<Value = Json> {
+    FnStrategy::new(|rng: &mut TestRng| {
+        let n = rng.below(5);
+        Json::Obj(
+            (0..n)
+                .map(|_| (gen_string(rng), gen_json(rng, 2)))
+                .collect(),
+        )
+    })
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    FnStrategy::new(|rng: &mut TestRng| gen_string(rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_dump_round_trips(v in arb_json()) {
+        let text = v.dump();
+        let back = Json::parse(&text).expect("dump output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_dump_round_trips(v in arb_json()) {
+        let line = v.dump_line();
+        // The service protocol frames one value per line; a raw
+        // newline inside the framing would corrupt the stream.
+        prop_assert!(!line.contains('\n'), "dump_line leaked a newline: {line:?}");
+        let back = Json::parse(&line).expect("dump_line output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn dump_is_a_fixed_point_of_parse_dump(v in arb_json()) {
+        let once = v.dump();
+        let twice = Json::parse(&once).unwrap().dump();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parse_set_dump_round_trips(obj in arb_obj(), key in arb_key(), value in arb_json()) {
+        // The exact report-merge path: parse a dumped document,
+        // mutate one member, dump, re-parse.
+        let mut doc = Json::parse(&obj.dump()).unwrap();
+        doc.set(&key, value.clone());
+        let re = Json::parse(&doc.dump()).unwrap();
+        prop_assert_eq!(re.get(&key), Some(&value));
+        prop_assert_eq!(re, doc);
+    }
+
+    #[test]
+    fn set_preserves_existing_member_position(obj in arb_obj(), value in arb_json()) {
+        let mut doc = obj.clone();
+        let Some(members) = obj.as_obj() else { unreachable!() };
+        prop_assume!(!members.is_empty());
+        let keys_before: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        let target = keys_before[0].to_string();
+        doc.set(&target, value);
+        let keys_after: Vec<&str> =
+            doc.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        prop_assert_eq!(keys_before, keys_after);
+    }
+}
+
+#[test]
+fn escape_corpus_round_trips() {
+    for s in [
+        "quote \" backslash \\ slash /",
+        "newline\nreturn\rtab\tbackspace\u{8}formfeed\u{c}",
+        "control bytes \u{1}\u{1f}\u{0}",
+        "unicode λ 世界 🛰 é \u{2028}\u{2029}",
+        "astral \u{10ffff} and replacement \u{fffd}",
+    ] {
+        let v = Json::Str(s.to_string());
+        assert_eq!(
+            Json::parse(&v.dump()).unwrap(),
+            v,
+            "pretty round-trip of {s:?}"
+        );
+        assert_eq!(
+            Json::parse(&v.dump_line()).unwrap(),
+            v,
+            "compact round-trip of {s:?}"
+        );
+    }
+}
+
+#[test]
+fn unicode_escape_forms_parse() {
+    // The writer never emits \uXXXX above 0x1f, but the reader must
+    // accept them from external producers.
+    assert_eq!(
+        Json::parse(r#""Aé世""#).unwrap(),
+        Json::Str("Aé世".to_string())
+    );
+    // Lone surrogates are not valid scalars; the reader substitutes
+    // U+FFFD rather than erroring.
+    assert_eq!(
+        Json::parse(r#""\ud800""#).unwrap(),
+        Json::Str("\u{fffd}".to_string())
+    );
+}
+
+#[test]
+fn numeric_edges_round_trip_exactly() {
+    for &n in EDGE_NUMBERS {
+        let v = Json::Num(n);
+        let back = Json::parse(&v.dump_line()).unwrap();
+        let got = back
+            .as_f64()
+            .unwrap_or_else(|| panic!("{n} did not parse as a number"));
+        // -0.0 is allowed to come back as 0.0 (the writer takes the
+        // integer path); everything else must be bit-exact.
+        if n == 0.0 {
+            assert_eq!(got, 0.0);
+        } else {
+            assert_eq!(got.to_bits(), n.to_bits(), "round-trip of {n}");
+        }
+    }
+}
+
+#[test]
+fn non_finite_numbers_dump_as_null() {
+    for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::Num(n).dump_line(), "null");
+        assert_eq!(Json::parse(&Json::Num(n).dump()).unwrap(), Json::Null);
+    }
+}

@@ -229,22 +229,77 @@ impl Default for Provenance {
     }
 }
 
+/// Why [`try_session_begin`] could not start a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The `enabled` feature is compiled out; recording is impossible
+    /// in this build.
+    Disabled,
+    /// A session is already recording. Sessions are re-entrant
+    /// sequentially (begin → end → begin again in one process), never
+    /// concurrently — end the active one first.
+    AlreadyActive,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Disabled => {
+                write!(
+                    f,
+                    "obs instrumentation compiled out (feature `enabled` off)"
+                )
+            }
+            SessionError::AlreadyActive => {
+                write!(f, "an obs session is already active (double session_begin)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Starts a recording session with default [`Provenance`]; see
 /// [`session_begin_with`].
 pub fn session_begin() -> bool {
-    session_begin_with(Provenance::detect())
+    try_session_begin().is_ok()
+}
+
+/// Boolean-result convenience over [`try_session_begin_with`], kept
+/// for call sites that only care whether recording happened.
+pub fn session_begin_with(provenance: Provenance) -> bool {
+    try_session_begin_with(provenance).is_ok()
+}
+
+/// [`try_session_begin_with`] with default [`Provenance`].
+///
+/// # Errors
+///
+/// See [`try_session_begin_with`].
+pub fn try_session_begin() -> Result<(), SessionError> {
+    try_session_begin_with(Provenance::detect())
 }
 
 /// Starts a recording session: resets every counter, phase, histogram
 /// and the event log, stamps `provenance` on the log's
-/// `session_start` header, then activates recording. Returns `false`
-/// (and does nothing) when the instrumentation is compiled out or a
-/// session is already active.
-pub fn session_begin_with(provenance: Provenance) -> bool {
+/// `session_start` header, then activates recording.
+///
+/// Sessions are re-entrant within one process — a long-running
+/// service records one per solve epoch. Each begin bumps the session
+/// epoch, so span-parent stacks left on *other* threads by a previous
+/// session are recognized as stale and discarded at their next use;
+/// the calling thread's stack is reset eagerly here.
+///
+/// # Errors
+///
+/// [`SessionError::Disabled`] when the instrumentation is compiled
+/// out, [`SessionError::AlreadyActive`] when a session is already
+/// recording. Either way nothing is reset.
+pub fn try_session_begin_with(provenance: Provenance) -> Result<(), SessionError> {
     #[cfg(feature = "enabled")]
     {
         if ACTIVE.swap(true, Ordering::SeqCst) {
-            return false;
+            return Err(SessionError::AlreadyActive);
         }
         for c in counters::ALL {
             c.value.store(0, Ordering::Relaxed);
@@ -260,17 +315,22 @@ pub fn session_begin_with(provenance: Provenance) -> bool {
         }
         SEQ.store(0, Ordering::Relaxed);
         SPAN_NEXT_ID.store(1, Ordering::Relaxed);
-        SESSION_EPOCH.fetch_add(1, Ordering::SeqCst);
+        let epoch = SESSION_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.0 = epoch;
+            s.1.clear();
+        });
         lock_recover(&EVENTS).clear();
         *lock_recover(&SESSION_START) = Some(Instant::now());
         *lock_recover(&PROVENANCE) = Some(provenance.clone());
         push_event(EventKind::SessionStart { provenance });
-        true
+        Ok(())
     }
     #[cfg(not(feature = "enabled"))]
     {
         let _ = provenance;
-        false
+        Err(SessionError::Disabled)
     }
 }
 
@@ -305,6 +365,10 @@ pub fn session_end() -> Option<MetricsSnapshot> {
         push_event(EventKind::SessionEnd);
         let snap = snapshot();
         ACTIVE.store(false, Ordering::SeqCst);
+        // Clear the start instant so a late event from a straggler
+        // thread cannot stamp times relative to the ended session;
+        // the next begin installs a fresh one before re-activating.
+        *lock_recover(&SESSION_START) = None;
         Some(snap)
     }
     #[cfg(not(feature = "enabled"))]
@@ -1549,5 +1613,69 @@ mod tests {
         let mut s = String::new();
         push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn double_begin_is_typed_and_leaves_session_intact() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(try_session_begin().is_ok());
+        counters::SWEEP_RUNS.add(3);
+        // The second begin must fail without resetting anything.
+        assert_eq!(try_session_begin(), Err(SessionError::AlreadyActive));
+        assert_eq!(counters::SWEEP_RUNS.get(), 3);
+        assert!(!session_begin());
+        let snap = session_end().unwrap();
+        assert_eq!(snap.counter("sweep.runs"), Some(3));
+        drain_events();
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn sessions_are_reentrant_within_one_process() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // First session: leave a span-parent stack entry behind by
+        // recording from a root span, then end cleanly.
+        assert!(try_session_begin().is_ok());
+        {
+            let _root = phases::REPORT.span();
+            phases::GREEDY.record_ns(1_000);
+        }
+        counters::SWEEP_RUNS.add(7);
+        session_end().unwrap();
+        let first = drain_events();
+        assert!(matches!(first[0].kind, EventKind::SessionStart { .. }));
+        assert!(matches!(first.last().unwrap().kind, EventKind::SessionEnd));
+
+        // Second session in the same process: everything must come up
+        // zeroed with fresh span ids rooted at a parentless span.
+        assert!(try_session_begin().is_ok());
+        assert_eq!(counters::SWEEP_RUNS.get(), 0);
+        {
+            let _root = phases::REPORT.span();
+            phases::GREEDY.record_ns(2_000);
+        }
+        session_end().unwrap();
+        let second = drain_events();
+        let roots: Vec<_> = second
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Span {
+                    parent_id: None, ..
+                } => Some(e.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(roots.len(), 1, "second session must have one rooted tree");
+        // Sequence numbers restart per session.
+        assert_eq!(second[0].seq, 0);
+        assert!(matches!(second[0].kind, EventKind::SessionStart { .. }));
+        assert!(matches!(second.last().unwrap().kind, EventKind::SessionEnd));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_begin_is_typed() {
+        assert_eq!(try_session_begin(), Err(SessionError::Disabled));
     }
 }
