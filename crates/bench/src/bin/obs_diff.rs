@@ -1,23 +1,29 @@
-//! Snapshot-diff regression gate over two `uavnet-obs` metric
-//! snapshots (`sweep_report --obs-metrics` output).
+//! Snapshot-diff regression gate over `uavnet-obs` metric snapshots
+//! (`sweep_report --obs-metrics` / `service_report --obs-metrics`
+//! output), generalized to a per-scale baseline matrix: any number of
+//! BASELINE CURRENT pairs is compared in one invocation and any
+//! failing pair fails the run.
 //!
-//! Compares CURRENT against BASELINE and exits nonzero when a gated
-//! metric drifted beyond its relative tolerance. Gated by default are
-//! the *deterministic* metrics — counters, phase invocation counts,
-//! and histogram sample counts — which for a pinned scenario and
-//! pinned CLI flags are exact integers independent of machine speed
-//! and thread count; any drift means the algorithm's work profile
-//! changed, which is exactly what the gate exists to catch (an
-//! intentional change regenerates the committed baseline). Failure
-//! counters (`*.failures`, `*.panics`) are special-cased: any increase
-//! fails regardless of tolerance. Timing metrics (`*_ns` totals,
+//! Compares each CURRENT against its BASELINE and exits nonzero when
+//! a gated metric drifted beyond its relative tolerance. Gated by
+//! default are the *deterministic* metrics — counters, phase
+//! invocation counts, and histogram sample counts — which for a
+//! pinned scenario and pinned CLI flags are exact integers
+//! independent of machine speed and thread count; any drift means the
+//! algorithm's work profile changed, which is exactly what the gate
+//! exists to catch (an intentional change regenerates the committed
+//! baseline). Failure counters (`*.failures`, `*.panics`) are
+//! special-cased: any increase fails regardless of tolerance.
+//! Wall-clock-dependent counters (`service.slow_deltas`, which
+//! compares elapsed time against a threshold) are excluded from the
+//! deterministic gate entirely. Timing metrics (`*_ns` totals,
 //! self-times, percentiles) are machine-dependent and only compared
 //! under `--timings`, with their own looser tolerance.
 //!
 //! Usage:
 //!
 //! ```text
-//! obs_diff BASELINE.json CURRENT.json
+//! obs_diff BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json]...
 //!          [--tol REL]              # default drift tolerance (default 0.10)
 //!          [--tol-metric NAME=REL]  # per-metric override, repeatable
 //!          [--timings]              # also gate timing metrics
@@ -33,8 +39,8 @@ use std::process::ExitCode;
 use uavnet_bench::json::Json;
 
 struct Options {
-    baseline: String,
-    current: String,
+    /// (baseline, current) snapshot pairs, gated independently.
+    pairs: Vec<(String, String)>,
     tol: f64,
     per_metric: BTreeMap<String, f64>,
     timings: bool,
@@ -59,7 +65,8 @@ struct Row {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: obs_diff BASELINE.json CURRENT.json [--tol REL] [--tol-metric NAME=REL]... \
+        "usage: obs_diff BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json]... \
+         [--tol REL] [--tol-metric NAME=REL]... \
          [--timings] [--timing-tol REL] [--strict-provenance]"
     );
     std::process::exit(2);
@@ -68,8 +75,7 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut positional = Vec::new();
     let mut opts = Options {
-        baseline: String::new(),
-        current: String::new(),
+        pairs: Vec::new(),
         tol: 0.10,
         per_metric: BTreeMap::new(),
         timings: false,
@@ -110,11 +116,13 @@ fn parse_args() -> Options {
             other => positional.push(other.to_string()),
         }
     }
-    if positional.len() != 2 {
+    if positional.is_empty() || positional.len() % 2 != 0 {
         usage();
     }
-    opts.baseline = positional.remove(0);
-    opts.current = positional.remove(0);
+    let mut it = positional.into_iter();
+    while let (Some(b), Some(c)) = (it.next(), it.next()) {
+        opts.pairs.push((b, c));
+    }
     opts
 }
 
@@ -128,7 +136,7 @@ fn load(path: &str) -> Json {
         std::process::exit(2);
     });
     match doc.get("schema").and_then(Json::as_str) {
-        Some("uavnet-obs/1" | "uavnet-obs/2") => doc,
+        Some("uavnet-obs/1" | "uavnet-obs/2" | "uavnet-obs/3") => doc,
         Some(other) => {
             eprintln!("obs_diff: {path} has unsupported schema {other:?}");
             std::process::exit(2);
@@ -140,12 +148,19 @@ fn load(path: &str) -> Json {
     }
 }
 
+/// Counters whose value depends on wall-clock time, not on the work
+/// profile — excluded from the deterministic gate.
+const TIMING_DEPENDENT_COUNTERS: &[&str] = &["service.slow_deltas"];
+
 /// Flattens the gated (deterministic) metrics of a snapshot:
 /// `counters.*`, `phases.<name>.count`, `hists.<name>.count`.
 fn gated_metrics(doc: &Json) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
         for (name, v) in counters {
+            if TIMING_DEPENDENT_COUNTERS.contains(&name.as_str()) {
+                continue;
+            }
             if let Some(n) = v.as_f64() {
                 out.insert(name.clone(), n);
             }
@@ -302,14 +317,14 @@ fn fingerprint(doc: &Json) -> Option<String> {
         .map(str::to_string)
 }
 
-fn main() -> ExitCode {
-    let opts = parse_args();
-    let base_doc = load(&opts.baseline);
-    let cur_doc = load(&opts.current);
+/// Gates one BASELINE/CURRENT pair; returns whether it failed.
+fn diff_pair(baseline: &str, current: &str, opts: &Options) -> bool {
+    let base_doc = load(baseline);
+    let cur_doc = load(current);
 
-    println!("baseline: {}", opts.baseline);
+    println!("baseline: {baseline}");
     println!("          {}", provenance_line(&base_doc));
-    println!("current:  {}", opts.current);
+    println!("current:  {current}");
     println!("          {}", provenance_line(&cur_doc));
     println!();
 
@@ -332,7 +347,7 @@ fn main() -> ExitCode {
     let rows = compare(
         &gated_metrics(&base_doc),
         &gated_metrics(&cur_doc),
-        &opts,
+        opts,
         opts.tol,
     );
     println!(
@@ -346,7 +361,7 @@ fn main() -> ExitCode {
         let rows = compare(
             &timing_metrics(&base_doc),
             &timing_metrics(&cur_doc),
-            &opts,
+            opts,
             opts.timing_tol,
         );
         println!();
@@ -357,13 +372,29 @@ fn main() -> ExitCode {
         print_rows(&rows);
         failed |= rows.iter().any(|r| r.status == Status::Fail);
     }
+    failed
+}
 
-    println!();
-    if failed {
-        println!("obs_diff: REGRESSION — gated metrics drifted beyond tolerance");
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut failed_pairs = Vec::new();
+    for (i, (baseline, current)) in opts.pairs.iter().enumerate() {
+        if opts.pairs.len() > 1 {
+            println!("=== pair {}/{} ===", i + 1, opts.pairs.len());
+        }
+        if diff_pair(baseline, current, &opts) {
+            failed_pairs.push(current.clone());
+        }
+        println!();
+    }
+    if !failed_pairs.is_empty() {
+        println!(
+            "obs_diff: REGRESSION — gated metrics drifted beyond tolerance in {}",
+            failed_pairs.join(", ")
+        );
         ExitCode::from(1)
     } else {
-        println!("obs_diff: ok");
+        println!("obs_diff: ok ({} pair(s))", opts.pairs.len());
         ExitCode::SUCCESS
     }
 }

@@ -1,13 +1,23 @@
 //! Loopback smoke benchmark for the long-running solver service
-//! (`uavnet-service`): drives the quick-scale instance through a real
-//! TCP delta stream, checks the published deployment is bit-identical
-//! to an in-process [`SolverLoop`] twin, runs verify oracle 7
-//! ([`check_incremental`]) over the same delta mix, scrapes
-//! `/metrics` when the obs instrumentation is compiled in, and merges
-//! a `service` section into `BENCH_sweep.json`.
+//! (`uavnet-service`): drives a pinned-scale instance through a real
+//! TCP delta stream with per-request trace ids, checks the published
+//! deployment is bit-identical to an in-process [`SolverLoop`] twin,
+//! runs verify oracle 7 ([`check_incremental`]) over the same delta
+//! mix, scrapes `/metrics` when the obs instrumentation is compiled
+//! in, and merges a `service` section — including per-stage
+//! queue-wait / apply / repair / publish latency percentiles — into
+//! `BENCH_sweep.json`.
 //!
 //! Usage: `cargo run --release -p uavnet-bench --bin service_report --
-//! [--threads N] [--ticks N] [--out PATH]`
+//! [--scale quick|large] [--threads N] [--ticks N] [--out PATH]
+//! [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH]
+//! [--trace-out PATH]`
+//!
+//! The obs flags need the instrumentation compiled in (`--features
+//! obs`): `--obs-log` writes the `uavnet-obs/3` event log,
+//! `--obs-metrics`/`--obs-prom` the final snapshot (JSON /
+//! Prometheus), and `--trace-out` a Chrome trace-event file of the
+//! span tree, loadable in Perfetto (`ui.perfetto.dev`).
 //!
 //! The report *merges*: an existing `--out` file keeps every other
 //! top-level section (sweep and resolve evidence) and only the
@@ -15,7 +25,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uavnet_bench::json::Json;
 use uavnet_bench::Scale;
@@ -30,7 +40,9 @@ use uavnet_workload::{MobilityModel, MobilitySimulator};
 const MOBILITY_SIGMA_M: f64 = 25.0;
 const MOBILITY_THRESHOLD_M: f64 = 5.0;
 
-const USAGE: &str = "usage: service_report [--threads N] [--ticks N] [--out PATH]";
+const USAGE: &str = "usage: service_report [--scale quick|large] [--threads N] [--ticks N] \
+                     [--out PATH] [--obs-log PATH] [--obs-metrics PATH] [--obs-prom PATH] \
+                     [--trace-out PATH]";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("service_report: {msg}");
@@ -41,6 +53,23 @@ fn fail_usage(msg: &str) -> ! {
 fn parse_flag<T: std::str::FromStr>(raw: &str, name: &str) -> T {
     raw.parse()
         .unwrap_or_else(|_| fail_usage(&format!("{name} expects a number, got {raw:?}")))
+}
+
+/// Scale-aware tuning knob kept next to the numbers it shapes
+/// (mirrors `resolve_report`).
+trait Tuned {
+    fn tuned_for(self, scale: &Scale) -> Self;
+}
+
+impl Tuned for LoopConfig {
+    fn tuned_for(mut self, scale: &Scale) -> Self {
+        // Quick's 5×5 grid fits one tile per station neighborhood at
+        // side 2; the large 20×20 grid gets the default 16-cell tiles.
+        if scale.name == "quick" {
+            self.tile_cells = 2;
+        }
+        self
+    }
 }
 
 /// The streamed workload: `ticks` mobility batches with a UAV kill
@@ -91,10 +120,26 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
     )
 }
 
+/// One per-stage latency block for the report: sample count and
+/// p50/p90/p99 nanoseconds.
+fn stage_json(count: u64, p50: u64, p90: u64, p99: u64) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(count as f64)),
+        ("p50_ns".into(), Json::Num(p50 as f64)),
+        ("p90_ns".into(), Json::Num(p90 as f64)),
+        ("p99_ns".into(), Json::Num(p99 as f64)),
+    ])
+}
+
 fn main() {
+    let mut scale_name = String::from("quick");
     let mut threads = 2usize;
-    let mut ticks = 24usize;
+    let mut ticks: Option<usize> = None;
     let mut out = String::from("BENCH_sweep.json");
+    let mut obs_log: Option<String> = None;
+    let mut obs_metrics: Option<String> = None;
+    let mut obs_prom: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -102,23 +147,44 @@ fn main() {
                 .unwrap_or_else(|| fail_usage(&format!("{name} needs a value")))
         };
         match arg.as_str() {
+            "--scale" => scale_name = value("--scale"),
             "--threads" => threads = parse_flag(&value("--threads"), "--threads"),
-            "--ticks" => ticks = parse_flag(&value("--ticks"), "--ticks"),
+            "--ticks" => ticks = Some(parse_flag(&value("--ticks"), "--ticks")),
             "--out" => out = value("--out"),
+            "--obs-log" => obs_log = Some(value("--obs-log")),
+            "--obs-metrics" => obs_metrics = Some(value("--obs-metrics")),
+            "--obs-prom" => obs_prom = Some(value("--obs-prom")),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             other => fail_usage(&format!("unknown argument {other:?}")),
         }
     }
     if threads == 0 {
         fail_usage("--threads must be positive");
     }
+    let scale = match scale_name.as_str() {
+        "quick" => Scale::quick(),
+        "large" => Scale::large(),
+        other => fail_usage(&format!("--scale wants quick or large, got {other:?}")),
+    };
+    // Large runs default shorter: every delta also cold-rescored by
+    // the oracle, and a 100k-user rescore dominates the wall clock.
+    let ticks = ticks.unwrap_or(if scale.name == "quick" { 24 } else { 6 });
     if ticks == 0 {
         fail_usage("--ticks must be positive");
     }
 
-    let scale = Scale::quick();
+    let want_obs =
+        obs_log.is_some() || obs_metrics.is_some() || obs_prom.is_some() || trace_out.is_some();
+    if want_obs && !uavnet_obs::is_enabled() {
+        eprintln!(
+            "service_report: --obs-log/--obs-metrics/--obs-prom/--trace-out need the \
+             instrumentation compiled in; rebuild with `--features obs`"
+        );
+        std::process::exit(2);
+    }
+
     let instance = scale.instance(scale.n_max(), scale.k_max());
-    let mut loop_config = LoopConfig::new(ApproxConfig::with_s(1).threads(threads));
-    loop_config.tile_cells = 2;
+    let loop_config = LoopConfig::new(ApproxConfig::with_s(1).threads(threads)).tuned_for(&scale);
     let deltas = delta_stream(&instance, ticks, scale.seed ^ 0x5e51);
 
     // The in-process twin the wire protocol must coincide with.
@@ -126,12 +192,28 @@ fn main() {
         SolverLoop::new(instance.clone(), loop_config.clone()).expect("in-process solver");
     let served_first = twin.served_users();
 
+    // The report owns the obs session (rather than handing it to the
+    // service via `record_obs`): the in-process twin and the oracle
+    // replay run on this thread inside the same session, and the
+    // report-level root span below keeps the whole log — twin, oracle
+    // and the service worker's tree, attached via the explicit parent
+    // handle — one rooted tree.
     let record_obs = uavnet_obs::is_enabled();
+    if record_obs {
+        let mut provenance = uavnet_obs::Provenance::detect();
+        provenance.features = "obs,enabled".to_string();
+        provenance.threads = threads as u64;
+        provenance.instance_fingerprint =
+            (0xcbf2_9ce4_8422_2325u64 ^ instance.fingerprint()).wrapping_mul(0x0100_0000_01b3);
+        uavnet_obs::try_session_begin_with(provenance)
+            .expect("begin obs session for the service run");
+    }
+    let report_span = uavnet_obs::phases::REPORT.span();
     let handle = SolverService::spawn(
         instance.clone(),
         loop_config,
         ServiceConfig {
-            record_obs,
+            obs_parent: report_span.handle(),
             ..ServiceConfig::default()
         },
     )
@@ -145,13 +227,24 @@ fn main() {
     let mut publisher =
         ServiceClient::connect(handle.addr(), ClientConfig::default()).expect("connect publisher");
 
+    // The client measures publish RTT itself (send → ack) and the
+    // server echoes each trace id on the ack and stamps it on the
+    // correlated deployment frame.
     let mut rtt_ns: Vec<u64> = Vec::with_capacity(deltas.len());
     let mut deployments = 0u64;
     for (i, delta) in deltas.iter().enumerate() {
-        let t = Instant::now();
-        let remote = publisher.publish(delta).expect("publish delta");
-        rtt_ns.push(t.elapsed().as_nanos() as u64);
+        let trace_id = format!("delta-{i}");
+        let receipt = publisher
+            .publish_traced(delta, Some(&trace_id))
+            .expect("publish delta");
+        assert_eq!(
+            receipt.trace_id.as_deref(),
+            Some(trace_id.as_str()),
+            "delta {i}: ack must echo the trace id"
+        );
+        rtt_ns.push(receipt.rtt.as_nanos() as u64);
         let local = twin.apply(delta.clone()).expect("twin apply");
+        let remote = &receipt.outcome;
         assert_eq!(
             (remote.served, remote.dirty_tiles, remote.dropped_placements),
             (local.served, local.dirty_tiles, local.dropped_placements),
@@ -160,6 +253,11 @@ fn main() {
         match subscriber.next_event().expect("deployment event") {
             Reply::Deployment(dep) => {
                 deployments += 1;
+                assert_eq!(
+                    dep.trace_id.as_deref(),
+                    Some(trace_id.as_str()),
+                    "delta {i}: deployment frame must carry the trace id"
+                );
                 assert_eq!(
                     dep.placements,
                     twin.placements().to_vec(),
@@ -200,6 +298,10 @@ fn main() {
             metrics_body.contains("uavnet_resolve_deltas_total"),
             "obs build must scrape live resolve.* counters:\n{metrics_body}"
         );
+        assert!(
+            metrics_body.contains("uavnet_service_uptime_seconds"),
+            "obs build must scrape service gauges:\n{metrics_body}"
+        );
     }
 
     let summary = handle.shutdown_and_join().expect("service summary");
@@ -207,10 +309,83 @@ fn main() {
     assert!(summary.worker_panic.is_none());
     assert_eq!(summary.placements, twin.placements().to_vec());
 
+    // Close the report root (the worker's root, its child, already
+    // closed at drain) and end the session we began.
+    drop(report_span);
+    let metrics = if record_obs {
+        Some(uavnet_obs::session_end().expect("active session yields a snapshot"))
+    } else {
+        None
+    };
+
+    // Per-stage latency attribution from the recorded session:
+    // queue-wait / apply / publish from the `service.*` phases, repair
+    // from the solver's repair histogram.
+    let mut stages: Vec<(String, Json)> = Vec::new();
+    if let Some(metrics) = &metrics {
+        for (label, phase) in [
+            ("queue_wait", "service.queue_wait"),
+            ("apply", "service.apply"),
+            ("publish", "service.publish"),
+        ] {
+            let p = metrics
+                .phase(phase)
+                .unwrap_or_else(|| panic!("recorded session must carry phase {phase}"));
+            assert_eq!(
+                p.count,
+                deltas.len() as u64,
+                "{phase}: one span per published delta"
+            );
+            stages.push((
+                label.into(),
+                stage_json(p.count, p.p50_ns, p.p90_ns, p.p99_ns),
+            ));
+        }
+        let repair = metrics
+            .hist("resolve.repair_ns")
+            .expect("recorded session must carry the repair histogram");
+        stages.push((
+            "repair".into(),
+            stage_json(repair.count, repair.p50_ns, repair.p90_ns, repair.p99_ns),
+        ));
+    }
+
+    // Obs artifacts: the session is closed, so the buffered events
+    // are the complete single-root log.
+    if want_obs {
+        let metrics = metrics
+            .as_ref()
+            .expect("obs builds record the service session");
+        let events = uavnet_obs::drain_events();
+        if let Some(path) = &obs_log {
+            let mut lines = String::with_capacity(events.len() * 64);
+            for e in &events {
+                lines.push_str(&e.to_json_line());
+                lines.push('\n');
+            }
+            std::fs::write(path, lines).expect("write obs event log");
+            eprintln!("service_report: wrote {path} ({} events)", events.len());
+        }
+        if let Some(path) = &obs_metrics {
+            std::fs::write(path, metrics.to_json()).expect("write obs metrics snapshot");
+            eprintln!("service_report: wrote {path}");
+        }
+        if let Some(path) = &obs_prom {
+            std::fs::write(path, metrics.to_prometheus()).expect("write obs prometheus export");
+            eprintln!("service_report: wrote {path}");
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, uavnet_obs::dump_trace_event(&events))
+                .expect("write trace-event file");
+            eprintln!("service_report: wrote {path} (load at ui.perfetto.dev)");
+        }
+    }
+
     let rtt_median = median_ns(&mut rtt_ns);
     eprintln!(
-        "service_report: quick n={} K={} deltas={} -> {} deployments published, \
+        "service_report: {} n={} K={} deltas={} -> {} deployments published, \
          served {} -> {}, median publish rtt {:.3} ms, bit-identical, oracle ok",
+        scale.name,
         instance.num_users(),
         instance.num_uavs(),
         deltas.len(),
@@ -220,7 +395,8 @@ fn main() {
         rtt_median as f64 / 1e6,
     );
 
-    let section = Json::Obj(vec![
+    let mut section_members = vec![
+        ("scale".into(), Json::Str(scale.name.into())),
         ("users".into(), Json::Num(instance.num_users() as f64)),
         ("uavs".into(), Json::Num(instance.num_uavs() as f64)),
         ("threads".into(), Json::Num(threads as f64)),
@@ -232,6 +408,7 @@ fn main() {
         ("served_first".into(), Json::Num(served_first as f64)),
         ("served_last".into(), Json::Num(served_last as f64)),
         ("publish_rtt_median_ns".into(), Json::Num(rtt_median as f64)),
+        ("trace_ids_round_tripped".into(), Json::Bool(true)),
         ("bit_identical_to_in_process".into(), Json::Bool(true)),
         ("incremental_equals_cold".into(), Json::Bool(true)),
         ("metrics_scraped_live".into(), Json::Bool(record_obs)),
@@ -240,7 +417,11 @@ fn main() {
             "relays_spent".into(),
             Json::Num(summary.stats.relays_spent as f64),
         ),
-    ]);
+    ];
+    if !stages.is_empty() {
+        section_members.push(("stages".into(), Json::Obj(stages)));
+    }
+    let section = Json::Obj(section_members);
 
     // Merge: keep every other top-level section of an existing report.
     let mut doc = match std::fs::read_to_string(&out) {

@@ -504,6 +504,7 @@ impl SolverLoop {
     ///   the substrate's limits.
     pub fn apply(&mut self, delta: Delta) -> Result<DeltaOutcome, CoreError> {
         uavnet_obs::counters::RESOLVE_DELTAS.add(1);
+        let _span = uavnet_obs::phases::RESOLVE_APPLY.span();
         let _timer = uavnet_obs::hists::DELTA_APPLY.timer();
         let before = self.stats.clone();
         let cold_solved = match delta {

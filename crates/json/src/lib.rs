@@ -93,6 +93,18 @@ impl Json {
         }
     }
 
+    /// The number as a `usize`, if this is a non-negative integral
+    /// number that fits — the common case for counts, ids and
+    /// sequence fields in the wire and report formats.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
     /// Inserts or replaces a member on an object, preserving the
     /// position of an existing key.
     ///
@@ -512,5 +524,14 @@ mod tests {
         for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} extra", "\"\\q\""] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn as_usize_accepts_only_non_negative_integers() {
+        assert_eq!(Json::Num(0.0).as_usize(), Some(0));
+        assert_eq!(Json::Num(42.0).as_usize(), Some(42));
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+        assert_eq!(Json::Num(1.5).as_usize(), None);
+        assert_eq!(Json::Str("42".into()).as_usize(), None);
     }
 }

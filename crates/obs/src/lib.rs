@@ -73,31 +73,40 @@
 //! concurrent data structure); only the global instrumentation is
 //! gated.
 //!
-//! # Event schema (`uavnet-obs/2`)
+//! # Event schema (`uavnet-obs/3`)
 //!
 //! One JSON object per line, every line carrying `seq` (global
 //! sequence number), `t_ns` (nanoseconds since session start) and
 //! `type`:
 //!
 //! ```json
-//! {"seq":0,"t_ns":0,"type":"session_start","schema":"uavnet-obs/2","git_sha":"1a2b3c4d5e6f","features":"enabled","threads":8,"instance_fingerprint":"0x00d1f5a2b9c3e870"}
-//! {"seq":1,"t_ns":12034,"type":"span","name":"alg1_plan","id":2,"parent_id":1,"ns":11020,"self_ns":11020}
+//! {"seq":0,"t_ns":0,"type":"session_start","schema":"uavnet-obs/3","git_sha":"1a2b3c4d5e6f","features":"enabled","threads":8,"instance_fingerprint":"0x00d1f5a2b9c3e870"}
+//! {"seq":1,"t_ns":12034,"type":"span","name":"alg1_plan","id":2,"parent_id":1,"tid":1,"ns":11020,"self_ns":11020}
 //! {"seq":2,"t_ns":842113,"type":"run","name":"sweep","fields":{"s":2,"served":118}}
 //! {"seq":3,"t_ns":850010,"type":"counter","name":"sweep.gain_queries","value":5310}
-//! {"seq":4,"t_ns":850400,"type":"hist","name":"greedy.gain_query_ns","count":5310,"sum_ns":9120034,"max_ns":88012,"buckets":[[1535,12],[1791,940],[88012,5310]]}
-//! {"seq":5,"t_ns":851090,"type":"session_end"}
+//! {"seq":4,"t_ns":850200,"type":"gauge","name":"service.queue_depth","value":3}
+//! {"seq":5,"t_ns":850400,"type":"hist","name":"greedy.gain_query_ns","count":5310,"sum_ns":9120034,"max_ns":88012,"buckets":[[1535,12],[1791,940],[88012,5310]]}
+//! {"seq":6,"t_ns":851090,"type":"session_end"}
 //! ```
 //!
 //! Span `id`s are unique within a session and `parent_id` (omitted for
 //! roots) always references another span of the same log — children
 //! close before their parents, so the referenced span's own line
-//! appears *later*. `hist` buckets are `[inclusive_upper_bound,
+//! appears *later*. Schema 3 adds: a `tid` on span lines (a stable
+//! per-thread ordinal, so a viewer can lay spans out on thread
+//! tracks), explicit cross-thread parents ([`Phase::span_under`] lets
+//! a span on one thread attach under a [`SpanHandle`] captured on
+//! another — `parent_id < id` and referential integrity still hold
+//! because ids are allocated on entry), `gauge` lines for the
+//! last-value [`Gauge`] metrics, and the [`dump_trace_event`] exporter
+//! rendering the span forest as a Chrome trace-event (Perfetto
+//! loadable) JSON document. `hist` buckets are `[inclusive_upper_bound,
 //! cumulative_count]` pairs with strictly increasing bounds and
-//! monotone counts. `counter` and `hist` lines are emitted once per
-//! declared metric by [`session_end`], so a complete log always ends
-//! with the final values followed by `session_end`.
+//! monotone counts. `counter`, `gauge` and `hist` lines are emitted
+//! once per declared metric by [`session_end`], so a complete log
+//! always ends with the final values followed by `session_end`.
 //! `scripts/validate_obs_log.py` checks all of it (and still accepts
-//! `uavnet-obs/1` logs from older runs).
+//! `uavnet-obs/1` and `uavnet-obs/2` logs from older runs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,11 +124,16 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Schema identifier stamped on session-start events and snapshots.
-pub const SCHEMA: &str = "uavnet-obs/2";
+pub const SCHEMA: &str = "uavnet-obs/3";
 
-/// The previous schema (flat spans, no histograms, no provenance);
+/// The first schema (flat spans, no histograms, no provenance);
 /// still accepted by the log validator.
 pub const SCHEMA_V1: &str = "uavnet-obs/1";
+
+/// The second schema (span trees + hists + provenance, but no span
+/// `tid`, no gauges, no cross-thread parents); still accepted by the
+/// log validator.
+pub const SCHEMA_V2: &str = "uavnet-obs/2";
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 
@@ -167,6 +181,32 @@ struct Frame {
 thread_local! {
     /// `(session epoch, open spans innermost-last)` for this thread.
     static SPAN_STACK: RefCell<(u64, Vec<Frame>)> = const { RefCell::new((0, Vec::new())) };
+}
+
+/// Process-global thread ordinal allocator for span `tid`s. Ordinals
+/// start at 1 and are *not* reset per session: a `tid` identifies a
+/// thread for trace layout, not a session-scoped object, and resetting
+/// would let two live threads share an ordinal.
+#[cfg(feature = "enabled")]
+static THREAD_NEXT_ORDINAL: AtomicU64 = AtomicU64::new(1);
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    /// Lazily-assigned stable ordinal of this thread (0 = unassigned).
+    static THREAD_ORDINAL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// A small stable ordinal for the calling thread, assigned on first
+/// use. Spans carry it as `tid` so a trace viewer can lay them out on
+/// per-thread tracks.
+#[cfg(feature = "enabled")]
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| {
+        if t.get() == 0 {
+            t.set(THREAD_NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
 }
 
 /// Whether the instrumentation was compiled in (the `enabled` cargo
@@ -313,6 +353,9 @@ pub fn try_session_begin_with(provenance: Provenance) -> Result<(), SessionError
         for h in hists::ALL {
             h.hist.reset();
         }
+        for g in gauges::ALL {
+            g.value.store(0, Ordering::Relaxed);
+        }
         SEQ.store(0, Ordering::Relaxed);
         SPAN_NEXT_ID.store(1, Ordering::Relaxed);
         let epoch = SESSION_EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
@@ -335,10 +378,11 @@ pub fn try_session_begin_with(provenance: Provenance) -> Result<(), SessionError
 }
 
 /// Ends the active session: emits one `counter` event per declared
-/// counter and one `hist` event per non-empty histogram (phase
-/// duration histograms under the phase name, latency histograms under
-/// their own), then a `session_end` marker, deactivates recording and
-/// returns the final [`MetricsSnapshot`]. Returns `None` when the
+/// counter, one `gauge` event per declared gauge, and one `hist` event
+/// per non-empty histogram (phase duration histograms under the phase
+/// name, latency histograms under their own), then a `session_end`
+/// marker, deactivates recording and returns the final
+/// [`MetricsSnapshot`]. Returns `None` when the
 /// instrumentation is compiled out or no session was active.
 pub fn session_end() -> Option<MetricsSnapshot> {
     #[cfg(feature = "enabled")]
@@ -350,6 +394,12 @@ pub fn session_end() -> Option<MetricsSnapshot> {
             push_event(EventKind::Counter {
                 name: c.name,
                 value: c.get(),
+            });
+        }
+        for g in gauges::ALL {
+            push_event(EventKind::Gauge {
+                name: g.name,
+                value: g.get(),
             });
         }
         for p in phases::ALL {
@@ -417,6 +467,7 @@ pub fn snapshot() -> MetricsSnapshot {
                 .iter()
                 .map(|h| HistStat::from_quantiles(h.name, h.hist.quantiles()))
                 .collect(),
+            gauges: gauges::ALL.iter().map(|g| (g.name, g.get())).collect(),
         }
     }
     #[cfg(not(feature = "enabled"))]
@@ -425,6 +476,7 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: Vec::new(),
         phases: Vec::new(),
         hists: Vec::new(),
+        gauges: Vec::new(),
     }
 }
 
@@ -460,11 +512,17 @@ pub fn emit_run(name: &'static str, fields: &[(&'static str, u64)]) {
 
 #[cfg(feature = "enabled")]
 fn push_event(kind: EventKind) {
+    // Allocate seq and read the clock only while holding the log lock:
+    // with emitters on several threads (service reader + worker), doing
+    // either outside the lock lets two events land in the vec with
+    // out-of-order seq/t_ns, which the log validator rejects. Lock
+    // order is EVENTS → SESSION_START; nothing locks them in reverse.
+    let mut events = lock_recover(&EVENTS);
     let t_ns = lock_recover(&SESSION_START)
         .map(|s| s.elapsed().as_nanos() as u64)
         .unwrap_or(0);
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    lock_recover(&EVENTS).push(Event { seq, t_ns, kind });
+    events.push(Event { seq, t_ns, kind });
 }
 
 /// A named monotone counter. Declare instances in [`counters`]; call
@@ -503,6 +561,51 @@ impl Counter {
     }
 
     /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value metric (queue depth, uptime seconds): unlike a
+/// [`Counter`] it can move in both directions, and a snapshot reports
+/// the most recent [`set`](Gauge::set), not an accumulation. Declared
+/// centrally in [`gauges`]; reset to 0 on session begin; the final
+/// value is emitted as one `gauge` event by [`session_end`].
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge with the given snapshot name.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot/event name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores `v` when a session is active; no-op (and compiled out
+    /// without the `enabled` feature) otherwise.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        if session_active() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// The most recently stored value.
     #[inline]
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -572,29 +675,46 @@ impl Phase {
     /// the [crate docs](crate)). No-op while no session is active.
     #[inline]
     pub fn record_ns(&'static self, ns: u64) {
+        self.record_ns_under(None, ns);
+    }
+
+    /// [`Phase::record_ns`] with an explicit parent: the emitted span
+    /// attaches under `parent` when it is `Some` and still belongs to
+    /// the current session, falling back to the caller's innermost
+    /// open same-thread span otherwise. This is how a worker thread
+    /// attributes a pre-measured duration (e.g. queue wait measured
+    /// from an enqueue timestamp) to a span opened on another thread.
+    #[inline]
+    pub fn record_ns_under(&'static self, parent: Option<SpanHandle>, ns: u64) {
         #[cfg(feature = "enabled")]
         if session_active() {
             let epoch = SESSION_EPOCH.load(Ordering::Relaxed);
-            let parent_id = SPAN_STACK.with(|s| {
-                let s = s.borrow();
-                if s.0 == epoch {
-                    s.1.last().map(|f| f.id)
-                } else {
-                    None
-                }
-            });
+            let parent_id = parent
+                .filter(|h| h.epoch == epoch)
+                .map(|h| h.id)
+                .or_else(|| {
+                    SPAN_STACK.with(|s| {
+                        let s = s.borrow();
+                        if s.0 == epoch {
+                            s.1.last().map(|f| f.id)
+                        } else {
+                            None
+                        }
+                    })
+                });
             let id = SPAN_NEXT_ID.fetch_add(1, Ordering::Relaxed);
             self.accumulate(ns, ns);
             push_event(EventKind::Span {
                 name: self.name,
                 id,
                 parent_id,
+                tid: thread_ordinal(),
                 ns,
                 self_ns: ns,
             });
         }
         #[cfg(not(feature = "enabled"))]
-        let _ = ns;
+        let _ = (parent, ns);
     }
 
     #[cfg(feature = "enabled")]
@@ -611,6 +731,21 @@ impl Phase {
     /// the clock only while a session is active.
     #[inline]
     pub fn span(&'static self) -> SpanGuard {
+        self.span_under(None)
+    }
+
+    /// [`Phase::span`] with an explicit cross-thread parent: when
+    /// `parent` is `Some` and still belongs to the current session, the
+    /// new span's `parent_id` is the handle's span instead of this
+    /// thread's innermost open span. The guard still joins *this*
+    /// thread's parent stack, so same-thread children opened inside it
+    /// nest normally and its elapsed time is credited to the local
+    /// enclosing frame (if any). This is how a span opened on the
+    /// service worker thread attaches under the worker root, and how a
+    /// reader-thread ingress span attaches under the same root — the
+    /// cross-thread edge of the trace.
+    #[inline]
+    pub fn span_under(&'static self, parent: Option<SpanHandle>) -> SpanGuard {
         #[cfg(feature = "enabled")]
         {
             if !session_active() {
@@ -618,7 +753,8 @@ impl Phase {
             }
             let epoch = SESSION_EPOCH.load(Ordering::Relaxed);
             let id = SPAN_NEXT_ID.fetch_add(1, Ordering::Relaxed);
-            let parent_id = SPAN_STACK.with(|s| {
+            let explicit = parent.filter(|h| h.epoch == epoch).map(|h| h.id);
+            let local = SPAN_STACK.with(|s| {
                 let mut s = s.borrow_mut();
                 if s.0 != epoch {
                     s.1.clear();
@@ -633,14 +769,31 @@ impl Phase {
                     phase: self,
                     start: Instant::now(),
                     id,
-                    parent_id,
+                    parent_id: explicit.or(local),
                     epoch,
                 }),
             }
         }
         #[cfg(not(feature = "enabled"))]
-        SpanGuard {}
+        {
+            let _ = parent;
+            SpanGuard {}
+        }
     }
+}
+
+/// A copyable reference to an open span, obtained from
+/// [`SpanGuard::handle`] and consumed by [`Phase::span_under`] /
+/// [`Phase::record_ns_under`] to parent spans across threads. The
+/// handle stays valid for the rest of its session (ids are allocated
+/// on entry, so `parent_id < id` holds even if the referenced span
+/// closes first); a handle from an ended session is silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle {
+    #[cfg(feature = "enabled")]
+    id: u64,
+    #[cfg(feature = "enabled")]
+    epoch: u64,
 }
 
 #[cfg(feature = "enabled")]
@@ -661,6 +814,26 @@ struct SpanInner {
 pub struct SpanGuard {
     #[cfg(feature = "enabled")]
     inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// A copyable cross-thread handle to this span, or `None` when the
+    /// guard is not recording (no active session at creation, or the
+    /// instrumentation is compiled out). Hand the handle to another
+    /// thread and open children under it with [`Phase::span_under`];
+    /// the guard itself must still be dropped on its own thread.
+    #[inline]
+    pub fn handle(&self) -> Option<SpanHandle> {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.as_ref().map(|i| SpanHandle {
+                id: i.id,
+                epoch: i.epoch,
+            })
+        }
+        #[cfg(not(feature = "enabled"))]
+        None
+    }
 }
 
 impl Drop for SpanGuard {
@@ -694,6 +867,7 @@ impl Drop for SpanGuard {
                 name: inner.phase.name,
                 id: inner.id,
                 parent_id: inner.parent_id,
+                tid: thread_ordinal(),
                 ns,
                 self_ns,
             });
@@ -805,9 +979,13 @@ pub enum EventKind {
         name: &'static str,
         /// Session-unique span id (ids start at 1).
         id: u64,
-        /// Id of the innermost same-thread span open at creation;
-        /// `None` for roots.
+        /// Id of the parent span — the innermost same-thread span open
+        /// at creation, or the explicit [`SpanHandle`] given to
+        /// [`Phase::span_under`]/[`Phase::record_ns_under`]; `None`
+        /// for roots.
         parent_id: Option<u64>,
+        /// Stable ordinal of the thread the span ran on (schema 3).
+        tid: u64,
         /// Recorded nanoseconds.
         ns: u64,
         /// Nanoseconds not attributed to same-thread child spans.
@@ -818,6 +996,13 @@ pub enum EventKind {
         /// The counter name.
         name: &'static str,
         /// Value at session end.
+        value: u64,
+    },
+    /// A gauge's final value, emitted by [`session_end`] (schema 3).
+    Gauge {
+        /// The gauge name.
+        name: &'static str,
+        /// Last value set during the session.
         value: u64,
     },
     /// A histogram's final state, emitted by [`session_end`] for every
@@ -867,6 +1052,7 @@ impl Event {
                 name,
                 id,
                 parent_id,
+                tid,
                 ns,
                 self_ns,
             } => {
@@ -876,10 +1062,15 @@ impl Event {
                 if let Some(p) = parent_id {
                     s.push_str(&format!(",\"parent_id\":{p}"));
                 }
-                s.push_str(&format!(",\"ns\":{ns},\"self_ns\":{self_ns}"));
+                s.push_str(&format!(",\"tid\":{tid},\"ns\":{ns},\"self_ns\":{self_ns}"));
             }
             EventKind::Counter { name, value } => {
                 s.push_str("\"type\":\"counter\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"value\":{value}"));
+            }
+            EventKind::Gauge { name, value } => {
+                s.push_str("\"type\":\"gauge\",\"name\":");
                 push_json_str(&mut s, name);
                 s.push_str(&format!(",\"value\":{value}"));
             }
@@ -992,12 +1183,22 @@ pub struct MetricsSnapshot {
     pub phases: Vec<PhaseStat>,
     /// Per-latency-histogram percentiles, in declaration order.
     pub hists: Vec<HistStat>,
+    /// `(name, last value)` per gauge, in declaration order.
+    pub gauges: Vec<(&'static str, u64)>,
 }
 
 impl MetricsSnapshot {
     /// The value of a counter by name, if declared.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The last value of a gauge by name, if declared.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
             .iter()
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
@@ -1016,7 +1217,8 @@ impl MetricsSnapshot {
     /// Serializes the snapshot as a pretty-stable JSON document:
     /// `{"schema":…,"provenance":{…},"counters":{…},
     /// "phases":{name:{"total_ns":…,"self_ns":…,"count":…,"p50_ns":…,…}},
-    /// "hists":{name:{"count":…,"sum_ns":…,"p50_ns":…,…}}}`.
+    /// "hists":{name:{"count":…,"sum_ns":…,"p50_ns":…,…}},
+    /// "gauges":{…}}`.
     pub fn to_json(&self) -> String {
         let mut s =
             format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"provenance\": {{\n    \"git_sha\": ");
@@ -1061,18 +1263,28 @@ impl MetricsSnapshot {
                 h.count, h.sum_ns, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
             ));
         }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(": {value}"));
+        }
         s.push_str("\n  }\n}\n");
         s
     }
 
     /// Serializes the snapshot in the Prometheus text exposition
-    /// format (0.0.4): counters as `uavnet_<name>_total`, phases as
+    /// format (0.0.4): counters as `uavnet_<name>_total`, gauges as
+    /// `uavnet_<name>`, phases as
     /// `uavnet_phase_{total_ns,self_ns,count}{phase="…"}` gauges plus
     /// `uavnet_phase_duration_ns{phase="…",quantile="…"}` summaries,
     /// latency histograms as `uavnet_latency_ns{hist="…",quantile="…"}`
     /// summaries with `_sum`/`_count`, and the provenance as a
-    /// `uavnet_build_info` gauge. Dots in metric names become
-    /// underscores.
+    /// `uavnet_build_info` gauge. Every family carries `# HELP` and
+    /// `# TYPE` lines. Dots in metric names become underscores.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
@@ -1091,11 +1303,27 @@ impl MetricsSnapshot {
         ));
         for (name, value) in &self.counters {
             let m = format!("uavnet_{}_total", sanitize(name));
-            s.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+            s.push_str(&format!(
+                "# HELP {m} Final value of obs counter \"{name}\".\n# TYPE {m} counter\n{m} {value}\n"
+            ));
         }
+        for (name, value) in &self.gauges {
+            let m = format!("uavnet_{}", sanitize(name));
+            s.push_str(&format!(
+                "# HELP {m} Last value of obs gauge \"{name}\".\n# TYPE {m} gauge\n{m} {value}\n"
+            ));
+        }
+        s.push_str("# HELP uavnet_phase_total_ns Accumulated wall-clock nanoseconds per phase.\n");
         s.push_str("# TYPE uavnet_phase_total_ns gauge\n");
+        s.push_str(
+            "# HELP uavnet_phase_self_ns Accumulated self-time nanoseconds per phase (total minus same-thread child spans).\n",
+        );
         s.push_str("# TYPE uavnet_phase_self_ns gauge\n");
+        s.push_str("# HELP uavnet_phase_count Number of recordings per phase.\n");
         s.push_str("# TYPE uavnet_phase_count gauge\n");
+        s.push_str(
+            "# HELP uavnet_phase_duration_ns Quantiles of per-recording phase durations in nanoseconds.\n",
+        );
         s.push_str("# TYPE uavnet_phase_duration_ns summary\n");
         for p in &self.phases {
             s.push_str(&format!(
@@ -1108,11 +1336,20 @@ impl MetricsSnapshot {
                     p.name
                 ));
             }
+        }
+        s.push_str(
+            "# HELP uavnet_phase_duration_ns_max Exact maximum recording duration per phase in nanoseconds.\n",
+        );
+        s.push_str("# TYPE uavnet_phase_duration_ns_max gauge\n");
+        for p in &self.phases {
             s.push_str(&format!(
                 "uavnet_phase_duration_ns_max{{phase=\"{}\"}} {}\n",
                 p.name, p.max_ns
             ));
         }
+        s.push_str(
+            "# HELP uavnet_latency_ns Quantiles of per-operation latencies in nanoseconds.\n",
+        );
         s.push_str("# TYPE uavnet_latency_ns summary\n");
         for h in &self.hists {
             for (q, v) in [("0.5", h.p50_ns), ("0.9", h.p90_ns), ("0.99", h.p99_ns)] {
@@ -1122,8 +1359,18 @@ impl MetricsSnapshot {
                 ));
             }
             s.push_str(&format!(
-                "uavnet_latency_ns_max{{hist=\"{0}\"}} {1}\nuavnet_latency_ns_sum{{hist=\"{0}\"}} {2}\nuavnet_latency_ns_count{{hist=\"{0}\"}} {3}\n",
-                h.name, h.max_ns, h.sum_ns, h.count
+                "uavnet_latency_ns_sum{{hist=\"{0}\"}} {1}\nuavnet_latency_ns_count{{hist=\"{0}\"}} {2}\n",
+                h.name, h.sum_ns, h.count
+            ));
+        }
+        s.push_str(
+            "# HELP uavnet_latency_ns_max Exact maximum recorded latency per histogram in nanoseconds.\n",
+        );
+        s.push_str("# TYPE uavnet_latency_ns_max gauge\n");
+        for h in &self.hists {
+            s.push_str(&format!(
+                "uavnet_latency_ns_max{{hist=\"{}\"}} {}\n",
+                h.name, h.max_ns
             ));
         }
         s
@@ -1145,6 +1392,114 @@ fn push_json_str(out: &mut String, value: &str) {
         }
     }
     out.push('"');
+}
+
+/// Renders a drained session log as a Chrome trace-event JSON document
+/// (the `{"traceEvents":[…]}` format Perfetto and `chrome://tracing`
+/// load directly).
+///
+/// Mapping: every `span` event becomes a complete (`"ph":"X"`) event
+/// on its thread's track — `ts` is the span's *start* (`t_ns − ns`,
+/// since obs stamps spans on close) and `dur` its length, both in
+/// fractional microseconds; the obs span `id`, `parent_id` and
+/// `self_ns` ride along in `args`, preserving the cross-thread edges a
+/// flamegraph per track cannot show. `run` events become instants
+/// (`"ph":"i"`) with their fields as args; `counter` and `gauge`
+/// events become Chrome counter (`"ph":"C"`) samples so final values
+/// show up as tracks; `session_start`/`session_end` become global
+/// instants (provenance as args). `hist` events are skipped — bucket
+/// arrays have no trace-event shape; they stay in the JSON-lines log.
+///
+/// This is a pure function over already-drained events: it works on
+/// any build (the `enabled` feature only gates *collection*).
+pub fn dump_trace_event(events: &[Event]) -> String {
+    fn push_micros(out: &mut String, ns: u64) {
+        out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+    }
+    let mut s = String::from(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"uavnet\"}}",
+    );
+    for e in events {
+        let mut line = String::new();
+        match &e.kind {
+            EventKind::Span {
+                name,
+                id,
+                parent_id,
+                tid,
+                ns,
+                self_ns,
+            } => {
+                line.push_str("{\"name\":");
+                push_json_str(&mut line, name);
+                line.push_str(&format!(
+                    ",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":"
+                ));
+                push_micros(&mut line, e.t_ns.saturating_sub(*ns));
+                line.push_str(",\"dur\":");
+                push_micros(&mut line, *ns);
+                line.push_str(&format!(",\"args\":{{\"id\":{id}"));
+                if let Some(p) = parent_id {
+                    line.push_str(&format!(",\"parent_id\":{p}"));
+                }
+                line.push_str(&format!(",\"self_ns\":{self_ns}}}}}"));
+            }
+            EventKind::Run { name, fields } => {
+                line.push_str("{\"name\":");
+                push_json_str(&mut line, name);
+                line.push_str(
+                    ",\"cat\":\"run\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":",
+                );
+                push_micros(&mut line, e.t_ns);
+                line.push_str(",\"args\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    push_json_str(&mut line, k);
+                    line.push_str(&format!(":{v}"));
+                }
+                line.push_str("}}");
+            }
+            EventKind::Counter { name, value } | EventKind::Gauge { name, value } => {
+                line.push_str("{\"name\":");
+                push_json_str(&mut line, name);
+                line.push_str(",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":");
+                push_micros(&mut line, e.t_ns);
+                line.push_str(&format!(",\"args\":{{\"value\":{value}}}}}"));
+            }
+            EventKind::SessionStart { provenance } => {
+                line.push_str(
+                    "{\"name\":\"session_start\",\"cat\":\"session\",\"ph\":\"i\",\
+                     \"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":",
+                );
+                push_micros(&mut line, e.t_ns);
+                line.push_str(&format!(",\"args\":{{\"schema\":\"{SCHEMA}\",\"git_sha\":"));
+                push_json_str(&mut line, &provenance.git_sha);
+                line.push_str(",\"features\":");
+                push_json_str(&mut line, &provenance.features);
+                line.push_str(&format!(
+                    ",\"threads\":{},\"instance_fingerprint\":\"{:#018x}\"}}}}",
+                    provenance.threads, provenance.instance_fingerprint
+                ));
+            }
+            EventKind::SessionEnd => {
+                line.push_str(
+                    "{\"name\":\"session_end\",\"cat\":\"session\",\"ph\":\"i\",\
+                     \"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":",
+                );
+                push_micros(&mut line, e.t_ns);
+                line.push('}');
+            }
+            EventKind::Hist { .. } => continue,
+        }
+        s.push_str(",\n");
+        s.push_str(&line);
+    }
+    s.push_str("\n]}\n");
+    s
 }
 
 /// Every counter of the pipeline, declared centrally so snapshots can
@@ -1223,6 +1578,24 @@ pub mod counters {
     pub static STRATEGY_BOUND_PRUNED: Counter = Counter::new("strategy.bound_pruned");
     /// Subsets fully evaluated by the beam strategy's final beam.
     pub static STRATEGY_BEAM_EVALUATIONS: Counter = Counter::new("strategy.beam_evaluations");
+    /// Deltas the solver service worker applied (acked `applied`,
+    /// `degraded` or `poisoned` — everything that left the queue).
+    pub static SERVICE_DELTAS_APPLIED: Counter = Counter::new("service.deltas_applied");
+    /// `deployments` frames published to subscribers (counted once per
+    /// frame, not per subscriber).
+    pub static SERVICE_PUBLISH_DEPLOYMENTS: Counter = Counter::new("service.publish.deployments");
+    /// `degradation` frames published to subscribers.
+    pub static SERVICE_PUBLISH_DEGRADATION: Counter = Counter::new("service.publish.degradation");
+    /// Publishes rejected with a typed `Busy` because the bounded
+    /// ingress queue was full.
+    pub static SERVICE_BUSY_REJECTIONS: Counter = Counter::new("service.busy_rejections");
+    /// Deltas whose enqueue-to-publish latency exceeded the
+    /// configured slow-delta threshold (timing-dependent: excluded
+    /// from the deterministic `obs_diff` gate).
+    pub static SERVICE_SLOW_DELTAS: Counter = Counter::new("service.slow_deltas");
+    /// Subscriber connections dropped during publish fan-out (write
+    /// failed or timed out).
+    pub static SERVICE_SUBSCRIBER_DROPS: Counter = Counter::new("service.subscriber_drops");
 
     /// Every declared counter, in schema order.
     pub static ALL: &[&Counter] = &[
@@ -1257,6 +1630,12 @@ pub mod counters {
         &STRATEGY_GUIDED_RUNS,
         &STRATEGY_BOUND_PRUNED,
         &STRATEGY_BEAM_EVALUATIONS,
+        &SERVICE_DELTAS_APPLIED,
+        &SERVICE_PUBLISH_DEPLOYMENTS,
+        &SERVICE_PUBLISH_DEGRADATION,
+        &SERVICE_BUSY_REJECTIONS,
+        &SERVICE_SLOW_DELTAS,
+        &SERVICE_SUBSCRIBER_DROPS,
     ];
 }
 
@@ -1297,6 +1676,28 @@ pub mod phases {
     /// One connectivity repair (component triage, MST re-bridging,
     /// gateway re-extension) in the incremental loop or fault harness.
     pub static REPAIR: Phase = Phase::new("repair");
+    /// One `SolverLoop::apply` call — the incremental re-solve of a
+    /// single delta (dirty-tile triage, coverage refresh, repair or
+    /// cold fallback).
+    pub static RESOLVE_APPLY: Phase = Phase::new("resolve.apply");
+    /// The solver-service worker thread's whole lifetime — the root
+    /// span every per-delta service span attaches under (directly or
+    /// via a cross-thread [`SpanHandle`](super::SpanHandle)).
+    pub static SERVICE_WORKER: Phase = Phase::new("service.worker");
+    /// Reader-thread handling of one `Publish`: decode + enqueue (or
+    /// `Busy`), attached under the worker root across threads.
+    pub static SERVICE_INGRESS: Phase = Phase::new("service.ingress");
+    /// Time one delta spent in the bounded ingress queue, measured
+    /// from its enqueue timestamp when the worker dequeues it
+    /// (pre-aggregated; recorded via
+    /// [`record_ns_under`](super::Phase::record_ns_under)).
+    pub static SERVICE_QUEUE_WAIT: Phase = Phase::new("service.queue_wait");
+    /// Worker-side application of one delta (wraps `SolverLoop::apply`
+    /// incl. repair).
+    pub static SERVICE_APPLY: Phase = Phase::new("service.apply");
+    /// Publish fan-out of one delta's `deployments`/`degradation`
+    /// frames to all subscribers.
+    pub static SERVICE_PUBLISH: Phase = Phase::new("service.publish");
 
     /// Every declared phase, in schema order.
     pub static ALL: &[&Phase] = &[
@@ -1312,6 +1713,12 @@ pub mod phases {
         &SWEEP_TOTAL,
         &VERIFY,
         &REPAIR,
+        &RESOLVE_APPLY,
+        &SERVICE_WORKER,
+        &SERVICE_INGRESS,
+        &SERVICE_QUEUE_WAIT,
+        &SERVICE_APPLY,
+        &SERVICE_PUBLISH,
     ];
 }
 
@@ -1335,6 +1742,9 @@ pub mod hists {
     pub static DELTA_APPLY: LatencyHist = LatencyHist::new("resolve.delta_apply_ns");
     /// Latency of one connectivity repair plan.
     pub static REPAIR_NS: LatencyHist = LatencyHist::new("resolve.repair_ns");
+    /// Latency of writing one published frame to one subscriber
+    /// socket during fan-out.
+    pub static SUBSCRIBER_WRITE: LatencyHist = LatencyHist::new("service.subscriber_write_ns");
 
     /// Every declared latency histogram, in schema order.
     pub static ALL: &[&LatencyHist] = &[
@@ -1343,7 +1753,26 @@ pub mod hists {
         &TILE_SOLVE,
         &DELTA_APPLY,
         &REPAIR_NS,
+        &SUBSCRIBER_WRITE,
     ];
+}
+
+/// Every gauge of the pipeline, declared centrally. A gauge reports a
+/// *last value* (schema 3): snapshots and the `gauge` lines emitted at
+/// session end carry whatever was most recently
+/// [`set`](crate::Gauge::set).
+pub mod gauges {
+    use super::Gauge;
+
+    /// Depth of the solver-service bounded ingress queue, sampled by
+    /// the worker each time it dequeues a job.
+    pub static SERVICE_QUEUE_DEPTH: Gauge = Gauge::new("service.queue_depth");
+    /// Whole seconds since the solver service started, refreshed on
+    /// worker activity.
+    pub static SERVICE_UPTIME_SECONDS: Gauge = Gauge::new("service.uptime_seconds");
+
+    /// Every declared gauge, in schema order.
+    pub static ALL: &[&Gauge] = &[&SERVICE_QUEUE_DEPTH, &SERVICE_UPTIME_SECONDS];
 }
 
 #[cfg(test)]
@@ -1366,11 +1795,14 @@ mod tests {
         hists::GAIN_QUERY.record_ns(77);
         drop(hists::GAIN_QUERY.timer());
         assert_eq!(hists::GAIN_QUERY.histogram().count(), 0);
+        gauges::SERVICE_QUEUE_DEPTH.set(9);
+        assert_eq!(gauges::SERVICE_QUEUE_DEPTH.get(), 0);
         emit_run("sweep", &[("s", 1)]);
         assert!(drain_events().is_empty());
         assert!(session_end().is_none());
         let snap = snapshot();
         assert!(snap.counters.is_empty() && snap.phases.is_empty() && snap.hists.is_empty());
+        assert!(snap.gauges.is_empty());
         // Provenance is still detectable (threads, git sha) so the
         // snapshot header never lies about the build.
         assert!(!snap.provenance.git_sha.is_empty());
@@ -1399,11 +1831,16 @@ mod tests {
         }
         hists::GAIN_QUERY.record_ns(250);
         drop(hists::GAIN_QUERY.timer());
+        gauges::SERVICE_QUEUE_DEPTH.set(4);
+        gauges::SERVICE_QUEUE_DEPTH.set(2);
         emit_run("sweep", &[("s", 2), ("served", 17)]);
 
         let snap = session_end().expect("active session yields a snapshot");
         assert!(!session_active());
         assert_eq!(snap.counter("sweep.gain_queries"), Some(7));
+        // Gauges report the last value set, not an accumulation.
+        assert_eq!(snap.gauge("service.queue_depth"), Some(2));
+        assert_eq!(snap.gauge("no.such.gauge"), None);
         let greedy = snap.phase("greedy").unwrap();
         assert_eq!((greedy.total_ns, greedy.count), (1_000, 1));
         // record_ns counts fully as self-time and feeds the histogram.
@@ -1431,6 +1868,16 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::Counter { .. }))
             .count();
         assert_eq!(counter_events, counters::ALL.len());
+        // One gauge event per declared gauge, carrying the last value.
+        let gauge_events: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Gauge { name, value } => Some((*name, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gauge_events.len(), gauges::ALL.len());
+        assert!(gauge_events.contains(&("service.queue_depth", 2)));
         // One hist event per non-empty histogram: greedy + alg1_plan
         // phase hists plus the gain-query latency hist.
         let hist_events: Vec<_> = events
@@ -1480,7 +1927,15 @@ mod tests {
         assert!(span_line.contains("\"type\":\"span\""));
         assert!(span_line.contains("\"ns\":"));
         assert!(span_line.contains("\"id\":"));
+        assert!(span_line.contains("\"tid\":"));
         assert!(span_line.contains("\"self_ns\":"));
+        let gauge_line = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Gauge { .. }))
+            .unwrap()
+            .to_json_line();
+        assert!(gauge_line.contains("\"type\":\"gauge\""));
+        assert!(gauge_line.contains("\"value\":"));
         let hist_line = events
             .iter()
             .find(|e| matches!(e.kind, EventKind::Hist { .. }))
@@ -1505,14 +1960,40 @@ mod tests {
         for h in hists::ALL {
             assert!(json.contains(h.name()), "{} missing", h.name());
         }
+        for g in gauges::ALL {
+            assert!(json.contains(g.name()), "{} missing", g.name());
+        }
+        assert!(json.contains("\"gauges\""));
         // Prometheus export covers the same schema.
         let prom = snap.to_prometheus();
-        assert!(prom.contains("uavnet_build_info{schema=\"uavnet-obs/2\""));
+        assert!(prom.contains("uavnet_build_info{schema=\"uavnet-obs/3\""));
         assert!(prom.contains("uavnet_sweep_gain_queries_total 7"));
+        assert!(prom.contains("uavnet_service_queue_depth 2"));
         assert!(prom.contains("uavnet_phase_self_ns{phase=\"greedy\"} 1000"));
         assert!(prom.contains("uavnet_phase_duration_ns{phase=\"greedy\",quantile=\"0.5\"}"));
         assert!(prom.contains("uavnet_latency_ns{hist=\"greedy.gain_query_ns\",quantile=\"0.99\"}"));
         assert!(prom.contains("uavnet_latency_ns_count{hist=\"greedy.gain_query_ns\"} 2"));
+        // Satellite: every exposed metric family carries a # HELP line.
+        let helped: std::collections::HashSet<&str> = prom
+            .lines()
+            .filter_map(|l| l.strip_prefix("# HELP "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        for line in prom.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            // `_sum`/`_count` lines belong to their summary family's
+            // HELP; everything else must carry its own.
+            let summary_base = name
+                .strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"));
+            assert!(
+                helped.contains(name) || summary_base.is_some_and(|b| helped.contains(b)),
+                "metric family {name} has no # HELP line"
+            );
+        }
     }
 
     #[cfg(feature = "enabled")]
@@ -1541,6 +2022,7 @@ mod tests {
                     parent_id,
                     ns,
                     self_ns,
+                    ..
                 } => Some((*name, *id, *parent_id, *ns, *self_ns)),
                 _ => None,
             })
@@ -1677,5 +2159,164 @@ mod tests {
     #[test]
     fn disabled_begin_is_typed() {
         assert_eq!(try_session_begin(), Err(SessionError::Disabled));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn span_handles_parent_across_threads() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(session_begin());
+        let root = phases::SERVICE_WORKER.span();
+        let handle = root.handle().expect("recording span yields a handle");
+        // A thread with an empty local stack attaches under the handle,
+        // its same-thread children nest below it, and an explicit-parent
+        // record_ns lands under the handle too.
+        std::thread::spawn(move || {
+            {
+                let outer = phases::SERVICE_APPLY.span_under(Some(handle));
+                assert!(outer.handle().is_some());
+                let _inner = phases::REPAIR.span();
+            }
+            phases::SERVICE_QUEUE_WAIT.record_ns_under(Some(handle), 7_000);
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        session_end().unwrap();
+        let events = drain_events();
+        let spans: Vec<(&str, u64, Option<u64>, u64)> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Span {
+                    name,
+                    id,
+                    parent_id,
+                    tid,
+                    ..
+                } => Some((*name, *id, *parent_id, *tid)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 4);
+        let root_s = spans.iter().find(|s| s.0 == "service.worker").unwrap();
+        let apply = spans.iter().find(|s| s.0 == "service.apply").unwrap();
+        let repair = spans.iter().find(|s| s.0 == "repair").unwrap();
+        let wait = spans.iter().find(|s| s.0 == "service.queue_wait").unwrap();
+        assert_eq!(root_s.2, None);
+        assert_eq!(apply.2, Some(root_s.1));
+        assert_eq!(repair.2, Some(apply.1));
+        assert_eq!(wait.2, Some(root_s.1));
+        // Parent ids are always smaller (allocated on entry), so the
+        // log keeps referential integrity even though the cross-thread
+        // children closed before the root.
+        for s in &spans {
+            if let Some(p) = s.2 {
+                assert!(p < s.1, "{}: parent_id {p} >= id {}", s.0, s.1);
+            }
+        }
+        // The spawned thread got its own tid; same-thread spans share.
+        assert_ne!(apply.3, root_s.3);
+        assert_eq!(apply.3, repair.3);
+        assert_eq!(apply.3, wait.3);
+        // Cross-thread children do not subtract from the root's
+        // wall-clock self-time.
+        assert_eq!(
+            phases::SERVICE_WORKER.self_ns(),
+            phases::SERVICE_WORKER.total_ns()
+        );
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn stale_handles_from_an_ended_session_are_ignored() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(session_begin());
+        let handle = {
+            let root = phases::SERVICE_WORKER.span();
+            root.handle().unwrap()
+        };
+        session_end().unwrap();
+        drain_events();
+        // New session: the stale handle must not smuggle a dangling
+        // parent_id into the fresh log.
+        assert!(session_begin());
+        {
+            let _s = phases::SERVICE_APPLY.span_under(Some(handle));
+        }
+        phases::SERVICE_QUEUE_WAIT.record_ns_under(Some(handle), 1_000);
+        session_end().unwrap();
+        let events = drain_events();
+        for e in &events {
+            if let EventKind::Span {
+                name, parent_id, ..
+            } = &e.kind
+            {
+                assert_eq!(*parent_id, None, "{name}: stale parent survived");
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn trace_event_export_is_perfetto_shaped() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(session_begin());
+        {
+            let _root = phases::REPORT.span();
+            let _child = phases::ALG1_PLAN.span();
+        }
+        gauges::SERVICE_QUEUE_DEPTH.set(3);
+        emit_run("sweep", &[("s", 2)]);
+        session_end().unwrap();
+        let events = drain_events();
+        let trace = dump_trace_event(&events);
+        let doc = uavnet_json::Json::parse(&trace).expect("trace is valid JSON");
+        let items = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        let mut complete = 0u32;
+        let mut counters_seen = 0u32;
+        let mut instants = 0u32;
+        for item in items {
+            let ph = item.get("ph").unwrap().as_str().unwrap();
+            match ph {
+                "X" => {
+                    complete += 1;
+                    // Complete events carry ts + dur in microseconds
+                    // and the obs span id in args.
+                    assert!(item.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+                    assert!(item.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+                    assert!(item.get("tid").unwrap().as_f64().unwrap() >= 1.0);
+                    assert!(item.get("args").unwrap().get("id").is_some());
+                }
+                "C" => counters_seen += 1,
+                "i" => instants += 1,
+                "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(complete, 2, "one X event per span");
+        // All counters + gauges, emitted at session end.
+        assert_eq!(
+            counters_seen as usize,
+            counters::ALL.len() + gauges::ALL.len()
+        );
+        // session_start, session_end and the run record.
+        assert_eq!(instants, 3);
+        // The child's ts must not precede its parent's (start times
+        // reconstructed from close-time minus duration).
+        let ts_of = |wanted: &str| -> f64 {
+            items
+                .iter()
+                .find(|i| {
+                    i.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && i.get("name").and_then(|n| n.as_str()) == Some(wanted)
+                })
+                .and_then(|i| i.get("ts"))
+                .and_then(|t| t.as_f64())
+                .unwrap()
+        };
+        assert!(ts_of("alg1_plan") >= ts_of("report"));
     }
 }

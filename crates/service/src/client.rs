@@ -3,11 +3,27 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{delta_to_wire, DeploymentMsg, Reply, Request};
 use crate::ServiceError;
 use uavnet_core::{Delta, DeltaOutcome};
+
+/// What a publish came back with: the applied outcome plus the
+/// request-correlation extras the server echoes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PublishReceipt {
+    /// The solver's applied-delta outcome from the ack.
+    pub outcome: DeltaOutcome,
+    /// The trace id echoed by the server (equals the one sent, when
+    /// one was sent).
+    pub trace_id: Option<String>,
+    /// Round-trip time of the *acked* attempt, measured send→ack at
+    /// the client (excludes busy-backoff sleeps and rejected
+    /// attempts).
+    pub rtt: Duration,
+}
 
 /// Timeouts and retry policy of a [`ServiceClient`].
 #[derive(Debug, Clone)]
@@ -118,22 +134,42 @@ impl ServiceClient {
     /// [`ServiceError::Remote`] for a server-reported failure (bad
     /// payload, poisoned worker), or socket-level errors.
     pub fn publish(&mut self, delta: &Delta) -> Result<DeltaOutcome, ServiceError> {
+        self.publish_traced(delta, None).map(|r| r.outcome)
+    }
+
+    /// [`publish`](Self::publish) carrying an optional `trace_id`,
+    /// returning the full [`PublishReceipt`]: the outcome, the echoed
+    /// trace id, and the measured ack round-trip time. The server
+    /// stamps the same id on the `deployments`/`degradation` frames
+    /// this delta produced, so subscribers can correlate them.
+    ///
+    /// # Errors
+    ///
+    /// As [`publish`](Self::publish).
+    pub fn publish_traced(
+        &mut self,
+        delta: &Delta,
+        trace_id: Option<&str>,
+    ) -> Result<PublishReceipt, ServiceError> {
         let (topic, payload) = delta_to_wire(delta);
         let seq = self.next_seq;
         self.next_seq += 1;
         let request = Request::Publish {
             topic: topic.to_string(),
             seq,
+            trace_id: trace_id.map(str::to_string),
             payload,
         };
         for attempt in 0..=self.config.busy_retries {
             if attempt > 0 {
                 std::thread::sleep(self.config.backoff_base * (1u32 << (attempt - 1).min(10)));
             }
+            let sent_at = Instant::now();
             self.send(&request)?;
             match self.recv()? {
                 Reply::Ack {
                     seq: ack_seq,
+                    trace_id: echoed,
                     outcome,
                 } => {
                     if ack_seq != seq {
@@ -141,7 +177,11 @@ impl ServiceClient {
                             "ack for seq {ack_seq}, expected {seq}"
                         )));
                     }
-                    return Ok(outcome);
+                    return Ok(PublishReceipt {
+                        outcome,
+                        trace_id: echoed,
+                        rtt: sent_at.elapsed(),
+                    });
                 }
                 Reply::Busy { .. } => continue,
                 Reply::Error { message, .. } => return Err(ServiceError::Remote(message)),
@@ -172,6 +212,7 @@ impl ServiceClient {
         self.send(&Request::Publish {
             topic: topic.to_string(),
             seq,
+            trace_id: None,
             payload,
         })?;
         match self.recv()? {
@@ -179,6 +220,7 @@ impl ServiceClient {
             Reply::Busy {
                 seq,
                 queue_capacity,
+                ..
             } => Err(ServiceError::Busy {
                 seq,
                 queue_capacity,

@@ -39,7 +39,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientConfig, ServiceClient};
+pub use client::{ClientConfig, PublishReceipt, ServiceClient};
 pub use proto::{DegradationMsg, DeploymentMsg, Reply, Request};
 pub use server::{ServiceConfig, ServiceHandle, ServiceSummary, SolverService};
 

@@ -94,6 +94,16 @@ fn bool_field(v: &Json, key: &str) -> bool {
     matches!(v.get(key), Some(Json::Bool(true)))
 }
 
+fn opt_str_field(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn push_trace_id(pairs: &mut Vec<(&str, Json)>, trace_id: &Option<String>) {
+    if let Some(id) = trace_id {
+        pairs.push(("trace_id", Json::Str(id.clone())));
+    }
+}
+
 fn pair_list(items: &[Json], what: &str) -> Result<Vec<(usize, usize)>, ServiceError> {
     items
         .iter()
@@ -131,6 +141,11 @@ pub enum Request {
         topic: String,
         /// Client-chosen sequence number, echoed on the ack/busy/error.
         seq: u64,
+        /// Optional client-chosen trace id: echoed on the
+        /// [`Reply::Ack`]/[`Reply::Busy`] and stamped on the
+        /// `deployments`/`degradation` frames this delta produced, so
+        /// a subscriber can correlate a publish to its consequences.
+        trace_id: Option<String>,
         /// Topic-specific payload object.
         payload: Json,
     },
@@ -155,13 +170,18 @@ impl Request {
             Request::Publish {
                 topic,
                 seq,
+                trace_id,
                 payload,
-            } => obj(vec![
-                ("type", Json::Str("publish".into())),
-                ("topic", Json::Str(topic.clone())),
-                ("seq", unum(*seq as usize)),
-                ("payload", payload.clone()),
-            ]),
+            } => {
+                let mut pairs = vec![
+                    ("type", Json::Str("publish".into())),
+                    ("topic", Json::Str(topic.clone())),
+                    ("seq", unum(*seq as usize)),
+                ];
+                push_trace_id(&mut pairs, trace_id);
+                pairs.push(("payload", payload.clone()));
+                obj(pairs)
+            }
             Request::Subscribe { topics } => obj(vec![
                 ("type", Json::Str("subscribe".into())),
                 (
@@ -188,6 +208,7 @@ impl Request {
             "publish" => Ok(Request::Publish {
                 topic: want_str(&v, "topic")?.to_string(),
                 seq: want_index(&v, "seq")? as u64,
+                trace_id: opt_str_field(&v, "trace_id"),
                 payload: v
                     .get("payload")
                     .cloned()
@@ -229,6 +250,10 @@ pub struct DeploymentMsg {
     pub removed: Vec<(usize, usize)>,
     /// Set on the last message before a graceful shutdown.
     pub is_final: bool,
+    /// Trace id of the `Publish` whose delta produced this epoch, when
+    /// the client supplied one (absent on cold-solve, snapshot and
+    /// final-drain frames).
+    pub trace_id: Option<String>,
 }
 
 /// Numeric degradation report, published on `degradation` whenever a
@@ -248,6 +273,9 @@ pub struct DegradationMsg {
     pub relays_spent: usize,
     /// Whether the delta escalated to a full cold re-solve.
     pub cold_solved: bool,
+    /// Trace id of the `Publish` whose delta triggered this report,
+    /// when the client supplied one.
+    pub trace_id: Option<String>,
 }
 
 /// A server→client frame (direct reply or published topic message).
@@ -257,6 +285,8 @@ pub enum Reply {
     Ack {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Echo of the request's trace id, when supplied.
+        trace_id: Option<String>,
         /// What the solver did with it.
         outcome: DeltaOutcome,
     },
@@ -265,6 +295,8 @@ pub enum Reply {
     Busy {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Echo of the request's trace id, when supplied.
+        trace_id: Option<String>,
         /// The queue capacity that was exhausted.
         queue_capacity: usize,
     },
@@ -295,10 +327,17 @@ impl Reply {
     /// Serializes to one newline-free frame.
     pub fn to_line(&self) -> String {
         let v = match self {
-            Reply::Ack { seq, outcome } => obj(vec![
-                ("type", Json::Str("ack".into())),
-                ("seq", unum(*seq as usize)),
-                (
+            Reply::Ack {
+                seq,
+                trace_id,
+                outcome,
+            } => {
+                let mut pairs = vec![
+                    ("type", Json::Str("ack".into())),
+                    ("seq", unum(*seq as usize)),
+                ];
+                push_trace_id(&mut pairs, trace_id);
+                pairs.push((
                     "outcome",
                     obj(vec![
                         ("served", unum(outcome.served)),
@@ -308,16 +347,22 @@ impl Reply {
                         ("dropped_placements", unum(outcome.dropped_placements)),
                         ("cold_solved", Json::Bool(outcome.cold_solved)),
                     ]),
-                ),
-            ]),
+                ));
+                obj(pairs)
+            }
             Reply::Busy {
                 seq,
+                trace_id,
                 queue_capacity,
-            } => obj(vec![
-                ("type", Json::Str("busy".into())),
-                ("seq", unum(*seq as usize)),
-                ("queue_capacity", unum(*queue_capacity)),
-            ]),
+            } => {
+                let mut pairs = vec![
+                    ("type", Json::Str("busy".into())),
+                    ("seq", unum(*seq as usize)),
+                ];
+                push_trace_id(&mut pairs, trace_id);
+                pairs.push(("queue_capacity", unum(*queue_capacity)));
+                obj(pairs)
+            }
             Reply::Error { seq, message } => {
                 let mut pairs = vec![("type", Json::Str("error".into()))];
                 if let Some(seq) = seq {
@@ -333,24 +378,32 @@ impl Reply {
                     Json::Arr(topics.iter().map(|t| Json::Str(t.clone())).collect()),
                 ),
             ]),
-            Reply::Deployment(d) => obj(vec![
-                ("type", Json::Str("deployment".into())),
-                ("epoch", unum(d.epoch as usize)),
-                ("served", unum(d.served)),
-                ("placements", placements_json(&d.placements)),
-                ("added", placements_json(&d.added)),
-                ("removed", placements_json(&d.removed)),
-                ("final", Json::Bool(d.is_final)),
-            ]),
-            Reply::Degradation(d) => obj(vec![
-                ("type", Json::Str("degradation".into())),
-                ("epoch", unum(d.epoch as usize)),
-                ("served_before", unum(d.served_before)),
-                ("served_after", unum(d.served_after)),
-                ("dropped_placements", unum(d.dropped_placements)),
-                ("relays_spent", unum(d.relays_spent)),
-                ("cold_solved", Json::Bool(d.cold_solved)),
-            ]),
+            Reply::Deployment(d) => {
+                let mut pairs = vec![
+                    ("type", Json::Str("deployment".into())),
+                    ("epoch", unum(d.epoch as usize)),
+                    ("served", unum(d.served)),
+                ];
+                push_trace_id(&mut pairs, &d.trace_id);
+                pairs.push(("placements", placements_json(&d.placements)));
+                pairs.push(("added", placements_json(&d.added)));
+                pairs.push(("removed", placements_json(&d.removed)));
+                pairs.push(("final", Json::Bool(d.is_final)));
+                obj(pairs)
+            }
+            Reply::Degradation(d) => {
+                let mut pairs = vec![
+                    ("type", Json::Str("degradation".into())),
+                    ("epoch", unum(d.epoch as usize)),
+                ];
+                push_trace_id(&mut pairs, &d.trace_id);
+                pairs.push(("served_before", unum(d.served_before)));
+                pairs.push(("served_after", unum(d.served_after)));
+                pairs.push(("dropped_placements", unum(d.dropped_placements)));
+                pairs.push(("relays_spent", unum(d.relays_spent)));
+                pairs.push(("cold_solved", Json::Bool(d.cold_solved)));
+                obj(pairs)
+            }
             Reply::Pong => obj(vec![("type", Json::Str("pong".into()))]),
             Reply::ShuttingDown => obj(vec![("type", Json::Str("shutting_down".into()))]),
         };
@@ -379,11 +432,13 @@ impl Reply {
                 outcome.cold_solved = bool_field(o, "cold_solved");
                 Ok(Reply::Ack {
                     seq: want_index(&v, "seq")? as u64,
+                    trace_id: opt_str_field(&v, "trace_id"),
                     outcome,
                 })
             }
             "busy" => Ok(Reply::Busy {
                 seq: want_index(&v, "seq")? as u64,
+                trace_id: opt_str_field(&v, "trace_id"),
                 queue_capacity: want_index(&v, "queue_capacity")?,
             }),
             "error" => Ok(Reply::Error {
@@ -407,6 +462,7 @@ impl Reply {
                 added: pair_list(want_arr(&v, "added")?, "added")?,
                 removed: pair_list(want_arr(&v, "removed")?, "removed")?,
                 is_final: bool_field(&v, "final"),
+                trace_id: opt_str_field(&v, "trace_id"),
             })),
             "degradation" => Ok(Reply::Degradation(DegradationMsg {
                 epoch: want_index(&v, "epoch")? as u64,
@@ -415,6 +471,7 @@ impl Reply {
                 dropped_placements: want_index(&v, "dropped_placements")?,
                 relays_spent: want_index(&v, "relays_spent")?,
                 cold_solved: bool_field(&v, "cold_solved"),
+                trace_id: opt_str_field(&v, "trace_id"),
             })),
             "pong" => Ok(Reply::Pong),
             "shutting_down" => Ok(Reply::ShuttingDown),
@@ -566,7 +623,14 @@ mod tests {
             Request::Publish {
                 topic: TOPIC_DELTAS_KILL.into(),
                 seq: 7,
+                trace_id: None,
                 payload: obj(vec![("uavs", Json::Arr(vec![unum(2)]))]),
+            },
+            Request::Publish {
+                topic: TOPIC_DELTAS_MOBILITY.into(),
+                seq: 8,
+                trace_id: Some("req-8".into()),
+                payload: obj(vec![("moves", Json::Arr(vec![]))]),
             },
             Request::Subscribe {
                 topics: vec![TOPIC_DEPLOYMENTS.into(), TOPIC_DEGRADATION.into()],
@@ -589,9 +653,24 @@ mod tests {
         outcome.dirty_tiles = 3;
         outcome.cold_solved = true;
         let replies = [
-            Reply::Ack { seq: 1, outcome },
+            Reply::Ack {
+                seq: 1,
+                trace_id: None,
+                outcome: outcome.clone(),
+            },
+            Reply::Ack {
+                seq: 1,
+                trace_id: Some("req-1".into()),
+                outcome,
+            },
             Reply::Busy {
                 seq: 2,
+                trace_id: Some("req-2".into()),
+                queue_capacity: 64,
+            },
+            Reply::Busy {
+                seq: 2,
+                trace_id: None,
                 queue_capacity: 64,
             },
             Reply::Error {
@@ -612,6 +691,16 @@ mod tests {
                 added: vec![(1, 9)],
                 removed: vec![(1, 7)],
                 is_final: true,
+                trace_id: None,
+            }),
+            Reply::Deployment(DeploymentMsg {
+                epoch: 5,
+                served: 12,
+                placements: vec![(0, 5)],
+                added: vec![],
+                removed: vec![],
+                is_final: false,
+                trace_id: Some("req-5".into()),
             }),
             Reply::Degradation(DegradationMsg {
                 epoch: 4,
@@ -620,6 +709,7 @@ mod tests {
                 dropped_placements: 1,
                 relays_spent: 2,
                 cold_solved: false,
+                trace_id: Some("req-4".into()),
             }),
             Reply::Pong,
             Reply::ShuttingDown,

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::proto::{
     delta_from_wire, DegradationMsg, DeploymentMsg, Reply, Request, OUT_TOPICS, TOPIC_DEGRADATION,
@@ -36,6 +36,7 @@ use crate::proto::{
 };
 use crate::ServiceError;
 use uavnet_core::{diff_deployments, Delta, Instance, LoopConfig, ResolveStats, SolverLoop};
+use uavnet_obs::{counters, gauges, hists, phases, SpanHandle};
 
 /// Tuning of a [`SolverService`].
 #[derive(Debug, Clone)]
@@ -52,10 +53,33 @@ pub struct ServiceConfig {
     /// Accept-loop poll period.
     pub poll_interval: Duration,
     /// Record an obs session for the service's lifetime, so
-    /// `/metrics` serves live `resolve.*` counters. Requires the
-    /// instrumentation to be compiled in (`obs` feature) — spawning
-    /// fails with a typed session error otherwise.
+    /// `/metrics` serves live `resolve.*`/`service.*` metrics and the
+    /// summary carries a snapshot. The session starts *after* the cold
+    /// solve, so a recorded log holds exactly the delta lifecycle (one
+    /// `service.worker` root span). Requires the instrumentation to be
+    /// compiled in (`obs` feature) — spawning fails with a typed
+    /// session error otherwise.
     pub record_obs: bool,
+    /// Provenance stamped on the recorded obs session when
+    /// [`record_obs`](Self::record_obs) is set; `None` uses
+    /// auto-detected provenance.
+    pub obs_provenance: Option<uavnet_obs::Provenance>,
+    /// Explicit parent for the worker's `service.worker` root span.
+    /// `None` (the default) leaves it a root; an embedder that opens
+    /// its own report-level span (as `service_report` does around the
+    /// whole loopback run, in-process twin included) passes its handle
+    /// here so the session's log stays one rooted tree. When
+    /// [`record_obs`](Self::record_obs) is set the worker ends the obs
+    /// session as it exits, so drop the guard owning this handle
+    /// *before* `shutdown_and_join` — a span guard dropped after
+    /// session end is never written, leaving its children dangling.
+    /// (Closing the parent before its children is fine: ids are
+    /// allocated on span entry.)
+    pub obs_parent: Option<uavnet_obs::SpanHandle>,
+    /// A delta whose enqueue-to-publish latency exceeds this threshold
+    /// emits a structured `service.slow_delta` event and bumps the
+    /// `service.slow_deltas` counter.
+    pub slow_delta_threshold: Duration,
     /// Test hook: the worker panics while applying the publish with
     /// this sequence number, exercising panic containment.
     pub inject_panic_on_seq: Option<u64>,
@@ -72,6 +96,9 @@ impl Default for ServiceConfig {
             write_timeout: Duration::from_secs(2),
             poll_interval: Duration::from_millis(20),
             record_obs: false,
+            obs_provenance: None,
+            obs_parent: None,
+            slow_delta_threshold: Duration::from_millis(250),
             inject_panic_on_seq: None,
             apply_delay: Duration::ZERO,
         }
@@ -117,6 +144,8 @@ struct Subscriber {
 
 /// Writes `reply` to every subscriber of `topic`, dropping
 /// subscribers whose socket errors or stalls past the write timeout.
+/// Each write is timed into the `service.subscriber_write_ns`
+/// histogram; drops bump `service.subscriber_drops`.
 fn publish(subscribers: &Mutex<Vec<Subscriber>>, topic: &str, reply: &Reply) {
     let line = reply.to_line();
     let mut subs = subscribers.lock().unwrap_or_else(|e| e.into_inner());
@@ -124,19 +153,44 @@ fn publish(subscribers: &Mutex<Vec<Subscriber>>, topic: &str, reply: &Reply) {
         if !s.topics.iter().any(|t| t == topic) {
             return true;
         }
-        write_line_to(&mut s.stream, &line).is_ok()
+        let timer = hists::SUBSCRIBER_WRITE.timer();
+        let ok = write_line_to(&mut s.stream, &line).is_ok();
+        drop(timer);
+        if !ok {
+            counters::SERVICE_SUBSCRIBER_DROPS.add(1);
+        }
+        ok
     });
 }
 
 enum Job {
     Apply {
         seq: u64,
+        /// Client correlation id, echoed on the ack and stamped on
+        /// the frames this delta produces.
+        trace_id: Option<String>,
         delta: Delta,
+        /// When the reader enqueued the job; queue-wait is measured
+        /// from here to the worker's dequeue.
+        enqueued: Instant,
+        /// The reader-side `service.ingress` span, parenting the
+        /// worker-side queue-wait/apply/publish spans across the
+        /// thread boundary.
+        parent: Option<SpanHandle>,
         reply: SharedWriter,
     },
     Snapshot {
         reply: SharedWriter,
     },
+}
+
+/// Shared state the worker mutates for the other service threads.
+struct WorkerShared {
+    subscribers: Arc<Mutex<Vec<Subscriber>>>,
+    healthy: Arc<AtomicBool>,
+    deltas_applied: Arc<AtomicU64>,
+    queue_depth: Arc<AtomicU64>,
+    summary: Arc<Mutex<Option<ServiceSummary>>>,
 }
 
 /// The long-running solver service; [`SolverService::spawn`] is the
@@ -160,10 +214,16 @@ impl SolverService {
         loop_config: LoopConfig,
         config: ServiceConfig,
     ) -> Result<ServiceHandle, ServiceError> {
-        if config.record_obs {
-            uavnet_obs::try_session_begin()?;
-        }
         let solver = SolverLoop::new(instance, loop_config)?;
+        // The session starts *after* the cold solve succeeds, so a
+        // recorded log holds exactly the delta lifecycle under one
+        // `service.worker` root span.
+        if config.record_obs {
+            match config.obs_provenance.clone() {
+                Some(p) => uavnet_obs::try_session_begin_with(p)?,
+                None => uavnet_obs::try_session_begin()?,
+            }
+        }
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let http_listener = TcpListener::bind("127.0.0.1:0")?;
@@ -173,50 +233,68 @@ impl SolverService {
         let shutdown = Arc::new(AtomicBool::new(false));
         let healthy = Arc::new(AtomicBool::new(true));
         let deltas_applied = Arc::new(AtomicU64::new(0));
+        let queue_depth = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
         let subscribers = Arc::new(Mutex::new(Vec::<Subscriber>::new()));
         let summary = Arc::new(Mutex::new(None::<ServiceSummary>));
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
+        // The worker opens the session's root span on its own thread
+        // and hands its handle back, so reader threads can parent
+        // their ingress spans under it across the thread boundary.
+        let (root_tx, root_rx) = std::sync::mpsc::channel::<Option<SpanHandle>>();
 
         let mut threads = Vec::new();
         {
-            let (subscribers, healthy, deltas_applied, summary, config) = (
+            let shared = WorkerShared {
+                subscribers: Arc::clone(&subscribers),
+                healthy: Arc::clone(&healthy),
+                deltas_applied: Arc::clone(&deltas_applied),
+                queue_depth: Arc::clone(&queue_depth),
+                summary: Arc::clone(&summary),
+            };
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || {
+                worker_loop(solver, rx, &shared, &config, &root_tx, started);
+            }));
+        }
+        let worker_root = root_rx.recv().unwrap_or(None);
+        {
+            let (shutdown, subscribers, queue_depth, config) = (
+                Arc::clone(&shutdown),
                 Arc::clone(&subscribers),
-                Arc::clone(&healthy),
-                Arc::clone(&deltas_applied),
-                Arc::clone(&summary),
+                Arc::clone(&queue_depth),
                 config.clone(),
             );
             threads.push(std::thread::spawn(move || {
-                worker_loop(
-                    solver,
-                    rx,
-                    &subscribers,
-                    &healthy,
-                    &deltas_applied,
-                    &summary,
-                    &config,
+                accept_loop(
+                    listener,
+                    tx,
+                    shutdown,
+                    subscribers,
+                    queue_depth,
+                    worker_root,
+                    config,
                 );
             }));
         }
         {
-            let (shutdown, subscribers, config) = (
-                Arc::clone(&shutdown),
-                Arc::clone(&subscribers),
-                config.clone(),
-            );
-            threads.push(std::thread::spawn(move || {
-                accept_loop(listener, tx, shutdown, subscribers, config);
-            }));
-        }
-        {
-            let (shutdown, healthy, deltas_applied, config) = (
+            let (shutdown, healthy, deltas_applied, queue_depth, config) = (
                 Arc::clone(&shutdown),
                 Arc::clone(&healthy),
                 Arc::clone(&deltas_applied),
+                Arc::clone(&queue_depth),
                 config.clone(),
             );
             threads.push(std::thread::spawn(move || {
-                http_loop(http_listener, &shutdown, &healthy, &deltas_applied, &config);
+                http_loop(
+                    http_listener,
+                    &shutdown,
+                    &healthy,
+                    &deltas_applied,
+                    &queue_depth,
+                    started,
+                    &config,
+                );
             }));
         }
 
@@ -287,18 +365,27 @@ impl ServiceHandle {
 fn worker_loop(
     mut solver: SolverLoop,
     rx: Receiver<Job>,
-    subscribers: &Mutex<Vec<Subscriber>>,
-    healthy: &AtomicBool,
-    deltas_applied: &AtomicU64,
-    summary: &Mutex<Option<ServiceSummary>>,
+    shared: &WorkerShared,
     config: &ServiceConfig,
+    root_tx: &std::sync::mpsc::Sender<Option<SpanHandle>>,
+    started: Instant,
 ) {
+    let subscribers = &*shared.subscribers;
+    // One root span for the worker's whole life: every per-delta
+    // subtree hangs under it (via the reader-side ingress spans), so
+    // a recorded session validates as a single-root tree.
+    let root = phases::SERVICE_WORKER.span_under(config.obs_parent);
+    let _ = root_tx.send(root.handle());
+
     let mut epoch: u64 = 0;
     let mut published = solver.placements().to_vec();
     let mut last_served = solver.served_users();
     let mut poisoned: Option<String> = None;
 
     while let Ok(job) = rx.recv() {
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        gauges::SERVICE_QUEUE_DEPTH.set(shared.queue_depth.load(Ordering::SeqCst));
+        gauges::SERVICE_UPTIME_SECONDS.set(started.elapsed().as_secs());
         match job {
             Job::Snapshot { reply } => {
                 let msg = match &poisoned {
@@ -309,6 +396,7 @@ fn worker_loop(
                     None => Reply::Deployment(DeploymentMsg {
                         epoch,
                         served: last_served,
+                        trace_id: None,
                         placements: published.clone(),
                         added: Vec::new(),
                         removed: Vec::new(),
@@ -317,7 +405,16 @@ fn worker_loop(
                 };
                 reply_to(&reply, &msg);
             }
-            Job::Apply { seq, delta, reply } => {
+            Job::Apply {
+                seq,
+                trace_id,
+                delta,
+                enqueued,
+                parent,
+                reply,
+            } => {
+                phases::SERVICE_QUEUE_WAIT
+                    .record_ns_under(parent, enqueued.elapsed().as_nanos() as u64);
                 if let Some(m) = &poisoned {
                     reply_to(
                         &reply,
@@ -333,55 +430,82 @@ fn worker_loop(
                 }
                 let served_before = solver.served_users();
                 let inject = config.inject_panic_on_seq == Some(seq);
+                let apply_span = phases::SERVICE_APPLY.span_under(parent);
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     if inject {
                         panic!("injected worker panic at seq {seq}");
                     }
                     solver.apply(delta)
                 }));
+                drop(apply_span);
                 match result {
                     Ok(Ok(outcome)) => {
                         epoch += 1;
                         last_served = outcome.served;
-                        deltas_applied.fetch_add(1, Ordering::Relaxed);
+                        shared.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                        counters::SERVICE_DELTAS_APPLIED.add(1);
                         reply_to(
                             &reply,
                             &Reply::Ack {
                                 seq,
+                                trace_id: trace_id.clone(),
                                 outcome: outcome.clone(),
                             },
                         );
                         let now = solver.placements().to_vec();
                         let diff = diff_deployments(&published, &now);
-                        publish(
-                            subscribers,
-                            TOPIC_DEPLOYMENTS,
-                            &Reply::Deployment(DeploymentMsg {
-                                epoch,
-                                served: outcome.served,
-                                placements: now.clone(),
-                                added: diff.added,
-                                removed: diff.removed,
-                                is_final: false,
-                            }),
-                        );
-                        published = now;
-                        if outcome.served < served_before
-                            || outcome.dropped_placements > 0
-                            || outcome.relays_spent > 0
-                            || outcome.cold_solved
                         {
+                            let _publish_span = phases::SERVICE_PUBLISH.span_under(parent);
                             publish(
                                 subscribers,
-                                TOPIC_DEGRADATION,
-                                &Reply::Degradation(DegradationMsg {
+                                TOPIC_DEPLOYMENTS,
+                                &Reply::Deployment(DeploymentMsg {
                                     epoch,
-                                    served_before,
-                                    served_after: outcome.served,
-                                    dropped_placements: outcome.dropped_placements,
-                                    relays_spent: outcome.relays_spent,
-                                    cold_solved: outcome.cold_solved,
+                                    served: outcome.served,
+                                    trace_id: trace_id.clone(),
+                                    placements: now.clone(),
+                                    added: diff.added,
+                                    removed: diff.removed,
+                                    is_final: false,
                                 }),
+                            );
+                            counters::SERVICE_PUBLISH_DEPLOYMENTS.add(1);
+                            published = now;
+                            if outcome.served < served_before
+                                || outcome.dropped_placements > 0
+                                || outcome.relays_spent > 0
+                                || outcome.cold_solved
+                            {
+                                publish(
+                                    subscribers,
+                                    TOPIC_DEGRADATION,
+                                    &Reply::Degradation(DegradationMsg {
+                                        epoch,
+                                        trace_id,
+                                        served_before,
+                                        served_after: outcome.served,
+                                        dropped_placements: outcome.dropped_placements,
+                                        relays_spent: outcome.relays_spent,
+                                        cold_solved: outcome.cold_solved,
+                                    }),
+                                );
+                                counters::SERVICE_PUBLISH_DEGRADATION.add(1);
+                            }
+                        }
+                        let total_ns = enqueued.elapsed().as_nanos() as u64;
+                        if total_ns > config.slow_delta_threshold.as_nanos() as u64 {
+                            counters::SERVICE_SLOW_DELTAS.add(1);
+                            uavnet_obs::emit_run(
+                                "service.slow_delta",
+                                &[
+                                    ("seq", seq),
+                                    ("epoch", epoch),
+                                    ("total_ns", total_ns),
+                                    (
+                                        "threshold_ns",
+                                        config.slow_delta_threshold.as_nanos() as u64,
+                                    ),
+                                ],
                             );
                         }
                     }
@@ -404,7 +528,7 @@ fn worker_loop(
                         // flips — but the process and its telemetry
                         // stay up.
                         let m = panic_message(payload);
-                        healthy.store(false, Ordering::SeqCst);
+                        shared.healthy.store(false, Ordering::SeqCst);
                         poisoned = Some(m.clone());
                         reply_to(
                             &reply,
@@ -427,18 +551,22 @@ fn worker_loop(
         &Reply::Deployment(DeploymentMsg {
             epoch,
             served: last_served,
+            trace_id: None,
             placements: published.clone(),
             added: Vec::new(),
             removed: Vec::new(),
             is_final: true,
         }),
     );
+    // The root span must close on this thread before the session
+    // ends, so the recorded tree is complete and single-rooted.
+    drop(root);
     let metrics = if config.record_obs {
         uavnet_obs::session_end()
     } else {
         None
     };
-    *summary.lock().unwrap_or_else(|e| e.into_inner()) = Some(ServiceSummary {
+    *shared.summary.lock().unwrap_or_else(|e| e.into_inner()) = Some(ServiceSummary {
         epochs: epoch,
         served: last_served,
         placements: published,
@@ -463,6 +591,8 @@ fn accept_loop(
     tx: SyncSender<Job>,
     shutdown: Arc<AtomicBool>,
     subscribers: Arc<Mutex<Vec<Subscriber>>>,
+    queue_depth: Arc<AtomicU64>,
+    worker_root: Option<SpanHandle>,
     config: ServiceConfig,
 ) {
     if listener.set_nonblocking(true).is_err() {
@@ -475,9 +605,18 @@ fn accept_loop(
                 let tx = tx.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let subscribers = Arc::clone(&subscribers);
+                let queue_depth = Arc::clone(&queue_depth);
                 let config = config.clone();
                 readers.push(std::thread::spawn(move || {
-                    let _ = serve_conn(stream, &tx, &shutdown, &subscribers, &config);
+                    let _ = serve_conn(
+                        stream,
+                        &tx,
+                        &shutdown,
+                        &subscribers,
+                        &queue_depth,
+                        worker_root,
+                        &config,
+                    );
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -501,6 +640,8 @@ fn serve_conn(
     tx: &SyncSender<Job>,
     shutdown: &AtomicBool,
     subscribers: &Mutex<Vec<Subscriber>>,
+    queue_depth: &AtomicU64,
+    worker_root: Option<SpanHandle>,
     config: &ServiceConfig,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
@@ -577,19 +718,24 @@ fn serve_conn(
                 let job = Job::Snapshot {
                     reply: Arc::clone(&writer),
                 };
+                queue_depth.fetch_add(1, Ordering::SeqCst);
                 match tx.try_send(job) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(_)) => reply_to(
-                        &writer,
-                        &Reply::Error {
-                            seq: None,
-                            message: format!(
-                                "ingress queue full (capacity {}); retry snapshot",
-                                config.queue_capacity
-                            ),
-                        },
-                    ),
+                    Err(TrySendError::Full(_)) => {
+                        queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        reply_to(
+                            &writer,
+                            &Reply::Error {
+                                seq: None,
+                                message: format!(
+                                    "ingress queue full (capacity {}); retry snapshot",
+                                    config.queue_capacity
+                                ),
+                            },
+                        );
+                    }
                     Err(TrySendError::Disconnected(_)) => {
+                        queue_depth.fetch_sub(1, Ordering::SeqCst);
                         reply_to(
                             &writer,
                             &Reply::Error {
@@ -604,43 +750,62 @@ fn serve_conn(
             Ok(Request::Publish {
                 topic,
                 seq,
+                trace_id,
                 payload,
-            }) => match delta_from_wire(&topic, &payload) {
-                Err(e) => reply_to(
-                    &writer,
-                    &Reply::Error {
-                        seq: Some(seq),
-                        message: e.to_string(),
-                    },
-                ),
-                Ok(delta) => {
-                    let job = Job::Apply {
-                        seq,
-                        delta,
-                        reply: Arc::clone(&writer),
-                    };
-                    match tx.try_send(job) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(_)) => reply_to(
-                            &writer,
-                            &Reply::Busy {
-                                seq,
-                                queue_capacity: config.queue_capacity,
-                            },
-                        ),
-                        Err(TrySendError::Disconnected(_)) => {
-                            reply_to(
-                                &writer,
-                                &Reply::Error {
-                                    seq: Some(seq),
-                                    message: "service shutting down".to_string(),
-                                },
-                            );
-                            return Ok(());
+            }) => {
+                // The ingress span covers decode + enqueue on the
+                // reader thread; its handle rides in the job so the
+                // worker-side queue-wait/apply/publish spans parent
+                // under it across the thread boundary.
+                let ingress = phases::SERVICE_INGRESS.span_under(worker_root);
+                match delta_from_wire(&topic, &payload) {
+                    Err(e) => reply_to(
+                        &writer,
+                        &Reply::Error {
+                            seq: Some(seq),
+                            message: e.to_string(),
+                        },
+                    ),
+                    Ok(delta) => {
+                        let parent = ingress.handle().or(worker_root);
+                        let job = Job::Apply {
+                            seq,
+                            trace_id: trace_id.clone(),
+                            delta,
+                            enqueued: Instant::now(),
+                            parent,
+                            reply: Arc::clone(&writer),
+                        };
+                        queue_depth.fetch_add(1, Ordering::SeqCst);
+                        match tx.try_send(job) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) => {
+                                queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                counters::SERVICE_BUSY_REJECTIONS.add(1);
+                                reply_to(
+                                    &writer,
+                                    &Reply::Busy {
+                                        seq,
+                                        trace_id,
+                                        queue_capacity: config.queue_capacity,
+                                    },
+                                );
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                queue_depth.fetch_sub(1, Ordering::SeqCst);
+                                reply_to(
+                                    &writer,
+                                    &Reply::Error {
+                                        seq: Some(seq),
+                                        message: "service shutting down".to_string(),
+                                    },
+                                );
+                                return Ok(());
+                            }
                         }
                     }
                 }
-            },
+            }
         }
     }
 }
@@ -650,6 +815,8 @@ fn http_loop(
     shutdown: &AtomicBool,
     healthy: &AtomicBool,
     deltas_applied: &AtomicU64,
+    queue_depth: &AtomicU64,
+    started: Instant,
     config: &ServiceConfig,
 ) {
     if listener.set_nonblocking(true).is_err() {
@@ -658,7 +825,14 @@ fn http_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = serve_http(stream, healthy, deltas_applied, config);
+                let _ = serve_http(
+                    stream,
+                    healthy,
+                    deltas_applied,
+                    queue_depth,
+                    started,
+                    config,
+                );
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(config.poll_interval);
@@ -672,6 +846,8 @@ fn serve_http(
     stream: TcpStream,
     healthy: &AtomicBool,
     deltas_applied: &AtomicU64,
+    queue_depth: &AtomicU64,
+    started: Instant,
     config: &ServiceConfig,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -691,14 +867,33 @@ fn serve_http(
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, body) = match path {
         "/metrics" => {
+            // The obs snapshot carries every counter/phase/histogram/
+            // gauge family with HELP+TYPE headers (including the
+            // `service.queue_depth` / `service.uptime_seconds` gauges
+            // the worker samples). The lines below add only what obs
+            // cannot know (worker health, the always-on delta count)
+            // and, when the instrumentation is compiled out, the
+            // queue/uptime gauges straight from the shared atomics.
             let mut body = uavnet_obs::snapshot().to_prometheus();
             body.push_str(&format!(
-                "# TYPE uavnet_service_healthy gauge\nuavnet_service_healthy {}\n\
+                "# HELP uavnet_service_healthy 1 while the solver worker is unpoisoned.\n\
+                 # TYPE uavnet_service_healthy gauge\nuavnet_service_healthy {}\n\
+                 # HELP uavnet_service_deltas_applied_total Deltas applied by the solver worker.\n\
                  # TYPE uavnet_service_deltas_applied_total counter\n\
                  uavnet_service_deltas_applied_total {}\n",
                 u8::from(healthy.load(Ordering::SeqCst)),
                 deltas_applied.load(Ordering::Relaxed),
             ));
+            if !uavnet_obs::is_enabled() {
+                body.push_str(&format!(
+                    "# HELP uavnet_service_queue_depth Deltas waiting in the bounded ingress queue.\n\
+                     # TYPE uavnet_service_queue_depth gauge\nuavnet_service_queue_depth {}\n\
+                     # HELP uavnet_service_uptime_seconds Seconds since the service spawned.\n\
+                     # TYPE uavnet_service_uptime_seconds gauge\nuavnet_service_uptime_seconds {}\n",
+                    queue_depth.load(Ordering::SeqCst),
+                    started.elapsed().as_secs(),
+                ));
+            }
             ("200 OK", body)
         }
         "/healthz" => {

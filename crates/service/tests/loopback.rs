@@ -6,6 +6,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use uavnet_channel::UavRadio;
@@ -242,6 +243,7 @@ fn flood_gets_typed_busy_and_queue_stays_bounded() {
         let req = Request::Publish {
             topic: "deltas/mobility".to_string(),
             seq,
+            trace_id: None,
             payload: uavnet_json::Json::parse(r#"{"moves":[[0,710.0,690.0]]}"#).unwrap(),
         };
         stream.write_all(req.to_line().as_bytes()).unwrap();
@@ -310,6 +312,7 @@ fn graceful_shutdown_drains_in_flight_deltas_and_publishes_final_snapshot() {
         let req = Request::Publish {
             topic: "deltas/mobility".to_string(),
             seq,
+            trace_id: None,
             payload: uavnet_json::Json::parse(&format!(
                 r#"{{"moves":[[{seq},700.0,{}]]}}"#,
                 650.0 + seq as f64
@@ -413,8 +416,13 @@ fn worker_panic_is_contained_and_poisons_the_loop() {
         .is_some_and(|m| m.contains("injected")));
 }
 
+/// The obs session is process-global, so the tests that record one
+/// must serialize against each other.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
 #[test]
 fn http_endpoint_serves_metrics_health_and_404() {
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let instance = build_instance();
     // Record an obs session when the instrumentation is compiled in,
     // so /metrics carries live resolve.* counters.
@@ -455,5 +463,112 @@ fn http_endpoint_serves_metrics_health_and_404() {
             summary.metrics.is_some(),
             "recorded session yields a snapshot"
         );
+    }
+}
+
+#[test]
+fn trace_id_round_trips_and_span_tree_is_single_rooted() {
+    let _obs = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let record_obs = uavnet_obs::is_enabled();
+    // Clear any events a previous recorded session left buffered.
+    let _ = uavnet_obs::drain_events();
+
+    let instance = build_instance();
+    let config = ServiceConfig {
+        record_obs,
+        ..ServiceConfig::default()
+    };
+    let handle = SolverService::spawn(instance, loop_config(), config).expect("spawn service");
+
+    let mut subscriber = client(handle.addr());
+    subscriber
+        .subscribe(&[TOPIC_DEPLOYMENTS, TOPIC_DEGRADATION])
+        .expect("subscribe");
+    let mut publisher = client(handle.addr());
+
+    // A traced publish echoes the id on the ack and stamps it on the
+    // correlated deployment frame.
+    let receipt = publisher
+        .publish_traced(
+            &Delta::UserMoved(vec![(0, Point2::new(710.0, 690.0))]),
+            Some("req-42"),
+        )
+        .expect("traced publish");
+    assert_eq!(receipt.trace_id.as_deref(), Some("req-42"));
+    assert!(receipt.rtt > Duration::ZERO, "rtt is measured");
+    let Reply::Deployment(dep) = subscriber.next_event().expect("event") else {
+        panic!("expected deployment");
+    };
+    assert_eq!(dep.trace_id.as_deref(), Some("req-42"));
+
+    // An untraced publish stays untraced end to end.
+    let receipt = publisher
+        .publish_traced(
+            &Delta::UserMoved(vec![(1, Point2::new(500.0, 510.0))]),
+            None,
+        )
+        .expect("untraced publish");
+    assert_eq!(receipt.trace_id, None);
+    let Reply::Deployment(dep) = subscriber.next_event().expect("event") else {
+        panic!("expected deployment");
+    };
+    assert_eq!(dep.trace_id, None);
+
+    let kill_target = dep.placements[0].0;
+    let receipt = publisher
+        .publish_traced(&Delta::KillUavs(vec![kill_target]), Some("req-kill"))
+        .expect("traced kill");
+    assert_eq!(receipt.trace_id.as_deref(), Some("req-kill"));
+    // The kill's deployment *and* degradation frames carry the id.
+    let Reply::Deployment(dep) = subscriber.next_event().expect("event") else {
+        panic!("expected deployment");
+    };
+    assert_eq!(dep.trace_id.as_deref(), Some("req-kill"));
+    let Reply::Degradation(deg) = subscriber.next_event().expect("degradation") else {
+        panic!("expected degradation");
+    };
+    assert_eq!(deg.trace_id.as_deref(), Some("req-kill"));
+
+    let summary = handle.shutdown_and_join().expect("summary");
+    assert_eq!(summary.epochs, 3);
+
+    if record_obs {
+        // The recorded span tree must be single-rooted at
+        // `service.worker`, with every cross-thread per-delta span
+        // (ingress on the reader, queue-wait/apply/publish on the
+        // worker) attached below it, ids parent-before-child.
+        let events = uavnet_obs::drain_events();
+        let spans: Vec<(&'static str, u64, Option<u64>)> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                uavnet_obs::EventKind::Span {
+                    name,
+                    id,
+                    parent_id,
+                    ..
+                } => Some((name, id, parent_id)),
+                _ => None,
+            })
+            .collect();
+        let roots: Vec<_> = spans.iter().filter(|s| s.2.is_none()).collect();
+        assert_eq!(roots.len(), 1, "single root, got {roots:?}");
+        assert_eq!(roots[0].0, "service.worker");
+        for stage in [
+            "service.ingress",
+            "service.queue_wait",
+            "service.apply",
+            "service.publish",
+            "resolve.apply",
+        ] {
+            assert!(
+                spans.iter().any(|s| s.0 == stage && s.2.is_some()),
+                "stage {stage} must appear as a parented span: {spans:?}"
+            );
+        }
+        for (name, id, parent) in &spans {
+            if let Some(p) = parent {
+                assert!(p < id, "parent id precedes child ({name})");
+            }
+        }
     }
 }

@@ -3,10 +3,11 @@
 
 Usage: validate_obs_log.py EVENTS.jsonl [METRICS.json] [--single-root]
 
-Accepts both schema generations and checks the contract downstream
-tooling (obs_diff, the CI artifact consumers) relies on.
+Accepts every schema generation (`uavnet-obs/1` through
+`uavnet-obs/3`) and checks the contract downstream tooling (obs_diff,
+the CI artifact consumers) relies on.
 
-Common to `uavnet-obs/1` and `uavnet-obs/2`:
+Common to all schema generations:
 
 * every line is a self-contained JSON object with integer `seq`,
   integer `t_ns` and a known `type`;
@@ -19,7 +20,7 @@ Common to `uavnet-obs/1` and `uavnet-obs/2`:
 * the snapshot (if given) carries the same schema id and its counters
   equal the final `counter` events of the log.
 
-Additional `uavnet-obs/2` checks:
+Additional `uavnet-obs/2` checks (also applied to `uavnet-obs/3`):
 
 * the `session_start` header carries provenance: string `git_sha`,
   string `features`, int `threads`, and an `instance_fingerprint`
@@ -42,6 +43,14 @@ Additional `uavnet-obs/2` checks:
   non-empty, and its `hists` section agrees with the log's trailing
   `hist` events where names coincide.
 
+Additional `uavnet-obs/3` checks:
+
+* `span` lines carry a non-negative int `tid` (stable per-thread
+  ordinal, so cross-thread span parenting is reconstructible);
+* `gauge` lines carry `name` and a non-negative int `value`;
+* the snapshot carries a `gauges` object agreeing with the log's
+  trailing `gauge` events.
+
 Exits non-zero with a line-numbered message on the first violation.
 """
 
@@ -49,9 +58,10 @@ import json
 import re
 import sys
 
-SCHEMAS = ("uavnet-obs/1", "uavnet-obs/2")
+SCHEMAS = ("uavnet-obs/1", "uavnet-obs/2", "uavnet-obs/3")
 TYPES_V1 = {"session_start", "session_end", "span", "counter", "run"}
 TYPES_V2 = TYPES_V1 | {"hist"}
+TYPES_V3 = TYPES_V2 | {"gauge"}
 FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
 
@@ -121,7 +131,7 @@ def validate_events(path, single_root):
                 schema = e.get("schema")
                 if schema not in SCHEMAS:
                     fail(f"{path}:{lineno}: schema {schema!r} not in {SCHEMAS}")
-                if schema == "uavnet-obs/2":
+                if schema in ("uavnet-obs/2", "uavnet-obs/3"):
                     check_provenance_fields(f"{path}:{lineno}", e)
             events.append((lineno, e))
 
@@ -129,13 +139,15 @@ def validate_events(path, single_root):
         fail(f"{path}: empty log")
     if events[0][1]["type"] != "session_start":
         fail(f"{path}: log must open with session_start")
-    v2 = schema == "uavnet-obs/2"
-    types = TYPES_V2 if v2 else TYPES_V1
+    v3 = schema == "uavnet-obs/3"
+    v2plus = v3 or schema == "uavnet-obs/2"
+    types = TYPES_V3 if v3 else TYPES_V2 if v2plus else TYPES_V1
 
     span_ids = {}
     parent_refs = []
     roots = []
     hist_events = {}
+    gauge_events = {}
     for lineno, e in events:
         where = f"{path}:{lineno}"
         if e["type"] not in types:
@@ -143,7 +155,7 @@ def validate_events(path, single_root):
         if e["type"] == "span":
             if not isinstance(e.get("name"), str) or not isinstance(e.get("ns"), int):
                 fail(f"{where}: span needs string name and int ns")
-            if v2:
+            if v2plus:
                 sid = e.get("id")
                 if not isinstance(sid, int) or sid < 1:
                     fail(f"{where}: span needs a positive int id")
@@ -165,6 +177,17 @@ def validate_events(path, single_root):
                             "(parents are entered, and numbered, first)"
                         )
                     parent_refs.append((lineno, parent))
+            if v3:
+                tid = e.get("tid")
+                if not isinstance(tid, int) or tid < 1:
+                    fail(f"{where}: v3 span needs a positive int tid")
+        if e["type"] == "gauge":
+            if not isinstance(e.get("name"), str):
+                fail(f"{where}: gauge needs a string name")
+            value = e.get("value")
+            if not isinstance(value, int) or value < 0:
+                fail(f"{where}: gauge {e['name']!r} needs a non-negative int value")
+            gauge_events[e["name"]] = value
         if e["type"] == "counter":
             if not isinstance(e.get("name"), str) or not isinstance(e.get("value"), int):
                 fail(f"{where}: counter needs string name and int value")
@@ -202,8 +225,8 @@ def validate_events(path, single_root):
         if parent not in span_ids:
             fail(f"{path}:{lineno}: span parent_id {parent} matches no span id")
     if single_root:
-        if not v2:
-            fail(f"{path}: --single-root requires a uavnet-obs/2 log")
+        if not v2plus:
+            fail(f"{path}: --single-root requires a uavnet-obs/2+ log")
         if len(roots) != 1:
             fail(
                 f"{path}: expected exactly one root span, found "
@@ -211,10 +234,10 @@ def validate_events(path, single_root):
             )
 
     counters = {e["name"]: e["value"] for _, e in events if e["type"] == "counter"}
-    return schema, starts[0], counters, hist_events
+    return schema, starts[0], counters, hist_events, gauge_events
 
 
-def validate_metrics(path, schema, session_start, final_counters, hist_events):
+def validate_metrics(path, schema, session_start, final_counters, hist_events, gauge_events):
     with open(path) as f:
         snap = json.load(f)
     if snap.get("schema") != schema:
@@ -236,7 +259,7 @@ def validate_metrics(path, schema, session_start, final_counters, hist_events):
             if counters.get(k) != final_counters.get(k)
         }
         fail(f"{path}: snapshot counters diverge from the event log: {diff}")
-    if schema != "uavnet-obs/2":
+    if schema not in ("uavnet-obs/2", "uavnet-obs/3"):
         return
 
     prov = snap.get("provenance")
@@ -272,6 +295,20 @@ def validate_metrics(path, schema, session_start, final_counters, hist_events):
                 f"{path}: hist {name!r} count {h['count']} != event-log "
                 f"count {hist_events[name]['count']}"
             )
+    if schema != "uavnet-obs/3":
+        return
+
+    gauges = snap.get("gauges")
+    if not isinstance(gauges, dict):
+        fail(f"{path}: v3 snapshot needs a gauges object")
+    for name, value in gauges.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: gauge {name!r} not a non-negative int")
+        if name in gauge_events and gauge_events[name] != value:
+            fail(
+                f"{path}: gauge {name!r} value {value} != event-log "
+                f"value {gauge_events[name]}"
+            )
 
 
 def main():
@@ -279,11 +316,13 @@ def main():
     single_root = "--single-root" in sys.argv[1:]
     if len(args) not in (1, 2):
         fail("usage: validate_obs_log.py EVENTS.jsonl [METRICS.json] [--single-root]")
-    schema, session_start, final_counters, hist_events = validate_events(
+    schema, session_start, final_counters, hist_events, gauge_events = validate_events(
         args[0], single_root
     )
     if len(args) == 2:
-        validate_metrics(args[1], schema, session_start, final_counters, hist_events)
+        validate_metrics(
+            args[1], schema, session_start, final_counters, hist_events, gauge_events
+        )
     print(
         f"validate_obs_log: ok — {len(final_counters)} counters, "
         f"schema {schema}"

@@ -19,10 +19,13 @@ use std::sync::Mutex;
 
 use proptest::prelude::*;
 use uavnet::channel::UavRadio;
-use uavnet::core::{approx_alg_with_stats, ApproxConfig, CoreError, Instance};
+use uavnet::core::{
+    approx_alg_with_stats, ApproxConfig, CoreError, Delta, Instance, LoopConfig, User,
+};
 use uavnet::geom::{AreaSpec, GridSpec, Point2};
 use uavnet::obs;
 use uavnet::obs::EventKind;
+use uavnet_service::{ClientConfig, ServiceClient, ServiceConfig, SolverService};
 
 /// The obs session is process-global; tests in this binary serialize
 /// on this lock so a concurrently recording test cannot double-count.
@@ -176,6 +179,167 @@ proptest! {
                 prop_assert!(snap.is_none());
                 prop_assert!(events.is_empty());
             }
+    }
+}
+
+/// Fixture for the service-path twin of the bit-identity property:
+/// roomy enough that random moves, a kill and a surge all change
+/// coverage, small enough that a cold solve stays fast.
+fn service_instance() -> Instance {
+    let grid = GridSpec::new(
+        AreaSpec::new(1_500.0, 1_500.0, 500.0).unwrap(),
+        300.0,
+        300.0,
+    )
+    .unwrap()
+    .build();
+    let mut b = Instance::builder(grid, 450.0);
+    for i in 0..8 {
+        b.add_user(Point2::new(150.0 + 20.0 * i as f64, 150.0), 2_000.0);
+    }
+    for i in 0..8 {
+        b.add_user(Point2::new(1_200.0 + 10.0 * i as f64, 1_200.0), 2_000.0);
+    }
+    for _ in 0..4 {
+        b.add_uav(4, UavRadio::new(30.0, 5.0, 400.0));
+    }
+    for _ in 0..2 {
+        b.add_uav(6, UavRadio::new(33.0, 6.0, 500.0));
+    }
+    b.build().unwrap()
+}
+
+fn service_loop_config() -> LoopConfig {
+    let mut cfg = LoopConfig::new(ApproxConfig::with_s(1));
+    cfg.tile_cells = 2;
+    cfg
+}
+
+/// A randomized delta plan over [`service_instance`]. The kill target
+/// is a *slot* into the cold-solve placements, resolved against the
+/// seed snapshot at replay time, so the plan never references an
+/// unplaced UAV — and resolves identically in both runs because the
+/// cold solve is deterministic.
+#[derive(Debug, Clone)]
+struct DeltaPlan {
+    moves_a: Vec<(usize, f64, f64)>,
+    kill_slot: usize,
+    surge_n: usize,
+    moves_b: Vec<(usize, f64, f64)>,
+}
+
+prop_compose! {
+    fn delta_plans()(
+        moves_a in proptest::collection::vec((0usize..16, 0.0f64..1_400.0, 0.0f64..1_400.0), 1..4),
+        kill_slot in 0usize..6,
+        surge_n in 0usize..3,
+        moves_b in proptest::collection::vec((0usize..16, 0.0f64..1_400.0, 0.0f64..1_400.0), 1..4),
+    ) -> DeltaPlan {
+        DeltaPlan { moves_a, kill_slot, surge_n, moves_b }
+    }
+}
+
+fn moves_delta(moves: &[(usize, f64, f64)]) -> Delta {
+    Delta::UserMoved(
+        moves
+            .iter()
+            .map(|&(i, x, y)| (i as u32, Point2::new(x, y)))
+            .collect(),
+    )
+}
+
+/// `(epoch, placements, served)` observed after each applied delta.
+type ServiceObservations = Vec<(u64, Vec<(usize, usize)>, usize)>;
+
+/// Replay `plan` through a spawned [`SolverService`], returning the
+/// post-delta observations and the final summary.
+fn run_service_plan(
+    plan: &DeltaPlan,
+    record: bool,
+) -> (ServiceObservations, uavnet_service::ServiceSummary) {
+    let config = ServiceConfig {
+        record_obs: record,
+        ..ServiceConfig::default()
+    };
+    let handle = SolverService::spawn(service_instance(), service_loop_config(), config)
+        .expect("spawn service");
+    let mut publisher =
+        ServiceClient::connect(handle.addr(), ClientConfig::default()).expect("connect");
+
+    let seed = publisher.snapshot().expect("seed snapshot");
+    let kill = seed.placements[plan.kill_slot % seed.placements.len()].0;
+    let mut deltas = vec![moves_delta(&plan.moves_a), Delta::KillUavs(vec![kill])];
+    if plan.surge_n > 0 {
+        deltas.push(Delta::UserSurge(
+            (0..plan.surge_n)
+                .map(|i| User {
+                    pos: Point2::new(300.0 + 40.0 * i as f64, 200.0),
+                    min_rate_bps: 2_000.0,
+                })
+                .collect(),
+        ));
+    }
+    deltas.push(moves_delta(&plan.moves_b));
+
+    let mut observed = Vec::with_capacity(deltas.len());
+    for delta in &deltas {
+        publisher.publish(delta).expect("publish");
+        let snap = publisher.snapshot().expect("snapshot");
+        observed.push((snap.epoch, snap.placements, snap.served));
+    }
+    let summary = handle.shutdown_and_join().expect("shutdown");
+    (observed, summary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Service-path twin of
+    /// [`observed_sweep_is_bit_identical_to_unobserved`]: streaming
+    /// the same delta plan through the TCP boundary with and without
+    /// a recording obs session must produce bit-identical epochs,
+    /// placements, served counts and cumulative solver stats — the
+    /// whole tracing tentpole (spans, gauges, queue-wait histograms)
+    /// is observation-only.
+    #[test]
+    fn observed_service_stream_is_bit_identical_to_unobserved(plan in delta_plans()) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        prop_assert!(!obs::session_active(), "leaked session from a prior case");
+        obs::drain_events();
+
+        let (plain_obs, plain_summary) = run_service_plan(&plan, false);
+        // Mirror the loopback suite: ask for recording only when the
+        // obs feature can honor it, so the non-obs build still pins
+        // the service path end to end.
+        let (rec_obs, rec_summary) = run_service_plan(&plan, obs::is_enabled());
+        let events = obs::drain_events();
+
+        prop_assert_eq!(&rec_obs, &plain_obs);
+        prop_assert_eq!(rec_summary.epochs, plain_summary.epochs);
+        prop_assert_eq!(rec_summary.served, plain_summary.served);
+        prop_assert_eq!(&rec_summary.placements, &plain_summary.placements);
+        prop_assert_eq!(&rec_summary.stats, &plain_summary.stats);
+        prop_assert!(rec_summary.worker_panic.is_none());
+        prop_assert!(plain_summary.metrics.is_none());
+
+        if obs::is_enabled() {
+            let metrics = rec_summary
+                .metrics
+                .as_ref()
+                .expect("recorded service run snapshots");
+            prop_assert_eq!(
+                metrics.counter("service.deltas_applied"),
+                Some(rec_summary.epochs)
+            );
+            let queue_wait = metrics
+                .phase("service.queue_wait")
+                .expect("queue-wait phase recorded");
+            prop_assert_eq!(queue_wait.count, rec_summary.epochs);
+            prop_assert!(!events.is_empty(), "recorded run emits events");
+        } else {
+            prop_assert!(rec_summary.metrics.is_none());
+            prop_assert!(events.is_empty());
+        }
     }
 }
 
